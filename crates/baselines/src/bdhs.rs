@@ -1,0 +1,200 @@
+//! **BDHS-Step** and **BDHS-Concave** — welfare maximization with
+//! friends-of-friends network *externalities* (Bhattacharya et al.),
+//! converted to the UIC setting exactly as §4.3.4.4 describes:
+//!
+//! * every node is directly assigned the best bundle `J*` (their model
+//!   has **no seed budget and no propagation** — assignment is free);
+//! * each itemset is a "virtual item", so the best assignment is the
+//!   deterministic-utility maximizer `J* = argmax_J V(J) − P(J)`;
+//! * **BDHS-Step**: sample live-edge worlds; a node *realizes* the
+//!   bundle's utility when at least one in-neighbor holds it in that
+//!   world (1-step externality); average over worlds.
+//! * **BDHS-Concave**: with uniform edge probability `p`, a node
+//!   realizes the utility with probability `1 − (1−p)^{s_v}` where `s_v`
+//!   is its 2-hop in-neighborhood support size.
+//!
+//! The resulting number is the horizontal benchmark of Fig. 9(a–c):
+//! bundleGRD's budget is swept until its propagated welfare matches it.
+
+use uic_graph::{Graph, NodeId};
+use uic_items::{istar, ItemSet, UtilityModel};
+use uic_util::{split_seed, UicRng, VisitTags};
+
+/// The deterministic-utility-maximizing bundle `J*` and its utility.
+pub fn best_bundle(model: &UtilityModel) -> (ItemSet, f64) {
+    let table = model.deterministic_table();
+    let j = istar(&table);
+    let u = table.utility(j);
+    (j, u)
+}
+
+/// BDHS-Step benchmark welfare: `E_W[ Σ_v 𝟙{v has a live in-edge in W} ]
+/// · U(J*)` over `worlds` sampled live-edge worlds.
+///
+/// (All nodes hold `J*`, so "some friend adopted it" reduces to "some
+/// in-edge is live".)
+pub fn bdhs_step_welfare(g: &Graph, model: &UtilityModel, worlds: u32, seed: u64) -> f64 {
+    let (_, u_star) = best_bundle(model);
+    if u_star <= 0.0 {
+        return 0.0;
+    }
+    let n = g.num_nodes();
+    let mut supported_total = 0u64;
+    for w in 0..worlds {
+        let mut rng = UicRng::new(split_seed(seed, w as u64));
+        for v in 0..n {
+            let mut live = false;
+            for &p in g.in_probs(v) {
+                // Sample each in-edge until one comes up live.
+                if rng.coin(p as f64) {
+                    live = true;
+                    // Keep the stream length independent of outcomes? No:
+                    // early exit is fine — each edge coin is independent
+                    // and later edges are simply unsampled.
+                    break;
+                }
+            }
+            if live {
+                supported_total += 1;
+            }
+        }
+    }
+    supported_total as f64 / worlds as f64 * u_star
+}
+
+/// Exact (closed-form) variant of the step benchmark:
+/// `Σ_v (1 − Π_{(u,v)} (1 − p_{uv})) · U(J*)` — no sampling error.
+pub fn bdhs_step_welfare_exact(g: &Graph, model: &UtilityModel) -> f64 {
+    let (_, u_star) = best_bundle(model);
+    if u_star <= 0.0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for v in 0..g.num_nodes() {
+        let none_live: f64 = g.in_probs(v).iter().map(|&p| 1.0 - p as f64).product();
+        total += 1.0 - none_live;
+    }
+    total * u_star
+}
+
+/// BDHS-Concave benchmark welfare:
+/// `Σ_v (1 − (1−p)^{s_v}) · U(J*)` with `s_v` = size of `v`'s 2-hop
+/// in-neighborhood (excluding `v`). Requires the caller to state the
+/// uniform edge probability `p` of the restricted UIC instance.
+pub fn bdhs_concave_welfare(g: &Graph, model: &UtilityModel, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    let (_, u_star) = best_bundle(model);
+    if u_star <= 0.0 {
+        return 0.0;
+    }
+    let n = g.num_nodes();
+    let mut tags = VisitTags::new(n as usize);
+    let mut total = 0.0f64;
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for v in 0..n {
+        // Count distinct nodes within 2 reverse hops of v.
+        tags.reset();
+        tags.mark(v as usize);
+        frontier.clear();
+        let mut support = 0u64;
+        for &u in g.in_neighbors(v) {
+            if tags.mark(u as usize) {
+                support += 1;
+                frontier.push(u);
+            }
+        }
+        for &u in frontier.iter() {
+            for &w in g.in_neighbors(u) {
+                if tags.mark(w as usize) {
+                    support += 1;
+                }
+            }
+        }
+        total += 1.0 - (1.0 - p).powi(support as i32);
+    }
+    total * u_star
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uic_items::{NoiseModel, Price, TableValuation};
+
+    fn model() -> UtilityModel {
+        // U(i1) = 1, U(i2) = −1, U(both) = 3 deterministically.
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 2.0, 1.0, 7.0])),
+            Price::additive(vec![1.0, 2.0]),
+            NoiseModel::none(2),
+        )
+    }
+
+    #[test]
+    fn best_bundle_is_the_pair() {
+        let (j, u) = best_bundle(&model());
+        assert_eq!(j, ItemSet::full(2));
+        assert!((u - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_exact_on_path() {
+        // 0→1→2 with p=0.5: node 0 has no in-edge, nodes 1,2 each
+        // supported w.p. 0.5 ⇒ welfare = (0.5+0.5)·U* = 4.
+        let g = Graph::from_edges(3, &[(0, 1, 0.5), (1, 2, 0.5)]);
+        let got = bdhs_step_welfare_exact(&g, &model());
+        assert!((got - 4.0).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn step_mc_matches_exact() {
+        let g = Graph::from_edges(4, &[(0, 1, 0.5), (1, 2, 0.3), (0, 2, 0.9), (2, 3, 0.7)]);
+        let exact = bdhs_step_welfare_exact(&g, &model());
+        let mc = bdhs_step_welfare(&g, &model(), 20_000, 3);
+        assert!(
+            (mc - exact).abs() < 0.05 * exact.max(1.0),
+            "mc {mc} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn concave_counts_two_hop_support() {
+        // chain 0→1→2: s_0 = 0, s_1 = 1 ({0}), s_2 = 2 ({1,0}).
+        let g = Graph::from_edges(3, &[(0, 1, 0.5), (1, 2, 0.5)]);
+        let p = 0.5;
+        let expect = ((1.0 - 0.5f64.powi(1)) + (1.0 - 0.5f64.powi(2))) * 4.0;
+        let got = bdhs_concave_welfare(&g, &model(), p);
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn worthless_bundle_gives_zero() {
+        let m = UtilityModel::new(
+            Arc::new(TableValuation::from_table(1, vec![0.0, 1.0])),
+            Price::additive(vec![2.0]),
+            NoiseModel::none(1),
+        );
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        assert_eq!(bdhs_step_welfare_exact(&g, &m), 0.0);
+        assert_eq!(bdhs_concave_welfare(&g, &m, 0.5), 0.0);
+        assert_eq!(bdhs_step_welfare(&g, &m, 10, 1), 0.0);
+    }
+
+    #[test]
+    fn denser_graphs_support_more() {
+        let sparse = Graph::from_edges(4, &[(0, 1, 0.3)]);
+        let dense = Graph::from_edges(
+            4,
+            &[
+                (0, 1, 0.3),
+                (1, 2, 0.3),
+                (2, 3, 0.3),
+                (3, 0, 0.3),
+                (0, 2, 0.3),
+            ],
+        );
+        let m = model();
+        assert!(bdhs_step_welfare_exact(&dense, &m) > bdhs_step_welfare_exact(&sparse, &m));
+        assert!(bdhs_concave_welfare(&dense, &m, 0.3) > bdhs_concave_welfare(&sparse, &m, 0.3));
+    }
+}

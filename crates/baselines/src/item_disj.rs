@@ -1,0 +1,113 @@
+//! The **item-disj** baseline (§4.3.1.2, item 2).
+//!
+//! "Given the set of items I, item-disj finds `Σ_i b_i` nodes, say L,
+//! using IMM. Then it visits items in non-increasing order of budgets,
+//! assigns item i to first `b_i` nodes and removes those `b_i` nodes from
+//! L." Every seed gets exactly one item — no bundling, so supermodular
+//! value-boosts can only arise downstream through propagation.
+
+use crate::BaselineResult;
+use std::time::Instant;
+use uic_graph::Graph;
+use uic_im::{imm, DiffusionModel};
+
+/// Runs item-disj for `budgets` (indexed by item; need not be sorted —
+/// items are *visited* in non-increasing budget order per the paper).
+pub fn item_disj(
+    g: &Graph,
+    budgets: &[u32],
+    eps: f64,
+    ell: f64,
+    model: DiffusionModel,
+    seed: u64,
+) -> BaselineResult {
+    assert!(!budgets.is_empty(), "need at least one item");
+    let start = Instant::now();
+    let total: u32 = budgets.iter().sum();
+    let total = total.min(g.num_nodes());
+    let imm_result = imm(g, total.max(1), eps, ell, model, seed);
+    // Visit items largest-budget first, consuming disjoint chunks.
+    let mut order: Vec<usize> = (0..budgets.len()).collect();
+    order.sort_by(|&a, &b| budgets[b].cmp(&budgets[a]));
+    let mut allocation = uic_diffusion::Allocation::new();
+    let mut cursor = 0usize;
+    for &item in &order {
+        let want = budgets[item] as usize;
+        let take = want.min(imm_result.seeds.len().saturating_sub(cursor));
+        for &v in &imm_result.seeds[cursor..cursor + take] {
+            allocation.assign(v, item as u32);
+        }
+        cursor += take;
+    }
+    BaselineResult {
+        allocation,
+        rr_sets_final: imm_result.rr_sets_final,
+        rr_sets_total: imm_result.rr_sets_total,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uic_graph::{GraphBuilder, Weighting};
+
+    fn hub_graph() -> Graph {
+        let mut b = GraphBuilder::new(40);
+        for leaf in 2..25u32 {
+            b.add_edge(0, leaf, 0.8);
+        }
+        for leaf in 25..38u32 {
+            b.add_edge(1, leaf, 0.8);
+        }
+        b.build(Weighting::AsGiven, 0)
+    }
+
+    #[test]
+    fn seeds_are_disjoint_across_items() {
+        let g = hub_graph();
+        let r = item_disj(&g, &[3, 2], 0.4, 1.0, DiffusionModel::IC, 3);
+        let s0 = r.allocation.seeds_of_item(0);
+        let s1 = r.allocation.seeds_of_item(1);
+        assert_eq!(s0.len(), 3);
+        assert_eq!(s1.len(), 2);
+        for v in &s1 {
+            assert!(!s0.contains(v), "seed {v} assigned to both items");
+        }
+    }
+
+    #[test]
+    fn larger_budget_item_gets_better_seeds() {
+        let g = hub_graph();
+        // item 1 has the larger budget → visited first → gets the hubs.
+        let r = item_disj(&g, &[1, 3], 0.4, 1.0, DiffusionModel::IC, 5);
+        let s1 = r.allocation.seeds_of_item(1);
+        assert!(s1.contains(&0) || s1.contains(&1), "top hub goes to item 1");
+    }
+
+    #[test]
+    fn respects_budgets() {
+        let g = hub_graph();
+        let budgets = [4u32, 2, 1];
+        let r = item_disj(&g, &budgets, 0.4, 1.0, DiffusionModel::IC, 7);
+        assert!(r.allocation.respects_budgets(&budgets));
+        assert_eq!(r.allocation.num_pairs(), 7);
+        assert_eq!(r.allocation.num_seed_nodes(), 7, "all seeds distinct");
+    }
+
+    #[test]
+    fn total_budget_capped_at_n() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let r = item_disj(&g, &[3, 3], 0.4, 1.0, DiffusionModel::IC, 9);
+        // Only 3 nodes exist; later items get the leftovers (none).
+        assert!(r.allocation.num_seed_nodes() <= 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = hub_graph();
+        let a = item_disj(&g, &[2, 2], 0.4, 1.0, DiffusionModel::IC, 11);
+        let b = item_disj(&g, &[2, 2], 0.4, 1.0, DiffusionModel::IC, 11);
+        assert_eq!(a.allocation, b.allocation);
+    }
+}

@@ -1,0 +1,62 @@
+//! # uic-baselines
+//!
+//! The six baselines of §4.3.1.2, all producing [`uic_diffusion::Allocation`]s
+//! scored by the shared UIC welfare estimator:
+//!
+//! * [`mod@item_disj`] — **item-disj**: one IMM call with budget `Σ b_i`,
+//!   then disjoint chunks per item in non-increasing budget order. Never
+//!   bundles, so it forfeits supermodularity but exploits propagation.
+//! * [`mod@bundle_disj`] — **bundle-disj**: greedily forms minimum-size
+//!   bundles with non-negative *deterministic* utility, allocates each
+//!   bundle to a fresh seed chunk, then recycles surplus budgets into
+//!   existing bundles. Needs the deterministic utilities as input
+//!   (bundleGRD famously does not).
+//! * [`rr_sim`] — **RR-SIM+** and **RR-CIM**: the Com-IC two-item
+//!   algorithms of Lu et al., reimplemented on TIM-scale RR sampling
+//!   (self-influence sets for RR-SIM+; forward-simulate the partner item
+//!   then complement-aware reverse sampling for RR-CIM).
+//! * [`bdhs`] — **BDHS-Step** / **BDHS-Concave**: the
+//!   network-externality welfare benchmarks of Bhattacharya et al. under
+//!   the paper's conversion (§4.3.4.4): every node receives the best
+//!   bundle, adoption driven by 1-step live-edge support or the concave
+//!   `1−(1−p)^s` 2-hop support function. No propagation, no budget —
+//!   bundleGRD is swept against these horizontal benchmarks in Fig. 9.
+//!
+//! Beyond the paper's six, two families of reference allocators round out
+//! the comparison surface:
+//!
+//! * [`mc_greedy`] — the *direct* pair-greedy on the welfare objective
+//!   (no guarantee — ρ is neither sub- nor supermodular — and brutally
+//!   expensive; the honest strawman bundleGRD is measured against).
+//! * [`heuristics`] — **high-degree** and **PageRank** proxy rankings,
+//!   the classic KKT'03 comparison points, allocated bundleGRD-style.
+
+pub mod bdhs;
+pub mod bundle_disj;
+pub mod heuristics;
+pub mod item_disj;
+pub mod mc_greedy;
+pub mod rr_sim;
+
+pub use bdhs::{bdhs_concave_welfare, bdhs_step_welfare, bdhs_step_welfare_exact, best_bundle};
+pub use bundle_disj::bundle_disj;
+pub use heuristics::{degree_top, pagerank, pagerank_top};
+pub use item_disj::item_disj;
+pub use mc_greedy::mc_greedy_welfare;
+pub use rr_sim::{rr_cim, rr_sim_plus};
+
+use std::time::Duration;
+use uic_diffusion::Allocation;
+
+/// Common result shape for seed-selection baselines.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The produced seed allocation.
+    pub allocation: Allocation,
+    /// RR sets held at the final node selection(s), summed over calls.
+    pub rr_sets_final: usize,
+    /// RR sets generated in total.
+    pub rr_sets_total: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}

@@ -1,0 +1,31 @@
+//! Fig. 5 bench: pure seed-selection time per algorithm (Config 1),
+//! reproducing the running-time ordering bundleGRD < item-disj ≪
+//! RR-SIM+ < RR-CIM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uic_bench::bench_opts;
+use uic_datasets::{named_network, NamedNetwork, TwoItemConfig};
+use uic_experiments::common::{run_algo, Algo};
+
+fn bench(c: &mut Criterion) {
+    let opts = bench_opts();
+    let mut group = c.benchmark_group("fig5_runtime");
+    group.sample_size(10);
+    for which in [NamedNetwork::Flixster, NamedNetwork::DoubanBook] {
+        let g = named_network(which, opts.scale, opts.seed);
+        let cfg = TwoItemConfig::new(1);
+        let model = cfg.model();
+        let gap = Some(cfg.gap());
+        let k = 10u32.min(g.num_nodes());
+        let budgets = [k, k];
+        for algo in Algo::TWO_ITEM {
+            group.bench_function(format!("{}/{}", which.name(), algo.name()), |b| {
+                b.iter(|| run_algo(algo, &g, &budgets, &model, gap, &opts))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

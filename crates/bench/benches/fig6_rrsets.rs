@@ -1,0 +1,33 @@
+//! Fig. 6 bench: raw RR-set generation cost — the IMM-family sampler vs
+//! the TIM-scale self-influence sampler that powers the Com-IC
+//! baselines (memory story of Fig. 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uic_datasets::{named_network, NamedNetwork};
+use uic_im::{DiffusionModel, RrCollection};
+
+fn bench(c: &mut Criterion) {
+    let g = named_network(NamedNetwork::DoubanBook, 0.01, 7);
+    let mut group = c.benchmark_group("fig6_rrsets");
+    group.sample_size(10);
+    for &count in &[1_000usize, 10_000] {
+        group.bench_function(format!("ic_rr_sets/{count}"), |b| {
+            b.iter(|| {
+                let mut coll = RrCollection::new(&g, DiffusionModel::IC, 42);
+                coll.extend_to(&g, count);
+                coll.len()
+            })
+        });
+        group.bench_function(format!("lt_rr_sets/{count}"), |b| {
+            b.iter(|| {
+                let mut coll = RrCollection::new(&g, DiffusionModel::LT, 42);
+                coll.extend_to(&g, count);
+                coll.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 7 bench: multi-item allocation + scoring under Configurations
+//! 5–8 for the three multi-item algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uic_bench::bench_opts;
+use uic_datasets::{named_network, Config, NamedNetwork};
+use uic_diffusion::WelfareEstimator;
+use uic_experiments::common::{run_algo, Algo};
+use uic_experiments::fig7::budgets_for;
+
+fn bench(c: &mut Criterion) {
+    let opts = bench_opts();
+    let g = named_network(NamedNetwork::Twitter, 0.004, opts.seed);
+    let n = g.num_nodes();
+    let mut group = c.benchmark_group("fig7_multiitem");
+    group.sample_size(10);
+    for cfg in Config::ALL {
+        let num_items = if cfg.uniform_budgets() { 5 } else { 8 };
+        let model = cfg.build(num_items, opts.seed);
+        let budgets = budgets_for(cfg, 50, n);
+        for algo in Algo::MULTI_ITEM {
+            group.bench_function(format!("config{}/{}", cfg.id(), algo.name()), |b| {
+                b.iter(|| {
+                    let r = run_algo(algo, &g, &budgets, &model, None, &opts);
+                    WelfareEstimator::new(&g, &model, opts.sims, opts.seed).estimate(&r.allocation)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 8(a) bench: allocation cost vs number of items — bundleGRD must
+//! stay flat while the disjoint baselines grow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uic_bench::bench_opts;
+use uic_datasets::{named_network, Config, NamedNetwork};
+use uic_experiments::common::{run_algo, Algo};
+
+fn bench(c: &mut Criterion) {
+    let opts = bench_opts();
+    let g = named_network(NamedNetwork::Twitter, 0.004, opts.seed);
+    let n = g.num_nodes();
+    let per_item = 10u32.min(n / 4).max(1);
+    let mut group = c.benchmark_group("fig8a_items");
+    group.sample_size(10);
+    for &items in &[1u32, 5, 10] {
+        let model = Config::Additive.build(items, opts.seed);
+        let budgets = vec![per_item; items as usize];
+        for algo in Algo::MULTI_ITEM {
+            group.bench_function(format!("{}items/{}", items, algo.name()), |b| {
+                b.iter(|| run_algo(algo, &g, &budgets, &model, None, &opts))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

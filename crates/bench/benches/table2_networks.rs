@@ -1,0 +1,23 @@
+//! Table 2 bench: stand-in network generation and statistics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use uic_datasets::{named_network, NamedNetwork};
+use uic_graph::GraphStats;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_networks");
+    group.sample_size(10);
+    for which in [NamedNetwork::Flixster, NamedNetwork::DoubanBook] {
+        group.bench_function(format!("generate/{}", which.name()), |b| {
+            b.iter(|| named_network(which, 0.02, 7))
+        });
+    }
+    let g = named_network(NamedNetwork::DoubanMovie, 0.02, 7);
+    group.bench_function("stats/douban-movie", |b| {
+        b.iter_batched(|| &g, GraphStats::compute, BatchSize::SmallInput)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! # uic-bench
+//!
+//! Criterion benchmark suite — one target per paper table/figure plus
+//! design-choice ablations. Each bench uses deliberately small stand-in
+//! networks so `cargo bench --workspace` completes on a laptop; the
+//! `uic-exp` binary is the tool for full-scale regeneration.
+//!
+//! Targets:
+//! * `table2_networks` — stand-in generation + statistics.
+//! * `table6_rrsets` — PRIMA vs MAX_IMM vs IMM_MAX RR accounting.
+//! * `fig4_welfare` — the five allocators + welfare scoring, Config 1.
+//! * `fig5_runtime` — seed-selection time per algorithm.
+//! * `fig6_rrsets` — RR-set generation cost per algorithm family.
+//! * `fig7_multiitem` — multi-item configs, three allocators.
+//! * `fig8a_items` — bundleGRD's flat cost vs item count.
+//! * `fig8d_skew` — budget-skew effect on bundleGRD.
+//! * `fig9_bdhs` — BDHS benchmarks vs propagated welfare.
+//! * `fig9d_scaling` — bundleGRD across graph sizes.
+//! * `ablations` — PRIMA vs per-budget IMM, adoption-oracle memoization,
+//!   UIC simulator throughput.
+
+/// Shared tiny-scale experiment options for benches.
+pub fn bench_opts() -> uic_experiments::ExpOptions {
+    uic_experiments::ExpOptions {
+        scale: 0.008,
+        sims: 50,
+        ..Default::default()
+    }
+}

@@ -1,0 +1,192 @@
+//! Block-accounting welfare bounds (Lemmas 5 and 7 of the paper).
+//!
+//! For a fixed noise world `W^N` with block partition `B_1..B_t` and
+//! marginal gains `Δ_i`:
+//!
+//! * **Lemma 5** (greedy decomposition): the greedy allocation's expected
+//!   welfare is *exactly* `Σ_i σ(S_i^GrdE) · Δ_i`, where `S_i^GrdE` is
+//!   the top-`e_i` prefix of the shared seed ordering (`e_i` = effective
+//!   budget of block `i`).
+//! * **Lemma 7** (upper bound): *any* allocation's expected welfare is at
+//!   most `Σ_i σ(S_{a_i}) · Δ_i`, where `S_{a_i}` are the seeds the
+//!   allocation gives to block `i`'s anchor item.
+//!
+//! These two identities are the heart of the Theorem 2 proof; here they
+//! double as independent estimators used by the test-suite to
+//! cross-validate the Monte-Carlo welfare simulator, and by the ablation
+//! experiments.
+
+use uic_diffusion::Allocation;
+use uic_graph::NodeId;
+use uic_items::{generate_blocks, UtilityTable};
+
+/// Lemma 5: expected welfare of the greedy allocation in noise world
+/// `table`, computed as `Σ_i σ(S^GrdE_i)·Δ_i`.
+///
+/// `order` is the PRIMA seed ordering; `budgets` must be sorted
+/// non-increasing (the instance convention); `spread` is any spread
+/// oracle — exact enumeration in tests, RR/MC estimates at scale.
+pub fn greedy_welfare_decomposition<F>(
+    table: &UtilityTable,
+    budgets: &[u32],
+    order: &[NodeId],
+    mut spread: F,
+) -> f64
+where
+    F: FnMut(&[NodeId]) -> f64,
+{
+    assert!(
+        budgets.windows(2).all(|w| w[0] >= w[1]),
+        "budgets must be sorted non-increasing"
+    );
+    let blocks = generate_blocks(table);
+    let mut total = 0.0;
+    for i in 0..blocks.num_blocks() {
+        let e_i = blocks.effective_budget(i, budgets) as usize;
+        if e_i == 0 {
+            continue;
+        }
+        let effective_seeds = &order[..e_i.min(order.len())];
+        total += spread(effective_seeds) * blocks.gains[i];
+    }
+    total
+}
+
+/// Lemma 7: upper bound on the expected welfare of an arbitrary
+/// allocation in noise world `table`: `Σ_i σ(S_{a_i})·Δ_i`.
+pub fn upper_bound_welfare<F>(
+    table: &UtilityTable,
+    budgets: &[u32],
+    allocation: &Allocation,
+    mut spread: F,
+) -> f64
+where
+    F: FnMut(&[NodeId]) -> f64,
+{
+    assert!(
+        budgets.windows(2).all(|w| w[0] >= w[1]),
+        "budgets must be sorted non-increasing"
+    );
+    let blocks = generate_blocks(table);
+    let mut total = 0.0;
+    for i in 0..blocks.num_blocks() {
+        let anchor = blocks.anchor_item(i, budgets);
+        let seeds = allocation.seeds_of_item(anchor);
+        if seeds.is_empty() {
+            continue;
+        }
+        total += spread(&seeds) * blocks.gains[i];
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uic_diffusion::{exact_spread, exact_welfare_given_noise};
+    use uic_graph::Graph;
+    use uic_items::{NoiseModel, Price, TableValuation, UtilityModel};
+
+    /// Two items, supermodular: U(i1) = 1, U(i2) = −1, U(both) = 3.
+    fn model() -> UtilityModel {
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 2.0, 1.0, 7.0])),
+            Price::additive(vec![1.0, 2.0]),
+            NoiseModel::none(2),
+        )
+    }
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)])
+    }
+
+    /// Greedy allocation for budgets (2, 1) on the PRIMA-style ordering
+    /// [0, 1]: item 0 → {0, 1}, item 1 → {0}.
+    fn greedy_alloc() -> Allocation {
+        Allocation::from_item_seeds(&[vec![0, 1], vec![0]])
+    }
+
+    #[test]
+    fn lemma5_matches_exact_welfare_for_greedy() {
+        let g = path4();
+        let m = model();
+        let table = m.deterministic_table();
+        let budgets = [2u32, 1];
+        let order = [0u32, 1];
+        let decomposed =
+            greedy_welfare_decomposition(&table, &budgets, &order, |s| exact_spread(&g, s));
+        let exact = exact_welfare_given_noise(&g, &greedy_alloc(), &table);
+        assert!(
+            (decomposed - exact).abs() < 1e-9,
+            "Lemma 5 decomposition {decomposed} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn lemma7_upper_bounds_arbitrary_allocations() {
+        let g = path4();
+        let m = model();
+        let table = m.deterministic_table();
+        let budgets = [2u32, 1];
+        // Try a handful of feasible allocations, including "bad" ones.
+        let candidates = [
+            Allocation::from_item_seeds(&[vec![0, 1], vec![0]]),
+            Allocation::from_item_seeds(&[vec![3, 2], vec![1]]),
+            Allocation::from_item_seeds(&[vec![0, 3], vec![3]]),
+            Allocation::from_item_seeds(&[vec![1], vec![2]]),
+        ];
+        for alloc in &candidates {
+            let actual = exact_welfare_given_noise(&g, alloc, &table);
+            let bound = upper_bound_welfare(&table, &budgets, alloc, |s| exact_spread(&g, s));
+            assert!(
+                actual <= bound + 1e-9,
+                "allocation {alloc:?}: welfare {actual} exceeds Lemma-7 bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn decomposition_zero_for_empty_istar() {
+        // All items unprofitable: I* = ∅, zero blocks, zero welfare.
+        let m = UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 1.0, 1.0, 2.0])),
+            Price::additive(vec![5.0, 5.0]),
+            NoiseModel::none(2),
+        );
+        let table = m.deterministic_table();
+        let got = greedy_welfare_decomposition(&table, &[2, 1], &[0, 1], |_| 10.0);
+        assert_eq!(got, 0.0);
+    }
+
+    #[test]
+    fn greedy_beats_bound_ratio_empirically() {
+        // Combine both lemmas the way the Theorem 3 proof does: for the
+        // greedy allocation, decomposition uses prefixes of size e_i while
+        // any allocation's bound uses |S_{a_i}| = e_i seeds — with an
+        // exact spread oracle and optimal prefixes, greedy's value is at
+        // least (1−1/e−ε) of every allocation's bound.
+        let g = path4();
+        let m = model();
+        let table = m.deterministic_table();
+        let budgets = [2u32, 1];
+        // Exact-greedy ordering on this path graph is [0, 1] by spread.
+        let order = [0u32, 1];
+        let greedy_val =
+            greedy_welfare_decomposition(&table, &budgets, &order, |s| exact_spread(&g, s));
+        let rival = Allocation::from_item_seeds(&[vec![2, 3], vec![3]]);
+        let rival_actual = exact_welfare_given_noise(&g, &rival, &table);
+        assert!(
+            greedy_val >= rival_actual - 1e-9,
+            "greedy {greedy_val} vs rival {rival_actual}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn unsorted_budgets_rejected() {
+        let m = model();
+        let table = m.deterministic_table();
+        greedy_welfare_decomposition(&table, &[1, 2], &[0], |_| 0.0);
+    }
+}

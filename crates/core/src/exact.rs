@@ -1,0 +1,128 @@
+//! Brute-force WelMax solver for tiny instances.
+//!
+//! Enumerates every feasible allocation (each item independently chooses
+//! any subset of nodes up to its budget) and evaluates the exact expected
+//! welfare by edge-world enumeration. Exponential on all axes — usable
+//! only for `n ≤ ~6`, `|I| ≤ 2`, `m ≤ 20` — but it is ground truth, which
+//! is what the approximation-ratio property tests need.
+
+use uic_diffusion::{exact_welfare_given_noise, Allocation};
+use uic_graph::{Graph, NodeId};
+use uic_items::UtilityTable;
+
+/// Exhaustively solves WelMax for a fixed noise world. Returns the best
+/// allocation and its exact expected welfare.
+pub fn solve_welmax_bruteforce(
+    g: &Graph,
+    table: &UtilityTable,
+    budgets: &[u32],
+) -> (Allocation, f64) {
+    let n = g.num_nodes();
+    assert!(n <= 10, "brute force limited to 10 nodes");
+    assert!(budgets.len() <= 3, "brute force limited to 3 items");
+    // Enumerate per-item seed sets as bitmasks over nodes with |S| ≤ b_i.
+    let per_item_choices: Vec<Vec<u32>> = budgets
+        .iter()
+        .map(|&b| {
+            (0u32..(1 << n))
+                .filter(|mask| mask.count_ones() <= b)
+                .collect()
+        })
+        .collect();
+    let mut best_alloc = Allocation::new();
+    let mut best_welfare = f64::NEG_INFINITY;
+    let mut stack: Vec<u32> = Vec::with_capacity(budgets.len());
+    enumerate(
+        g,
+        table,
+        &per_item_choices,
+        &mut stack,
+        &mut best_alloc,
+        &mut best_welfare,
+    );
+    (best_alloc, best_welfare)
+}
+
+fn enumerate(
+    g: &Graph,
+    table: &UtilityTable,
+    choices: &[Vec<u32>],
+    stack: &mut Vec<u32>,
+    best_alloc: &mut Allocation,
+    best_welfare: &mut f64,
+) {
+    if stack.len() == choices.len() {
+        let alloc = allocation_from_masks(stack);
+        let w = exact_welfare_given_noise(g, &alloc, table);
+        if w > *best_welfare {
+            *best_welfare = w;
+            *best_alloc = alloc;
+        }
+        return;
+    }
+    let depth = stack.len();
+    for &mask in &choices[depth] {
+        stack.push(mask);
+        enumerate(g, table, choices, stack, best_alloc, best_welfare);
+        stack.pop();
+    }
+}
+
+fn allocation_from_masks(masks: &[u32]) -> Allocation {
+    let mut alloc = Allocation::new();
+    for (item, &mask) in masks.iter().enumerate() {
+        let mut m = mask;
+        while m != 0 {
+            let v = m.trailing_zeros() as NodeId;
+            m &= m - 1;
+            alloc.assign(v, item as u32);
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_item_optimum_is_best_spreader() {
+        // Path 0→1→2 with p=1: seeding node 0 reaches everyone.
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let table = UtilityTable::from_values(1, vec![0.0, 1.0]);
+        let (alloc, welfare) = solve_welmax_bruteforce(&g, &table, &[1]);
+        assert_eq!(alloc.seeds_of_item(0), vec![0]);
+        assert!((welfare - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bundling_beats_splitting_when_complementary() {
+        // Two isolated nodes; U(i1) = U(i2) = −1, U(both) = +2.
+        // Optimal: give both items to both nodes (welfare 4); any split
+        // yields 2 or 0.
+        let g = Graph::from_edges(2, &[]);
+        let table = UtilityTable::from_values(2, vec![0.0, -1.0, -1.0, 2.0]);
+        let (alloc, welfare) = solve_welmax_bruteforce(&g, &table, &[2, 2]);
+        assert!((welfare - 4.0).abs() < 1e-9, "welfare {welfare}");
+        assert_eq!(alloc.seeds_of_item(0), vec![0, 1]);
+        assert_eq!(alloc.seeds_of_item(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn respects_budget_limit() {
+        let g = Graph::from_edges(3, &[]);
+        let table = UtilityTable::from_values(1, vec![0.0, 1.0]);
+        let (alloc, welfare) = solve_welmax_bruteforce(&g, &table, &[2]);
+        assert_eq!(alloc.seeds_of_item(0).len(), 2);
+        assert!((welfare - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_allocation_optimal_when_everything_is_loss() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        let table = UtilityTable::from_values(1, vec![0.0, -1.0]);
+        let (alloc, welfare) = solve_welmax_bruteforce(&g, &table, &[1]);
+        assert_eq!(welfare, 0.0);
+        assert!(alloc.seeds_of_item(0).is_empty() || welfare == 0.0);
+    }
+}

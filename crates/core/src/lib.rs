@@ -1,0 +1,31 @@
+//! # uic-core
+//!
+//! The paper's primary contribution: **social-welfare maximization under
+//! the UIC model** (WelMax, Problem 1) and the **bundleGRD** greedy
+//! allocation algorithm (Algorithm 1) with its `(1 − 1/e − ε)`
+//! approximation guarantee (Theorem 2).
+//!
+//! * [`problem`] — [`WelMaxInstance`]: graph + utility model + budget
+//!   vector, with the canonical budget-sorted item indexing.
+//! * [`mod@bundle_grd`] — run PRIMA once on the budget vector, then assign
+//!   item `i` to the top-`b_i` seeds of the shared ordering. Notably the
+//!   algorithm never reads the valuation, prices, or noise — the
+//!   guarantee only needs *supermodular valuation + additive price/noise*
+//!   (§4.2.1: "It reflects the power of bundling").
+//! * [`accounting`] — the block-accounting welfare decomposition of
+//!   Lemma 5 (`ρ_{W^N}(𝒮^Grd) = Σ_i σ(S_i^GrdE)·Δ_i`) and the Lemma 7
+//!   upper bound for arbitrary allocations — used by tests and the
+//!   ablation experiments to cross-validate the Monte-Carlo estimator.
+//! * [`exact`] — brute-force WelMax solver for tiny instances (exhaustive
+//!   allocation search over exact welfare), powering empirical
+//!   approximation-ratio checks.
+
+pub mod accounting;
+pub mod bundle_grd;
+pub mod exact;
+pub mod problem;
+
+pub use accounting::{greedy_welfare_decomposition, upper_bound_welfare};
+pub use bundle_grd::{bundle_grd, BundleGrdResult};
+pub use exact::solve_welmax_bruteforce;
+pub use problem::WelMaxInstance;

@@ -1,0 +1,127 @@
+//! The WelMax problem instance (Problem 1 of the paper).
+
+use uic_graph::Graph;
+use uic_items::UtilityModel;
+
+/// A complete WelMax instance: social network, utility model `Param`, and
+/// per-item budget vector `b̄`.
+///
+/// **Indexing convention** (§4.2.2.1): item indices are sorted in
+/// non-increasing budget order, `b_0 ≥ b_1 ≥ …` — the constructor
+/// enforces this so the block-accounting machinery and the precedence
+/// order `≺` (numeric mask order) apply directly. Use
+/// [`uic_items::blocks::budget_sort_permutation`] to relabel unsorted
+/// inputs before building an instance.
+pub struct WelMaxInstance<'a> {
+    graph: &'a Graph,
+    model: UtilityModel,
+    budgets: Vec<u32>,
+}
+
+impl<'a> WelMaxInstance<'a> {
+    /// Assembles an instance; `budgets[i]` is item `i`'s seed budget.
+    pub fn new(graph: &'a Graph, model: UtilityModel, budgets: Vec<u32>) -> Self {
+        assert_eq!(
+            budgets.len() as u32,
+            model.num_items(),
+            "budget vector arity {} != item count {}",
+            budgets.len(),
+            model.num_items()
+        );
+        assert!(!budgets.is_empty(), "at least one item required");
+        assert!(
+            budgets.windows(2).all(|w| w[0] >= w[1]),
+            "items must be indexed in non-increasing budget order"
+        );
+        for (i, &b) in budgets.iter().enumerate() {
+            assert!(b >= 1, "budget of item {i} must be ≥ 1");
+            assert!(
+                b <= graph.num_nodes(),
+                "budget {b} of item {i} exceeds node count"
+            );
+        }
+        WelMaxInstance {
+            graph,
+            model,
+            budgets,
+        }
+    }
+
+    /// The social network.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The utility model `Param = (V, P, N)`.
+    pub fn model(&self) -> &UtilityModel {
+        &self.model
+    }
+
+    /// The budget vector `b̄` (non-increasing).
+    pub fn budgets(&self) -> &[u32] {
+        &self.budgets
+    }
+
+    /// The maximum budget `b = max b̄` (the PRIMA seed-count).
+    pub fn max_budget(&self) -> u32 {
+        self.budgets[0]
+    }
+
+    /// Number of items `|I|`.
+    pub fn num_items(&self) -> u32 {
+        self.budgets.len() as u32
+    }
+
+    /// Total seed budget `Σ b_i` (what item-disj spends).
+    pub fn total_budget(&self) -> u32 {
+        self.budgets.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uic_items::{NoiseModel, Price, TableValuation};
+
+    fn two_item_model() -> UtilityModel {
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 8.0])),
+            Price::additive(vec![3.0, 4.0]),
+            NoiseModel::none(2),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let g = Graph::from_edges(10, &[(0, 1, 0.5)]);
+        let inst = WelMaxInstance::new(&g, two_item_model(), vec![5, 3]);
+        assert_eq!(inst.max_budget(), 5);
+        assert_eq!(inst.num_items(), 2);
+        assert_eq!(inst.total_budget(), 8);
+        assert_eq!(inst.budgets(), &[5, 3]);
+        assert_eq!(inst.graph().num_nodes(), 10);
+        assert_eq!(inst.model().num_items(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing budget order")]
+    fn rejects_unsorted_budgets() {
+        let g = Graph::from_edges(10, &[(0, 1, 0.5)]);
+        WelMaxInstance::new(&g, two_item_model(), vec![3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_wrong_arity() {
+        let g = Graph::from_edges(10, &[(0, 1, 0.5)]);
+        WelMaxInstance::new(&g, two_item_model(), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds node count")]
+    fn rejects_oversized_budget() {
+        let g = Graph::from_edges(4, &[(0, 1, 0.5)]);
+        WelMaxInstance::new(&g, two_item_model(), vec![9, 1]);
+    }
+}

@@ -1,0 +1,352 @@
+//! Experiment configurations: Table 3 (two items) and Table 4
+//! (multi-item), plus the budget-split helpers used across §4.3.
+
+use std::sync::Arc;
+use uic_items::{
+    ConeValuation, GapParams, LevelWiseValuation, NoiseDistribution, NoiseModel, Price,
+    TableValuation, UtilityModel,
+};
+use uic_util::UicRng;
+
+/// One of the four two-item configurations of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoItemConfig {
+    /// Configuration number 1–4.
+    pub id: u8,
+}
+
+impl TwoItemConfig {
+    /// Constructs configuration `id ∈ 1..=4`.
+    pub fn new(id: u8) -> TwoItemConfig {
+        assert!((1..=4).contains(&id), "two-item configs are 1–4");
+        TwoItemConfig { id }
+    }
+
+    /// All four configurations.
+    pub fn all() -> [TwoItemConfig; 4] {
+        [1, 2, 3, 4].map(TwoItemConfig::new)
+    }
+
+    /// The utility model (prices, values, Gaussian noise) of Table 3.
+    pub fn model(&self) -> UtilityModel {
+        // Configs 1–2 share utilities, as do 3–4; they differ in budgets.
+        let values = match self.id {
+            1 | 2 => vec![0.0, 3.0, 4.0, 8.0],
+            _ => vec![0.0, 3.0, 3.0, 8.0],
+        };
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, values)),
+            Price::additive(vec![3.0, 4.0]),
+            NoiseModel::new(vec![
+                NoiseDistribution::gaussian_var(1.0),
+                NoiseDistribution::gaussian_var(1.0),
+            ]),
+        )
+    }
+
+    /// The GAP parameters the paper lists for this configuration
+    /// (derived from the utilities via Eq. 12).
+    pub fn gap(&self) -> GapParams {
+        GapParams::from_utility(&self.model())
+    }
+
+    /// True for the uniform-budget configurations (1 and 3).
+    pub fn uniform_budgets(&self) -> bool {
+        self.id == 1 || self.id == 3
+    }
+
+    /// Budget vector for a sweep point. Uniform configs use `(k, k)`;
+    /// non-uniform fix `b₁ = 70` and vary `b₂` (§4.3.2: "i1's budget is
+    /// fixed at 70, and i2's budget is varied from 30 to 110").
+    pub fn budgets(&self, sweep_value: u32) -> [u32; 2] {
+        if self.uniform_budgets() {
+            [sweep_value, sweep_value]
+        } else {
+            [70, sweep_value]
+        }
+    }
+
+    /// Sweep points on the x-axis of Fig. 4.
+    pub fn sweep(&self) -> Vec<u32> {
+        if self.uniform_budgets() {
+            vec![10, 20, 30, 40, 50]
+        } else {
+            vec![30, 50, 70, 90, 110]
+        }
+    }
+}
+
+/// One of the four multi-item configurations of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// Config 5: additive value, uniform budget — every item has utility
+    /// 1 on its own; minimal advantage to bundling.
+    Additive,
+    /// Config 6: a single core item (the one with **maximum** budget)
+    /// gives utility 5; every accessory adds 2 ("cone-max").
+    ConeMax,
+    /// Config 7: as 6 but the core is the **minimum**-budget item.
+    ConeMin,
+    /// Config 8: level-wise random supermodular valuation (Eq. 13).
+    LevelWise,
+}
+
+impl Config {
+    /// Table 4 numbering (5–8).
+    pub fn id(self) -> u8 {
+        match self {
+            Config::Additive => 5,
+            Config::ConeMax => 6,
+            Config::ConeMin => 7,
+            Config::LevelWise => 8,
+        }
+    }
+
+    /// All four, in table order.
+    pub const ALL: [Config; 4] = [
+        Config::Additive,
+        Config::ConeMax,
+        Config::ConeMin,
+        Config::LevelWise,
+    ];
+
+    /// Human-readable value-shape name (Table 4 column 2).
+    pub fn value_shape(self) -> &'static str {
+        match self {
+            Config::Additive => "Additive",
+            Config::ConeMax => "Cone-max",
+            Config::ConeMin => "Cone-min",
+            Config::LevelWise => "Level-wise",
+        }
+    }
+
+    /// Table 4 budget style (uniform for 5 and 8).
+    pub fn uniform_budgets(self) -> bool {
+        matches!(self, Config::Additive | Config::LevelWise)
+    }
+
+    /// Builds the utility model for `num_items` items. Items are indexed
+    /// in non-increasing budget order, so "max budget" = item 0 and
+    /// "min budget" = item `n−1`. All configs use `N(0,1)` noise.
+    pub fn build(self, num_items: u32, seed: u64) -> UtilityModel {
+        assert!((1..=12).contains(&num_items), "supported range 1–12 items");
+        assert!(
+            num_items >= 2 || self == Config::Additive,
+            "non-additive configs need at least two items"
+        );
+        let n = num_items;
+        let noise = NoiseModel::iid_gaussian_var(n as usize, 1.0);
+        match self {
+            Config::Additive => {
+                // Value 2, price 1 ⇒ deterministic utility exactly 1/item.
+                UtilityModel::new(
+                    Arc::new(uic_items::AdditiveValuation::uniform(n, 2.0)),
+                    Price::additive(vec![1.0; n as usize]),
+                    noise,
+                )
+            }
+            Config::ConeMax | Config::ConeMin => {
+                let core = if self == Config::ConeMax { 0 } else { n - 1 };
+                // Price 1/item; valuation chosen so deterministic utility
+                // is 5 + 2·(|S|−1) for supersets of the core, negative
+                // otherwise: V(S) = 5 + 2(|S|−1) + |S| when core ∈ S.
+                let cone = ConeValuation::new(n, core, 6.0, 3.0);
+                UtilityModel::new(
+                    Arc::new(cone),
+                    Price::additive(vec![1.0; n as usize]),
+                    noise,
+                )
+            }
+            Config::LevelWise => {
+                let mut rng = UicRng::new(seed);
+                // Level-1 prices in [1,4]; values straddle prices so a
+                // random subset of singletons is individually profitable.
+                let prices: Vec<f64> = (0..n).map(|_| 1.0 + 3.0 * rng.next_f64()).collect();
+                let singles: Vec<f64> = prices
+                    .iter()
+                    .map(|&p| (p + (2.0 * rng.next_f64() - 1.0)).max(0.0))
+                    .collect();
+                let v = LevelWiseValuation::generate(&singles, &mut rng);
+                UtilityModel::new(Arc::new(v), Price::additive(prices), noise)
+            }
+        }
+    }
+}
+
+/// Budget splits used by the multi-item and real-Param experiments.
+pub mod budget_splits {
+    /// Uniform: `total/items` each (Configs 5 and 8; Fig. 8d "Uniform").
+    pub fn uniform(total: u32, items: u32) -> Vec<u32> {
+        assert!(items >= 1);
+        vec![(total / items).max(1); items as usize]
+    }
+
+    /// §4.3.3.2 non-uniform split: max = 20% of total, min = 2%, the rest
+    /// uniform. Returned sorted non-increasing (the instance convention).
+    pub fn max_min(total: u32, items: u32) -> Vec<u32> {
+        assert!(items >= 3, "max-min split needs ≥ 3 items");
+        let max = (total as f64 * 0.20).round() as u32;
+        let min = ((total as f64 * 0.02).round() as u32).max(1);
+        let middle_total = total.saturating_sub(max + min);
+        let mid = (middle_total / (items - 2)).max(1);
+        let mut v = Vec::with_capacity(items as usize);
+        v.push(max);
+        for _ in 0..items - 2 {
+            v.push(mid);
+        }
+        v.push(min);
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Fig. 8b/c real-Param split: 30/30/20/10/10 % of the total across
+    /// (ps, controller, g1, g2, g3).
+    pub fn real_params(total: u32) -> Vec<u32> {
+        let pct = [0.30, 0.30, 0.20, 0.10, 0.10];
+        pct.iter()
+            .map(|f| ((total as f64 * f).round() as u32).max(1))
+            .collect()
+    }
+
+    /// Fig. 8d "Large skew": one item takes 82%, the rest split evenly.
+    pub fn large_skew(total: u32, items: u32) -> Vec<u32> {
+        assert!(items >= 2);
+        let big = (total as f64 * 0.82).round() as u32;
+        let rest = (total - big) / (items - 1);
+        let mut v = vec![big];
+        v.extend(std::iter::repeat_n(rest.max(1), items as usize - 1));
+        v
+    }
+
+    /// Fig. 8d "Moderate skew" for the five real items:
+    /// `[150, 150, 100, 50, 50]`.
+    pub fn moderate_skew() -> Vec<u32> {
+        vec![150, 150, 100, 50, 50]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uic_items::{istar, valuation::is_supermodular, ItemSet};
+
+    #[test]
+    fn table3_config1_matches_paper() {
+        let c = TwoItemConfig::new(1);
+        let m = c.model();
+        assert_eq!(m.deterministic_utility(ItemSet::singleton(0)), 0.0);
+        assert_eq!(m.deterministic_utility(ItemSet::full(2)), 1.0);
+        let gap = c.gap();
+        assert!((gap.q1_alone - 0.5).abs() < 1e-6);
+        assert!((gap.q1_given_2 - 0.84).abs() < 0.005);
+        assert!(c.uniform_budgets());
+        assert_eq!(c.budgets(30), [30, 30]);
+        assert_eq!(c.sweep(), vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn table3_config3_has_negative_item() {
+        let c = TwoItemConfig::new(3);
+        let m = c.model();
+        assert_eq!(m.deterministic_utility(ItemSet::singleton(1)), -1.0);
+        let gap = c.gap();
+        assert!((gap.q2_alone - 0.1587).abs() < 0.005);
+        assert!((gap.q1_given_2 - 0.9772).abs() < 0.005);
+    }
+
+    #[test]
+    fn config2_and_4_are_nonuniform() {
+        for id in [2u8, 4] {
+            let c = TwoItemConfig::new(id);
+            assert!(!c.uniform_budgets());
+            assert_eq!(c.budgets(90), [70, 90]);
+            assert_eq!(c.sweep(), vec![30, 50, 70, 90, 110]);
+        }
+    }
+
+    #[test]
+    fn config5_every_item_utility_one() {
+        let m = Config::Additive.build(5, 1);
+        for i in 0..5u32 {
+            assert_eq!(m.deterministic_utility(ItemSet::singleton(i)), 1.0);
+        }
+        assert_eq!(m.deterministic_utility(ItemSet::full(5)), 5.0);
+    }
+
+    #[test]
+    fn cone_configs_shape() {
+        for (cfg, core) in [(Config::ConeMax, 0u32), (Config::ConeMin, 4u32)] {
+            let m = cfg.build(5, 1);
+            // core alone: utility 5.
+            assert_eq!(m.deterministic_utility(ItemSet::singleton(core)), 5.0);
+            // superset of core with one accessory: 7.
+            let other = if core == 0 { 1 } else { 0 };
+            assert_eq!(
+                m.deterministic_utility(ItemSet::from_items(&[core, other])),
+                7.0
+            );
+            // accessory alone: negative.
+            assert!(m.deterministic_utility(ItemSet::singleton(other)) < 0.0);
+            // I* is the full set.
+            assert_eq!(istar(&m.deterministic_table()), ItemSet::full(5));
+        }
+    }
+
+    #[test]
+    fn config8_is_monotone_and_supermodular() {
+        for seed in 0..5u64 {
+            let m = Config::LevelWise.build(5, seed);
+            assert!(is_supermodular(m.valuation()), "seed {seed}");
+            assert!(uic_items::valuation::is_monotone(m.valuation()));
+        }
+    }
+
+    #[test]
+    fn config8_randomizes_profitability() {
+        // Across seeds, some singletons profitable, some not.
+        let mut pos = 0;
+        let mut neg = 0;
+        for seed in 0..20u64 {
+            let m = Config::LevelWise.build(4, seed);
+            for i in 0..4u32 {
+                if m.deterministic_utility(ItemSet::singleton(i)) >= 0.0 {
+                    pos += 1;
+                } else {
+                    neg += 1;
+                }
+            }
+        }
+        assert!(pos > 10 && neg > 10, "pos {pos} neg {neg}");
+    }
+
+    #[test]
+    fn budget_split_sums_and_order() {
+        let u = budget_splits::uniform(500, 5);
+        assert_eq!(u, vec![100; 5]);
+        let mm = budget_splits::max_min(1000, 8);
+        assert_eq!(mm[0], 200);
+        assert_eq!(*mm.last().unwrap(), 20);
+        assert!(mm.windows(2).all(|w| w[0] >= w[1]));
+        let rp = budget_splits::real_params(500);
+        assert_eq!(rp, vec![150, 150, 100, 50, 50]);
+        let ls = budget_splits::large_skew(500, 5);
+        assert_eq!(ls[0], 410);
+        assert_eq!(ls.len(), 5);
+        assert_eq!(budget_splits::moderate_skew(), vec![150, 150, 100, 50, 50]);
+    }
+
+    #[test]
+    fn table_ids() {
+        assert_eq!(Config::Additive.id(), 5);
+        assert_eq!(Config::LevelWise.id(), 8);
+        assert_eq!(Config::ConeMax.value_shape(), "Cone-max");
+        assert!(Config::Additive.uniform_budgets());
+        assert!(!Config::ConeMin.uniform_budgets());
+    }
+
+    #[test]
+    #[should_panic(expected = "two-item configs are 1–4")]
+    fn bad_two_item_id() {
+        TwoItemConfig::new(5);
+    }
+}

@@ -1,0 +1,32 @@
+//! # uic-datasets
+//!
+//! Everything the experiments consume:
+//!
+//! * [`generators`] — synthetic network generators (directed/undirected
+//!   preferential attachment, Erdős–Rényi, Watts–Strogatz).
+//! * [`networks`] — the five named stand-ins for the paper's Table 2
+//!   datasets (Flixster, Douban-Book, Douban-Movie, Twitter, Orkut) at
+//!   laptop scale, with the substitution rationale in DESIGN.md. Each is
+//!   deterministic given its seed and carries the paper's default
+//!   weighted-cascade probabilities `1/d_in(v)`.
+//! * [`configs`] — the utility/budget configurations of Table 3
+//!   (two-item Configs 1–4) and Table 4 (multi-item Configs 5–8),
+//!   including the level-wise random supermodular generator and budget
+//!   split helpers (uniform / max-min / large-skew / moderate-skew).
+//! * [`real_params`] — the learned "real Param" of Table 5 (PS4 bundle:
+//!   console, controller, three games) as a [`uic_items::UtilityModel`].
+//! * [`auction`] — an English-auction simulator plus a hidden-bid
+//!   valuation learner in the spirit of Jiang & Leyton-Brown (2007),
+//!   regenerating Table-5-style parameters from synthetic bid histories
+//!   (the substitution for the paper's eBay mining pipeline).
+
+pub mod auction;
+pub mod configs;
+pub mod generators;
+pub mod networks;
+pub mod real_params;
+
+pub use configs::{budget_splits, Config, TwoItemConfig};
+pub use generators::{erdos_renyi, preferential_attachment, watts_strogatz, PaOptions};
+pub use networks::{named_network, network_stats_table, NamedNetwork};
+pub use real_params::{real_param_model, real_params_table, REAL_ITEM_NAMES};

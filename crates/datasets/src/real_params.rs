@@ -1,0 +1,197 @@
+//! The "real Param" of §4.3.4 / Table 5: a PlayStation 4 bundle whose
+//! values and noise variances the paper learned from eBay bidding
+//! histories and whose prices came from Craigslist/Facebook listings.
+//!
+//! Items (index = budget-order position used throughout §4.3.4):
+//! `0 = ps` (PS4 500GB console), `1 = c` (controller),
+//! `2..=4 = g1..g3` (three compatible games).
+//!
+//! Table 5 (learned): prices `P(ps)=260, P(c)=20, P(g·)=5`;
+//! `V({ps}) = 213,  V({ps,c}) = 220,  V({ps,g1,g2,g3}) = 258,`
+//! `V({ps,gi,gj,c}) = 292.5 (any two games),  V(all) = 302`;
+//! noise `N(0,4), N(0,6), N(0,4), N(0,5), N(0,7)` on those itemsets.
+//! Any set without the console is worthless ("any of c,g1..g3, without
+//! the core item ps, is useless"). Unlisted sets take the monotone
+//! closure of the listed ones, matching the paper's treatment of
+//! itemsets with no recorded auctions.
+//!
+//! Per-item noise variances are recovered from the itemset variances by
+//! additivity: `var(ps)=4`, `var(c) = 6−4 = 2`, and the games share
+//! `var(all) − var({ps,c}) = 1` equally (`1/3` each).
+
+use std::sync::Arc;
+use uic_items::{ItemSet, NoiseDistribution, NoiseModel, Price, TableValuation, UtilityModel};
+use uic_util::Table;
+
+/// Display names of the five real items in index order.
+pub const REAL_ITEM_NAMES: [&str; 5] = ["ps", "c", "g1", "g2", "g3"];
+
+/// Index of the console.
+pub const PS: u32 = 0;
+/// Index of the controller.
+pub const CONTROLLER: u32 = 1;
+/// Indices of the three games.
+pub const GAMES: [u32; 3] = [2, 3, 4];
+
+/// Prices in Canadian dollars (Craigslist/Facebook used listings).
+pub const PRICES: [f64; 5] = [260.0, 20.0, 5.0, 5.0, 5.0];
+
+/// Builds the Table 5 utility model.
+pub fn real_param_model() -> UtilityModel {
+    let ps = ItemSet::singleton(PS);
+    let psc = ps.with(CONTROLLER);
+    let ps_games = ItemSet::from_items(&[PS, GAMES[0], GAMES[1], GAMES[2]]);
+    let all = ItemSet::full(5);
+    let mut entries: Vec<(ItemSet, f64)> =
+        vec![(ps, 213.0), (psc, 220.0), (ps_games, 258.0), (all, 302.0)];
+    // Any {ps, c, two games}: same learned value 292.5 (paper: "we assume
+    // that any itemset with ps, c and any two games has the same
+    // utility").
+    for (a, &ga) in GAMES.iter().enumerate() {
+        for &gb in &GAMES[a + 1..] {
+            let s = psc.with(ga).with(gb);
+            entries.push((s, 292.5));
+        }
+    }
+    let valuation = TableValuation::from_sparse(5, &entries);
+    let noise = NoiseModel::new(vec![
+        NoiseDistribution::gaussian_var(4.0),
+        NoiseDistribution::gaussian_var(2.0),
+        NoiseDistribution::gaussian_var(1.0 / 3.0),
+        NoiseDistribution::gaussian_var(1.0 / 3.0),
+        NoiseDistribution::gaussian_var(1.0 / 3.0),
+    ]);
+    UtilityModel::new(Arc::new(valuation), Price::additive(PRICES.to_vec()), noise)
+}
+
+/// Regenerates Table 5 (the learned parameters, echoed from the model).
+pub fn real_params_table() -> Table {
+    let model = real_param_model();
+    let mut t = Table::new(
+        "Table 5: learned value/price/noise parameters (PS4 bundle)",
+        &["itemset", "price", "value", "noise var", "det. utility"],
+    );
+    let rows: Vec<ItemSet> = vec![
+        ItemSet::singleton(PS),
+        ItemSet::from_items(&[PS, CONTROLLER]),
+        ItemSet::from_items(&[PS, GAMES[0], GAMES[1], GAMES[2]]),
+        ItemSet::from_items(&[PS, GAMES[0], GAMES[1], CONTROLLER]),
+        ItemSet::full(5),
+    ];
+    for s in rows {
+        let price = model.price().of(s);
+        let value = model.valuation().value(s);
+        let var: f64 = s
+            .iter()
+            .map(|i| {
+                let sd = model.noise().dist(i).std();
+                sd * sd
+            })
+            .sum();
+        t.push_row(vec![
+            format_itemset(s),
+            format!("{price:.0}"),
+            format!("{value:.1}"),
+            format!("{var:.1}"),
+            format!("{:.1}", value - price),
+        ]);
+    }
+    t
+}
+
+fn format_itemset(s: ItemSet) -> String {
+    let names: Vec<&str> = s.iter().map(|i| REAL_ITEM_NAMES[i as usize]).collect();
+    format!("{{{}}}", names.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uic_items::{istar, valuation::is_monotone};
+
+    #[test]
+    fn listed_values_match_table5() {
+        let m = real_param_model();
+        let v = |items: &[u32]| m.valuation().value(ItemSet::from_items(items));
+        assert_eq!(v(&[PS]), 213.0);
+        assert_eq!(v(&[PS, CONTROLLER]), 220.0);
+        assert_eq!(v(&[PS, 2, 3, 4]), 258.0);
+        assert_eq!(v(&[PS, CONTROLLER, 2, 3]), 292.5);
+        assert_eq!(v(&[PS, CONTROLLER, 2, 4]), 292.5);
+        assert_eq!(v(&[0, 1, 2, 3, 4]), 302.0);
+    }
+
+    #[test]
+    fn accessories_without_console_are_worthless() {
+        let m = real_param_model();
+        let s = ItemSet::from_items(&[CONTROLLER, 2, 3, 4]);
+        assert_eq!(m.valuation().value(s), 0.0);
+        assert!(m.deterministic_utility(s) < 0.0);
+    }
+
+    #[test]
+    fn only_ps_c_and_two_plus_games_profitable() {
+        // "the only itemsets that have positive deterministic utility are
+        // itemsets with ps, c and at least two games."
+        let m = real_param_model();
+        for s in ItemSet::full(5).subsets() {
+            let u = m.deterministic_utility(s);
+            let qualifies = s.contains(PS)
+                && s.contains(CONTROLLER)
+                && GAMES.iter().filter(|&&g| s.contains(g)).count() >= 2;
+            if qualifies {
+                assert!(u >= 0.0, "{s} should be profitable, U = {u}");
+            } else if !s.is_empty() {
+                assert!(u < 0.0, "{s} should be unprofitable, U = {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn istar_is_the_full_bundle() {
+        let m = real_param_model();
+        assert_eq!(istar(&m.deterministic_table()), ItemSet::full(5));
+    }
+
+    #[test]
+    fn valuation_is_monotone() {
+        let m = real_param_model();
+        assert!(is_monotone(m.valuation()));
+    }
+
+    #[test]
+    fn ps_c_single_game_is_negative() {
+        // Paper: "we consider the itemset with ps, c and a single game to
+        // have negative deterministic utility" — falls out of the
+        // monotone closure (V = 220 from {ps,c}, price 290).
+        let m = real_param_model();
+        let s = ItemSet::from_items(&[PS, CONTROLLER, 2]);
+        assert_eq!(m.valuation().value(s), 220.0);
+        assert!(m.deterministic_utility(s) < 0.0);
+    }
+
+    #[test]
+    fn table_renders_five_rows() {
+        let t = real_params_table();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.cell(0, "itemset"), Some("{ps}"));
+        assert_eq!(t.cell(0, "price"), Some("260"));
+        assert_eq!(t.cell(4, "value"), Some("302.0"));
+    }
+
+    #[test]
+    fn noise_variances_are_additive_reconstruction() {
+        let m = real_param_model();
+        let var_of = |s: ItemSet| -> f64 {
+            s.iter()
+                .map(|i| {
+                    let sd = m.noise().dist(i).std();
+                    sd * sd
+                })
+                .sum()
+        };
+        assert!((var_of(ItemSet::singleton(PS)) - 4.0).abs() < 1e-9);
+        assert!((var_of(ItemSet::from_items(&[PS, CONTROLLER])) - 6.0).abs() < 1e-9);
+        assert!((var_of(ItemSet::full(5)) - 7.0).abs() < 1e-9);
+    }
+}

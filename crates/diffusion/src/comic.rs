@@ -1,0 +1,309 @@
+//! The Com-IC model of Lu, Chen & Lakshmanan (two items, GAP parameters)
+//! — the diffusion substrate of the RR-SIM+ / RR-CIM baselines
+//! (§4.3.1.2–4.3.1.3 of the UIC paper).
+//!
+//! Node-level automaton (NLA) semantics for the mutually complementary
+//! case (`q_{A|B} ≥ q_{A|∅}`):
+//! * Information of an item travels over live edges (each edge's coin is
+//!   flipped once per diffusion and shared by both items, as in Com-IC's
+//!   possible-world model).
+//! * When item `X`'s information first reaches a node, the node adopts
+//!   with probability `q_{X|∅}` (other item not adopted) or `q_{X|Y}`
+//!   (other item adopted); otherwise it becomes *suspended* on `X`.
+//! * When the node later adopts the other item, a suspended `X` is
+//!   **reconsidered** with probability `(q_{X|Y} − q_{X|∅})/(1 − q_{X|∅})`,
+//!   which makes the overall adoption probability exactly `q_{X|Y}`.
+//! * Only adopters propagate an item's information.
+//!
+//! Seeds adopt their seeded item outright (Com-IC's convention; the UIC
+//! paper highlights as a *difference* that its own seeds are rational
+//! utility maximizers).
+
+use uic_graph::{Graph, NodeId};
+use uic_items::GapParams;
+use uic_util::{FxHashMap, UicRng};
+
+/// Adoption state of one item at one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ItemState {
+    /// Never informed.
+    #[default]
+    Idle,
+    /// Informed but declined (may be reconsidered).
+    Suspended,
+    /// Adopted.
+    Adopted,
+}
+
+/// Outcome of one Com-IC cascade.
+#[derive(Debug, Clone, Default)]
+pub struct ComicOutcome {
+    /// Nodes that adopted item 1 ("A").
+    pub adopters_a: Vec<NodeId>,
+    /// Nodes that adopted item 2 ("B").
+    pub adopters_b: Vec<NodeId>,
+}
+
+impl ComicOutcome {
+    /// Nodes adopting item A.
+    pub fn num_a(&self) -> usize {
+        self.adopters_a.len()
+    }
+
+    /// Nodes adopting item B.
+    pub fn num_b(&self) -> usize {
+        self.adopters_b.len()
+    }
+
+    /// Total (node, item) adoptions.
+    pub fn total(&self) -> usize {
+        self.num_a() + self.num_b()
+    }
+}
+
+/// Reusable Com-IC simulator.
+pub struct ComicSimulator<'a> {
+    graph: &'a Graph,
+    gap: GapParams,
+}
+
+impl<'a> ComicSimulator<'a> {
+    /// Simulator for graph `g` under GAP parameters `gap` (must be
+    /// mutually complementary for the reconsideration rule to be valid).
+    pub fn new(graph: &'a Graph, gap: GapParams) -> Self {
+        assert!(
+            gap.is_mutually_complementary(),
+            "Com-IC complementary semantics require q_X|Y ≥ q_X|∅"
+        );
+        ComicSimulator { graph, gap }
+    }
+
+    /// Runs one cascade from per-item seed sets.
+    pub fn run(&self, seeds_a: &[NodeId], seeds_b: &[NodeId], rng: &mut UicRng) -> ComicOutcome {
+        let g = self.graph;
+        let mut states: FxHashMap<NodeId, [ItemState; 2]> = FxHashMap::default();
+        let mut edge_cache: FxHashMap<usize, bool> = FxHashMap::default();
+        // Frontier of fresh adoptions awaiting propagation: (node, item).
+        let mut frontier: Vec<(NodeId, u8)> = Vec::new();
+
+        // Seeds adopt outright.
+        for &v in seeds_a {
+            let st = states.entry(v).or_default();
+            if st[0] != ItemState::Adopted {
+                st[0] = ItemState::Adopted;
+                frontier.push((v, 0));
+            }
+        }
+        for &v in seeds_b {
+            let st = states.entry(v).or_default();
+            if st[1] != ItemState::Adopted {
+                st[1] = ItemState::Adopted;
+                frontier.push((v, 1));
+            }
+        }
+
+        let mut next: Vec<(NodeId, u8)> = Vec::new();
+        while !frontier.is_empty() {
+            next.clear();
+            for &(u, item) in &frontier {
+                let nbrs = g.out_neighbors(u);
+                let probs = g.out_probs(u);
+                for (i, &v) in nbrs.iter().enumerate() {
+                    let eid = g.out_edge_id(u, i);
+                    let live = *edge_cache
+                        .entry(eid)
+                        .or_insert_with(|| rng.coin(probs[i] as f64));
+                    if live {
+                        self.inform(v, item, &mut states, &mut next, rng);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+
+        let mut out = ComicOutcome::default();
+        for (&v, st) in &states {
+            if st[0] == ItemState::Adopted {
+                out.adopters_a.push(v);
+            }
+            if st[1] == ItemState::Adopted {
+                out.adopters_b.push(v);
+            }
+        }
+        out.adopters_a.sort_unstable();
+        out.adopters_b.sort_unstable();
+        out
+    }
+
+    /// Information of `item` arrives at `v`.
+    fn inform(
+        &self,
+        v: NodeId,
+        item: u8,
+        states: &mut FxHashMap<NodeId, [ItemState; 2]>,
+        fresh: &mut Vec<(NodeId, u8)>,
+        rng: &mut UicRng,
+    ) {
+        let st = states.entry(v).or_default();
+        if st[item as usize] != ItemState::Idle {
+            return; // informed before; decision already made (or adopted)
+        }
+        let other = 1 - item;
+        let other_adopted = st[other as usize] == ItemState::Adopted;
+        let q = match (item, other_adopted) {
+            (0, false) => self.gap.q1_alone,
+            (0, true) => self.gap.q1_given_2,
+            (1, false) => self.gap.q2_alone,
+            (1, true) => self.gap.q2_given_1,
+            _ => unreachable!(),
+        };
+        if rng.coin(q) {
+            st[item as usize] = ItemState::Adopted;
+            fresh.push((v, item));
+            // Reconsideration of a suspended complement.
+            if st[other as usize] == ItemState::Suspended {
+                let rho = if other == 0 {
+                    self.gap.reconsider_1()
+                } else {
+                    self.gap.reconsider_2()
+                };
+                if rng.coin(rho) {
+                    st[other as usize] = ItemState::Adopted;
+                    fresh.push((v, other));
+                }
+            }
+        } else {
+            st[item as usize] = ItemState::Suspended;
+        }
+    }
+
+    /// Monte-Carlo expected adoption counts `(E[#A], E[#B])`.
+    pub fn expected_adoptions(
+        &self,
+        seeds_a: &[NodeId],
+        seeds_b: &[NodeId],
+        sims: u32,
+        seed: u64,
+    ) -> (f64, f64) {
+        let mut sum_a = 0.0;
+        let mut sum_b = 0.0;
+        for s in 0..sims {
+            let mut rng = UicRng::new(uic_util::split_seed(seed, s as u64));
+            let out = self.run(seeds_a, seeds_b, &mut rng);
+            sum_a += out.num_a() as f64;
+            sum_b += out.num_b() as f64;
+        }
+        (sum_a / sims as f64, sum_b / sims as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)])
+    }
+
+    #[test]
+    fn perfect_adoption_spreads_everywhere() {
+        let g = path3();
+        let gap = GapParams::new(1.0, 1.0, 1.0, 1.0);
+        let sim = ComicSimulator::new(&g, gap);
+        let out = sim.run(&[0], &[], &mut UicRng::new(1));
+        assert_eq!(out.adopters_a, vec![0, 1, 2]);
+        assert!(out.adopters_b.is_empty());
+    }
+
+    #[test]
+    fn seeds_always_adopt() {
+        let g = path3();
+        // q = 0 for spontaneous adoption — but seeds adopt outright.
+        let gap = GapParams::new(0.0, 0.5, 0.0, 0.5);
+        let sim = ComicSimulator::new(&g, gap);
+        let out = sim.run(&[0], &[2], &mut UicRng::new(3));
+        assert!(out.adopters_a.contains(&0));
+        assert!(out.adopters_b.contains(&2));
+    }
+
+    #[test]
+    fn q_alone_controls_adoption_rate() {
+        // Node 1 gets informed of A through a deterministic edge; adoption
+        // should happen with probability q_{A|∅} = 0.3.
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        let gap = GapParams::new(0.3, 0.3, 0.3, 0.3);
+        let sim = ComicSimulator::new(&g, gap);
+        let (ea, _) = sim.expected_adoptions(&[0], &[], 40_000, 9);
+        // E[#A] = 1 (seed) + 0.3.
+        assert!((ea - 1.3).abs() < 0.02, "E[#A] = {ea}");
+    }
+
+    #[test]
+    fn complementary_boost_via_reconsideration() {
+        // Both items seeded at node 0, edge to node 1 deterministic.
+        // Marginal adoption prob of each item at node 1 must be exactly
+        // q_{X|Y'}-mixture; with q_alone = 0.2, q_given = 0.8 the joint
+        // dynamics guarantee: P[adopt A] ∈ [q_alone, q_given].
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        let gap = GapParams::new(0.2, 0.8, 0.2, 0.8);
+        let sim = ComicSimulator::new(&g, gap);
+        let (ea, eb) = sim.expected_adoptions(&[0], &[0], 60_000, 17);
+        let pa = ea - 1.0; // node-1 adoption probability of A
+        let pb = eb - 1.0;
+        assert!(pa > 0.2 && pa < 0.8, "P[A at node1] = {pa}");
+        assert!(pb > 0.2 && pb < 0.8, "P[B at node1] = {pb}");
+        // Symmetric parameters ⇒ symmetric adoption.
+        assert!((pa - pb).abs() < 0.02);
+    }
+
+    #[test]
+    fn reconsideration_recovers_exact_conditional() {
+        // With A guaranteed (q1 = 1 both ways): B's adoption at node 1
+        // should equal q_{B|A} = 0.9 exactly, exercising the
+        // reconsideration algebra when B arrives before A adoption is
+        // processed in a different order.
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        let gap = GapParams::new(1.0, 1.0, 0.3, 0.9);
+        let sim = ComicSimulator::new(&g, gap);
+        let (_, eb) = sim.expected_adoptions(&[0], &[0], 60_000, 23);
+        let pb = eb - 1.0;
+        assert!((pb - 0.9).abs() < 0.01, "P[B at node1] = {pb}");
+    }
+
+    #[test]
+    fn no_propagation_without_adoption() {
+        // q_{A|∅} = 0: node 1 never adopts, so node 2 is never informed.
+        let g = path3();
+        let gap = GapParams::new(0.0, 0.0, 0.0, 0.0);
+        let sim = ComicSimulator::new(&g, gap);
+        let out = sim.run(&[0], &[], &mut UicRng::new(5));
+        assert_eq!(out.adopters_a, vec![0]);
+    }
+
+    #[test]
+    fn blocked_edges_stop_information() {
+        let g = Graph::from_edges(2, &[(0, 1, 0.0)]);
+        let gap = GapParams::new(1.0, 1.0, 1.0, 1.0);
+        let sim = ComicSimulator::new(&g, gap);
+        let out = sim.run(&[0], &[], &mut UicRng::new(5));
+        assert_eq!(out.adopters_a, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "complementary")]
+    fn rejects_competitive_gaps() {
+        let g = path3();
+        ComicSimulator::new(&g, GapParams::new(0.8, 0.2, 0.5, 0.5));
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let g = path3();
+        let gap = GapParams::new(0.4, 0.9, 0.4, 0.9);
+        let sim = ComicSimulator::new(&g, gap);
+        let a = sim.run(&[0], &[2], &mut UicRng::new(77));
+        let b = sim.run(&[0], &[2], &mut UicRng::new(77));
+        assert_eq!(a.adopters_a, b.adopters_a);
+        assert_eq!(a.adopters_b, b.adopters_b);
+    }
+}

@@ -1,0 +1,225 @@
+//! Single-item Independent Cascade (§2.1).
+//!
+//! Provides the forward simulator, a parallel Monte-Carlo estimator of the
+//! influence spread `σ(S)`, and an exact estimator via possible-world
+//! enumeration on tiny graphs (for validating RR-set machinery and the
+//! prefix-preserving property against brute force).
+
+use crate::worlds::enumerate_edge_worlds;
+use crossbeam::thread;
+use uic_graph::{Graph, NodeId};
+use uic_util::{split_seed, OnlineStats, UicRng, VisitTags};
+
+/// Runs one IC cascade from `seeds`; returns the number of activated
+/// nodes (including seeds). Edge coins are flipped lazily — an edge is
+/// only tested when its source activates, which is equivalent to the
+/// live-edge view by deferred decisions.
+pub fn simulate_ic(g: &Graph, seeds: &[NodeId], rng: &mut UicRng) -> usize {
+    let mut tags = VisitTags::new(g.num_nodes() as usize);
+    let mut queue: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if tags.mark(s as usize) {
+            queue.push(s);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let nbrs = g.out_neighbors(u);
+        let probs = g.out_probs(u);
+        for (i, &v) in nbrs.iter().enumerate() {
+            if !tags.is_marked(v as usize) && rng.coin(probs[i] as f64) {
+                tags.mark(v as usize);
+                queue.push(v);
+            }
+        }
+    }
+    queue.len()
+}
+
+/// Monte-Carlo estimate of `σ(S)` over `sims` cascades, parallelized
+/// across available cores with deterministic per-simulation seed
+/// splitting (thread count does not change the result).
+pub fn spread_mc(g: &Graph, seeds: &[NodeId], sims: u32, seed: u64) -> f64 {
+    spread_mc_stats(g, seeds, sims, seed).mean()
+}
+
+/// Like [`spread_mc`] but returns the full accumulator (mean, variance,
+/// CI) for convergence diagnostics.
+pub fn spread_mc_stats(g: &Graph, seeds: &[NodeId], sims: u32, seed: u64) -> OnlineStats {
+    if sims == 0 || g.num_nodes() == 0 {
+        return OnlineStats::new();
+    }
+    let threads = num_threads(sims);
+    if threads <= 1 {
+        let mut stats = OnlineStats::new();
+        for s in 0..sims {
+            let mut rng = UicRng::new(split_seed(seed, s as u64));
+            stats.push(simulate_ic(g, seeds, &mut rng) as f64);
+        }
+        return stats;
+    }
+    let chunks: Vec<(u32, u32)> = chunk_ranges(sims, threads);
+    let partials = thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(lo, hi)| {
+                scope.spawn(move |_| {
+                    let mut stats = OnlineStats::new();
+                    for s in lo..hi {
+                        let mut rng = UicRng::new(split_seed(seed, s as u64));
+                        stats.push(simulate_ic(g, seeds, &mut rng) as f64);
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("spread worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope failed");
+    let mut total = OnlineStats::new();
+    for p in &partials {
+        total.merge(p);
+    }
+    total
+}
+
+/// Exact `σ(S)` by enumerating all live-edge worlds (≤ 20 edges).
+pub fn exact_spread(g: &Graph, seeds: &[NodeId]) -> f64 {
+    enumerate_edge_worlds(g)
+        .iter()
+        .map(|(w, p)| p * w.reachable(g, seeds).len() as f64)
+        .sum()
+}
+
+/// Number of worker threads for `work` independent tasks.
+pub(crate) fn num_threads(work: u32) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min((work as usize).div_ceil(64)).max(1)
+}
+
+/// Splits `[0, total)` into `parts` contiguous ranges.
+pub(crate) fn chunk_ranges(total: u32, parts: usize) -> Vec<(u32, u32)> {
+    let parts = parts.max(1) as u32;
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut lo = 0;
+    for i in 0..parts {
+        let len = base + if i < extra { 1 } else { 0 };
+        if len > 0 {
+            out.push((lo, lo + len));
+        }
+        lo += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 0.5), (1, 2, 0.5)])
+    }
+
+    #[test]
+    fn deterministic_edges_activate_everything() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let mut rng = UicRng::new(1);
+        assert_eq!(simulate_ic(&g, &[0], &mut rng), 4);
+    }
+
+    #[test]
+    fn zero_probability_edges_stop_cascade() {
+        let g = Graph::from_edges(3, &[(0, 1, 0.0), (1, 2, 0.0)]);
+        let mut rng = UicRng::new(1);
+        assert_eq!(simulate_ic(&g, &[0], &mut rng), 1);
+    }
+
+    #[test]
+    fn seeds_count_once() {
+        let g = path3();
+        let mut rng = UicRng::new(1);
+        let n = simulate_ic(&g, &[0, 0, 1], &mut rng);
+        assert!(n >= 2, "both distinct seeds active");
+    }
+
+    #[test]
+    fn mc_estimate_matches_exact_on_path() {
+        let g = path3();
+        let exact = exact_spread(&g, &[0]); // 1.75
+        let mc = spread_mc(&g, &[0], 40_000, 99);
+        assert!(
+            (mc - exact).abs() < 0.03,
+            "MC {mc} vs exact {exact} (should agree within MC error)"
+        );
+    }
+
+    #[test]
+    fn mc_is_thread_count_invariant() {
+        // The per-simulation seed split makes the estimate a pure function
+        // of (graph, seeds, sims, seed).
+        let g = path3();
+        let a = spread_mc(&g, &[0], 5_000, 7);
+        let b = spread_mc(&g, &[0], 5_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let g = path3();
+        assert_eq!(spread_mc(&g, &[0], 0, 1), 0.0);
+        let mut rng = UicRng::new(1);
+        assert_eq!(simulate_ic(&g, &[], &mut rng), 0);
+    }
+
+    #[test]
+    fn exact_spread_on_diamond() {
+        // 0→1, 0→2, 1→3, 2→3, all p=0.5.
+        // σ({0}) = 1 + 0.5 + 0.5 + Pr[3 reached].
+        // Pr[3] = Pr[(e01,e13) or (e02,e23)] = 2(0.25) − 0.0625 = 0.4375.
+        let g = Graph::from_edges(4, &[(0, 1, 0.5), (0, 2, 0.5), (1, 3, 0.5), (2, 3, 0.5)]);
+        let sigma = exact_spread(&g, &[0]);
+        assert!((sigma - 2.4375).abs() < 1e-12, "{sigma}");
+    }
+
+    #[test]
+    fn spread_is_monotone_in_seeds_exact() {
+        let g = path3();
+        let s1 = exact_spread(&g, &[2]);
+        let s2 = exact_spread(&g, &[0, 2]);
+        assert!(s2 >= s1);
+        assert!((s1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for total in [0u32, 1, 7, 64, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges = chunk_ranges(total, parts);
+                let mut expect = 0;
+                for &(lo, hi) in &ranges {
+                    assert_eq!(lo, expect);
+                    assert!(hi > lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, total);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_variant_reports_counts() {
+        let g = path3();
+        let stats = spread_mc_stats(&g, &[0], 1000, 3);
+        assert_eq!(stats.count(), 1000);
+        assert!(stats.mean() >= 1.0 && stats.mean() <= 3.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # uic-diffusion
+//!
+//! Diffusion-model simulation and estimation for the UIC reproduction:
+//!
+//! * [`allocation`] — seed allocations `𝒮 ⊆ V × I` with per-item budget
+//!   validation (§3.2.1).
+//! * [`ic`] — the classic single-item Independent Cascade model: forward
+//!   simulation, Monte-Carlo spread `σ(S)`, and exact spread by edge-world
+//!   enumeration on tiny graphs.
+//! * [`lt`] — the Linear Threshold model (needed because §5 notes the
+//!   results "carry over unchanged to any triggering model"; the LT RR-set
+//!   sampler in `uic-im` shares its live-edge view).
+//! * [`triggering`] — the general Triggering model behind that §5 claim:
+//!   a [`TriggeringSampler`] abstraction with IC, LT and a uniform-subset
+//!   instance, plus forward simulation and MC spread.
+//! * [`worlds`] — sampled live-edge worlds `W^E` and their enumeration
+//!   with probabilities (the possible-world semantics of §4.1.1).
+//! * [`uic`] — the paper's multi-item **utility-driven IC** diffusion
+//!   (Fig. 1): desire/adoption sets, one-shot edge tests, per-noise-world
+//!   adoption oracle.
+//! * [`welfare`] — Monte-Carlo social-welfare estimation
+//!   `ρ(𝒮) = E_{W^N} E_{W^E} [ Σ_v U(A_v) ]`, parallelized with
+//!   deterministic seed splitting; plus exact tiny-instance welfare.
+//! * [`comic`] — the Com-IC model of Lu et al. (two items, GAP
+//!   parameters + reconsideration), the substrate for the RR-SIM+/RR-CIM
+//!   baselines.
+
+pub mod allocation;
+pub mod comic;
+pub mod ic;
+pub mod lt;
+pub mod personalized;
+pub mod triggering;
+pub mod uic;
+pub mod welfare;
+pub mod worlds;
+
+pub use allocation::Allocation;
+pub use comic::{ComicOutcome, ComicSimulator};
+pub use ic::{exact_spread, simulate_ic, spread_mc};
+pub use lt::simulate_lt;
+pub use triggering::{
+    simulate_triggering, spread_triggering_mc, IcTriggering, LtTriggering, TriggeringSampler,
+    UniformSubsetTriggering,
+};
+pub use personalized::{personalized_welfare_mc, simulate_uic_personalized, PersonalizedOutcome};
+pub use uic::{simulate_uic, simulate_uic_in_world, UicOutcome, UicSimulator};
+pub use welfare::{exact_welfare_given_noise, WelfareEstimator};
+pub use worlds::{enumerate_edge_worlds, LiveEdgeWorld};

@@ -1,0 +1,336 @@
+//! Social-welfare estimation (§3.3):
+//! `ρ(𝒮) = E_{W^N}[ E_{W^E}[ Σ_v U_{W}(A^𝒮_W(v)) ] ]`.
+//!
+//! The Monte-Carlo estimator samples a fresh noise world *and* edge world
+//! per simulation — the outer/inner expectations commute (§4.1.1), so one
+//! joint sample per iteration is unbiased. Every algorithm in the
+//! experiments is scored by this same estimator for fairness.
+
+use crate::allocation::Allocation;
+use crate::ic::{chunk_ranges, num_threads};
+use crate::uic::UicSimulator;
+use crate::worlds::enumerate_edge_worlds;
+use crossbeam::thread;
+use uic_graph::Graph;
+use uic_items::{UtilityModel, UtilityTable};
+use uic_util::{split_seed, OnlineStats, UicRng};
+
+/// Parallel Monte-Carlo welfare estimator bound to a graph and a utility
+/// model.
+pub struct WelfareEstimator<'a> {
+    graph: &'a Graph,
+    model: &'a UtilityModel,
+    sims: u32,
+    seed: u64,
+}
+
+impl<'a> WelfareEstimator<'a> {
+    /// `sims` joint (noise, edge) world samples, derived from `seed`.
+    pub fn new(graph: &'a Graph, model: &'a UtilityModel, sims: u32, seed: u64) -> Self {
+        assert!(sims > 0, "need at least one simulation");
+        WelfareEstimator {
+            graph,
+            model,
+            sims,
+            seed,
+        }
+    }
+
+    /// Estimated expected social welfare `ρ(𝒮)`.
+    pub fn estimate(&self, allocation: &Allocation) -> f64 {
+        self.estimate_stats(allocation).mean()
+    }
+
+    /// Sequential estimation to a target precision: doubles the sample
+    /// count (starting from this estimator's `sims`) until the 95% CI
+    /// half-width drops to `target_halfwidth` or `max_sims` samples have
+    /// been spent. Sample `s` is always drawn from stream
+    /// `split_seed(seed, s)`, so the result is identical to a one-shot
+    /// run with the final count — batching changes nothing but cost.
+    pub fn estimate_to_precision(
+        &self,
+        allocation: &Allocation,
+        target_halfwidth: f64,
+        max_sims: u32,
+    ) -> OnlineStats {
+        assert!(target_halfwidth > 0.0, "target half-width must be > 0");
+        assert!(max_sims >= self.sims, "max_sims below the initial batch");
+        let mut total = OnlineStats::new();
+        let mut done = 0u32;
+        let mut next = self.sims.min(max_sims);
+        loop {
+            total.merge(&self.stats_range(allocation, done, next));
+            done = next;
+            if total.ci95_halfwidth() <= target_halfwidth || done >= max_sims {
+                return total;
+            }
+            next = done.saturating_mul(2).min(max_sims);
+        }
+    }
+
+    /// Full statistics (mean, stderr, CI) of the welfare samples.
+    pub fn estimate_stats(&self, allocation: &Allocation) -> OnlineStats {
+        self.stats_range(allocation, 0, self.sims)
+    }
+
+    /// Statistics over the sample-index range `[first, last)`.
+    fn stats_range(&self, allocation: &Allocation, first: u32, last: u32) -> OnlineStats {
+        if first >= last {
+            return OnlineStats::new();
+        }
+        // When the noise model is degenerate the utility table is shared
+        // across all simulations; otherwise each world rebuilds it (2^n
+        // entries — cheap for the paper's ≤ 10 items).
+        let shared_table: Option<UtilityTable> = if self.model.noise().is_none() {
+            Some(self.model.deterministic_table())
+        } else {
+            None
+        };
+        let count = last - first;
+        let threads = num_threads(count);
+        let graph = self.graph;
+        let model = self.model;
+        let seed = self.seed;
+        let run_range = |lo: u32, hi: u32| -> OnlineStats {
+            let mut stats = OnlineStats::new();
+            let mut sim = UicSimulator::new(graph);
+            for s in lo..hi {
+                let mut rng = UicRng::new(split_seed(seed, s as u64));
+                let outcome_welfare = match &shared_table {
+                    Some(table) => sim.run(graph, allocation, table, &mut rng).welfare(table),
+                    None => {
+                        let world = model.sample_noise(&mut rng);
+                        let table = model.table_for(&world);
+                        sim.run(graph, allocation, &table, &mut rng).welfare(&table)
+                    }
+                };
+                stats.push(outcome_welfare);
+            }
+            stats
+        };
+        if threads <= 1 {
+            return run_range(first, last);
+        }
+        let chunks = chunk_ranges(count, threads);
+        let partials = thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(lo, hi)| scope.spawn(move |_| run_range(first + lo, first + hi)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("welfare worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope failed");
+        let mut total = OnlineStats::new();
+        for p in &partials {
+            total.merge(p);
+        }
+        total
+    }
+
+    /// Estimated expected number of `(node, item)` adoptions — the
+    /// "maximizing just the adoption" objective the paper contrasts with
+    /// welfare.
+    pub fn estimate_adoptions(&self, allocation: &Allocation) -> f64 {
+        let shared_table: Option<UtilityTable> = if self.model.noise().is_none() {
+            Some(self.model.deterministic_table())
+        } else {
+            None
+        };
+        let mut sim = UicSimulator::new(self.graph);
+        let mut stats = OnlineStats::new();
+        for s in 0..self.sims {
+            let mut rng = UicRng::new(split_seed(self.seed, s as u64));
+            let total = match &shared_table {
+                Some(table) => sim
+                    .run(self.graph, allocation, table, &mut rng)
+                    .total_adoptions(),
+                None => {
+                    let world = self.model.sample_noise(&mut rng);
+                    let table = self.model.table_for(&world);
+                    sim.run(self.graph, allocation, &table, &mut rng)
+                        .total_adoptions()
+                }
+            };
+            stats.push(total as f64);
+        }
+        stats.mean()
+    }
+}
+
+/// Exact expected welfare **for a fixed noise world** by enumerating all
+/// live-edge worlds (`ρ_{W^N}(𝒮)` of §4.2.2; ≤ 20 edges).
+pub fn exact_welfare_given_noise(g: &Graph, allocation: &Allocation, table: &UtilityTable) -> f64 {
+    let mut sim = UicSimulator::new(g);
+    enumerate_edge_worlds(g)
+        .iter()
+        .map(|(world, p)| p * sim.run_in_world(g, allocation, table, world).welfare(table))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uic_items::{NoiseModel, Price, TableValuation};
+
+    fn fig2_model() -> UtilityModel {
+        // Deterministic utilities U(i1)=0.1, U(i2)=−0.5, U(both)=0.6
+        // encoded as values with zero prices for simplicity.
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 3.1, 2.5, 6.6])),
+            Price::additive(vec![3.0, 3.0]),
+            NoiseModel::none(2),
+        )
+    }
+
+    fn fig2_graph() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 0.5), (0, 2, 0.5), (1, 2, 0.5)])
+    }
+
+    fn fig2_alloc() -> Allocation {
+        let mut a = Allocation::new();
+        a.assign(0, 0);
+        a.assign(2, 1);
+        a
+    }
+
+    #[test]
+    fn exact_welfare_hand_computed() {
+        // Under zero noise, v1 always adopts i1 (welfare 0.1 baseline).
+        // v2 adopts i1 iff edge (0,1) live (p=.5) contributing 0.1.
+        // v3 desires i2; v3 gets i1 iff (0,2) live or ((0,1) and (1,2))
+        // live: p = .5 + .5·.25 = .625... careful: v2 must adopt first:
+        // (0,1) live then (1,2) live ⇒ .25; 1−(1−.5)(1−.25) = .625.
+        // When v3 gets i1 it adopts {i1,i2} contributing 0.6.
+        // ρ = 0.1 + 0.5·0.1 + 0.625·0.6 = 0.525.
+        let g = fig2_graph();
+        let model = fig2_model();
+        let table = model.deterministic_table();
+        let got = exact_welfare_given_noise(&g, &fig2_alloc(), &table);
+        assert!((got - 0.525).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn mc_estimator_converges_to_exact() {
+        let g = fig2_graph();
+        let model = fig2_model();
+        let est = WelfareEstimator::new(&g, &model, 60_000, 42);
+        let mc = est.estimate(&fig2_alloc());
+        assert!((mc - 0.525).abs() < 0.01, "MC {mc} vs exact 0.525");
+    }
+
+    #[test]
+    fn estimator_is_deterministic() {
+        let g = fig2_graph();
+        let model = fig2_model();
+        let est = WelfareEstimator::new(&g, &model, 2_000, 7);
+        assert_eq!(est.estimate(&fig2_alloc()), est.estimate(&fig2_alloc()));
+    }
+
+    #[test]
+    fn welfare_monotone_in_allocations_mc() {
+        // Theorem 1 (monotonicity) through the estimator.
+        let g = fig2_graph();
+        let model = fig2_model();
+        let est = WelfareEstimator::new(&g, &model, 20_000, 3);
+        let small = fig2_alloc();
+        let mut large = small.clone();
+        large.assign(1, 0);
+        large.assign(1, 1);
+        assert!(est.estimate(&large) >= est.estimate(&small) - 0.01);
+    }
+
+    #[test]
+    fn noisy_model_estimates_run() {
+        use uic_items::NoiseDistribution;
+        let g = fig2_graph();
+        let model = UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 3.1, 2.5, 6.6])),
+            Price::additive(vec![3.0, 3.0]),
+            NoiseModel::new(vec![
+                NoiseDistribution::gaussian_var(1.0),
+                NoiseDistribution::gaussian_var(1.0),
+            ]),
+        );
+        let est = WelfareEstimator::new(&g, &model, 5_000, 11);
+        let stats = est.estimate_stats(&fig2_alloc());
+        assert_eq!(stats.count(), 5_000);
+        // Noise can only help welfare here in expectation ≥ deterministic
+        // case minus sampling error? Not a theorem — just sanity-check
+        // the estimate is finite and the CI is reported.
+        assert!(stats.mean().is_finite());
+        assert!(stats.ci95_halfwidth() > 0.0);
+    }
+
+    #[test]
+    fn adoption_count_estimator() {
+        let g = fig2_graph();
+        let model = fig2_model();
+        let est = WelfareEstimator::new(&g, &model, 20_000, 5);
+        let adoptions = est.estimate_adoptions(&fig2_alloc());
+        // E[#adoptions]: v1 i1 always (1) + v2 i1 (.5) + v3 both (.625·2)
+        // = 1 + 0.5 + 1.25 = 2.75.
+        assert!((adoptions - 2.75).abs() < 0.05, "got {adoptions}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one simulation")]
+    fn zero_sims_rejected() {
+        let g = fig2_graph();
+        let model = fig2_model();
+        WelfareEstimator::new(&g, &model, 0, 1);
+    }
+
+    #[test]
+    fn precision_targeted_estimation_reaches_the_target() {
+        let g = fig2_graph();
+        let model = fig2_model();
+        let est = WelfareEstimator::new(&g, &model, 200, 13);
+        let stats = est.estimate_to_precision(&fig2_alloc(), 0.01, 400_000);
+        assert!(
+            stats.ci95_halfwidth() <= 0.01,
+            "half-width {} above target",
+            stats.ci95_halfwidth()
+        );
+        assert!((stats.mean() - 0.525).abs() < 0.02, "mean {}", stats.mean());
+        assert!(stats.count() > 200, "must have escalated beyond the batch");
+    }
+
+    #[test]
+    fn precision_estimation_respects_the_cap() {
+        let g = fig2_graph();
+        let model = fig2_model();
+        let est = WelfareEstimator::new(&g, &model, 100, 17);
+        // Impossible target: stops at the cap instead of spinning.
+        let stats = est.estimate_to_precision(&fig2_alloc(), 1e-12, 800);
+        assert_eq!(stats.count(), 800);
+    }
+
+    #[test]
+    fn precision_estimation_batching_is_invisible() {
+        // Samples are indexed by stream, so the sequential result equals
+        // a one-shot run with the same final count.
+        let g = fig2_graph();
+        let model = fig2_model();
+        let est = WelfareEstimator::new(&g, &model, 100, 19);
+        let sequential = est.estimate_to_precision(&fig2_alloc(), 1e-12, 800);
+        let oneshot = WelfareEstimator::new(&g, &model, 800, 19).estimate_stats(&fig2_alloc());
+        assert_eq!(sequential.count(), oneshot.count());
+        assert!((sequential.mean() - oneshot.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_estimation_on_deterministic_instance_stops_immediately() {
+        // All-certain edges + zero noise ⇒ zero variance ⇒ the first
+        // batch already has half-width 0.
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let model = fig2_model();
+        let est = WelfareEstimator::new(&g, &model, 50, 23);
+        let stats = est.estimate_to_precision(&fig2_alloc(), 0.001, 10_000);
+        assert_eq!(stats.count(), 50, "no escalation needed");
+        assert_eq!(stats.ci95_halfwidth(), 0.0);
+    }
+}

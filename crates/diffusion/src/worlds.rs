@@ -1,0 +1,188 @@
+//! Live-edge possible worlds `W^E` (§4.1.1).
+//!
+//! A live-edge world fixes the outcome of every edge coin: edge `(u,v)` is
+//! *live* with probability `p(u,v)`, *blocked* otherwise. Diffusion in a
+//! fixed world is deterministic; the IC spread is the expected number of
+//! nodes reachable from the seeds over the world distribution (the
+//! live-edge characterization used throughout the paper's proofs).
+
+use uic_graph::{Graph, NodeId};
+use uic_util::{BitSet, UicRng, VisitTags};
+
+/// A sampled (or enumerated) live-edge world: one bit per edge, indexed by
+/// the graph's global out-edge id.
+#[derive(Debug, Clone)]
+pub struct LiveEdgeWorld {
+    live: BitSet,
+}
+
+impl LiveEdgeWorld {
+    /// Samples a world by flipping every edge coin.
+    pub fn sample(g: &Graph, rng: &mut UicRng) -> LiveEdgeWorld {
+        let mut live = BitSet::new(g.num_edges());
+        for u in 0..g.num_nodes() {
+            let probs = g.out_probs(u);
+            for (i, &p) in probs.iter().enumerate() {
+                if rng.coin(p as f64) {
+                    live.insert(g.out_edge_id(u, i));
+                }
+            }
+        }
+        LiveEdgeWorld { live }
+    }
+
+    /// Builds a world from an explicit edge-liveness mask (enumeration).
+    pub fn from_mask(g: &Graph, mask: u64) -> LiveEdgeWorld {
+        assert!(g.num_edges() <= 64, "mask enumeration limited to 64 edges");
+        let mut live = BitSet::new(g.num_edges());
+        for e in 0..g.num_edges() {
+            if mask >> e & 1 == 1 {
+                live.insert(e);
+            }
+        }
+        LiveEdgeWorld { live }
+    }
+
+    /// Is the `i`-th out-edge of `u` live?
+    #[inline]
+    pub fn is_live(&self, g: &Graph, u: NodeId, i: usize) -> bool {
+        self.live.contains(g.out_edge_id(u, i))
+    }
+
+    /// Is the edge with global id `edge_id` live? Reverse traversals pair
+    /// this with [`Graph::in_edge_ids`], which exposes exactly these ids.
+    #[inline]
+    pub fn is_live_id(&self, edge_id: usize) -> bool {
+        self.live.contains(edge_id)
+    }
+
+    /// Number of live edges.
+    pub fn num_live(&self) -> usize {
+        self.live.count()
+    }
+
+    /// Deterministic forward reachability from `sources` along live edges
+    /// (`Γ(S, W^E)` in the paper's notation). Returns the reached nodes.
+    pub fn reachable(&self, g: &Graph, sources: &[NodeId]) -> Vec<NodeId> {
+        let mut tags = VisitTags::new(g.num_nodes() as usize);
+        let mut queue: Vec<NodeId> = Vec::new();
+        for &s in sources {
+            if tags.mark(s as usize) {
+                queue.push(s);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for (i, &v) in g.out_neighbors(u).iter().enumerate() {
+                if self.is_live(g, u, i) && tags.mark(v as usize) {
+                    queue.push(v);
+                }
+            }
+        }
+        queue
+    }
+}
+
+/// Enumerates **all** `2^m` live-edge worlds of a tiny graph together with
+/// their probabilities (Π live `p` · Π blocked `(1−p)`). Panics if the
+/// graph has more than 20 edges. Powers the exact spread/welfare used to
+/// validate the Monte-Carlo estimators and the paper's lemmas.
+pub fn enumerate_edge_worlds(g: &Graph) -> Vec<(LiveEdgeWorld, f64)> {
+    let m = g.num_edges();
+    assert!(m <= 20, "exact enumeration limited to 20 edges, got {m}");
+    let edge_probs: Vec<f64> = {
+        let mut ps = vec![0.0f64; m];
+        for u in 0..g.num_nodes() {
+            for (i, &p) in g.out_probs(u).iter().enumerate() {
+                ps[g.out_edge_id(u, i)] = p as f64;
+            }
+        }
+        ps
+    };
+    let mut out = Vec::with_capacity(1 << m);
+    for mask in 0..(1u64 << m) {
+        let mut prob = 1.0f64;
+        for (e, &p) in edge_probs.iter().enumerate() {
+            prob *= if mask >> e & 1 == 1 { p } else { 1.0 - p };
+        }
+        if prob > 0.0 {
+            out.push((LiveEdgeWorld::from_mask(g, mask), prob));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 0.5), (1, 2, 0.5)])
+    }
+
+    #[test]
+    fn sampled_world_respects_determinism() {
+        let g = path3();
+        let a = LiveEdgeWorld::sample(&g, &mut UicRng::new(7));
+        let b = LiveEdgeWorld::sample(&g, &mut UicRng::new(7));
+        assert_eq!(a.num_live(), b.num_live());
+        for u in 0..3u32 {
+            for i in 0..g.out_degree(u) {
+                assert_eq!(a.is_live(&g, u, i), b.is_live(&g, u, i));
+            }
+        }
+    }
+
+    #[test]
+    fn all_or_nothing_probabilities() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        let w = LiveEdgeWorld::sample(&g, &mut UicRng::new(1));
+        assert!(w.is_live(&g, 0, 0));
+        let g0 = Graph::from_edges(2, &[(0, 1, 0.0)]);
+        let w0 = LiveEdgeWorld::sample(&g0, &mut UicRng::new(1));
+        assert!(!w0.is_live(&g0, 0, 0));
+    }
+
+    #[test]
+    fn reachability_in_fixed_world() {
+        let g = path3();
+        // world with only edge 0→1 live (edge ids: 0 for (0,1), 1 for (1,2))
+        let w = LiveEdgeWorld::from_mask(&g, 0b01);
+        let r = w.reachable(&g, &[0]);
+        assert_eq!(r, vec![0, 1]);
+        let w_all = LiveEdgeWorld::from_mask(&g, 0b11);
+        assert_eq!(w_all.reachable(&g, &[0]).len(), 3);
+        let w_none = LiveEdgeWorld::from_mask(&g, 0b00);
+        assert_eq!(w_none.reachable(&g, &[0]), vec![0]);
+    }
+
+    #[test]
+    fn enumeration_probabilities_sum_to_one() {
+        let g = path3();
+        let worlds = enumerate_edge_worlds(&g);
+        assert_eq!(worlds.len(), 4);
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumeration_drops_impossible_worlds() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        let worlds = enumerate_edge_worlds(&g);
+        assert_eq!(worlds.len(), 1, "blocked world has probability 0");
+        assert!(worlds[0].0.is_live(&g, 0, 0));
+    }
+
+    #[test]
+    fn expected_reach_matches_hand_computation() {
+        // σ({0}) on 0→1→2 with p=0.5 each: 1 + 0.5 + 0.25 = 1.75.
+        let g = path3();
+        let sigma: f64 = enumerate_edge_worlds(&g)
+            .iter()
+            .map(|(w, p)| p * w.reachable(&g, &[0]).len() as f64)
+            .sum();
+        assert!((sigma - 1.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! `uic-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! uic-exp <artifact> [--scale F] [--sims N] [--eps F] [--ell F]
+//!                    [--seed N] [--csv DIR]
+//!
+//! artifacts: table2 table3 table4 table5 table6
+//!            fig4 fig5 fig6 fig7 fig8a fig8bc fig8d fig9abc fig9d
+//!            all
+//! ```
+//!
+//! Every run is deterministic given `--seed`. `--csv DIR` additionally
+//! writes one CSV per table for plotting.
+
+use std::io::Write;
+use uic_experiments::{common::ExpOptions, fig4, fig56, fig7, fig8, fig9, tables};
+use uic_util::Table;
+
+struct Args {
+    artifact: String,
+    opts: ExpOptions,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let artifact = argv.next().ok_or_else(usage)?;
+    let mut opts = ExpOptions::default();
+    let mut csv_dir = None;
+    while let Some(flag) = argv.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            argv.next().ok_or(format!("{flag} needs a {what} argument"))
+        };
+        match flag.as_str() {
+            "--scale" => opts.scale = take("float")?.parse().map_err(|e| format!("{e}"))?,
+            "--sims" => opts.sims = take("integer")?.parse().map_err(|e| format!("{e}"))?,
+            "--eps" => opts.eps = take("float")?.parse().map_err(|e| format!("{e}"))?,
+            "--ell" => opts.ell = take("float")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => opts.seed = take("integer")?.parse().map_err(|e| format!("{e}"))?,
+            "--csv" => csv_dir = Some(take("directory")?),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        artifact,
+        opts,
+        csv_dir,
+    })
+}
+
+fn usage() -> String {
+    "usage: uic-exp <table2|table3|table4|table5|table6|fig4|fig5|fig6|fig7|fig8a|fig8bc|fig8d|fig9abc|fig9d|ablations|all> \
+     [--scale F] [--sims N] [--eps F] [--ell F] [--seed N] [--csv DIR]"
+        .to_string()
+}
+
+fn emit(tables: &[Table], csv_dir: &Option<String>) {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for t in tables {
+        writeln!(lock, "{t}").expect("stdout write failed");
+        if let Some(dir) = csv_dir {
+            std::fs::create_dir_all(dir).expect("cannot create csv dir");
+            let slug: String = t
+                .title
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                .collect::<String>()
+                .to_lowercase();
+            let trimmed: String = slug.chars().take(60).collect();
+            let path = format!("{dir}/{trimmed}.csv");
+            std::fs::write(&path, t.to_csv()).expect("cannot write csv");
+        }
+    }
+}
+
+fn run(artifact: &str, opts: &ExpOptions, csv_dir: &Option<String>) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    match artifact {
+        "table2" => emit(&[tables::table2(opts)], csv_dir),
+        "table3" => emit(&[tables::table3()], csv_dir),
+        "table4" => emit(&[tables::table4()], csv_dir),
+        "table5" => emit(&tables::table5(opts), csv_dir),
+        "table6" => emit(&[tables::table6(opts)], csv_dir),
+        "fig4" => emit(&fig4::fig4(opts), csv_dir),
+        "fig5" | "fig6" => {
+            let both = fig56::fig56(opts);
+            let pick: Vec<Table> = both
+                .into_iter()
+                .map(|(time_t, rr_t)| if artifact == "fig5" { time_t } else { rr_t })
+                .collect();
+            emit(&pick, csv_dir);
+        }
+        "fig56" => {
+            let both = fig56::fig56(opts);
+            let flat: Vec<Table> = both.into_iter().flat_map(|(a, b)| [a, b]).collect();
+            emit(&flat, csv_dir);
+        }
+        "fig7" => emit(&fig7::fig7(opts), csv_dir),
+        "fig8a" => emit(&[fig8::fig8a(opts)], csv_dir),
+        "fig8bc" => {
+            let (w, t) = fig8::fig8bc(opts);
+            emit(&[w, t], csv_dir);
+        }
+        "fig8d" => emit(&[fig8::fig8d(opts)], csv_dir),
+        "fig9abc" => emit(&fig9::fig9abc(opts), csv_dir),
+        "fig9d" => emit(&[fig9::fig9d(opts)], csv_dir),
+        "ablations" => emit(&uic_experiments::ablations::ablations(opts), csv_dir),
+        "all" => {
+            for a in [
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "table6",
+                "fig4",
+                "fig56",
+                "fig7",
+                "fig8a",
+                "fig8bc",
+                "fig8d",
+                "fig9abc",
+                "fig9d",
+                "ablations",
+            ] {
+                eprintln!(">>> {a}");
+                run(a, opts, csv_dir)?;
+            }
+        }
+        other => return Err(format!("unknown artifact {other}\n{}", usage())),
+    }
+    eprintln!(
+        "[{artifact} done in {:.1}s]",
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "uic-exp {} (scale {}, sims {}, eps {}, ell {}, seed {})",
+        args.artifact,
+        args.opts.scale,
+        args.opts.sims,
+        args.opts.eps,
+        args.opts.ell,
+        args.opts.seed
+    );
+    if let Err(e) = run(&args.artifact, &args.opts, &args.csv_dir) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Shared experiment plumbing: options, algorithm dispatch, welfare
+//! scoring.
+
+use uic_baselines::BaselineResult;
+use uic_core::bundle_grd;
+use uic_diffusion::{Allocation, WelfareEstimator};
+use uic_graph::Graph;
+use uic_im::DiffusionModel;
+use uic_items::{GapParams, UtilityModel};
+
+/// Knobs shared by every experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Network scale factor (1.0 = the DESIGN.md default sizes).
+    pub scale: f64,
+    /// Monte-Carlo simulations per welfare estimate.
+    pub sims: u32,
+    /// IMM/PRIMA approximation parameter ε (paper default 0.5).
+    pub eps: f64,
+    /// IMM/PRIMA failure exponent ℓ (paper default 1).
+    pub ell: f64,
+    /// Master seed — every stochastic component derives from it.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            scale: 0.05,
+            sims: 300,
+            eps: 0.5,
+            ell: 1.0,
+            seed: 20190630, // SIGMOD'19 opening day
+        }
+    }
+}
+
+impl ExpOptions {
+    /// A tiny configuration for smoke tests and benches.
+    pub fn smoke() -> Self {
+        ExpOptions {
+            scale: 0.01,
+            sims: 60,
+            ..Default::default()
+        }
+    }
+}
+
+/// The seed-selection algorithms compared in Figs. 4–6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// The paper's bundleGRD (Algorithm 1).
+    BundleGrd,
+    /// RR-SIM+ (Com-IC, self-influence).
+    RrSimPlus,
+    /// RR-CIM (Com-IC, complement-aware).
+    RrCim,
+    /// item-disj.
+    ItemDisj,
+    /// bundle-disj.
+    BundleDisj,
+}
+
+impl Algo {
+    /// The two-item comparison set of Fig. 4/5/6.
+    pub const TWO_ITEM: [Algo; 5] = [
+        Algo::BundleGrd,
+        Algo::RrSimPlus,
+        Algo::RrCim,
+        Algo::ItemDisj,
+        Algo::BundleDisj,
+    ];
+
+    /// The multi-item comparison set of Fig. 7 (Com-IC algorithms cannot
+    /// go beyond two items).
+    pub const MULTI_ITEM: [Algo; 3] = [Algo::BundleGrd, Algo::ItemDisj, Algo::BundleDisj];
+
+    /// Display name as used in the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::BundleGrd => "bundleGRD",
+            Algo::RrSimPlus => "RR-SIM+",
+            Algo::RrCim => "RR-CIM",
+            Algo::ItemDisj => "item-disj",
+            Algo::BundleDisj => "bundle-disj",
+        }
+    }
+}
+
+/// Runs one algorithm on a WelMax input and returns its allocation plus
+/// cost counters. `gap` is required by the Com-IC algorithms (two items
+/// only); `model` by bundle-disj (deterministic utilities).
+pub fn run_algo(
+    algo: Algo,
+    g: &Graph,
+    budgets: &[u32],
+    model: &UtilityModel,
+    gap: Option<GapParams>,
+    opts: &ExpOptions,
+) -> BaselineResult {
+    match algo {
+        Algo::BundleGrd => {
+            let r = bundle_grd(
+                g,
+                budgets,
+                opts.eps,
+                opts.ell,
+                DiffusionModel::IC,
+                opts.seed,
+            );
+            BaselineResult {
+                allocation: r.allocation,
+                rr_sets_final: r.rr_sets_final,
+                rr_sets_total: r.rr_sets_total,
+                elapsed: r.elapsed,
+            }
+        }
+        Algo::ItemDisj => uic_baselines::item_disj(
+            g,
+            budgets,
+            opts.eps,
+            opts.ell,
+            DiffusionModel::IC,
+            opts.seed,
+        ),
+        Algo::BundleDisj => uic_baselines::bundle_disj(
+            g,
+            budgets,
+            model,
+            opts.eps,
+            opts.ell,
+            DiffusionModel::IC,
+            opts.seed,
+        ),
+        Algo::RrSimPlus => {
+            let gap = gap.expect("RR-SIM+ needs GAP parameters");
+            assert_eq!(budgets.len(), 2, "RR-SIM+ handles exactly two items");
+            uic_baselines::rr_sim_plus(
+                g, gap, budgets[0], budgets[1], opts.eps, opts.ell, opts.seed,
+            )
+        }
+        Algo::RrCim => {
+            let gap = gap.expect("RR-CIM needs GAP parameters");
+            assert_eq!(budgets.len(), 2, "RR-CIM handles exactly two items");
+            uic_baselines::rr_cim(
+                g, gap, budgets[0], budgets[1], opts.eps, opts.ell, opts.seed,
+            )
+        }
+    }
+}
+
+/// Scores an allocation with the shared UIC welfare estimator.
+pub fn score_welfare(
+    g: &Graph,
+    model: &UtilityModel,
+    allocation: &Allocation,
+    opts: &ExpOptions,
+) -> f64 {
+    WelfareEstimator::new(g, model, opts.sims, opts.seed ^ 0xEF_AE).estimate(allocation)
+}
+
+/// Formats a welfare/number cell consistently.
+pub fn fmt(x: f64) -> String {
+    uic_util::table::fmt_f64(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uic_datasets::TwoItemConfig;
+    use uic_datasets::{named_network, NamedNetwork};
+
+    #[test]
+    fn all_two_item_algorithms_run_end_to_end() {
+        let opts = ExpOptions::smoke();
+        let g = named_network(NamedNetwork::Flixster, opts.scale, opts.seed);
+        let cfg = TwoItemConfig::new(1);
+        let model = cfg.model();
+        let gap = Some(cfg.gap());
+        for algo in Algo::TWO_ITEM {
+            let r = run_algo(algo, &g, &[3, 3], &model, gap, &opts);
+            assert!(
+                r.allocation.respects_budgets(&[3, 3]),
+                "{} violated budgets",
+                algo.name()
+            );
+            let w = score_welfare(&g, &model, &r.allocation, &opts);
+            assert!(w.is_finite(), "{} welfare NaN", algo.name());
+        }
+    }
+
+    #[test]
+    fn algo_names_match_paper_legends() {
+        assert_eq!(Algo::BundleGrd.name(), "bundleGRD");
+        assert_eq!(Algo::TWO_ITEM.len(), 5);
+        assert_eq!(Algo::MULTI_ITEM.len(), 3);
+    }
+
+    #[test]
+    fn default_options_sane() {
+        let o = ExpOptions::default();
+        assert!(o.scale > 0.0 && o.sims > 0 && o.eps > 0.0);
+    }
+}

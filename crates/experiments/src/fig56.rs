@@ -1,0 +1,99 @@
+//! **Figures 5 and 6**: running time and RR-set counts of the five
+//! algorithms under Configuration 1 on four networks (Flixster,
+//! Douban-Book, Douban-Movie, Twitter stand-ins).
+//!
+//! One run produces both figures (time and memory are read off the same
+//! executions). Paper shapes: bundleGRD ≡ bundle-disj in Config 1 and
+//! both are fastest; the TIM-based Com-IC algorithms are orders of
+//! magnitude slower (the paper's 6-hour timeout on Twitter) and generate
+//! far more RR sets; item-disj sits in between (one IMM call at the
+//! summed budget).
+
+use crate::common::{run_algo, Algo, ExpOptions};
+use uic_datasets::{named_network, NamedNetwork, TwoItemConfig};
+use uic_util::Table;
+
+/// The four networks of Fig. 5/6 in panel order.
+pub const NETWORKS: [NamedNetwork; 4] = [
+    NamedNetwork::Flixster,
+    NamedNetwork::DoubanBook,
+    NamedNetwork::DoubanMovie,
+    NamedNetwork::Twitter,
+];
+
+/// Output of one Fig. 5/6 panel: `(running-time table, rr-set table)`.
+pub fn fig56_network(which: NamedNetwork, opts: &ExpOptions) -> (Table, Table) {
+    let g = named_network(which, opts.scale, opts.seed);
+    let cfg = TwoItemConfig::new(1);
+    let model = cfg.model();
+    let gap = Some(cfg.gap());
+    let mut headers: Vec<&str> = vec!["budget(both)"];
+    headers.extend(Algo::TWO_ITEM.iter().map(|a| a.name()));
+    let mut time_t = Table::new(
+        format!("Figure 5: running time (ms), Config 1, {}", which.name()),
+        &headers,
+    );
+    let mut rr_t = Table::new(
+        format!("Figure 6: #RR sets, Config 1, {}", which.name()),
+        &headers,
+    );
+    let n = g.num_nodes();
+    for k in cfg.sweep() {
+        let budgets = [k.min(n), k.min(n)];
+        let mut time_row = vec![k.to_string()];
+        let mut rr_row = vec![k.to_string()];
+        for algo in Algo::TWO_ITEM {
+            let r = run_algo(algo, &g, &budgets, &model, gap, opts);
+            time_row.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));
+            rr_row.push(r.rr_sets_final.to_string());
+        }
+        time_t.push_row(time_row);
+        rr_t.push_row(rr_row);
+    }
+    (time_t, rr_t)
+}
+
+/// All four panels of Fig. 5 and Fig. 6.
+pub fn fig56(opts: &ExpOptions) -> Vec<(Table, Table)> {
+    NETWORKS
+        .iter()
+        .map(|&which| fig56_network(which, opts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comic_algorithms_cost_more_than_bundlegrd() {
+        let opts = ExpOptions {
+            scale: 0.01,
+            sims: 10,
+            ..Default::default()
+        };
+        let (time_t, rr_t) = fig56_network(NamedNetwork::Flixster, &opts);
+        assert_eq!(time_t.len(), 5);
+        let bg_rr = rr_t.column_f64("bundleGRD").unwrap();
+        let cim_rr = rr_t.column_f64("RR-CIM").unwrap();
+        let sim_rr = rr_t.column_f64("RR-SIM+").unwrap();
+        for i in 0..rr_t.len() {
+            assert!(
+                cim_rr[i] > bg_rr[i],
+                "row {i}: RR-CIM sets {} ≤ bundleGRD {}",
+                cim_rr[i],
+                bg_rr[i]
+            );
+            assert!(
+                sim_rr[i] > bg_rr[i],
+                "row {i}: RR-SIM+ sets {} ≤ bundleGRD {}",
+                sim_rr[i],
+                bg_rr[i]
+            );
+        }
+        // Time: Com-IC total should exceed bundleGRD total.
+        let bg_t: f64 = time_t.column_f64("bundleGRD").unwrap().iter().sum();
+        let cim_t: f64 = time_t.column_f64("RR-CIM").unwrap().iter().sum();
+        assert!(cim_t > bg_t, "RR-CIM {cim_t}ms vs bundleGRD {bg_t}ms");
+    }
+}

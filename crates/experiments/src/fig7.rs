@@ -1,0 +1,115 @@
+//! **Figure 7**: multi-item welfare (Configurations 5–8) on the Twitter
+//! stand-in, sweeping the total seed budget 100–500.
+//!
+//! Paper shapes: bundleGRD ≥ both baselines everywhere, up to ~4×; in
+//! Configuration 5 (additive, uniform) and 7 the allocations of
+//! bundleGRD and bundle-disj coincide by design, so their welfares tie.
+
+use crate::common::{fmt, run_algo, score_welfare, Algo, ExpOptions};
+use uic_datasets::{budget_splits, named_network, Config, NamedNetwork};
+use uic_util::Table;
+
+/// Items used for the uniform-budget configurations (5, 8).
+pub const UNIFORM_ITEMS: u32 = 5;
+/// Items used for the non-uniform (cone) configurations (6, 7) — the
+/// max-min split needs enough middles.
+pub const NONUNIFORM_ITEMS: u32 = 8;
+
+/// Budget vector for a configuration at a given total (sorted
+/// non-increasing, capped at `n`).
+pub fn budgets_for(cfg: Config, total: u32, n: u32) -> Vec<u32> {
+    let raw = if cfg.uniform_budgets() {
+        budget_splits::uniform(total, UNIFORM_ITEMS)
+    } else {
+        budget_splits::max_min(total, NONUNIFORM_ITEMS)
+    };
+    raw.into_iter().map(|b| b.min(n)).collect()
+}
+
+/// One Fig. 7 panel.
+pub fn fig7_config(cfg: Config, opts: &ExpOptions) -> Table {
+    let g = named_network(NamedNetwork::Twitter, opts.scale, opts.seed);
+    let n = g.num_nodes();
+    let num_items = if cfg.uniform_budgets() {
+        UNIFORM_ITEMS
+    } else {
+        NONUNIFORM_ITEMS
+    };
+    let model = cfg.build(num_items, opts.seed ^ cfg.id() as u64);
+    let mut headers: Vec<&str> = vec!["total seeds"];
+    headers.extend(Algo::MULTI_ITEM.iter().map(|a| a.name()));
+    let mut t = Table::new(
+        format!(
+            "Figure 7({}): welfare, Configuration {} (Twitter stand-in)",
+            (b'a' + cfg.id() - 5) as char,
+            cfg.id()
+        ),
+        &headers,
+    );
+    for total in [100u32, 200, 300, 400, 500] {
+        let budgets = budgets_for(cfg, total, n);
+        let mut row = vec![total.to_string()];
+        for algo in Algo::MULTI_ITEM {
+            let r = run_algo(algo, &g, &budgets, &model, None, opts);
+            row.push(fmt(score_welfare(&g, &model, &r.allocation, opts)));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// All four panels.
+pub fn fig7(opts: &ExpOptions) -> Vec<Table> {
+    Config::ALL
+        .into_iter()
+        .map(|cfg| fig7_config(cfg, opts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_shapes() {
+        let u = budgets_for(Config::Additive, 500, 10_000);
+        assert_eq!(u, vec![100; 5]);
+        let nu = budgets_for(Config::ConeMax, 1000, 10_000);
+        assert_eq!(nu.len(), NONUNIFORM_ITEMS as usize);
+        assert!(nu.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn cone_config_bundlegrd_dominates() {
+        let opts = ExpOptions {
+            scale: 0.01, // ~417-node twitter stand-in
+            sims: 60,
+            ..Default::default()
+        };
+        let t = fig7_config(Config::ConeMax, &opts);
+        assert_eq!(t.len(), 5);
+        let bg = t.column_f64("bundleGRD").unwrap();
+        let id = t.column_f64("item-disj").unwrap();
+        let bg_total: f64 = bg.iter().sum();
+        let id_total: f64 = id.iter().sum();
+        assert!(
+            bg_total >= id_total * 0.95,
+            "bundleGRD {bg_total} vs item-disj {id_total}"
+        );
+    }
+
+    #[test]
+    fn additive_config_runs_and_ties_bundle_disj() {
+        let opts = ExpOptions {
+            scale: 0.01,
+            sims: 60,
+            ..Default::default()
+        };
+        let t = fig7_config(Config::Additive, &opts);
+        let bg = t.column_f64("bundleGRD").unwrap();
+        let bd = t.column_f64("bundle-disj").unwrap();
+        for i in 0..t.len() {
+            assert!(bg[i] > 0.0 && bd[i] > 0.0);
+        }
+    }
+}

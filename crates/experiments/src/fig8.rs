@@ -1,0 +1,151 @@
+//! **Figure 8**: (a) running time vs number of items; (b, c) welfare and
+//! running time under the real Param; (d) the budget-skew study.
+
+use crate::common::{fmt, run_algo, score_welfare, Algo, ExpOptions};
+use uic_datasets::{budget_splits, named_network, real_param_model, Config, NamedNetwork};
+use uic_util::Table;
+
+/// **Fig. 8(a)**: running time of the three multi-item algorithms as the
+/// number of items grows 1–10 (Configuration 5, budget 50 per item).
+/// Paper shape: bundleGRD flat (one PRIMA at b = 50 regardless of the
+/// item count); item-disj grows (one IMM at `50·s`); bundle-disj grows
+/// fastest (`s` IMM invocations).
+pub fn fig8a(opts: &ExpOptions) -> Table {
+    let g = named_network(NamedNetwork::Twitter, opts.scale, opts.seed);
+    let n = g.num_nodes();
+    let per_item = 50u32.min(n / 2).max(1);
+    let mut headers: Vec<&str> = vec!["items"];
+    headers.extend(Algo::MULTI_ITEM.iter().map(|a| a.name()));
+    let mut t = Table::new(
+        format!("Figure 8(a): running time (ms) vs #items (budget {per_item}/item)"),
+        &headers,
+    );
+    for s in 1..=10u32 {
+        let model = Config::Additive.build(s, opts.seed);
+        let budgets = vec![per_item; s as usize];
+        let mut row = vec![s.to_string()];
+        for algo in Algo::MULTI_ITEM {
+            let r = run_algo(algo, &g, &budgets, &model, None, opts);
+            row.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// **Fig. 8(b, c)**: welfare and running time under the real Param
+/// (PS4 bundle), total budget 100–500 split 30/30/20/10/10.
+/// item-disj is omitted as in the paper (every individual item has
+/// negative utility, so its welfare is identically 0 — we show it once
+/// in the smoke tests instead).
+pub fn fig8bc(opts: &ExpOptions) -> (Table, Table) {
+    let g = named_network(NamedNetwork::Twitter, opts.scale, opts.seed);
+    let n = g.num_nodes();
+    let model = real_param_model();
+    let algos = [Algo::BundleGrd, Algo::BundleDisj];
+    let mut headers: Vec<&str> = vec!["total budget"];
+    headers.extend(algos.iter().map(|a| a.name()));
+    let mut welfare_t = Table::new("Figure 8(b): welfare, real Param", &headers);
+    let mut time_t = Table::new("Figure 8(c): running time (ms), real Param", &headers);
+    for total in [100u32, 200, 300, 400, 500] {
+        let budgets: Vec<u32> = budget_splits::real_params(total)
+            .into_iter()
+            .map(|b| b.min(n))
+            .collect();
+        let mut wrow = vec![total.to_string()];
+        let mut trow = vec![total.to_string()];
+        for algo in algos {
+            let r = run_algo(algo, &g, &budgets, &model, None, opts);
+            wrow.push(fmt(score_welfare(&g, &model, &r.allocation, opts)));
+            trow.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));
+        }
+        welfare_t.push_row(wrow);
+        time_t.push_row(trow);
+    }
+    (welfare_t, time_t)
+}
+
+/// **Fig. 8(d)**: bundleGRD welfare and running time under the three
+/// budget distributions of a fixed total (500): Uniform, Large skew,
+/// Moderate skew. Paper shape: welfare Uniform > Moderate > Large;
+/// running time reversed (the skewed max budget forces more seeds).
+pub fn fig8d(opts: &ExpOptions) -> Table {
+    let g = named_network(NamedNetwork::Twitter, opts.scale, opts.seed);
+    let n = g.num_nodes();
+    let model = real_param_model();
+    let mut t = Table::new(
+        "Figure 8(d): budget-skew effect (bundleGRD, total 500, real Param)",
+        &["distribution", "welfare", "time (ms)"],
+    );
+    let distros: [(&str, Vec<u32>); 3] = [
+        ("Uniform", budget_splits::uniform(500, 5)),
+        ("Large skew", budget_splits::large_skew(500, 5)),
+        ("Moderate skew", budget_splits::moderate_skew()),
+    ];
+    for (name, budgets) in distros {
+        let budgets: Vec<u32> = budgets.into_iter().map(|b| b.min(n)).collect();
+        let r = run_algo(Algo::BundleGrd, &g, &budgets, &model, None, opts);
+        let w = score_welfare(&g, &model, &r.allocation, opts);
+        t.push_row(vec![
+            name.to_string(),
+            fmt(w),
+            format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            scale: 0.008,
+            sims: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig8a_bundlegrd_time_is_flat_in_items() {
+        let t = fig8a(&tiny());
+        assert_eq!(t.len(), 10);
+        let bg = t.column_f64("bundleGRD").unwrap();
+        // Flatness: time at 10 items within 4× of time at 1 item, while
+        // bundle-disj grows by at least the item count's trend.
+        assert!(
+            bg[9] < bg[0] * 4.0 + 50.0,
+            "bundleGRD time grew with items: {bg:?}"
+        );
+        let bd = t.column_f64("bundle-disj").unwrap();
+        assert!(
+            bd[9] > bd[0] * 1.5,
+            "bundle-disj should grow with items: {bd:?}"
+        );
+    }
+
+    #[test]
+    fn fig8bc_bundlegrd_dominates_real_param() {
+        let (welfare_t, time_t) = fig8bc(&tiny());
+        assert_eq!(welfare_t.len(), 5);
+        assert_eq!(time_t.len(), 5);
+        let bg = welfare_t.column_f64("bundleGRD").unwrap();
+        let bd = welfare_t.column_f64("bundle-disj").unwrap();
+        let bg_sum: f64 = bg.iter().sum();
+        let bd_sum: f64 = bd.iter().sum();
+        assert!(
+            bg_sum >= bd_sum * 0.9,
+            "bundleGRD {bg_sum} vs bundle-disj {bd_sum}"
+        );
+        assert!(bg.iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn fig8d_has_three_rows() {
+        let t = fig8d(&tiny());
+        assert_eq!(t.len(), 3);
+        let w: Vec<f64> = t.column_f64("welfare").unwrap();
+        assert!(w.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,145 @@
+//! **Figure 9**: (a–c) propagation vs network externality — bundleGRD's
+//! budget fraction needed to match the BDHS benchmarks; (d) scalability
+//! of bundleGRD with network size.
+
+use crate::common::{fmt, run_algo, score_welfare, Algo, ExpOptions};
+use uic_baselines::{bdhs_concave_welfare, bdhs_step_welfare_exact};
+use uic_datasets::{named_network, real_param_model, NamedNetwork};
+use uic_graph::bfs_prefix_subgraph;
+use uic_util::Table;
+
+/// Networks of the Fig. 9(a–c) panels.
+pub const BDHS_NETWORKS: [NamedNetwork; 3] = [
+    NamedNetwork::Orkut,
+    NamedNetwork::DoubanBook,
+    NamedNetwork::DoubanMovie,
+];
+
+/// One Fig. 9(a–c) panel: bundleGRD welfare as a function of the budget
+/// fraction (percent of `n` given to **every** item), against the BDHS
+/// benchmarks computed per the §4.3.4.4 conversion. The BDHS columns are
+/// horizontal lines (their model has no budget: every node is assigned
+/// the bundle directly).
+pub fn fig9_panel(which: NamedNetwork, opts: &ExpOptions) -> Table {
+    let g = named_network(which, opts.scale, opts.seed);
+    let n = g.num_nodes();
+    let model = real_param_model();
+    let step_bench = bdhs_step_welfare_exact(&g, &model);
+    // The concave variant needs the uniform-p restriction of UIC.
+    let p_uniform = 0.01f64;
+    let g_uniform = g.reweighted(|_, _, _| p_uniform as f32);
+    let concave_bench = bdhs_concave_welfare(&g_uniform, &model, p_uniform);
+    let mut t = Table::new(
+        format!(
+            "Figure 9: bundleGRD vs BDHS benchmarks, {} (BDHS-Step {}, BDHS-Concave {})",
+            which.name(),
+            fmt(step_bench),
+            fmt(concave_bench)
+        ),
+        &[
+            "budget %",
+            "bundleGRD welfare",
+            "BDHS-Step",
+            "BDHS-Concave",
+            "≥Step?",
+        ],
+    );
+    for pct in [5u32, 10, 20, 35, 50, 75, 100] {
+        let per_item = ((n as u64 * pct as u64) / 100).max(1) as u32;
+        let budgets = vec![per_item.min(n); model.num_items() as usize];
+        let r = run_algo(Algo::BundleGrd, &g, &budgets, &model, None, opts);
+        let w = score_welfare(&g, &model, &r.allocation, opts);
+        t.push_row(vec![
+            pct.to_string(),
+            fmt(w),
+            fmt(step_bench),
+            fmt(concave_bench),
+            if w >= step_bench { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// All three BDHS panels.
+pub fn fig9abc(opts: &ExpOptions) -> Vec<Table> {
+    BDHS_NETWORKS.iter().map(|&w| fig9_panel(w, opts)).collect()
+}
+
+/// **Fig. 9(d)**: scalability — BFS prefixes of the Orkut stand-in at
+/// 20–100% of the nodes, with the two edge-weight schemes of the paper
+/// (`1/d_in` and constant 0.01). Paper shape: roughly linear running
+/// time, sublinear welfare growth.
+pub fn fig9d(opts: &ExpOptions) -> Table {
+    let full = named_network(NamedNetwork::Orkut, opts.scale, opts.seed);
+    let model = real_param_model();
+    let mut t = Table::new(
+        "Figure 9(d): scalability on the Orkut stand-in (budget 50/item)",
+        &[
+            "network %",
+            "nodes",
+            "welfare (1/din)",
+            "time ms (1/din)",
+            "welfare (p=0.01)",
+            "time ms (p=0.01)",
+        ],
+    );
+    for pct in [20u32, 40, 60, 80, 100] {
+        let (sub, _) = bfs_prefix_subgraph(&full, 0, pct as f64 / 100.0);
+        let n = sub.num_nodes();
+        let budgets = vec![50u32.min(n.max(2) / 2).max(1); model.num_items() as usize];
+        let mut row = vec![pct.to_string(), n.to_string()];
+        // Weighted-cascade variant (the subgraph extraction keeps the
+        // parent probabilities; recompute 1/din on the subgraph).
+        let wc = sub.reweighted(|_, v, _| 1.0 / sub.in_degree(v).max(1) as f32);
+        let r = run_algo(Algo::BundleGrd, &wc, &budgets, &model, None, opts);
+        row.push(fmt(score_welfare(&wc, &model, &r.allocation, opts)));
+        row.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));
+        // Constant-probability variant.
+        let cp = sub.reweighted(|_, _, _| 0.01);
+        let r = run_algo(Algo::BundleGrd, &cp, &budgets, &model, None, opts);
+        row.push(fmt(score_welfare(&cp, &model, &r.allocation, opts)));
+        row.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            scale: 0.003, // 300-node orkut stand-in
+            sims: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig9_panel_reaches_step_benchmark_with_partial_budget() {
+        let t = fig9_panel(NamedNetwork::Orkut, &tiny());
+        assert_eq!(t.len(), 7);
+        let reached: Vec<&str> = (0..t.len()).map(|r| t.cell(r, "≥Step?").unwrap()).collect();
+        assert!(
+            reached.contains(&"yes"),
+            "bundleGRD should match the BDHS-Step benchmark at some budget: {reached:?}"
+        );
+        // Welfare must be non-decreasing in budget (up to MC noise).
+        let w = t.column_f64("bundleGRD welfare").unwrap();
+        assert!(
+            w.last().unwrap() >= &(w[0] * 0.9),
+            "welfare should grow with budget: {w:?}"
+        );
+    }
+
+    #[test]
+    fn fig9d_scales_monotonically() {
+        let t = fig9d(&tiny());
+        assert_eq!(t.len(), 5);
+        let nodes = t.column_f64("nodes").unwrap();
+        assert!(nodes.windows(2).all(|w| w[1] >= w[0]));
+        let w = t.column_f64("welfare (1/din)").unwrap();
+        assert!(w.iter().all(|x| x.is_finite()));
+    }
+}

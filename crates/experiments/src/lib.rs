@@ -1,0 +1,22 @@
+//! # uic-experiments
+//!
+//! The harness that regenerates **every table and figure** of the
+//! paper's evaluation (§4.3) on the stand-in networks. One module per
+//! artifact; each returns [`uic_util::Table`]s that the `uic-exp` binary
+//! prints and optionally dumps as CSV. EXPERIMENTS.md records paper-vs-
+//! measured shapes.
+//!
+//! All experiments accept [`ExpOptions`] so the same code path serves
+//! quick smoke runs (`scale ≈ 0.01`), the default laptop reproduction,
+//! and the criterion benches in `uic-bench`.
+
+pub mod ablations;
+pub mod common;
+pub mod fig4;
+pub mod fig56;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod tables;
+
+pub use common::ExpOptions;

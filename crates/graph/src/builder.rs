@@ -1,0 +1,244 @@
+//! Incremental graph construction and edge-probability assignment.
+
+use crate::graph::{Graph, NodeId};
+use uic_util::{FxHashSet, UicRng};
+
+/// Edge-probability assignment schemes used across the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Weighting {
+    /// Weighted-cascade: `p(u,v) = 1 / d_in(v)` — the paper's default
+    /// (§4.3.1.3, "following previous works we set probability of edge
+    /// e=(u,v) to 1/din(v)").
+    WeightedCascade,
+    /// Constant probability on every edge (Fig. 9d uses `0.01`).
+    Constant(f32),
+    /// Trivalency: each edge independently draws from {0.1, 0.01, 0.001}.
+    Trivalency,
+    /// Uniform random in `[lo, hi]`.
+    UniformRandom(f32, f32),
+    /// Keep whatever probabilities were supplied with the edges.
+    AsGiven,
+}
+
+/// Accumulates edges, optionally deduplicates, then assigns probabilities
+/// and produces a CSR [`Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: u32,
+    edges: Vec<(NodeId, NodeId)>,
+    probs: Vec<f32>,
+    dedup: bool,
+    allow_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` nodes.
+    pub fn new(n: u32) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            probs: Vec::new(),
+            dedup: false,
+            allow_self_loops: false,
+        }
+    }
+
+    /// Enables duplicate-edge removal at finalization (first wins).
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Permits self-loops (dropped by default: they never affect diffusion).
+    pub fn allow_self_loops(mut self, yes: bool) -> Self {
+        self.allow_self_loops = yes;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of edges added so far (pre-dedup).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Reserves capacity for `m` additional edges.
+    pub fn reserve(&mut self, m: usize) {
+        self.edges.reserve(m);
+        self.probs.reserve(m);
+    }
+
+    /// Adds a directed edge with an explicit probability.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, p: f32) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
+        if u == v && !self.allow_self_loops {
+            return;
+        }
+        self.edges.push((u, v));
+        self.probs.push(p);
+    }
+
+    /// Adds a directed edge; probability will come from the [`Weighting`].
+    pub fn add_arc(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v, 0.0);
+    }
+
+    /// Adds both `u→v` and `v→u` (undirected networks such as the Flixster
+    /// and Orkut stand-ins are modeled as bidirected arcs, as is standard).
+    pub fn add_undirected(&mut self, u: NodeId, v: NodeId) {
+        self.add_arc(u, v);
+        self.add_arc(v, u);
+    }
+
+    /// Finalizes into a CSR graph under the given weighting scheme.
+    ///
+    /// `seed` drives the stochastic weightings (trivalency / uniform);
+    /// deterministic schemes ignore it.
+    pub fn build(mut self, weighting: Weighting, seed: u64) -> Graph {
+        if self.dedup {
+            let mut seen: FxHashSet<(NodeId, NodeId)> = FxHashSet::default();
+            let mut kept_e = Vec::with_capacity(self.edges.len());
+            let mut kept_p = Vec::with_capacity(self.probs.len());
+            for (&e, &p) in self.edges.iter().zip(&self.probs) {
+                if seen.insert(e) {
+                    kept_e.push(e);
+                    kept_p.push(p);
+                }
+            }
+            self.edges = kept_e;
+            self.probs = kept_p;
+        }
+        // In-degrees are needed for weighted cascade.
+        let mut din = vec![0u32; self.n as usize];
+        for &(_, v) in &self.edges {
+            din[v as usize] += 1;
+        }
+        let mut rng = UicRng::new(seed);
+        let triple =
+            |(u, v): (NodeId, NodeId), p: f32, rng: &mut UicRng| -> (NodeId, NodeId, f32) {
+                let w = match weighting {
+                    Weighting::WeightedCascade => 1.0 / din[v as usize].max(1) as f32,
+                    Weighting::Constant(c) => c,
+                    Weighting::Trivalency => *[0.1f32, 0.01, 0.001]
+                        .get(rng.next_below(3) as usize)
+                        .unwrap(),
+                    Weighting::UniformRandom(lo, hi) => lo + (hi - lo) * rng.next_f32(),
+                    Weighting::AsGiven => p,
+                };
+                (u, v, w)
+            };
+        let weighted: Vec<(NodeId, NodeId, f32)> = self
+            .edges
+            .iter()
+            .zip(&self.probs)
+            .map(|(&e, &p)| triple(e, p, &mut rng))
+            .collect();
+        Graph::from_edges(self.n, &weighted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_cascade_gives_reciprocal_indegree() {
+        let mut b = GraphBuilder::new(4);
+        b.add_arc(0, 3);
+        b.add_arc(1, 3);
+        b.add_arc(2, 3);
+        b.add_arc(0, 1);
+        let g = b.build(Weighting::WeightedCascade, 0);
+        for (u, v, p) in g.edges() {
+            if v == 3 {
+                assert!((p - 1.0 / 3.0).abs() < 1e-6, "({u},{v}) p={p}");
+            } else {
+                assert_eq!(p, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_weighting() {
+        let mut b = GraphBuilder::new(2);
+        b.add_arc(0, 1);
+        let g = b.build(Weighting::Constant(0.01), 0);
+        assert_eq!(g.out_probs(0)[0], 0.01);
+    }
+
+    #[test]
+    fn trivalency_draws_from_three_values() {
+        let mut b = GraphBuilder::new(2);
+        for _ in 0..300 {
+            b.add_edge(0, 1, 0.0);
+        }
+        let g = b.build(Weighting::Trivalency, 7);
+        let mut seen = std::collections::HashSet::new();
+        for &p in g.out_probs(0) {
+            assert!(p == 0.1 || p == 0.01 || p == 0.001);
+            seen.insert((p * 1000.0) as u32);
+        }
+        assert_eq!(seen.len(), 3, "all three trivalency levels should occur");
+    }
+
+    #[test]
+    fn uniform_random_within_bounds_and_seeded() {
+        let mut b1 = GraphBuilder::new(2);
+        let mut b2 = GraphBuilder::new(2);
+        for _ in 0..50 {
+            b1.add_arc(0, 1);
+            b2.add_arc(0, 1);
+        }
+        let g1 = b1.build(Weighting::UniformRandom(0.2, 0.4), 9);
+        let g2 = b2.build(Weighting::UniformRandom(0.2, 0.4), 9);
+        assert_eq!(g1.out_probs(0), g2.out_probs(0), "same seed ⇒ same weights");
+        for &p in g1.out_probs(0) {
+            assert!((0.2..=0.4).contains(&p));
+        }
+    }
+
+    #[test]
+    fn as_given_preserves_probs() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.123);
+        let g = b.build(Weighting::AsGiven, 0);
+        assert_eq!(g.out_probs(0)[0], 0.123);
+    }
+
+    #[test]
+    fn dedup_drops_duplicates() {
+        let mut b = GraphBuilder::new(2).dedup(true);
+        b.add_edge(0, 1, 0.5);
+        b.add_edge(0, 1, 0.9);
+        let g = b.build(Weighting::AsGiven, 0);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_probs(0)[0], 0.5, "first edge wins");
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1, 0.5);
+        b.add_arc(0, 1);
+        let g = b.build(Weighting::AsGiven, 0);
+        assert_eq!(g.num_edges(), 1);
+
+        let mut b = GraphBuilder::new(2).allow_self_loops(true);
+        b.add_edge(1, 1, 0.5);
+        let g = b.build(Weighting::AsGiven, 0);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn undirected_adds_both_arcs() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected(0, 2);
+        let g = b.build(Weighting::WeightedCascade, 0);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.out_neighbors(0).contains(&2));
+        assert!(g.out_neighbors(2).contains(&0));
+    }
+}

@@ -1,0 +1,352 @@
+//! The CSR [`Graph`] type.
+
+/// Node identifier. `u32` keeps adjacency arrays half the size of `usize`
+/// and comfortably addresses the multi-million-node stand-in networks.
+pub type NodeId = u32;
+
+/// A directed influence graph in dual-orientation CSR form.
+///
+/// Both orientations are materialized once at construction:
+/// * forward (`out_*`): cascade simulation walks out-edges;
+/// * reverse (`in_*`): RR-set sampling walks in-edges.
+///
+/// Edge probabilities are stored per direction so `prob(u→v)` is available
+/// from either side without a search.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: u32,
+    // Forward CSR: out-edges of u are targets[out_off[u]..out_off[u+1]].
+    out_off: Box<[usize]>,
+    out_to: Box<[NodeId]>,
+    out_p: Box<[f32]>,
+    // Reverse CSR: in-edges of v are sources[in_off[v]..in_off[v+1]].
+    in_off: Box<[usize]>,
+    in_from: Box<[NodeId]>,
+    in_p: Box<[f32]>,
+    // For each reverse slot, the global out-edge id of the same physical
+    // edge — lets reverse walks share per-edge coin caches with forward
+    // simulations (needed by the RR-CIM baseline's two-pass sampling).
+    in_eid: Box<[u32]>,
+}
+
+impl Graph {
+    /// Builds a graph from raw parallel edge arrays `(src, dst, p)`.
+    ///
+    /// Edges may be in any order; duplicates are kept (callers that need
+    /// deduplication use [`crate::GraphBuilder`]). Probabilities must lie
+    /// in `[0, 1]`.
+    pub fn from_edges(n: u32, edges: &[(NodeId, NodeId, f32)]) -> Self {
+        let nu = n as usize;
+        let m = edges.len();
+        for &(u, v, p) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of [0,1]");
+        }
+        // Counting sort into forward CSR.
+        let mut out_off = vec![0usize; nu + 1];
+        for &(u, _, _) in edges {
+            out_off[u as usize + 1] += 1;
+        }
+        for i in 0..nu {
+            out_off[i + 1] += out_off[i];
+        }
+        assert!(m < u32::MAX as usize, "edge count must fit in u32 ids");
+        let mut out_to = vec![0 as NodeId; m];
+        let mut out_p = vec![0f32; m];
+        let mut cursor = out_off.clone();
+        // Out-edge id assigned to each input edge (for the reverse map).
+        let mut eid_of_input = vec![0u32; m];
+        for (idx, &(u, v, p)) in edges.iter().enumerate() {
+            let slot = cursor[u as usize];
+            out_to[slot] = v;
+            out_p[slot] = p;
+            eid_of_input[idx] = slot as u32;
+            cursor[u as usize] += 1;
+        }
+        // Reverse CSR.
+        let mut in_off = vec![0usize; nu + 1];
+        for &(_, v, _) in edges {
+            in_off[v as usize + 1] += 1;
+        }
+        for i in 0..nu {
+            in_off[i + 1] += in_off[i];
+        }
+        let mut in_from = vec![0 as NodeId; m];
+        let mut in_p = vec![0f32; m];
+        let mut in_eid = vec![0u32; m];
+        let mut cursor = in_off.clone();
+        for (idx, &(u, v, p)) in edges.iter().enumerate() {
+            let slot = cursor[v as usize];
+            in_from[slot] = u;
+            in_p[slot] = p;
+            in_eid[slot] = eid_of_input[idx];
+            cursor[v as usize] += 1;
+        }
+        Graph {
+            n,
+            out_off: out_off.into_boxed_slice(),
+            out_to: out_to.into_boxed_slice(),
+            out_p: out_p.into_boxed_slice(),
+            in_off: in_off.into_boxed_slice(),
+            in_from: in_from.into_boxed_slice(),
+            in_p: in_p.into_boxed_slice(),
+            in_eid: in_eid.into_boxed_slice(),
+        }
+    }
+
+    /// Number of nodes `n = |V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of directed edges `m = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_to.len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_off[u as usize + 1] - self.out_off[u as usize]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_off[v as usize + 1] - self.in_off[v as usize]
+    }
+
+    /// Out-neighbors of `u` (targets only).
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.out_to[self.out_off[u as usize]..self.out_off[u as usize + 1]]
+    }
+
+    /// Probabilities parallel to [`Self::out_neighbors`].
+    #[inline]
+    pub fn out_probs(&self, u: NodeId) -> &[f32] {
+        &self.out_p[self.out_off[u as usize]..self.out_off[u as usize + 1]]
+    }
+
+    /// In-neighbors of `v` (sources only).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.in_from[self.in_off[v as usize]..self.in_off[v as usize + 1]]
+    }
+
+    /// Probabilities parallel to [`Self::in_neighbors`]:
+    /// `in_probs(v)[i]` is `p(in_neighbors(v)[i] → v)`.
+    #[inline]
+    pub fn in_probs(&self, v: NodeId) -> &[f32] {
+        &self.in_p[self.in_off[v as usize]..self.in_off[v as usize + 1]]
+    }
+
+    /// Global index of the `i`-th out-edge of `u` — a stable edge id usable
+    /// for per-world edge-status caches (each edge flipped at most once in
+    /// a UIC diffusion, per Fig. 1 of the paper).
+    #[inline]
+    pub fn out_edge_id(&self, u: NodeId, i: usize) -> usize {
+        self.out_off[u as usize] + i
+    }
+
+    /// Global out-edge ids parallel to [`Self::in_neighbors`]:
+    /// `in_edge_ids(v)[i]` is the id of the physical edge
+    /// `in_neighbors(v)[i] → v`. Lets reverse traversals share a per-edge
+    /// coin cache with forward simulations of the same world.
+    #[inline]
+    pub fn in_edge_ids(&self, v: NodeId) -> &[u32] {
+        &self.in_eid[self.in_off[v as usize]..self.in_off[v as usize + 1]]
+    }
+
+    /// Iterates over all edges as `(src, dst, p)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.out_neighbors(u)
+                .iter()
+                .zip(self.out_probs(u))
+                .map(move |(&v, &p)| (u, v, p))
+        })
+    }
+
+    /// Sum of in-probabilities of `v` (needed to validate LT instances,
+    /// where `Σ p(u,v) ≤ 1` must hold).
+    pub fn in_prob_sum(&self, v: NodeId) -> f64 {
+        self.in_probs(v).iter().map(|&p| p as f64).sum()
+    }
+
+    /// Returns the transposed graph (every edge reversed, weights kept).
+    pub fn transpose(&self) -> Graph {
+        let edges: Vec<(NodeId, NodeId, f32)> = self.edges().map(|(u, v, p)| (v, u, p)).collect();
+        Graph::from_edges(self.n, &edges)
+    }
+
+    /// Replaces every edge probability via `f(src, dst, old) -> new`.
+    ///
+    /// Used by the scalability experiment (Fig. 9d) to switch between
+    /// `1/d_in` and constant `0.01` weights on the same topology.
+    pub fn reweighted<F: Fn(NodeId, NodeId, f32) -> f32>(&self, f: F) -> Graph {
+        let edges: Vec<(NodeId, NodeId, f32)> = self
+            .edges()
+            .map(|(u, v, p)| {
+                let np = f(u, v, p);
+                assert!(
+                    (0.0..=1.0).contains(&np),
+                    "reweighted prob {np} out of [0,1]"
+                );
+                (u, v, np)
+            })
+            .collect();
+        Graph::from_edges(self.n, &edges)
+    }
+
+    /// Average out-degree `m / n`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0→1 (0.5), 0→2 (0.2), 1→2 (1.0), 2→0 (0.3)
+    fn diamond() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 0.5), (0, 2, 0.2), (1, 2, 1.0), (2, 0, 0.3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(2), 2);
+        assert!((g.avg_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_and_probs_are_parallel() {
+        let g = diamond();
+        let nbrs = g.out_neighbors(0);
+        let ps = g.out_probs(0);
+        assert_eq!(nbrs.len(), ps.len());
+        let pairs: Vec<(u32, f32)> = nbrs.iter().copied().zip(ps.iter().copied()).collect();
+        assert!(pairs.contains(&(1, 0.5)));
+        assert!(pairs.contains(&(2, 0.2)));
+    }
+
+    #[test]
+    fn reverse_orientation_matches_forward() {
+        let g = diamond();
+        let mut fwd: Vec<(u32, u32, f32)> = g.edges().collect();
+        let mut rev: Vec<(u32, u32, f32)> = (0..3)
+            .flat_map(|v| {
+                g.in_neighbors(v)
+                    .iter()
+                    .zip(g.in_probs(v))
+                    .map(move |(&u, &p)| (u, v, p))
+            })
+            .collect();
+        fwd.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let g = diamond();
+        let tt = g.transpose().transpose();
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = tt.edges().collect();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.out_degree(0), 1); // only 2→0 reversed: 0→2
+        assert_eq!(t.in_degree(0), 2);
+        assert!(t.out_neighbors(2).contains(&0));
+        assert!(t.out_neighbors(2).contains(&1));
+    }
+
+    #[test]
+    fn in_edge_ids_name_the_same_physical_edge() {
+        let g = diamond();
+        for v in 0..3u32 {
+            let srcs = g.in_neighbors(v);
+            let ids = g.in_edge_ids(v);
+            assert_eq!(srcs.len(), ids.len());
+            for (&u, &eid) in srcs.iter().zip(ids) {
+                // The out-edge with that id must be u → v.
+                let base = g.out_edge_id(u, 0);
+                let slot = eid as usize - base;
+                assert_eq!(g.out_neighbors(u)[slot], v);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ids_are_unique_and_dense() {
+        let g = diamond();
+        let mut ids = Vec::new();
+        for u in 0..3u32 {
+            for i in 0..g.out_degree(u) {
+                ids.push(g.out_edge_id(u, i));
+            }
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reweighted_applies_function() {
+        let g = diamond().reweighted(|_, _, _| 0.25);
+        assert!(g.edges().all(|(_, _, p)| p == 0.25));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0)]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 0);
+        assert!(g.out_neighbors(3).is_empty());
+        let empty = Graph::from_edges(0, &[]);
+        assert_eq!(empty.num_nodes(), 0);
+        assert_eq!(empty.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn in_prob_sum_accumulates() {
+        let g = diamond();
+        assert!((g.in_prob_sum(2) - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        Graph::from_edges(2, &[(0, 5, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn rejects_bad_probability() {
+        Graph::from_edges(2, &[(0, 1, 1.5)]);
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        let g = Graph::from_edges(2, &[(0, 1, 0.1), (0, 1, 0.2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(0), 2);
+    }
+}

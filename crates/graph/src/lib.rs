@@ -1,0 +1,35 @@
+//! # uic-graph
+//!
+//! Compact directed influence graphs for the UIC reproduction.
+//!
+//! A social network `G = (V, E, p)` is stored in **compressed sparse row**
+//! (CSR) form with `u32` node ids and `f32` edge probabilities, in both
+//! forward (out-neighbor) and reverse (in-neighbor) orientation — forward
+//! for cascade simulation, reverse for RR-set sampling. This mirrors the
+//! layouts used by production IM codebases and follows the perf-book
+//! guidance (small integer ids, contiguous adjacency, no per-node
+//! allocations).
+//!
+//! Modules:
+//! * [`graph`] — the [`Graph`] type and CSR accessors.
+//! * [`builder`] — [`GraphBuilder`] plus edge-probability [`Weighting`]
+//!   schemes (weighted cascade `1/d_in(v)`, constant, trivalency, uniform).
+//! * [`traversal`] — BFS/DFS reachability, weakly connected components,
+//!   Tarjan SCC, and subgraph extraction (used to take the largest SCC of
+//!   the Flixster stand-in and BFS prefixes for the scalability test).
+//! * [`io`] — plain-text edge-list reader/writer.
+//! * [`stats`] — the degree statistics reported in Table 2.
+
+pub mod builder;
+pub mod graph;
+pub mod io;
+pub mod stats;
+pub mod traversal;
+
+pub use builder::{GraphBuilder, Weighting};
+pub use graph::{Graph, NodeId};
+pub use stats::GraphStats;
+pub use traversal::{
+    bfs_prefix_subgraph, induced_subgraph, largest_scc, reachable_from,
+    strongly_connected_components, weakly_connected_components,
+};

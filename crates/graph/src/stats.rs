@@ -1,0 +1,110 @@
+//! Network statistics as reported in Table 2 of the paper.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a network (the columns of Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub num_nodes: u32,
+    /// `|E|` (directed arc count; undirected networks count both arcs).
+    pub num_edges: usize,
+    /// Average out-degree `m/n`. For the undirected networks the paper
+    /// reports edge count and average degree over *undirected* edges; we
+    /// report arcs, so compare `avg_degree/2` for those.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Fraction of arcs whose reverse arc also exists (1.0 for networks
+    /// built as undirected).
+    pub reciprocity: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut max_out = 0usize;
+        let mut max_in = 0usize;
+        for v in 0..n {
+            max_out = max_out.max(g.out_degree(v));
+            max_in = max_in.max(g.in_degree(v));
+        }
+        // Reciprocity via sorted neighbor probes.
+        let mut recip = 0usize;
+        let m = g.num_edges();
+        if m > 0 {
+            for (u, v, _) in g.edges() {
+                if g.out_neighbors(v).contains(&u) {
+                    recip += 1;
+                }
+            }
+        }
+        GraphStats {
+            num_nodes: n,
+            num_edges: m,
+            avg_degree: g.avg_degree(),
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            reciprocity: if m == 0 { 0.0 } else { recip as f64 / m as f64 },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} avg_deg={:.2} max_out={} max_in={} reciprocity={:.2}",
+            self.num_nodes,
+            self.num_edges,
+            self.avg_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.reciprocity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_star() {
+        // 0 → {1,2,3}
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_out_degree, 3);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.reciprocity, 0.0);
+        assert!((s.avg_degree - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reciprocity_of_bidirected_graph_is_one() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.reciprocity, 1.0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        let text = GraphStats::compute(&g).to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("m=1"));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::from_edges(0, &[]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.reciprocity, 0.0);
+    }
+}

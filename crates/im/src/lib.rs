@@ -1,0 +1,54 @@
+//! # uic-im
+//!
+//! Scalable influence-maximization machinery (§2.1 and §4.2.3 of the
+//! paper), built on reverse-reachable (RR) set sampling:
+//!
+//! * [`rrset`] — RR-set samplers for the IC and LT models with
+//!   deterministic per-set seed splitting and parallel batch generation;
+//!   [`rrset::RrCollection`] owns the sampled sets and their statistics.
+//! * [`mod@node_selection`] — the greedy max-coverage `NodeSelection`
+//!   procedure shared by all RIS algorithms (returns the full greedy
+//!   *ordering* plus cumulative coverage, which is what makes prefix
+//!   reuse possible).
+//! * [`mod@imm`] — IMM of Tang et al. (2015) with the Chen (2018) fix: the
+//!   final RR collection is regenerated from scratch before the last
+//!   `NodeSelection`.
+//! * [`tim`] — TIM⁺ (Tang et al., 2014), the predecessor that generates
+//!   substantially more RR sets; the RR-SIM+/RR-CIM baselines are built
+//!   on it, matching Fig. 6's memory comparison.
+//! * [`mod@prima`] — **PRIMA** (Algorithm 2): the prefix-preserving
+//!   multi-budget IMM extension that powers bundleGRD; its seed ordering
+//!   is simultaneously near-optimal for *every* budget in the vector.
+//! * [`greedy`] — CELF-style lazy greedy over an arbitrary monotone
+//!   submodular oracle (exact spread on tiny graphs in tests; MC spread
+//!   otherwise), used to validate approximation ratios empirically.
+//! * [`mod@ssa`] — Stop-and-Stare (Nguyen et al., 2016; corrected per
+//!   Huang et al., 2017): independent selection/validation collections
+//!   with doubling until the estimates agree. Named in §4.2.3 as *not*
+//!   prefix-preserving.
+//! * [`mod@opim`] — OPIM-C (Tang et al., 2018): online doubling with
+//!   per-round lower/upper approximation certificates. Also named in
+//!   §4.2.3 as not prefix-preserving.
+//! * [`mod@skim`] — SKIM (Cohen et al., 2014): bottom-k-sketch greedy
+//!   with residual updates; the one *prefix-preserving* predecessor the
+//!   paper credits in §2.1, and PRIMA's natural ablation partner.
+
+pub mod greedy;
+pub mod imm;
+pub mod node_selection;
+pub mod opim;
+pub mod prima;
+pub mod rrset;
+pub mod skim;
+pub mod ssa;
+pub mod tim;
+
+pub use greedy::{greedy_celf, greedy_mc_spread};
+pub use imm::{imm, ImmResult};
+pub use node_selection::{node_selection, NodeSelectionResult};
+pub use opim::{opim_c, OpimResult};
+pub use prima::{prima, PrimaResult};
+pub use rrset::{DiffusionModel, RrCollection};
+pub use skim::{skim, SkimOptions, SkimResult};
+pub use ssa::{ssa, SsaResult};
+pub use tim::{tim_plus, TimResult};

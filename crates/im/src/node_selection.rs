@@ -1,0 +1,228 @@
+//! `NodeSelection(R, k)`: greedy max-coverage over RR sets.
+//!
+//! The procedure shared by TIM, IMM and PRIMA (§4.2.3: "All RIS
+//! algorithms use the same well-known coverage procedure"). Greedily picks
+//! the node covering the most uncovered RR sets, `k` times. Because greedy
+//! is deterministic on a fixed collection, the result for budget `k` is a
+//! *prefix* of the result for any larger budget — the fact PRIMA exploits
+//! when switching budgets.
+
+use crate::rrset::RrCollection;
+use uic_graph::NodeId;
+
+/// Result of a greedy max-coverage run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSelectionResult {
+    /// Seeds in greedy pick order (length = requested `k`, capped at `n`).
+    pub seeds: Vec<NodeId>,
+    /// `covered[j]` = number of RR sets covered by the first `j+1` seeds.
+    pub covered: Vec<u64>,
+    /// Number of RR sets in the collection at selection time.
+    pub num_sets: usize,
+}
+
+impl NodeSelectionResult {
+    /// Coverage fraction `F_R(S_j)` of the first `j` seeds (`j ≥ 1`).
+    pub fn coverage_fraction(&self, j: usize) -> f64 {
+        assert!(j >= 1 && j <= self.seeds.len(), "prefix {j} out of range");
+        if self.num_sets == 0 {
+            0.0
+        } else {
+            self.covered[j - 1] as f64 / self.num_sets as f64
+        }
+    }
+
+    /// Spread estimate `n · F_R(S_j)` for the first `j` seeds.
+    pub fn estimated_spread(&self, num_nodes: u32, j: usize) -> f64 {
+        num_nodes as f64 * self.coverage_fraction(j)
+    }
+
+    /// The first `k` seeds (prefix view).
+    pub fn prefix(&self, k: usize) -> &[NodeId] {
+        &self.seeds[..k.min(self.seeds.len())]
+    }
+}
+
+/// Greedy max-coverage: picks `k` nodes maximizing marginal RR-set
+/// coverage. Runs in `O(Σ|R| + n)` using an inverted index and lazy
+/// bucketed updates.
+pub fn node_selection(coll: &RrCollection, k: u32) -> NodeSelectionResult {
+    let n = coll.num_nodes() as usize;
+    let sets = coll.sets();
+    let k = (k as usize).min(n);
+    // Inverted index node → RR-set ids, CSR layout.
+    let mut deg = vec![0u32; n + 1];
+    for r in sets {
+        for &v in r {
+            deg[v as usize + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        deg[i + 1] += deg[i];
+    }
+    let total: usize = deg[n] as usize;
+    let mut idx = vec![0u32; total];
+    let mut cursor = deg.clone();
+    for (rid, r) in sets.iter().enumerate() {
+        for &v in r {
+            idx[cursor[v as usize] as usize] = rid as u32;
+            cursor[v as usize] += 1;
+        }
+    }
+    // Coverage counts with a lazy max-heap (CELF-style): the marginal
+    // coverage of a node only decreases as sets get covered, so a stale
+    // heap entry is an upper bound.
+    let mut cover_count: Vec<u64> = vec![0; n];
+    for v in 0..n {
+        cover_count[v] = (deg[v + 1] - deg[v]) as u64;
+    }
+    let mut heap: std::collections::BinaryHeap<(u64, NodeId)> =
+        (0..n).map(|v| (cover_count[v], v as NodeId)).collect();
+    let mut set_covered = vec![false; sets.len()];
+    let mut seeds = Vec::with_capacity(k);
+    let mut covered_cum = Vec::with_capacity(k);
+    let mut covered_total = 0u64;
+    let mut chosen = vec![false; n];
+    while seeds.len() < k {
+        let Some((stale, v)) = heap.pop() else { break };
+        let vi = v as usize;
+        if chosen[vi] {
+            continue;
+        }
+        if stale != cover_count[vi] {
+            // Stale bound: refresh and reinsert.
+            heap.push((cover_count[vi], v));
+            continue;
+        }
+        chosen[vi] = true;
+        seeds.push(v);
+        covered_total += cover_count[vi];
+        covered_cum.push(covered_total);
+        // Mark v's sets covered and decrement counts of their members.
+        for &rid in &idx[deg[vi] as usize..deg[vi + 1] as usize] {
+            if set_covered[rid as usize] {
+                continue;
+            }
+            set_covered[rid as usize] = true;
+            for &u in &sets[rid as usize] {
+                cover_count[u as usize] = cover_count[u as usize].saturating_sub(1);
+            }
+        }
+        cover_count[vi] = 0;
+    }
+    NodeSelectionResult {
+        seeds,
+        covered: covered_cum,
+        num_sets: sets.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection_from_sets(n: u32, sets: Vec<Vec<NodeId>>) -> RrCollection {
+        RrCollection::from_raw_sets(n, sets)
+    }
+
+    #[test]
+    fn picks_highest_coverage_first() {
+        // Node 0 covers 3 sets, node 1 covers 2, node 2 covers 1.
+        let coll = collection_from_sets(3, vec![vec![0], vec![0, 1], vec![0], vec![2], vec![1]]);
+        let r = node_selection(&coll, 2);
+        assert_eq!(r.seeds[0], 0);
+        assert_eq!(r.covered[0], 3);
+        // After 0: remaining uncovered {3:{2}, 4:{1}} — node 1 and 2 tie
+        // at 1; either is a valid greedy pick.
+        assert_eq!(r.covered[1], 4);
+    }
+
+    #[test]
+    fn marginal_not_total_coverage_drives_second_pick() {
+        // Node 1 has total coverage 2 but zero marginal after node 0.
+        let coll = collection_from_sets(3, vec![vec![0, 1], vec![0, 1], vec![0], vec![2]]);
+        let r = node_selection(&coll, 2);
+        assert_eq!(r.seeds, vec![0, 2]);
+        assert_eq!(r.covered, vec![3, 4]);
+    }
+
+    #[test]
+    fn coverage_fraction_and_spread() {
+        let coll = collection_from_sets(4, vec![vec![0], vec![0], vec![1], vec![2]]);
+        let r = node_selection(&coll, 4);
+        assert_eq!(r.num_sets, 4);
+        assert!((r.coverage_fraction(1) - 0.5).abs() < 1e-12);
+        assert!((r.estimated_spread(4, 1) - 2.0).abs() < 1e-12);
+        // full coverage by 3 seeds; 4th seed has zero marginal
+        assert!((r.coverage_fraction(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_property_of_greedy() {
+        // Greedy for k is a prefix of greedy for k′ > k on the same sets.
+        let coll = collection_from_sets(
+            5,
+            vec![
+                vec![0, 1],
+                vec![0],
+                vec![1, 2],
+                vec![3],
+                vec![3, 4],
+                vec![0, 4],
+            ],
+        );
+        let small = node_selection(&coll, 2);
+        let large = node_selection(&coll, 4);
+        assert_eq!(small.seeds[..], large.seeds[..2]);
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let coll = collection_from_sets(2, vec![vec![0], vec![1]]);
+        let r = node_selection(&coll, 10);
+        assert_eq!(r.seeds.len(), 2);
+    }
+
+    #[test]
+    fn empty_collection_selects_arbitrary_nodes_with_zero_coverage() {
+        let coll = collection_from_sets(3, vec![]);
+        let r = node_selection(&coll, 2);
+        assert_eq!(r.seeds.len(), 2);
+        assert_eq!(r.covered, vec![0, 0]);
+        assert_eq!(r.coverage_fraction(2), 0.0);
+    }
+
+    #[test]
+    fn greedy_matches_bruteforce_max_coverage_for_k1() {
+        use uic_util::UicRng;
+        // For k=1, greedy is exactly optimal; cross-check on random sets.
+        let mut rng = UicRng::new(5);
+        for _ in 0..20 {
+            let n = 6u32;
+            let sets: Vec<Vec<NodeId>> = (0..12)
+                .map(|_| {
+                    let len = 1 + rng.next_below(3);
+                    let mut s: Vec<NodeId> = (0..len).map(|_| rng.next_below(n)).collect();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            let coll = collection_from_sets(n, sets.clone());
+            let r = node_selection(&coll, 1);
+            let best: u64 = (0..n)
+                .map(|v| sets.iter().filter(|s| s.contains(&v)).count() as u64)
+                .max()
+                .unwrap();
+            assert_eq!(r.covered[0], best);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coverage_fraction_range_checked() {
+        let coll = collection_from_sets(2, vec![vec![0]]);
+        let r = node_selection(&coll, 1);
+        r.coverage_fraction(2);
+    }
+}

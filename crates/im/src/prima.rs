@@ -1,0 +1,288 @@
+//! PRIMA — **PR**efix preserving **I**nfluence **M**aximization
+//! **A**lgorithm (Algorithm 2 of the paper).
+//!
+//! Given a budget vector `b̄` sorted non-increasingly, PRIMA returns a
+//! single greedy *ordering* of `b = max b̄` seeds such that, with
+//! probability `1 − 1/n^ℓ`, **every** prefix of size `b_i ∈ b̄` is a
+//! `(1 − 1/e − ε)`-approximation for budget `b_i` (Definition 1). Plain
+//! IMM does not have this property for non-uniform budgets because its
+//! sample size is not monotone in `k`; PRIMA fixes it by
+//! * inflating the log-failure exponent to `ℓ′ = log_n(n^ℓ · |b̄|)`
+//!   (union bound over budgets),
+//! * processing budgets largest-first while *reusing* the RR collection
+//!   and the previous greedy ordering's prefixes on budget switches, and
+//! * regenerating the final collection from scratch (the Chen 2018 fix)
+//!   before the last `NodeSelection`.
+
+use crate::imm::Bounds;
+use crate::node_selection::{node_selection, NodeSelectionResult};
+use crate::rrset::{DiffusionModel, RrCollection};
+use uic_graph::{Graph, NodeId};
+
+/// Result of a PRIMA run.
+#[derive(Debug, Clone)]
+pub struct PrimaResult {
+    /// Greedy seed ordering of length `max(b̄)` (capped at `n`).
+    pub order: Vec<NodeId>,
+    /// Cumulative RR-set coverage per prefix on the final collection.
+    pub coverage: Vec<u64>,
+    /// RR sets used by the final NodeSelection (the Table 6 metric).
+    pub rr_sets_final: usize,
+    /// RR sets generated over the run, including phase 1 and discarded.
+    pub rr_sets_total: u64,
+    /// Number of budget entries certified inside the sampling loop
+    /// (diagnostics; the remainder fell back to `LB = 1`).
+    pub budgets_certified: usize,
+}
+
+impl PrimaResult {
+    /// The prefix-preserving seed set for budget `k` (top-`k` nodes).
+    pub fn seeds_for_budget(&self, k: u32) -> &[NodeId] {
+        &self.order[..(k as usize).min(self.order.len())]
+    }
+}
+
+/// Runs PRIMA on budget vector `budgets` (must be sorted non-increasing).
+pub fn prima(
+    g: &Graph,
+    budgets: &[u32],
+    eps: f64,
+    ell: f64,
+    model: DiffusionModel,
+    seed: u64,
+) -> PrimaResult {
+    let n = g.num_nodes();
+    assert!(!budgets.is_empty(), "budget vector must be non-empty");
+    assert!(
+        budgets.windows(2).all(|w| w[0] >= w[1]),
+        "budgets must be sorted in non-increasing order"
+    );
+    let b = budgets[0];
+    assert!(b >= 1 && b <= n, "max budget {b} out of range for n={n}");
+    assert!(*budgets.last().unwrap() >= 1, "budgets must be ≥ 1");
+
+    let nf = n as f64;
+    // Line 2: ℓ ← ℓ + ln 2 / ln n, then ℓ′ = log_n(n^ℓ · |b̄|).
+    let ell_boosted = ell + 2f64.ln() / nf.ln();
+    let ell_prime = ell_boosted + (budgets.len() as f64).ln() / nf.ln();
+    let bounds = Bounds::new(n, eps, ell_prime);
+    let eps_prime = bounds.eps_prime();
+
+    let mut coll = RrCollection::new(g, model, seed);
+    let mut s = 0usize; // index into budgets (paper's s−1)
+    let mut i = 1u32;
+    let mut budget_switch = false;
+    let mut prev_selection: Option<NodeSelectionResult> = None;
+    let mut theta_required = 0usize;
+    let max_rounds = bounds.max_rounds();
+
+    while i <= max_rounds && s < budgets.len() {
+        let k = budgets[s];
+        let x = nf / 2f64.powi(i as i32);
+        let theta_i = (bounds.lambda_prime(k) / x).ceil() as usize;
+        coll.extend_to(g, theta_i);
+        // Line 8–11: on a budget switch, reuse the previous ordering's
+        // prefix instead of re-running NodeSelection.
+        let estimate = if budget_switch {
+            let prev = prev_selection
+                .as_ref()
+                .expect("budget switch implies a previous selection");
+            let prefix = prev.prefix(k as usize);
+            coll.num_nodes() as f64 * fraction_covered(&coll, prefix)
+        } else {
+            let sel = node_selection(&coll, k);
+            let est = sel.estimated_spread(n, sel.seeds.len().min(k as usize));
+            prev_selection = Some(sel);
+            est
+        };
+        if estimate >= (1.0 + eps_prime) * x {
+            // Lines 13–17: certify LB, size the collection for this
+            // budget, move to the next one.
+            let lb = estimate / (1.0 + eps_prime);
+            let theta_k = (bounds.lambda_star(k) / lb).ceil() as usize;
+            theta_required = theta_required.max(theta_k);
+            s += 1;
+            budget_switch = true;
+            if s < budgets.len() {
+                // Grow R so the next budget's coverage check can reuse it
+                // (line 15). Skipped after the last budget: the final
+                // collection is regenerated from scratch anyway.
+                coll.extend_to(g, theta_k);
+            }
+        } else {
+            i += 1;
+            budget_switch = false;
+        }
+    }
+    let budgets_certified = s;
+    if s < budgets.len() {
+        // Lines 20–21: remaining budgets fall back to LB = 1; the largest
+        // remaining requirement is the current budget's λ* (λ* is
+        // monotone in k and budgets are non-increasing).
+        let theta_k = bounds.lambda_star(budgets[s]).ceil() as usize;
+        theta_required = theta_required.max(theta_k);
+    }
+    // Lines 22–25: regenerate from scratch, final NodeSelection at b.
+    coll.reset();
+    coll.extend_to(g, theta_required.max(1));
+    let sel = node_selection(&coll, b);
+    PrimaResult {
+        order: sel.seeds,
+        coverage: sel.covered,
+        rr_sets_final: coll.len(),
+        rr_sets_total: coll.total_generated(),
+        budgets_certified,
+    }
+}
+
+/// `F_R(S)` for an arbitrary seed set over a collection.
+fn fraction_covered(coll: &RrCollection, seeds: &[NodeId]) -> f64 {
+    if coll.is_empty() {
+        return 0.0;
+    }
+    coll.estimate_spread(seeds) / coll.num_nodes() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uic_diffusion::exact_spread;
+    use uic_graph::{GraphBuilder, Weighting};
+    use uic_util::UicRng;
+
+    fn hub_graph() -> Graph {
+        let mut b = GraphBuilder::new(40);
+        for leaf in 1..30u32 {
+            b.add_edge(0, leaf, 0.8);
+        }
+        for leaf in 31..38u32 {
+            b.add_edge(30, leaf, 0.8);
+        }
+        b.add_edge(38, 39, 0.5);
+        b.build(Weighting::AsGiven, 0)
+    }
+
+    #[test]
+    fn returns_max_budget_many_seeds_hub_first() {
+        let g = hub_graph();
+        let r = prima(&g, &[5, 3, 1], 0.4, 1.0, DiffusionModel::IC, 3);
+        assert_eq!(r.order.len(), 5);
+        assert_eq!(r.order[0], 0, "big hub first");
+        assert_eq!(r.order[1], 30, "second hub next");
+        assert_eq!(r.seeds_for_budget(1), &[0]);
+        assert_eq!(r.seeds_for_budget(3).len(), 3);
+    }
+
+    #[test]
+    fn prefixes_are_consistent() {
+        let g = hub_graph();
+        let r = prima(&g, &[6, 4, 2, 1], 0.4, 1.0, DiffusionModel::IC, 9);
+        let full = r.order.clone();
+        for &k in &[1u32, 2, 4, 6] {
+            assert_eq!(r.seeds_for_budget(k), &full[..k as usize]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = hub_graph();
+        let a = prima(&g, &[4, 2], 0.4, 1.0, DiffusionModel::IC, 7);
+        let b = prima(&g, &[4, 2], 0.4, 1.0, DiffusionModel::IC, 7);
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.rr_sets_final, b.rr_sets_final);
+    }
+
+    #[test]
+    fn prefix_quality_against_bruteforce() {
+        // Empirical Definition 1 check on a tiny graph: every budget's
+        // prefix spread ≥ (1 − 1/e − ε) OPT_k (modulo exact evaluation).
+        let mut builder = GraphBuilder::new(9);
+        let mut rng = UicRng::new(4);
+        let mut added = 0;
+        'outer: for u in 0..9u32 {
+            for v in 0..9u32 {
+                if u != v && rng.coin(0.3) {
+                    builder.add_edge(u, v, 0.5);
+                    added += 1;
+                    if added == 18 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let g = builder.build(Weighting::AsGiven, 0);
+        let r = prima(&g, &[3, 2, 1], 0.2, 1.0, DiffusionModel::IC, 13);
+        let ratio = 1.0 - 1.0 / std::f64::consts::E - 0.2;
+        for &k in &[1u32, 2, 3] {
+            let got = exact_spread(&g, r.seeds_for_budget(k));
+            let opt = brute_force_opt(&g, k);
+            assert!(
+                got >= ratio * opt - 1e-9,
+                "budget {k}: prefix {got} < {ratio} × OPT {opt}"
+            );
+        }
+    }
+
+    fn brute_force_opt(g: &Graph, k: u32) -> f64 {
+        let n = g.num_nodes();
+        let mut best = 0.0f64;
+        // enumerate all k-subsets of 0..n (n ≤ 10 in tests)
+        fn rec(g: &Graph, start: u32, left: u32, cur: &mut Vec<u32>, best: &mut f64) {
+            if left == 0 {
+                *best = best.max(exact_spread(g, cur));
+                return;
+            }
+            for v in start..g.num_nodes() {
+                cur.push(v);
+                rec(g, v + 1, left - 1, cur, best);
+                cur.pop();
+            }
+        }
+        rec(g, 0, k, &mut Vec::new(), &mut best);
+        let _ = n;
+        best
+    }
+
+    #[test]
+    fn uniform_budget_vector_matches_single_budget_shape() {
+        // With one budget entry PRIMA degenerates to (fixed) IMM modulo
+        // the |b̄| = 1 union-bound term, which is log_n(1) = 0.
+        let g = hub_graph();
+        let p = prima(&g, &[3], 0.4, 1.0, DiffusionModel::IC, 21);
+        let i = crate::imm::imm(&g, 3, 0.4, 1.0, DiffusionModel::IC, 21);
+        assert_eq!(p.order, i.seeds);
+        assert_eq!(p.rr_sets_final, i.rr_sets_final);
+    }
+
+    #[test]
+    fn more_budget_entries_cost_more_samples() {
+        let g = hub_graph();
+        let single = prima(&g, &[4], 0.4, 1.0, DiffusionModel::IC, 5);
+        let many = prima(
+            &g,
+            &[4, 4, 4, 4, 4, 4, 4, 4],
+            0.4,
+            1.0,
+            DiffusionModel::IC,
+            5,
+        );
+        assert!(
+            many.rr_sets_final >= single.rr_sets_final,
+            "ℓ′ union bound must not shrink the sample size"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn rejects_unsorted_budgets() {
+        let g = hub_graph();
+        prima(&g, &[2, 5], 0.3, 1.0, DiffusionModel::IC, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_budgets() {
+        let g = hub_graph();
+        prima(&g, &[], 0.3, 1.0, DiffusionModel::IC, 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! TIM⁺ (Tang, Xiao & Shi 2014) — the RIS predecessor of IMM.
+//!
+//! Included because the RR-SIM+/RR-CIM baselines of the paper are
+//! TIM-based: "RR-SIM+ and RR-CIM are based on TIM … which generates much
+//! less [sic — *more*] number of RR sets than IMM" (§4.3.2.3, Fig. 6).
+//! TIM first estimates `KPT` (the expected spread of a random singleton,
+//! scaled) with a doubling scheme, then draws
+//! `θ = λ/KPT` RR sets where `λ = (8+2ε)n(ℓ ln n + ln C(n,k) + ln 2)/ε²` —
+//! a bound noticeably looser than IMM's `λ*/LB`, hence the larger
+//! collections.
+
+use crate::node_selection::node_selection;
+use crate::rrset::{DiffusionModel, RrCollection};
+use uic_graph::{Graph, NodeId};
+use uic_util::log_choose;
+
+/// Result of a TIM⁺ run.
+#[derive(Debug, Clone)]
+pub struct TimResult {
+    /// Seeds in greedy order.
+    pub seeds: Vec<NodeId>,
+    /// Spread estimate on the final collection.
+    pub estimated_spread: f64,
+    /// RR sets used for the final NodeSelection.
+    pub rr_sets_final: usize,
+    /// RR sets generated in total (including KPT estimation).
+    pub rr_sets_total: u64,
+    /// The KPT estimate used to size θ.
+    pub kpt: f64,
+}
+
+/// Runs TIM⁺ for budget `k`.
+pub fn tim_plus(
+    g: &Graph,
+    k: u32,
+    eps: f64,
+    ell: f64,
+    model: DiffusionModel,
+    seed: u64,
+) -> TimResult {
+    let n = g.num_nodes();
+    assert!(k >= 1 && k <= n, "budget {k} out of range for n={n}");
+    assert!(eps > 0.0 && eps < 1.0);
+    let nf = n as f64;
+    let m = g.num_edges() as f64;
+
+    // --- KPT estimation (Algorithm 2 of the TIM paper) ---------------
+    // For i = 1..log2(n)−1: draw c_i RR sets; κ(R) = 1 − (1 − w(R)/m)^k.
+    // If the average κ exceeds 1/2^i, stop with KPT = n·avg/2.
+    let mut kpt = 1.0f64;
+    let mut estimation_coll = RrCollection::new(g, model, seed ^ 0x7111);
+    let log2n = nf.log2();
+    let mut drawn = 0usize;
+    'outer: for i in 1..(log2n as u32) {
+        let c_i = ((6.0 * ell * nf.ln() + 6.0 * log2n.ln()) * 2f64.powi(i as i32)).ceil() as usize;
+        estimation_coll.extend_to(g, drawn + c_i);
+        let mut sum = 0.0f64;
+        for r in &estimation_coll.sets()[drawn..drawn + c_i] {
+            // width(R): in-edges pointing into R.
+            let w: usize = r.iter().map(|&v| g.in_degree(v)).sum();
+            let kappa = 1.0 - (1.0 - w as f64 / m.max(1.0)).powi(k as i32);
+            sum += kappa;
+        }
+        drawn += c_i;
+        let avg = sum / c_i as f64;
+        if avg > 1.0 / 2f64.powi(i as i32) {
+            kpt = nf * avg / 2.0;
+            break 'outer;
+        }
+    }
+    kpt = kpt.max(1.0);
+
+    // --- θ and final selection ---------------------------------------
+    let lambda =
+        (8.0 + 2.0 * eps) * nf * (ell * nf.ln() + log_choose(n as u64, k as u64) + 2f64.ln())
+            / (eps * eps);
+    let theta = (lambda / kpt).ceil() as usize;
+    let mut coll = RrCollection::new(g, model, seed);
+    coll.extend_to(g, theta.max(1));
+    let sel = node_selection(&coll, k);
+    let estimated_spread = sel.estimated_spread(n, sel.seeds.len());
+    TimResult {
+        seeds: sel.seeds,
+        estimated_spread,
+        rr_sets_final: coll.len(),
+        rr_sets_total: coll.total_generated() + estimation_coll.total_generated(),
+        kpt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imm::imm;
+    use uic_graph::{GraphBuilder, Weighting};
+
+    fn hub_graph() -> Graph {
+        let mut b = GraphBuilder::new(30);
+        for leaf in 1..25u32 {
+            b.add_edge(0, leaf, 0.9);
+        }
+        b.add_edge(25, 26, 0.5);
+        b.build(Weighting::AsGiven, 0)
+    }
+
+    #[test]
+    fn tim_finds_the_hub() {
+        let g = hub_graph();
+        let r = tim_plus(&g, 1, 0.3, 1.0, DiffusionModel::IC, 3);
+        assert_eq!(r.seeds, vec![0]);
+        assert!(r.kpt >= 1.0);
+    }
+
+    #[test]
+    fn tim_generates_more_rr_sets_than_imm() {
+        // The Fig. 6 memory story: TIM's θ dominates IMM's.
+        let g = hub_graph();
+        let t = tim_plus(&g, 2, 0.3, 1.0, DiffusionModel::IC, 5);
+        let i = imm(&g, 2, 0.3, 1.0, DiffusionModel::IC, 5);
+        assert!(
+            t.rr_sets_final > i.rr_sets_final,
+            "TIM {} should exceed IMM {}",
+            t.rr_sets_final,
+            i.rr_sets_final
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = hub_graph();
+        let a = tim_plus(&g, 2, 0.4, 1.0, DiffusionModel::IC, 9);
+        let b = tim_plus(&g, 2, 0.4, 1.0, DiffusionModel::IC, 9);
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.rr_sets_final, b.rr_sets_final);
+        assert_eq!(a.kpt, b.kpt);
+    }
+
+    #[test]
+    fn seeds_have_near_optimal_spread() {
+        let g = hub_graph();
+        let r = tim_plus(&g, 2, 0.3, 1.0, DiffusionModel::IC, 1);
+        // hub + any other node dominates; estimated spread must be large.
+        assert!(r.estimated_spread > 10.0, "spread {}", r.estimated_spread);
+    }
+}

@@ -1,0 +1,367 @@
+//! Block accounting (§4.2.2): `I*`, the block generation process of
+//! Fig. 3, marginal gains `Δ_i`, anchor blocks/items and effective budgets.
+//!
+//! The paper uses these constructions to *analyze* bundleGRD; we implement
+//! them because (a) the `bundle-disj` baseline builds bundles the same
+//! way, (b) the test suite verifies the paper's lemmas against them, and
+//! (c) the welfare decomposition `ρ = Σ_i σ(S_i^GrdE) · Δ_i` (Lemma 5)
+//! provides an independent estimator used in integration tests.
+//!
+//! **Item indexing convention.** Throughout, item indices are assumed
+//! sorted in non-increasing budget order (`b_0 ≥ b_1 ≥ …`), matching the
+//! paper's `b_1 ≥ b_2 ≥ …`. Under this convention the precedence order
+//! `≺` on itemsets is the numeric order of their masks (see
+//! [`crate::itemset`]), and the minimum-budget item of any set is its
+//! highest-indexed item.
+
+use crate::itemset::ItemSet;
+use crate::utility::UtilityTable;
+
+/// Tolerance for "non-negative marginal utility" tests.
+const EPS: f64 = 1e-9;
+
+/// `I*_{W^N}`: the maximum-utility subset of the universe, ties broken in
+/// favor of larger sets (unique by Lemma 1 — the union of maximizers).
+///
+/// Items outside `I*` can never be adopted in this noise world (§4.2.2:
+/// their marginal utility w.r.t. any subset of `I*` is strictly negative),
+/// so the diffusion may ignore them.
+pub fn istar(table: &UtilityTable) -> ItemSet {
+    let full = ItemSet::full(table.num_items());
+    let mut best = f64::NEG_INFINITY;
+    let mut union = ItemSet::EMPTY;
+    for s in full.subsets() {
+        let u = table.utility(s);
+        if u > best + EPS {
+            best = u;
+            union = s;
+        } else if (u - best).abs() <= EPS {
+            union = union.union(s);
+        }
+    }
+    union
+}
+
+/// The block decomposition of `I*` in a fixed noise world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStructure {
+    /// `I*` for this noise world.
+    pub istar: ItemSet,
+    /// Blocks `B_1, …, B_t` in generation order (a partition of `I*`).
+    pub blocks: Vec<ItemSet>,
+    /// Marginal gains `Δ_i = U(B_i | B_1 ∪ … ∪ B_{i−1})` (Eq. 4);
+    /// all non-negative and summing to `U(I*)` (Property 2).
+    pub gains: Vec<f64>,
+}
+
+/// Runs the block generation process of Fig. 3 on a noise world's utility
+/// table.
+///
+/// Scans non-empty subsets of `I*` in precedence (mask) order; appends the
+/// first subset whose marginal utility w.r.t. the union of selected blocks
+/// is non-negative, removes overlapping subsets, and restarts. Terminates
+/// with a partition of `I*` because `I*` is a local maximum.
+pub fn generate_blocks(table: &UtilityTable) -> BlockStructure {
+    let istar_set = istar(table);
+    let mut blocks: Vec<ItemSet> = Vec::new();
+    let mut gains: Vec<f64> = Vec::new();
+    let mut used = ItemSet::EMPTY;
+    loop {
+        let remaining = istar_set.minus(used);
+        if remaining.is_empty() {
+            break;
+        }
+        // Scan candidates in ≺ order. Candidates are the non-empty subsets
+        // of I* disjoint from `used`, i.e. subsets of `remaining`; removing
+        // overlapping sets and restarting the scan is equivalent to
+        // rescanning subsets of the shrunken remainder.
+        let mut chosen: Option<(ItemSet, f64)> = None;
+        for b in remaining.subsets() {
+            if b.is_empty() {
+                continue;
+            }
+            let marginal = table.marginal(b, used);
+            if marginal >= -EPS {
+                chosen = Some((b, marginal.max(0.0)));
+                break;
+            }
+        }
+        match chosen {
+            Some((b, delta)) => {
+                blocks.push(b);
+                gains.push(delta);
+                used = used.union(b);
+            }
+            None => {
+                // Cannot happen when I* is a local maximum of a
+                // supermodular utility; guard against degenerate inputs.
+                debug_assert!(false, "block generation stalled with remainder {remaining}");
+                break;
+            }
+        }
+    }
+    BlockStructure {
+        istar: istar_set,
+        blocks,
+        gains,
+    }
+}
+
+impl BlockStructure {
+    /// Number of blocks `t`.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Budget of a block: the minimum item budget inside it. With
+    /// budget-sorted indices that is the budget of the highest-indexed
+    /// item.
+    pub fn block_budget(&self, block_idx: usize, budgets: &[u32]) -> u32 {
+        self.blocks[block_idx]
+            .iter()
+            .map(|i| budgets[i as usize])
+            .min()
+            .expect("blocks are non-empty")
+    }
+
+    /// Index of the **anchor block** `B_{a_i}` of block `i`: among
+    /// `B_1..B_i` the one with minimum block budget, ties going to the
+    /// highest index (§4.2.2.3).
+    pub fn anchor_block(&self, block_idx: usize, budgets: &[u32]) -> usize {
+        let mut best = 0usize;
+        let mut best_budget = u32::MAX;
+        for j in 0..=block_idx {
+            let bb = self.block_budget(j, budgets);
+            if bb <= best_budget {
+                best_budget = bb;
+                best = j; // `<=` keeps the latest (highest-index) on ties
+            }
+        }
+        best
+    }
+
+    /// The **anchor item** `a_i` of block `i`: the highest-indexed (hence
+    /// minimum-budget) item of its anchor block.
+    pub fn anchor_item(&self, block_idx: usize, budgets: &[u32]) -> u32 {
+        let ab = self.anchor_block(block_idx, budgets);
+        self.blocks[ab].max_item().expect("blocks are non-empty")
+    }
+
+    /// The **effective budget** `e_i = min_{j ∈ B_1∪…∪B_i} b_j` — the
+    /// number of greedy seeds that receive all of `B_1..B_i` and hence
+    /// adopt `B_i` before propagation (Lemma 4).
+    pub fn effective_budget(&self, block_idx: usize, budgets: &[u32]) -> u32 {
+        (0..=block_idx)
+            .map(|j| self.block_budget(j, budgets))
+            .min()
+            .expect("at least one block")
+    }
+
+    /// The union `B_1 ∪ … ∪ B_i` (prefix of the partition).
+    pub fn prefix_union(&self, block_idx: usize) -> ItemSet {
+        self.blocks[..=block_idx]
+            .iter()
+            .fold(ItemSet::EMPTY, |acc, &b| acc.union(b))
+    }
+}
+
+/// Validates that `budgets` are sorted in non-increasing order — the
+/// indexing convention required by the block machinery. Returns the
+/// permutation `sorted_pos -> original_item` if the caller needs to
+/// relabel, or `None` if already sorted.
+pub fn budget_sort_permutation(budgets: &[u32]) -> Option<Vec<u32>> {
+    if budgets.windows(2).all(|w| w[0] >= w[1]) {
+        return None;
+    }
+    let mut perm: Vec<u32> = (0..budgets.len() as u32).collect();
+    // Stable sort keeps the original relative order of equal budgets.
+    perm.sort_by(|&a, &b| budgets[b as usize].cmp(&budgets[a as usize]));
+    Some(perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 2 of the paper.
+    fn example2() -> UtilityTable {
+        UtilityTable::from_values(3, vec![0.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 4.0])
+    }
+
+    #[test]
+    fn istar_is_full_set_in_example2() {
+        let t = example2();
+        assert_eq!(istar(&t), ItemSet::full(3));
+    }
+
+    #[test]
+    fn istar_excludes_worthless_items() {
+        // U(i1)=2 alone; i2 only drags utility down.
+        let t = UtilityTable::from_values(2, vec![0.0, 2.0, -3.0, 1.0]);
+        assert_eq!(istar(&t), ItemSet::singleton(0));
+    }
+
+    #[test]
+    fn istar_tie_takes_union() {
+        // U({i1}) = U({i1,i2}) = 2: union {i1,i2} wins.
+        let t = UtilityTable::from_values(2, vec![0.0, 2.0, 0.0, 2.0]);
+        assert_eq!(istar(&t), ItemSet::full(2));
+    }
+
+    #[test]
+    fn block_generation_matches_example2() {
+        // The paper: B = ({i1,i3}, {i2}) with Δ1 = 1, Δ2 = 3.
+        let t = example2();
+        let bs = generate_blocks(&t);
+        assert_eq!(
+            bs.blocks,
+            vec![ItemSet::from_items(&[0, 2]), ItemSet::singleton(1)]
+        );
+        assert!((bs.gains[0] - 1.0).abs() < 1e-9);
+        assert!((bs.gains[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn property2_gains_nonnegative_and_sum_to_istar_utility() {
+        let t = example2();
+        let bs = generate_blocks(&t);
+        let total: f64 = bs.gains.iter().sum();
+        assert!((total - t.utility(bs.istar)).abs() < 1e-9);
+        assert!(bs.gains.iter().all(|&g| g >= 0.0));
+    }
+
+    #[test]
+    fn blocks_partition_istar() {
+        let t = example2();
+        let bs = generate_blocks(&t);
+        let mut union = ItemSet::EMPTY;
+        for (i, &b) in bs.blocks.iter().enumerate() {
+            assert!(!b.is_empty());
+            assert!(union.is_disjoint_from(b), "block {i} overlaps prefix");
+            union = union.union(b);
+        }
+        assert_eq!(union, bs.istar);
+    }
+
+    #[test]
+    fn blocks_partition_on_random_supermodular_tables() {
+        use crate::noise::NoiseModel;
+        use crate::price::Price;
+        use crate::utility::UtilityModel;
+        use crate::valuation::LevelWiseValuation;
+        use std::sync::Arc;
+        use uic_util::UicRng;
+        for seed in 0..15u64 {
+            let mut rng = UicRng::new(seed);
+            let n = 5;
+            let singles: Vec<f64> = (0..n).map(|_| rng.next_f64() * 3.0).collect();
+            let v = LevelWiseValuation::generate(&singles, &mut rng);
+            let prices: Vec<f64> = (0..n).map(|_| rng.next_f64() * 8.0).collect();
+            let m = UtilityModel::new(Arc::new(v), Price::additive(prices), NoiseModel::none(n));
+            let t = m.deterministic_table();
+            let bs = generate_blocks(&t);
+            let mut union = ItemSet::EMPTY;
+            for &b in &bs.blocks {
+                assert!(union.is_disjoint_from(b));
+                union = union.union(b);
+            }
+            assert_eq!(union, bs.istar, "seed {seed}");
+            let total: f64 = bs.gains.iter().sum();
+            assert!(
+                (total - t.utility(bs.istar)).abs() < 1e-6,
+                "seed {seed}: Σ Δ = {total} ≠ U(I*) = {}",
+                t.utility(bs.istar)
+            );
+        }
+    }
+
+    #[test]
+    fn property3_partial_block_gains_bounded() {
+        // For arbitrary A ⊆ I*: Δ_i^A ≤ Δ_i and Σ Δ_i^A = U(A).
+        let t = example2();
+        let bs = generate_blocks(&t);
+        for a in bs.istar.subsets() {
+            let mut prefix = ItemSet::EMPTY;
+            let mut total = 0.0;
+            for (i, &b) in bs.blocks.iter().enumerate() {
+                let a_i = a.intersect(b);
+                let delta_a = t.utility(prefix.union(a_i)) - t.utility(prefix);
+                assert!(
+                    delta_a <= bs.gains[i] + 1e-9,
+                    "A={a}: Δ^A_{i} = {delta_a} > Δ_{i} = {}",
+                    bs.gains[i]
+                );
+                total += delta_a;
+                prefix = prefix.union(a_i);
+            }
+            assert!((total - t.utility(a)).abs() < 1e-9, "A={a}");
+        }
+    }
+
+    #[test]
+    fn anchor_structure_matches_example_3_and_4() {
+        // Example 3/4: b1 > b2 > b3; blocks B1={i1,i3}, B2={i2}.
+        // Anchor of B1 is B1 itself with anchor item i3;
+        // anchor of B2 is also B1 (min budget b3), anchor item i3;
+        // effective budgets e1 = e2 = b3.
+        let t = example2();
+        let bs = generate_blocks(&t);
+        let budgets = [70u32, 50, 30]; // b1 > b2 > b3
+        assert_eq!(bs.anchor_block(0, &budgets), 0);
+        assert_eq!(bs.anchor_item(0, &budgets), 2); // i3
+        assert_eq!(bs.anchor_block(1, &budgets), 0);
+        assert_eq!(bs.anchor_item(1, &budgets), 2); // i3
+        assert_eq!(bs.effective_budget(0, &budgets), 30);
+        assert_eq!(bs.effective_budget(1, &budgets), 30);
+        assert_eq!(bs.block_budget(0, &budgets), 30);
+        assert_eq!(bs.block_budget(1, &budgets), 50);
+    }
+
+    #[test]
+    fn anchor_tie_prefers_higher_block_index() {
+        // Two singleton blocks with equal budgets: anchor of block 2 is
+        // block 2 itself (tie → highest index).
+        let t = UtilityTable::from_values(2, vec![0.0, 1.0, 1.0, 2.0]);
+        let bs = generate_blocks(&t);
+        assert_eq!(bs.blocks.len(), 2);
+        let budgets = [10u32, 10];
+        assert_eq!(bs.anchor_block(1, &budgets), 1);
+        assert_eq!(bs.anchor_item(1, &budgets), 1);
+    }
+
+    #[test]
+    fn effective_budget_is_monotone_nonincreasing() {
+        let t = example2();
+        let bs = generate_blocks(&t);
+        let budgets = [9u32, 7, 5];
+        let mut prev = u32::MAX;
+        for i in 0..bs.num_blocks() {
+            let e = bs.effective_budget(i, &budgets);
+            assert!(e <= prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn prefix_union_accumulates() {
+        let t = example2();
+        let bs = generate_blocks(&t);
+        assert_eq!(bs.prefix_union(0), bs.blocks[0]);
+        assert_eq!(bs.prefix_union(1), bs.istar);
+    }
+
+    #[test]
+    fn budget_sort_permutation_detects_sorted() {
+        assert_eq!(budget_sort_permutation(&[5, 5, 3, 1]), None);
+        let perm = budget_sort_permutation(&[1, 5, 3]).unwrap();
+        assert_eq!(perm, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_istar_when_everything_is_loss() {
+        let t = UtilityTable::from_values(2, vec![0.0, -1.0, -1.0, -3.0]);
+        let bs = generate_blocks(&t);
+        assert_eq!(bs.istar, ItemSet::EMPTY);
+        assert!(bs.blocks.is_empty());
+    }
+}

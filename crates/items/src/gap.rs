@@ -1,0 +1,302 @@
+//! GAP-parameter conversion (Eq. 12 of the paper).
+//!
+//! The Com-IC baselines (RR-SIM+, RR-CIM) are parameterized by *Global
+//! Adoption Probabilities*: `q_{A|∅}` (adopt A having adopted nothing) and
+//! `q_{A|B}` (adopt A having adopted B). §4.3.1.3 derives them from UIC
+//! utilities for two items:
+//!
+//! ```text
+//! q_{i1|∅}  = Pr[ N(i1) ≥ P(i1) − V(i1) ]
+//! q_{i1|i2} = Pr[ N(i1) ≥ P(i1) − (V({i1,i2}) − V(i2)) ]
+//! q_{i2|∅}  = Pr[ N(i2) ≥ P(i2) − V(i2) ]
+//! q_{i2|i1} = Pr[ N(i2) ≥ P(i2) − (V({i1,i2}) − V(i1)) ]
+//! ```
+
+use crate::itemset::ItemSet;
+use crate::utility::UtilityModel;
+
+/// The four GAP parameters for a two-item Com-IC instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapParams {
+    /// `q_{i1|∅}` — probability of adopting item 1 with nothing adopted.
+    pub q1_alone: f64,
+    /// `q_{i1|i2}` — probability of adopting item 1 given item 2 adopted.
+    pub q1_given_2: f64,
+    /// `q_{i2|∅}`.
+    pub q2_alone: f64,
+    /// `q_{i2|i1}`.
+    pub q2_given_1: f64,
+}
+
+impl GapParams {
+    /// Direct construction (the paper's Table 3 lists explicit GAPs).
+    pub fn new(q1_alone: f64, q1_given_2: f64, q2_alone: f64, q2_given_1: f64) -> GapParams {
+        for &q in &[q1_alone, q1_given_2, q2_alone, q2_given_1] {
+            assert!((0.0..=1.0).contains(&q), "GAP {q} out of [0,1]");
+        }
+        GapParams {
+            q1_alone,
+            q1_given_2,
+            q2_alone,
+            q2_given_1,
+        }
+    }
+
+    /// Derives GAPs from a two-item UIC utility model via Eq. 12.
+    pub fn from_utility(model: &UtilityModel) -> GapParams {
+        assert_eq!(
+            model.num_items(),
+            2,
+            "GAP conversion defined for exactly two items"
+        );
+        let i1 = ItemSet::singleton(0);
+        let i2 = ItemSet::singleton(1);
+        let both = ItemSet::full(2);
+        let v = |s: ItemSet| model.valuation().value(s);
+        let p = |s: ItemSet| model.price().of(s);
+        let n1 = model.noise().dist(0);
+        let n2 = model.noise().dist(1);
+        GapParams {
+            q1_alone: n1.prob_at_least(p(i1) - v(i1)),
+            q1_given_2: n1.prob_at_least(p(i1) - (v(both) - v(i2))),
+            q2_alone: n2.prob_at_least(p(i2) - v(i2)),
+            q2_given_1: n2.prob_at_least(p(i2) - (v(both) - v(i1))),
+        }
+    }
+
+    /// True when the items are mutually complementary in the Com-IC sense
+    /// (`q_{A|B} ≥ q_{A|∅}` both ways) — required by the RR-SIM+/RR-CIM
+    /// reconsideration rule.
+    pub fn is_mutually_complementary(&self) -> bool {
+        self.q1_given_2 >= self.q1_alone && self.q2_given_1 >= self.q2_alone
+    }
+
+    /// Reconsideration probability for item 1 when item 2 gets adopted at
+    /// a node where item 1 was previously suspended:
+    /// `(q_{1|2} − q_{1|∅}) / (1 − q_{1|∅})` (Com-IC's NLA semantics).
+    pub fn reconsider_1(&self) -> f64 {
+        if self.q1_alone >= 1.0 {
+            0.0
+        } else {
+            ((self.q1_given_2 - self.q1_alone) / (1.0 - self.q1_alone)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Reconsideration probability for item 2 (symmetric).
+    pub fn reconsider_2(&self) -> f64 {
+        if self.q2_alone >= 1.0 {
+            0.0
+        } else {
+            ((self.q2_given_1 - self.q2_alone) / (1.0 - self.q2_alone)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Effect of having adopted item 2 on adopting item 1
+    /// (`q_{1|2}` vs `q_{1|∅}`).
+    pub fn relation_1_to_2(&self) -> GapRelation {
+        GapRelation::classify(self.q1_alone, self.q1_given_2)
+    }
+
+    /// Effect of having adopted item 1 on adopting item 2 (symmetric).
+    pub fn relation_2_to_1(&self) -> GapRelation {
+        GapRelation::classify(self.q2_alone, self.q2_given_1)
+    }
+
+    /// Com-IC's **anomaly** (§2.2): free-form GAPs can make item 1
+    /// complement item 2 while item 2 competes with item 1 — a
+    /// relationship with no economic reading. GAPs derived from a
+    /// supermodular UIC model via Eq. 12 are never anomalous: on both
+    /// sides the Eq.-12 threshold uses the marginal value
+    /// `V({1,2}) − V(other)`, which supermodularity puts at or above the
+    /// singleton value *simultaneously*, so the two directions cannot
+    /// disagree in sign (asserted property-test-style in the suite).
+    pub fn is_anomalous(&self) -> bool {
+        matches!(
+            (self.relation_1_to_2(), self.relation_2_to_1()),
+            (GapRelation::Complements, GapRelation::Competes)
+                | (GapRelation::Competes, GapRelation::Complements)
+        )
+    }
+}
+
+/// How adopting one item shifts the adoption probability of the other
+/// under Com-IC GAP semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapRelation {
+    /// `q_{A|B} > q_{A|∅}` — B boosts A.
+    Complements,
+    /// `q_{A|B} < q_{A|∅}` — B suppresses A.
+    Competes,
+    /// `q_{A|B} = q_{A|∅}` — B is irrelevant to A.
+    Indifferent,
+}
+
+impl GapRelation {
+    fn classify(alone: f64, given: f64) -> GapRelation {
+        if given > alone {
+            GapRelation::Complements
+        } else if given < alone {
+            GapRelation::Competes
+        } else {
+            GapRelation::Indifferent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{NoiseDistribution, NoiseModel};
+    use crate::price::Price;
+    use crate::valuation::TableValuation;
+    use std::sync::Arc;
+
+    /// Table 3, Configuration 1: prices (3,4), values (3,4,8), N(0,1) each.
+    fn config1_model() -> UtilityModel {
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 8.0])),
+            Price::additive(vec![3.0, 4.0]),
+            NoiseModel::new(vec![
+                NoiseDistribution::gaussian_var(1.0),
+                NoiseDistribution::gaussian_var(1.0),
+            ]),
+        )
+    }
+
+    #[test]
+    fn config1_gaps_match_table3() {
+        // Table 3 row 1: q_{i1|∅} = 0.5, q_{i2|∅} = 0.5,
+        //                q_{i1|i2} = 0.84, q_{i2|i1} = 0.84.
+        let g = GapParams::from_utility(&config1_model());
+        assert!((g.q1_alone - 0.5).abs() < 1e-6, "{}", g.q1_alone);
+        assert!((g.q2_alone - 0.5).abs() < 1e-6, "{}", g.q2_alone);
+        assert!((g.q1_given_2 - 0.84).abs() < 0.005, "{}", g.q1_given_2);
+        assert!((g.q2_given_1 - 0.84).abs() < 0.005, "{}", g.q2_given_1);
+        assert!(g.is_mutually_complementary());
+    }
+
+    #[test]
+    fn config3_gaps_match_table3() {
+        // Table 3 row 3: values (3,3,8), prices (3,4):
+        // q_{i1|∅} = 0.5, q_{i2|∅} = Pr[N ≥ 1] ≈ 0.16,
+        // q_{i1|i2} = Pr[N ≥ 3−(8−3)] = Pr[N ≥ −2] ≈ 0.98,
+        // q_{i2|i1} = Pr[N ≥ 4−(8−3)] = Pr[N ≥ −1] ≈ 0.84.
+        let m = UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 3.0, 8.0])),
+            Price::additive(vec![3.0, 4.0]),
+            NoiseModel::new(vec![
+                NoiseDistribution::gaussian_var(1.0),
+                NoiseDistribution::gaussian_var(1.0),
+            ]),
+        );
+        let g = GapParams::from_utility(&m);
+        assert!((g.q1_alone - 0.5).abs() < 1e-6);
+        assert!((g.q2_alone - 0.1587).abs() < 0.005);
+        assert!((g.q1_given_2 - 0.9772).abs() < 0.005);
+        assert!((g.q2_given_1 - 0.8413).abs() < 0.005);
+    }
+
+    #[test]
+    fn reconsideration_probabilities() {
+        let g = GapParams::new(0.5, 0.84, 0.5, 0.84);
+        assert!((g.reconsider_1() - 0.68).abs() < 1e-9);
+        assert!((g.reconsider_2() - 0.68).abs() < 1e-9);
+        // No complementarity boost ⇒ no reconsideration.
+        let flat = GapParams::new(0.5, 0.5, 0.3, 0.3);
+        assert_eq!(flat.reconsider_1(), 0.0);
+        assert_eq!(flat.reconsider_2(), 0.0);
+    }
+
+    #[test]
+    fn certain_adoption_never_reconsiders() {
+        let g = GapParams::new(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(g.reconsider_1(), 0.0);
+        assert_eq!(g.reconsider_2(), 0.0);
+    }
+
+    #[test]
+    fn zero_noise_gives_deterministic_gaps() {
+        let m = UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 8.0])),
+            Price::additive(vec![2.0, 5.0]),
+            NoiseModel::none(2),
+        );
+        let g = GapParams::from_utility(&m);
+        assert_eq!(g.q1_alone, 1.0); // V−P = 1 ≥ 0
+        assert_eq!(g.q2_alone, 0.0); // V−P = −1 < 0
+        assert_eq!(g.q2_given_1, 1.0); // marginal 8−3−5 = 0 ≥ 0
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two items")]
+    fn rejects_non_two_item_models() {
+        let m = UtilityModel::new(
+            Arc::new(TableValuation::from_table(1, vec![0.0, 1.0])),
+            Price::additive(vec![0.5]),
+            NoiseModel::none(1),
+        );
+        GapParams::from_utility(&m);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn rejects_invalid_gap() {
+        GapParams::new(1.5, 0.5, 0.5, 0.5);
+    }
+
+    #[test]
+    fn relations_classify_all_three_ways() {
+        let g = GapParams::new(0.5, 0.8, 0.5, 0.3);
+        assert_eq!(g.relation_1_to_2(), GapRelation::Complements);
+        assert_eq!(g.relation_2_to_1(), GapRelation::Competes);
+        assert!(g.is_anomalous(), "mixed signs are the Com-IC anomaly");
+        let flat = GapParams::new(0.4, 0.4, 0.4, 0.4);
+        assert_eq!(flat.relation_1_to_2(), GapRelation::Indifferent);
+        assert!(!flat.is_anomalous());
+    }
+
+    #[test]
+    fn one_sided_indifference_is_not_anomalous() {
+        // Complement one way, indifferent the other: odd but not the
+        // sign-contradiction the paper criticizes.
+        let g = GapParams::new(0.5, 0.8, 0.5, 0.5);
+        assert!(!g.is_anomalous());
+    }
+
+    #[test]
+    fn uic_derived_gaps_are_never_anomalous() {
+        // §2.2 in executable form: random supermodular two-item models
+        // (random singleton values, supermodular pair boost, random
+        // prices and variances) can never produce the Com-IC anomaly
+        // through Eq. 12.
+        let mut rng = uic_util::UicRng::new(0x6A9);
+        for trial in 0..500 {
+            let v1 = rng.next_f64() * 5.0;
+            let v2 = rng.next_f64() * 5.0;
+            let boost = rng.next_f64() * 4.0; // ≥ 0 ⇒ supermodular
+            let m = UtilityModel::new(
+                Arc::new(TableValuation::from_table(
+                    2,
+                    vec![0.0, v1, v2, v1 + v2 + boost],
+                )),
+                Price::additive(vec![
+                    0.1 + rng.next_f64() * 6.0,
+                    0.1 + rng.next_f64() * 6.0,
+                ]),
+                NoiseModel::new(vec![
+                    NoiseDistribution::gaussian_var(rng.next_f64() * 3.0),
+                    NoiseDistribution::gaussian_var(rng.next_f64() * 3.0),
+                ]),
+            );
+            let g = GapParams::from_utility(&m);
+            assert!(
+                !g.is_anomalous(),
+                "trial {trial}: supermodular model produced anomalous GAPs {g:?}"
+            );
+            assert!(
+                g.is_mutually_complementary(),
+                "trial {trial}: supermodular model must be mutually complementary {g:?}"
+            );
+        }
+    }
+}

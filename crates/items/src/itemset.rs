@@ -1,0 +1,341 @@
+//! Items and itemsets.
+//!
+//! An [`Item`] is an index into the item universe `I`; an [`ItemSet`] is a
+//! `u32` bitmask over that universe. The paper's experiments use at most
+//! ten items, so 32 bits are plenty, and bitmask arithmetic makes the
+//! subset enumeration inside the adoption oracle and block generation
+//! cheap.
+//!
+//! **Ordering.** `ItemSet` implements `Ord` by raw mask value. When item
+//! indices are assigned in non-increasing budget order (item `i_1` ↦ bit 0,
+//! `i_2` ↦ bit 1, …), the numeric mask order is *exactly* the precedence
+//! order `≺` of §4.2.2.1: comparing masks as integers compares the
+//! descending index sequences lexicographically, with exhausted-prefix
+//! sets first. Example 1's sequence
+//! `({i1},{i2},{i1,i2},{i3},{i1,i3},{i2,i3},{i1,i2,i3})` is masks
+//! `1,2,3,4,5,6,7`. This equivalence is tested in [`blocks`](crate::blocks).
+
+use std::fmt;
+
+/// Index of an item in the universe (0-based; the paper's `i_{k}` is
+/// `Item(k-1)` once items are sorted by non-increasing budget).
+pub type Item = u32;
+
+/// A set of items as a 32-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ItemSet(pub u32);
+
+impl ItemSet {
+    /// The empty set.
+    pub const EMPTY: ItemSet = ItemSet(0);
+
+    /// Maximum number of items representable.
+    pub const MAX_ITEMS: u32 = 32;
+
+    /// Singleton `{i}`.
+    #[inline]
+    pub fn singleton(i: Item) -> ItemSet {
+        debug_assert!(i < Self::MAX_ITEMS);
+        ItemSet(1 << i)
+    }
+
+    /// The full universe of the first `n` items.
+    #[inline]
+    pub fn full(n: u32) -> ItemSet {
+        assert!(n <= Self::MAX_ITEMS, "at most 32 items supported");
+        if n == 32 {
+            ItemSet(u32::MAX)
+        } else {
+            ItemSet((1u32 << n) - 1)
+        }
+    }
+
+    /// Constructs from item indices.
+    pub fn from_items(items: &[Item]) -> ItemSet {
+        let mut s = ItemSet::EMPTY;
+        for &i in items {
+            s = s.with(i);
+        }
+        s
+    }
+
+    /// Number of items in the set.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True for the empty set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, i: Item) -> bool {
+        self.0 >> i & 1 == 1
+    }
+
+    /// `self ∪ {i}`.
+    #[inline]
+    pub fn with(self, i: Item) -> ItemSet {
+        debug_assert!(i < Self::MAX_ITEMS);
+        ItemSet(self.0 | 1 << i)
+    }
+
+    /// `self \ {i}`.
+    #[inline]
+    pub fn without(self, i: Item) -> ItemSet {
+        ItemSet(self.0 & !(1 << i))
+    }
+
+    /// Union.
+    #[inline]
+    pub fn union(self, other: ItemSet) -> ItemSet {
+        ItemSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    #[inline]
+    pub fn intersect(self, other: ItemSet) -> ItemSet {
+        ItemSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn minus(self, other: ItemSet) -> ItemSet {
+        ItemSet(self.0 & !other.0)
+    }
+
+    /// `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: ItemSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// `self ⊇ other`.
+    #[inline]
+    pub fn is_superset_of(self, other: ItemSet) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// True when the sets share no items.
+    #[inline]
+    pub fn is_disjoint_from(self, other: ItemSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Lowest-indexed item, if any.
+    #[inline]
+    pub fn min_item(self) -> Option<Item> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.0.trailing_zeros())
+        }
+    }
+
+    /// Highest-indexed item, if any. With budget-sorted indices this is the
+    /// *minimum-budget* item — the anchor-item rule of §4.2.2.3.
+    #[inline]
+    pub fn max_item(self) -> Option<Item> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(31 - self.0.leading_zeros())
+        }
+    }
+
+    /// Iterates item indices in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = Item> {
+        let mut mask = self.0;
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                None
+            } else {
+                let i = mask.trailing_zeros();
+                mask &= mask - 1;
+                Some(i)
+            }
+        })
+    }
+
+    /// Iterates **all** subsets of `self` (including `∅` and `self`) in
+    /// increasing mask order — the precedence order `≺` restricted to
+    /// subsets of `self`.
+    pub fn subsets(self) -> SubsetIter {
+        SubsetIter {
+            universe: self.0,
+            current: 0,
+            done: false,
+        }
+    }
+
+    /// Raw mask.
+    #[inline]
+    pub fn mask(self) -> u32 {
+        self.0
+    }
+}
+
+/// Iterator over subsets of a mask in increasing numeric (≺) order.
+///
+/// Uses the standard `(cur − universe) & universe` trick to enumerate
+/// submasks without touching non-member bits.
+pub struct SubsetIter {
+    universe: u32,
+    current: u32,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = ItemSet;
+
+    fn next(&mut self) -> Option<ItemSet> {
+        if self.done {
+            return None;
+        }
+        let out = ItemSet(self.current);
+        if self.current == self.universe {
+            self.done = true;
+        } else {
+            self.current = (self.current.wrapping_sub(self.universe)) & self.universe;
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for ItemSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            // Display uses the paper's 1-based item naming.
+            write!(f, "i{}", i + 1)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Item> for ItemSet {
+    fn from_iter<I: IntoIterator<Item = Item>>(iter: I) -> Self {
+        let mut s = ItemSet::EMPTY;
+        for i in iter {
+            s = s.with(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = ItemSet::from_items(&[0, 2, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(2) && s.contains(5));
+        assert!(!s.contains(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn with_without_union_minus() {
+        let s = ItemSet::singleton(1).with(3);
+        assert_eq!(s.without(1), ItemSet::singleton(3));
+        assert_eq!(s.union(ItemSet::singleton(0)).len(), 3);
+        assert_eq!(s.minus(ItemSet::singleton(3)), ItemSet::singleton(1));
+        assert_eq!(
+            s.intersect(ItemSet::from_items(&[3, 7])),
+            ItemSet::singleton(3)
+        );
+    }
+
+    #[test]
+    fn subset_relations() {
+        let small = ItemSet::from_items(&[1, 2]);
+        let big = ItemSet::from_items(&[0, 1, 2]);
+        assert!(small.is_subset_of(big));
+        assert!(big.is_superset_of(small));
+        assert!(!big.is_subset_of(small));
+        assert!(small.is_subset_of(small));
+        assert!(ItemSet::EMPTY.is_subset_of(small));
+        assert!(small.is_disjoint_from(ItemSet::singleton(5)));
+        assert!(!small.is_disjoint_from(big));
+    }
+
+    #[test]
+    fn min_max_items() {
+        let s = ItemSet::from_items(&[3, 7, 12]);
+        assert_eq!(s.min_item(), Some(3));
+        assert_eq!(s.max_item(), Some(12));
+        assert_eq!(ItemSet::EMPTY.min_item(), None);
+        assert_eq!(ItemSet::EMPTY.max_item(), None);
+    }
+
+    #[test]
+    fn full_universe() {
+        assert_eq!(ItemSet::full(3).mask(), 0b111);
+        assert_eq!(ItemSet::full(0), ItemSet::EMPTY);
+        assert_eq!(ItemSet::full(32).mask(), u32::MAX);
+    }
+
+    #[test]
+    fn subsets_enumerates_power_set_in_mask_order() {
+        let s = ItemSet::from_items(&[0, 1, 2]);
+        let all: Vec<u32> = s.subsets().map(|x| x.mask()).collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn subsets_of_sparse_mask() {
+        let s = ItemSet::from_items(&[1, 3]); // mask 0b1010
+        let all: Vec<u32> = s.subsets().map(|x| x.mask()).collect();
+        assert_eq!(all, vec![0b0000, 0b0010, 0b1000, 0b1010]);
+    }
+
+    #[test]
+    fn subsets_of_empty_is_just_empty() {
+        let subs: Vec<ItemSet> = ItemSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![ItemSet::EMPTY]);
+    }
+
+    #[test]
+    fn precedence_order_matches_paper_example_1() {
+        // Example 1: I* = {i1,i2,i3} with b1 ≥ b2 ≥ b3 (i1 ↦ bit 0, …):
+        // ({i1},{i2},{i1,i2},{i3},{i1,i3},{i2,i3},{i1,i2,i3}).
+        let expected = [
+            ItemSet::from_items(&[0]),
+            ItemSet::from_items(&[1]),
+            ItemSet::from_items(&[0, 1]),
+            ItemSet::from_items(&[2]),
+            ItemSet::from_items(&[0, 2]),
+            ItemSet::from_items(&[1, 2]),
+            ItemSet::from_items(&[0, 1, 2]),
+        ];
+        let got: Vec<ItemSet> = ItemSet::full(3)
+            .subsets()
+            .filter(|s| !s.is_empty())
+            .collect();
+        assert_eq!(got, expected);
+        // And numeric order is strictly increasing (the ≺ equivalence).
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        let s = ItemSet::from_items(&[0, 2]);
+        assert_eq!(s.to_string(), "{i1,i3}");
+        assert_eq!(ItemSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: ItemSet = [0u32, 1, 4].into_iter().collect();
+        assert_eq!(s.mask(), 0b10011);
+    }
+}

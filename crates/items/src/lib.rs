@@ -1,0 +1,45 @@
+//! # uic-items
+//!
+//! The economic layer of the UIC model (§3.1 and §4.2.2 of the paper):
+//!
+//! * [`itemset`] — [`Item`] indices and [`ItemSet`] bitmasks (≤ 32 items;
+//!   the paper's experiments use at most 10).
+//! * [`price`] — additive prices (the paper's default) and a submodular
+//!   volume-discount variant (§5 extension: "if we use submodular prices,
+//!   that would further favor item bundling … our results remain intact").
+//! * [`valuation`] — the [`Valuation`] trait with additive, table, cone
+//!   (core-item) and the level-wise random supermodular construction of
+//!   Configuration 8 (Eq. 13, Lemmas 10–11), plus monotonicity /
+//!   supermodularity validators.
+//! * [`noise`] — zero-mean per-item noise distributions and sampled
+//!   [`NoiseWorld`]s (noise is additive over itemsets, §3.1).
+//! * [`utility`] — `U(I) = V(I) − P(I) + N(I)`; a [`UtilityTable`] caches
+//!   all `2^|I|` utilities of a noise world for O(1) lookups in the
+//!   adoption oracle.
+//! * [`adoption`] — the utility-maximizing adoption decision with the
+//!   larger-cardinality tie-break (well-defined by Lemma 1), memoized.
+//! * [`blocks`] — `I*`, the block generation process of Fig. 3, marginal
+//!   gains `Δ_i`, anchor blocks/items and effective budgets (§4.2.2) —
+//!   used by the analysis, the `bundle-disj` baseline, and the test suite.
+//! * [`gap`] — the UIC → Com-IC GAP-parameter conversion (Eq. 12).
+
+pub mod adoption;
+pub mod blocks;
+pub mod gap;
+pub mod itemset;
+pub mod noise;
+pub mod price;
+pub mod utility;
+pub mod valuation;
+
+pub use adoption::AdoptionOracle;
+pub use blocks::{generate_blocks, istar, BlockStructure};
+pub use gap::{GapParams, GapRelation};
+pub use itemset::{Item, ItemSet};
+pub use noise::{NoiseDistribution, NoiseModel, NoiseWorld};
+pub use price::Price;
+pub use utility::{UtilityModel, UtilityTable};
+pub use valuation::{
+    AdditiveValuation, ConeValuation, CoverageValuation, LevelWiseValuation,
+    PairwiseSynergyValuation, TableValuation, Valuation,
+};

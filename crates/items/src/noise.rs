@@ -1,0 +1,270 @@
+//! Zero-mean noise on item valuations.
+//!
+//! §3.1: "N(i) ∼ D_i denotes the noise term associated with item i, where
+//! the noise may be drawn from any distribution D_i having a zero mean.
+//! Every item has an independent noise distribution. … the noise of I is
+//! additive." Noise is sampled **once per diffusion** (§3.2.3: "In the
+//! beginning of any diffusion, the noise terms of all items are sampled,
+//! which are then used till the diffusion terminates") — a sample is a
+//! [`NoiseWorld`].
+
+use crate::itemset::ItemSet;
+use uic_util::UicRng;
+
+/// A zero-mean, per-item noise distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseDistribution {
+    /// Deterministic utilities (noise ≡ 0).
+    None,
+    /// Gaussian `N(0, σ²)`. The paper's Tables 3 and 5 specify Gaussians
+    /// by *variance* (e.g. `N(0, 1)`, `N(0, 2)`); construct with
+    /// [`NoiseDistribution::gaussian_var`] to match.
+    Gaussian {
+        /// Standard deviation σ.
+        std: f64,
+    },
+    /// Uniform on `[-half_width, +half_width]`.
+    Uniform {
+        /// Half-width of the support.
+        half_width: f64,
+    },
+}
+
+impl NoiseDistribution {
+    /// Gaussian specified by variance (the paper's `N(0, v)` notation).
+    pub fn gaussian_var(variance: f64) -> NoiseDistribution {
+        assert!(variance >= 0.0, "variance must be non-negative");
+        if variance == 0.0 {
+            NoiseDistribution::None
+        } else {
+            NoiseDistribution::Gaussian {
+                std: variance.sqrt(),
+            }
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut UicRng) -> f64 {
+        match *self {
+            NoiseDistribution::None => 0.0,
+            NoiseDistribution::Gaussian { std } => std * rng.next_gaussian(),
+            NoiseDistribution::Uniform { half_width } => (2.0 * rng.next_f64() - 1.0) * half_width,
+        }
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std(&self) -> f64 {
+        match *self {
+            NoiseDistribution::None => 0.0,
+            NoiseDistribution::Gaussian { std } => std,
+            NoiseDistribution::Uniform { half_width } => half_width / 3f64.sqrt(),
+        }
+    }
+
+    /// `Pr[N ≥ x]` — the complementary CDF, needed by the GAP conversion
+    /// (Eq. 12). Exact for all three variants.
+    pub fn prob_at_least(&self, x: f64) -> f64 {
+        match *self {
+            NoiseDistribution::None => {
+                if x <= 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            NoiseDistribution::Gaussian { std } => 1.0 - uic_util::normal_cdf(x / std),
+            NoiseDistribution::Uniform { half_width } => {
+                if x <= -half_width {
+                    1.0
+                } else if x >= half_width {
+                    0.0
+                } else {
+                    (half_width - x) / (2.0 * half_width)
+                }
+            }
+        }
+    }
+}
+
+/// Per-item noise distributions for the whole universe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseModel {
+    dists: Vec<NoiseDistribution>,
+}
+
+impl NoiseModel {
+    /// One distribution per item.
+    pub fn new(dists: Vec<NoiseDistribution>) -> NoiseModel {
+        NoiseModel { dists }
+    }
+
+    /// All items noiseless.
+    pub fn none(num_items: usize) -> NoiseModel {
+        NoiseModel {
+            dists: vec![NoiseDistribution::None; num_items],
+        }
+    }
+
+    /// Same Gaussian `N(0, variance)` on every item (Configs 5–8 use
+    /// `N(0,1)` everywhere).
+    pub fn iid_gaussian_var(num_items: usize, variance: f64) -> NoiseModel {
+        NoiseModel {
+            dists: vec![NoiseDistribution::gaussian_var(variance); num_items],
+        }
+    }
+
+    /// Number of items covered.
+    pub fn num_items(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Distribution of item `i`.
+    pub fn dist(&self, i: u32) -> NoiseDistribution {
+        self.dists[i as usize]
+    }
+
+    /// True if every item is noiseless.
+    pub fn is_none(&self) -> bool {
+        self.dists.iter().all(|d| *d == NoiseDistribution::None)
+    }
+
+    /// Samples a complete noise world (one draw per item).
+    pub fn sample(&self, rng: &mut UicRng) -> NoiseWorld {
+        NoiseWorld {
+            values: self.dists.iter().map(|d| d.sample(rng)).collect(),
+        }
+    }
+}
+
+/// A sampled noise world `W^N`: one realized noise value per item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseWorld {
+    values: Vec<f64>,
+}
+
+impl NoiseWorld {
+    /// The all-zero noise world (used whenever noise is `None` and by the
+    /// deterministic-utility baselines).
+    pub fn zero(num_items: usize) -> NoiseWorld {
+        NoiseWorld {
+            values: vec![0.0; num_items],
+        }
+    }
+
+    /// Builds directly from per-item values (tests).
+    pub fn from_values(values: Vec<f64>) -> NoiseWorld {
+        NoiseWorld { values }
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Realized noise of item `i`.
+    #[inline]
+    pub fn of_item(&self, i: u32) -> f64 {
+        self.values[i as usize]
+    }
+
+    /// Additive noise of an itemset: `N(I) = Σ_{i∈I} N(i)`.
+    pub fn of(&self, set: ItemSet) -> f64 {
+        set.iter().map(|i| self.values[i as usize]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_samples_zero() {
+        let mut rng = UicRng::new(1);
+        assert_eq!(NoiseDistribution::None.sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn gaussian_var_matches_variance() {
+        let d = NoiseDistribution::gaussian_var(4.0);
+        assert_eq!(d.std(), 2.0);
+        let mut rng = UicRng::new(3);
+        let mut stats = uic_util::OnlineStats::new();
+        for _ in 0..40_000 {
+            stats.push(d.sample(&mut rng));
+        }
+        assert!(stats.mean().abs() < 0.05, "mean {}", stats.mean());
+        assert!(
+            (stats.variance() - 4.0).abs() < 0.15,
+            "var {}",
+            stats.variance()
+        );
+    }
+
+    #[test]
+    fn gaussian_var_zero_degenerates_to_none() {
+        assert_eq!(
+            NoiseDistribution::gaussian_var(0.0),
+            NoiseDistribution::None
+        );
+    }
+
+    #[test]
+    fn uniform_bounded_and_zero_mean() {
+        let d = NoiseDistribution::Uniform { half_width: 2.0 };
+        let mut rng = UicRng::new(5);
+        let mut stats = uic_util::OnlineStats::new();
+        for _ in 0..20_000 {
+            let x = d.sample(&mut rng);
+            assert!((-2.0..=2.0).contains(&x));
+            stats.push(x);
+        }
+        assert!(stats.mean().abs() < 0.05);
+    }
+
+    #[test]
+    fn prob_at_least_reference_values() {
+        let g = NoiseDistribution::gaussian_var(1.0);
+        assert!((g.prob_at_least(0.0) - 0.5).abs() < 1e-9);
+        assert!((g.prob_at_least(-1.0) - 0.8413).abs() < 1e-3);
+        let u = NoiseDistribution::Uniform { half_width: 1.0 };
+        assert_eq!(u.prob_at_least(-2.0), 1.0);
+        assert_eq!(u.prob_at_least(2.0), 0.0);
+        assert!((u.prob_at_least(0.5) - 0.25).abs() < 1e-12);
+        let z = NoiseDistribution::None;
+        assert_eq!(z.prob_at_least(0.0), 1.0);
+        assert_eq!(z.prob_at_least(0.1), 0.0);
+    }
+
+    #[test]
+    fn prob_at_least_empirically_matches_sampling() {
+        let d = NoiseDistribution::gaussian_var(2.0);
+        let mut rng = UicRng::new(7);
+        let x = 0.7;
+        let hits = (0..100_000).filter(|_| d.sample(&mut rng) >= x).count();
+        let emp = hits as f64 / 100_000.0;
+        assert!((emp - d.prob_at_least(x)).abs() < 0.01);
+    }
+
+    #[test]
+    fn noise_world_is_additive() {
+        let w = NoiseWorld::from_values(vec![0.5, -1.0, 2.0]);
+        assert_eq!(w.of(ItemSet::EMPTY), 0.0);
+        assert_eq!(w.of(ItemSet::from_items(&[0, 2])), 2.5);
+        assert_eq!(w.of(ItemSet::full(3)), 1.5);
+        assert_eq!(w.of_item(1), -1.0);
+    }
+
+    #[test]
+    fn model_sampling_is_seeded() {
+        let m = NoiseModel::iid_gaussian_var(3, 1.0);
+        let a = m.sample(&mut UicRng::new(9));
+        let b = m.sample(&mut UicRng::new(9));
+        assert_eq!(a, b);
+        assert!(!m.is_none());
+        assert!(NoiseModel::none(3).is_none());
+        assert_eq!(
+            NoiseModel::none(3).sample(&mut UicRng::new(1)),
+            NoiseWorld::zero(3)
+        );
+    }
+}

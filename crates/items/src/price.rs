@@ -1,0 +1,167 @@
+//! Item prices.
+//!
+//! The paper assumes additive pricing (§3.1: `P(I) = Σ_{i∈I} P(i)`,
+//! justified in §3.3.2 as "a simple and natural pricing model in the
+//! absence of discounts"). §5 notes the analysis survives *submodular*
+//! prices ("that would further favor item bundling … utility remains
+//! supermodular and our results remain intact"), so [`Price`] also offers
+//! a volume-discount mode used by the ablation benches.
+
+use crate::itemset::ItemSet;
+
+/// Pricing scheme over the item universe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Price {
+    per_item: Vec<f64>,
+    /// Per-extra-item multiplicative discount in `[0, 1)`; `0` = additive.
+    /// The `k`-th cheapest... — see [`Price::of`] for the exact rule.
+    bundle_discount: f64,
+}
+
+impl Price {
+    /// Additive prices: `P(I) = Σ_{i∈I} p_i`. All prices must be positive
+    /// (the paper requires `P(i) > 0`).
+    pub fn additive(per_item: Vec<f64>) -> Price {
+        for (i, &p) in per_item.iter().enumerate() {
+            assert!(p >= 0.0, "price of item {i} must be non-negative, got {p}");
+        }
+        Price {
+            per_item,
+            bundle_discount: 0.0,
+        }
+    }
+
+    /// Volume-discounted prices: the `k`-th item added to a bundle (in
+    /// decreasing price order) is charged `p_i · (1 − d)^(k−1)`.
+    ///
+    /// This is submodular in the itemset: each additional item's price
+    /// contribution shrinks as the bundle grows, hence marginal price is
+    /// non-increasing — keeping `U = V − P + N` supermodular when `V` is.
+    pub fn with_bundle_discount(per_item: Vec<f64>, discount: f64) -> Price {
+        assert!(
+            (0.0..1.0).contains(&discount),
+            "discount must be in [0,1), got {discount}"
+        );
+        let mut p = Price::additive(per_item);
+        p.bundle_discount = discount;
+        p
+    }
+
+    /// Number of items priced.
+    pub fn num_items(&self) -> usize {
+        self.per_item.len()
+    }
+
+    /// Price of a single item.
+    pub fn of_item(&self, i: u32) -> f64 {
+        self.per_item[i as usize]
+    }
+
+    /// Price of an itemset.
+    pub fn of(&self, set: ItemSet) -> f64 {
+        if self.bundle_discount == 0.0 {
+            return set.iter().map(|i| self.per_item[i as usize]).sum();
+        }
+        // Discount applies to successively cheaper items so that the most
+        // expensive item is always charged fully (ensures monotonicity).
+        let mut prices: Vec<f64> = set.iter().map(|i| self.per_item[i as usize]).collect();
+        prices.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let mut factor = 1.0;
+        let mut total = 0.0;
+        for p in prices {
+            total += p * factor;
+            factor *= 1.0 - self.bundle_discount;
+        }
+        total
+    }
+
+    /// True when pricing is strictly additive.
+    pub fn is_additive(&self) -> bool {
+        self.bundle_discount == 0.0
+    }
+
+    /// Checks submodularity of `P` over the first `n ≤ 20` items by
+    /// exhaustive marginals (test/diagnostic helper).
+    pub fn is_submodular(&self) -> bool {
+        let n = self.per_item.len() as u32;
+        assert!(n <= 20, "exhaustive check limited to 20 items");
+        let full = ItemSet::full(n);
+        for t in full.subsets() {
+            for s in t.subsets() {
+                for x in full.minus(t).iter() {
+                    let m_s = self.of(s.with(x)) - self.of(s);
+                    let m_t = self.of(t.with(x)) - self.of(t);
+                    if m_s < m_t - 1e-9 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_prices_sum() {
+        let p = Price::additive(vec![3.0, 4.0, 5.0]);
+        assert_eq!(p.of(ItemSet::EMPTY), 0.0);
+        assert_eq!(p.of(ItemSet::singleton(1)), 4.0);
+        assert_eq!(p.of(ItemSet::from_items(&[0, 2])), 8.0);
+        assert_eq!(p.of(ItemSet::full(3)), 12.0);
+        assert!(p.is_additive());
+    }
+
+    #[test]
+    fn additive_is_submodular_boundary_case() {
+        let p = Price::additive(vec![1.0, 2.0, 3.0]);
+        assert!(p.is_submodular(), "modular ⇒ submodular");
+    }
+
+    #[test]
+    fn discount_reduces_bundle_price() {
+        let p = Price::with_bundle_discount(vec![10.0, 10.0], 0.2);
+        assert_eq!(p.of(ItemSet::singleton(0)), 10.0);
+        // second item charged 10 * 0.8 = 8
+        assert!((p.of(ItemSet::full(2)) - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discount_charges_most_expensive_fully() {
+        let p = Price::with_bundle_discount(vec![2.0, 10.0], 0.5);
+        // sorted desc: 10 full, then 2 * 0.5 = 1 ⇒ total 11
+        assert!((p.of(ItemSet::full(2)) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discounted_prices_are_submodular() {
+        let p = Price::with_bundle_discount(vec![5.0, 3.0, 8.0, 2.0], 0.3);
+        assert!(p.is_submodular());
+    }
+
+    #[test]
+    fn discounted_price_is_monotone() {
+        let p = Price::with_bundle_discount(vec![5.0, 3.0, 8.0], 0.5);
+        let full = ItemSet::full(3);
+        for s in full.subsets() {
+            for x in full.minus(s).iter() {
+                assert!(p.of(s.with(x)) >= p.of(s) - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_price() {
+        Price::additive(vec![-1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "discount must be in [0,1)")]
+    fn rejects_full_discount() {
+        Price::with_bundle_discount(vec![1.0], 1.0);
+    }
+}

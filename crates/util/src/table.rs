@@ -1,0 +1,195 @@
+//! Aligned-table and CSV rendering for the experiment harness.
+//!
+//! Every experiment in `uic-experiments` produces a [`Table`]; the CLI
+//! prints it aligned for eyeballing and can dump CSV for plotting, so the
+//! paper's tables/figures are regenerated as machine-readable series.
+
+use std::fmt;
+
+/// A simple rectangular table: a title, column headers, and string rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Human-readable caption (e.g. `"Figure 4(a): welfare, Configuration 1"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have exactly `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the arity does not match the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {} in table '{}'",
+            cells.len(),
+            self.headers.len(),
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn push_display_row<T: fmt::Display>(&mut self, cells: &[T]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Looks up a cell by row index and header name.
+    pub fn cell(&self, row: usize, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows.get(row).map(|r| r[col].as_str())
+    }
+
+    /// Parses a column of `f64`s by header name.
+    pub fn column_f64(&self, header: &str) -> Option<Vec<f64>> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows
+            .iter()
+            .map(|r| r[col].parse::<f64>().ok())
+            .collect()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:<width$}", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly: integers without decimals, otherwise 4
+/// significant-looking digits — matches how the paper reports values.
+pub fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["k", "welfare"]);
+        t.push_row(vec!["10".into(), "123.4".into()]);
+        t.push_row(vec!["20".into(), "200".into()]);
+        t
+    }
+
+    #[test]
+    fn display_is_aligned() {
+        let s = sample().to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("k   welfare"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_roundtrips_simple_cells() {
+        let csv = sample().to_csv();
+        assert_eq!(csv, "k,welfare\n10,123.4\n20,200\n");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a"]);
+        t.push_row(vec!["hello, \"world\"".into()]);
+        assert_eq!(t.to_csv(), "a\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn cell_and_column_lookup() {
+        let t = sample();
+        assert_eq!(t.cell(0, "welfare"), Some("123.4"));
+        assert_eq!(t.cell(5, "welfare"), None);
+        assert_eq!(t.column_f64("welfare"), Some(vec![123.4, 200.0]));
+        assert_eq!(t.column_f64("nope"), None);
+    }
+
+    #[test]
+    fn fmt_f64_styles() {
+        assert_eq!(fmt_f64(5.0), "5");
+        assert_eq!(fmt_f64(1234.56), "1234.6");
+        assert_eq!(fmt_f64(0.12345), "0.1235");
+    }
+}

@@ -1,0 +1,82 @@
+//! Complements vs substitutes: how the valuation's curvature flips the
+//! right seeding strategy (the §5 discussion made concrete).
+//!
+//! * **Complementary** items (supermodular valuation): bundleGRD's
+//!   shared-prefix seeding wins — co-located items unlock the
+//!   supermodular boost and the `(1 − 1/e − ε)` guarantee applies.
+//! * **Substitutable** items (submodular valuation, here perfect
+//!   substitutes): users gain from at most one item, so stacking both
+//!   items on the same seeds wastes budget; disjoint seeding reaches
+//!   more users.
+//!
+//! ```sh
+//! cargo run --release --example substitutes_vs_complements
+//! ```
+
+use std::sync::Arc;
+use uic::prelude::*;
+
+fn main() {
+    let g = uic::datasets::generators::preferential_attachment(
+        uic::datasets::PaOptions {
+            n: 1_500,
+            edges_per_node: 5,
+            ..Default::default()
+        },
+        3,
+    );
+    println!(
+        "network: {} nodes / {} edges\n",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    let budgets = [20u32, 20];
+
+    // Strategy A: bundleGRD (both items share the best seed prefix).
+    let bundled = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    // Strategy B: item-disj (disjoint seed chunks).
+    let disjoint = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+
+    // Regime 1: complements — worth little alone, a lot together.
+    let complements = UtilityModel::new(
+        Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 3.0, 9.0])),
+        Price::additive(vec![3.5, 3.5]),
+        NoiseModel::iid_gaussian_var(2, 1.0),
+    );
+    // Regime 2: perfect substitutes — one feature, both items grant it.
+    let substitutes = UtilityModel::new(
+        Arc::new(CoverageValuation::substitutes(2, 3.0)),
+        Price::additive(vec![1.0, 1.0]),
+        NoiseModel::iid_gaussian_var(2, 0.25),
+    );
+
+    let mut report = Table::new(
+        "seeding strategy × valuation regime (expected welfare)",
+        &[
+            "regime",
+            "bundled seeds (bundleGRD)",
+            "disjoint seeds (item-disj)",
+            "winner",
+        ],
+    );
+    for (name, model) in [("complements", &complements), ("substitutes", &substitutes)] {
+        let est = WelfareEstimator::new(&g, model, 2_000, 9);
+        let w_bundled = est.estimate(&bundled.allocation);
+        let w_disjoint = est.estimate(&disjoint.allocation);
+        report.push_row(vec![
+            name.to_string(),
+            format!("{w_bundled:.1}"),
+            format!("{w_disjoint:.1}"),
+            if w_bundled >= w_disjoint {
+                "bundled".into()
+            } else {
+                "disjoint".into()
+            },
+        ]);
+    }
+    println!("{report}");
+    println!(
+        "Supermodular ⇒ co-seed (the paper's setting, guarantee applies);\n\
+         submodular ⇒ spread out (competition: §5's open direction)."
+    );
+}

@@ -1,0 +1,105 @@
+//! A realistic product catalogue with pairwise synergies.
+//!
+//! The paper's multi-item configurations (Table 4) are shape-driven
+//! (cone, level-wise); real catalogues are usually described by *pairwise
+//! complementarities* — "console and controller sell each other", "phone
+//! and case", etc. `PairwiseSynergyValuation` models exactly that with
+//! `O(n²)` parameters: `V(S) = Σ v_i + Σ_{i<j∈S} w_ij`, supermodular for
+//! `w ≥ 0`.
+//!
+//! This example builds an 8-item catalogue around one hub product,
+//! prices every item *above* its standalone value (each item is a loss
+//! alone — only synergy makes adoption rational), and compares bundleGRD
+//! against item-disj and bundle-disj under three budget splits, showing
+//! the paper's Fig. 8(d) skew effect on a catalogue-shaped instance.
+//!
+//! ```sh
+//! cargo run --release --example synergy_catalog
+//! ```
+
+use std::sync::Arc;
+use uic::prelude::*;
+
+fn catalogue() -> UtilityModel {
+    // Item 0 is the hub (console); items 1–7 are accessories/games.
+    let base = vec![5.0, 2.0, 2.0, 1.5, 1.5, 1.0, 1.0, 1.0];
+    let synergy = |i: u32, j: u32| -> f64 {
+        match (i.min(j), i.max(j)) {
+            (0, _) => 1.6,          // every accessory complements the hub
+            (1, 2) => 0.8,          // controller pairs with headset
+            (a, b) if b - a == 1 => 0.4, // adjacent accessories mildly synergize
+            _ => 0.1,               // weak background complementarity
+        }
+    };
+    let v = PairwiseSynergyValuation::new(base, synergy);
+    // Price ≈ 115% of standalone value: every singleton has negative
+    // deterministic utility; bundles with the hub turn positive.
+    let prices: Vec<f64> = (0..8u32)
+        .map(|i| 1.15 * v.value(ItemSet::singleton(i)))
+        .collect();
+    UtilityModel::new(
+        Arc::new(v),
+        Price::additive(prices),
+        NoiseModel::iid_gaussian_var(8, 0.25),
+    )
+}
+
+fn main() {
+    let g = uic::datasets::named_network(uic::datasets::NamedNetwork::DoubanBook, 0.05, 11);
+    let model = catalogue();
+    println!(
+        "network: {} nodes / {} edges — catalogue of {} items\n",
+        g.num_nodes(),
+        g.num_edges(),
+        model.num_items()
+    );
+    println!(
+        "sanity: standalone hub utility {:.2} (a loss); hub+2 accessories {:.2} (a win)\n",
+        model.deterministic_utility(ItemSet::singleton(0)),
+        model.deterministic_utility(ItemSet::from_items(&[0, 1, 2])),
+    );
+
+    let total = 160u32;
+    let splits: [(&str, Vec<u32>); 3] = [
+        ("uniform (20 each)", vec![20; 8]),
+        (
+            "large skew (82% on hub)",
+            vec![132, 4, 4, 4, 4, 4, 4, 4],
+        ),
+        (
+            "moderate skew",
+            vec![40, 40, 20, 20, 10, 10, 10, 10],
+        ),
+    ];
+
+    let mut report = Table::new(
+        "welfare by allocator and budget split (total budget 160)",
+        &["budget split", "bundleGRD", "item-disj", "bundle-disj", "GRD time (ms)"],
+    );
+    for (name, budgets) in &splits {
+        assert_eq!(budgets.iter().sum::<u32>(), total);
+        // bundleGRD needs items sorted by non-increasing budget; our
+        // splits already are.
+        let t0 = std::time::Instant::now();
+        let grd = bundle_grd(&g, budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+        let grd_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let disj = item_disj(&g, budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+        let bdisj = bundle_disj(&g, budgets, &model, 0.5, 1.0, DiffusionModel::IC, 42);
+        let est = WelfareEstimator::new(&g, &model, 400, 7);
+        report.push_row(vec![
+            (*name).into(),
+            format!("{:.0}", est.estimate(&grd.allocation)),
+            format!("{:.0}", est.estimate(&disj.allocation)),
+            format!("{:.0}", est.estimate(&bdisj.allocation)),
+            format!("{grd_ms:.0}"),
+        ]);
+    }
+    println!("{report}");
+    println!(
+        "Notes: with every item a standalone loss, item-disj seeds propagate\n\
+         nothing on their own — its welfare comes only from downstream nodes\n\
+         whose desire sets accumulate complements. bundleGRD's co-seeding makes\n\
+         the hub bundle adoptable at the seeds themselves, and the uniform split\n\
+         lets every item ride the full shared seed prefix (the Fig. 8d effect)."
+    );
+}

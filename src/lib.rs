@@ -1,0 +1,89 @@
+//! # uic — Utility-driven Influence Cascades
+//!
+//! A production-quality Rust reproduction of *"Maximizing Welfare in
+//! Social Networks under a Utility Driven Influence Diffusion Model"*
+//! (Banerjee, Chen & Lakshmanan, SIGMOD 2019).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`graph`] | CSR influence graphs, traversal, SCC, stats, I/O |
+//! | [`items`] | itemsets, prices, supermodular valuations, noise, utility, adoption oracle, block accounting, GAP conversion |
+//! | [`diffusion`] | IC / LT / UIC / Com-IC simulation, possible worlds, welfare estimation |
+//! | [`im`] | RR sets, NodeSelection, IMM, TIM⁺, SSA, OPIM-C, SKIM, **PRIMA**, CELF greedy |
+//! | [`core`] | WelMax, **bundleGRD**, block-accounting bounds, brute-force solver |
+//! | [`baselines`] | item-disj, bundle-disj, RR-SIM+, RR-CIM, BDHS, pair-greedy, degree/PageRank |
+//! | [`datasets`] | Table-2 network stand-ins, Table-3/4/5 configurations, auction learning |
+//! | [`experiments`] | regenerators for every table and figure |
+//! | [`util`] | hashing, bitsets, RNG, special functions, stats, tables |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uic::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A small social network with weighted-cascade probabilities.
+//! let g = uic::datasets::generators::preferential_attachment(
+//!     uic::datasets::PaOptions { n: 300, edges_per_node: 4, ..Default::default() },
+//!     7,
+//! );
+//!
+//! // Two complementary items: each unprofitable alone, great together.
+//! let model = UtilityModel::new(
+//!     Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 9.0])),
+//!     Price::additive(vec![3.5, 4.5]),
+//!     NoiseModel::iid_gaussian_var(2, 1.0),
+//! );
+//!
+//! // bundleGRD needs only the graph and the budgets — never the utilities.
+//! let result = bundle_grd(&g, &[10, 10], 0.5, 1.0, DiffusionModel::IC, 42);
+//!
+//! // Score the allocation under the UIC diffusion.
+//! let welfare = WelfareEstimator::new(&g, &model, 500, 1).estimate(&result.allocation);
+//! assert!(welfare >= 0.0);
+//! ```
+
+pub use uic_baselines as baselines;
+pub use uic_core as core;
+pub use uic_datasets as datasets;
+pub use uic_diffusion as diffusion;
+pub use uic_experiments as experiments;
+pub use uic_graph as graph;
+pub use uic_im as im;
+pub use uic_items as items;
+pub use uic_util as util;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use uic_baselines::{
+        bundle_disj, degree_top, item_disj, mc_greedy_welfare, pagerank, pagerank_top, rr_cim,
+        rr_sim_plus, BaselineResult,
+    };
+    pub use uic_core::{bundle_grd, solve_welmax_bruteforce, BundleGrdResult, WelMaxInstance};
+    pub use uic_diffusion::{
+        simulate_ic, simulate_triggering, simulate_uic, spread_mc, spread_triggering_mc,
+        Allocation, IcTriggering, LtTriggering, TriggeringSampler, UniformSubsetTriggering,
+        WelfareEstimator,
+    };
+    pub use uic_graph::{Graph, GraphBuilder, GraphStats, NodeId, Weighting};
+    pub use uic_im::{imm, opim_c, prima, skim, ssa, tim_plus, DiffusionModel, SkimOptions};
+    pub use uic_items::{
+        AdditiveValuation, AdoptionOracle, ConeValuation, CoverageValuation, GapParams,
+        GapRelation, ItemSet, LevelWiseValuation, NoiseDistribution, NoiseModel,
+        PairwiseSynergyValuation, Price, TableValuation, UtilityModel, UtilityTable, Valuation,
+    };
+    pub use uic_util::{Table, UicRng};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile_and_link() {
+        let g = crate::graph::Graph::from_edges(2, &[(0, 1, 1.0)]);
+        assert_eq!(g.num_nodes(), 2);
+        let s = crate::items::ItemSet::singleton(0);
+        assert_eq!(s.len(), 1);
+    }
+}

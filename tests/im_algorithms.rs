@@ -1,0 +1,204 @@
+//! Cross-crate integration tests for the influence-maximization
+//! algorithm zoo: the prefix-preservation property (Definition 1) that
+//! separates PRIMA and SKIM from IMM/TIM⁺/SSA/OPIM-C, the certificates
+//! of the stop-and-stare family, and the proxy heuristics.
+
+use uic::prelude::*;
+
+fn network(n: u32, seed: u64) -> Graph {
+    uic::datasets::generators::preferential_attachment(
+        uic::datasets::PaOptions {
+            n,
+            edges_per_node: 5,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+/// A neutral RR judge none of the contestants sampled from.
+fn judge(g: &Graph, sets: usize) -> uic::im::RrCollection {
+    let mut j = uic::im::RrCollection::new(g, DiffusionModel::IC, 0xBEEF);
+    j.extend_to(g, sets);
+    j
+}
+
+#[test]
+fn prima_prefixes_certify_every_budget_in_the_vector() {
+    // Definition 1 end-to-end: the top-b_i prefix of PRIMA's single
+    // ordering must be competitive with a dedicated IMM run per budget.
+    let g = network(600, 5);
+    let budgets = [40u32, 20, 8];
+    let p = prima(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 11);
+    let j = judge(&g, 30_000);
+    for &k in &budgets {
+        let prefix_spread = j.estimate_spread(p.seeds_for_budget(k));
+        let dedicated = imm(&g, k, 0.5, 1.0, DiffusionModel::IC, 13).seeds;
+        let dedicated_spread = j.estimate_spread(&dedicated);
+        assert!(
+            prefix_spread >= 0.85 * dedicated_spread,
+            "budget {k}: PRIMA prefix {prefix_spread} vs dedicated IMM {dedicated_spread}"
+        );
+    }
+}
+
+#[test]
+fn skim_ordering_is_one_object_serving_all_budgets() {
+    // SKIM produces one ordering; its prefixes must be competitive with
+    // dedicated IMM runs — the §2.1 claim that motivated PRIMA.
+    let g = network(600, 7);
+    let s = skim(&g, 40, &SkimOptions::default(), 3);
+    let j = judge(&g, 30_000);
+    for &k in &[8usize, 20, 40] {
+        let skim_spread = j.estimate_spread(s.prefix(k));
+        let dedicated = imm(&g, k as u32, 0.5, 1.0, DiffusionModel::IC, 17).seeds;
+        let dedicated_spread = j.estimate_spread(&dedicated);
+        assert!(
+            skim_spread >= 0.8 * dedicated_spread,
+            "budget {k}: SKIM prefix {skim_spread} vs dedicated IMM {dedicated_spread}"
+        );
+    }
+}
+
+#[test]
+fn per_budget_reruns_are_not_prefix_consistent_but_prima_is() {
+    // The concrete failure PRIMA fixes: re-running a RIS algorithm at a
+    // different budget re-derives its sample size, so the smaller-budget
+    // seed set need not be a prefix of the larger one. PRIMA's contract
+    // guarantees prefix consistency by construction.
+    let g = network(600, 9);
+    let budgets = [40u32, 20, 8];
+    let p = prima(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 21);
+    for &k in &budgets[1..] {
+        assert_eq!(
+            p.seeds_for_budget(k),
+            &p.order[..k as usize],
+            "PRIMA budget {k} must be a literal prefix"
+        );
+    }
+    // IMM at k=8 vs k=40: sample sizes differ, so the greedy runs see
+    // different collections. We only *document* the mechanism here —
+    // sets may still coincide by luck — by checking the collections'
+    // sizes genuinely differ (the root cause of prefix inconsistency).
+    let small = imm(&g, 8, 0.5, 1.0, DiffusionModel::IC, 21);
+    let large = imm(&g, 40, 0.5, 1.0, DiffusionModel::IC, 21);
+    assert_ne!(
+        small.rr_sets_final, large.rr_sets_final,
+        "per-budget reruns use different sample sizes"
+    );
+}
+
+#[test]
+fn ssa_and_opim_match_imm_quality_on_a_real_shaped_network() {
+    // At ε = 0.3 all three certify a comparable ratio; at the paper's
+    // loose default ε = 0.5 OPIM stops very early (its certificate only
+    // promises 1 − 1/e − 0.5 ≈ 0.13·OPT), so the comparison uses the
+    // tighter setting.
+    let g = network(600, 13);
+    let k = 15u32;
+    let j = judge(&g, 30_000);
+    let imm_spread = j.estimate_spread(&imm(&g, k, 0.3, 1.0, DiffusionModel::IC, 3).seeds);
+    let ssa_r = ssa(&g, k, 0.3, 1.0, DiffusionModel::IC, 3);
+    let opim_r = opim_c(&g, k, 0.3, 1.0, DiffusionModel::IC, 3);
+    let ssa_spread = j.estimate_spread(&ssa_r.seeds);
+    let opim_spread = j.estimate_spread(&opim_r.seeds);
+    assert!(
+        ssa_spread >= 0.9 * imm_spread,
+        "SSA {ssa_spread} vs IMM {imm_spread}"
+    );
+    assert!(
+        opim_spread >= 0.9 * imm_spread,
+        "OPIM {opim_spread} vs IMM {imm_spread}"
+    );
+}
+
+#[test]
+fn opim_certificate_is_consistent_with_the_judge() {
+    let g = network(600, 17);
+    let r = opim_c(&g, 15, 0.4, 1.0, DiffusionModel::IC, 5);
+    let j = judge(&g, 60_000);
+    let spread = j.estimate_spread(&r.seeds);
+    // The certified lower bound must not exceed the judged spread by
+    // more than sampling noise, and the upper bound must dominate it.
+    assert!(
+        r.spread_lower <= spread * 1.1,
+        "lower bound {} vs judged {spread}",
+        r.spread_lower
+    );
+    assert!(
+        r.opt_upper >= spread * 0.9,
+        "OPT upper {} vs judged {spread}",
+        r.opt_upper
+    );
+}
+
+#[test]
+fn heuristics_trail_but_are_not_absurd_on_hub_heavy_graphs() {
+    // On preferential-attachment graphs degree is a decent influence
+    // proxy: the heuristics should land within a factor ~2 of IMM while
+    // costing no sampling at all.
+    let g = network(600, 19);
+    let k = 15u32;
+    let j = judge(&g, 30_000);
+    let imm_spread = j.estimate_spread(&imm(&g, k, 0.5, 1.0, DiffusionModel::IC, 7).seeds);
+    let deg = degree_top(&g, &[k]);
+    let pr = pagerank_top(&g, &[k], 0.85, 50);
+    let deg_spread = j.estimate_spread(&deg.allocation.seeds_of_item(0));
+    let pr_spread = j.estimate_spread(&pr.allocation.seeds_of_item(0));
+    assert!(
+        deg_spread >= 0.5 * imm_spread,
+        "degree {deg_spread} vs IMM {imm_spread}"
+    );
+    assert!(
+        pr_spread >= 0.5 * imm_spread,
+        "PageRank {pr_spread} vs IMM {imm_spread}"
+    );
+}
+
+#[test]
+fn skim_and_prima_agree_on_the_obvious_hubs() {
+    // Both prefix-preserving algorithms should put the same dominant
+    // hubs in their short prefixes on a hub-heavy network.
+    let g = network(600, 23);
+    let p = prima(&g, &[10], 0.4, 1.0, DiffusionModel::IC, 29);
+    let s = skim(
+        &g,
+        10,
+        &SkimOptions {
+            num_instances: 256,
+            sketch_size: 64,
+        },
+        29,
+    );
+    assert_eq!(
+        p.order[0], s.seeds[0],
+        "both must open with the dominant hub"
+    );
+    // Beyond the top hub, spreads on PA graphs are nearly flat, so the
+    // orderings legitimately diverge — but not completely.
+    let overlap = p.order.iter().filter(|v| s.seeds.contains(v)).count();
+    assert!(
+        overlap >= 3,
+        "top-10 overlap {overlap} too small: PRIMA {:?} vs SKIM {:?}",
+        p.order,
+        s.seeds
+    );
+}
+
+#[test]
+fn all_ris_algorithms_are_deterministic_and_budget_exact() {
+    let g = network(400, 29);
+    let k = 10u32;
+    let a1 = ssa(&g, k, 0.5, 1.0, DiffusionModel::IC, 31);
+    let a2 = ssa(&g, k, 0.5, 1.0, DiffusionModel::IC, 31);
+    assert_eq!(a1.seeds, a2.seeds);
+    assert_eq!(a1.seeds.len(), k as usize);
+    let b1 = opim_c(&g, k, 0.5, 1.0, DiffusionModel::IC, 31);
+    let b2 = opim_c(&g, k, 0.5, 1.0, DiffusionModel::IC, 31);
+    assert_eq!(b1.seeds, b2.seeds);
+    assert_eq!(b1.seeds.len(), k as usize);
+    let c1 = skim(&g, k, &SkimOptions::default(), 31);
+    let c2 = skim(&g, k, &SkimOptions::default(), 31);
+    assert_eq!(c1.seeds, c2.seeds);
+    assert_eq!(c1.seeds.len(), k as usize);
+}

@@ -1,0 +1,207 @@
+//! Property-based tests (proptest) on the core invariants of the paper:
+//! supermodularity machinery, block accounting, adoption semantics, and
+//! the UIC possible-world lemmas — all checked against randomly
+//! generated utility configurations and graphs.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use uic::prelude::*;
+
+/// Strategy: a random supermodular utility table over `n` items via the
+/// level-wise construction with random singleton values and prices.
+fn supermodular_model(n: u32) -> impl Strategy<Value = UtilityModel> {
+    (0u64..1_000_000).prop_map(move |seed| {
+        let mut rng = UicRng::new(seed);
+        let singles: Vec<f64> = (0..n).map(|_| rng.next_f64() * 4.0).collect();
+        let v = LevelWiseValuation::generate(&singles, &mut rng);
+        let prices: Vec<f64> = (0..n).map(|_| rng.next_f64() * 8.0).collect();
+        UtilityModel::new(
+            Arc::new(v),
+            Price::additive(prices),
+            NoiseModel::none(n as usize),
+        )
+    })
+}
+
+/// Strategy: a random small graph as an edge list over `n` nodes.
+fn small_graph(n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0..n, 0..n, 0.0f32..=1.0), 0..max_edges).prop_map(move |edges| {
+        let mut b = GraphBuilder::new(n).dedup(true);
+        for (u, v, p) in edges {
+            if u != v {
+                b.add_edge(u, v, p);
+            }
+        }
+        b.build(Weighting::AsGiven, 0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The level-wise construction always yields supermodular, monotone
+    /// valuations (Lemma 10) — hence supermodular utilities.
+    #[test]
+    fn generated_utilities_are_supermodular(model in supermodular_model(4)) {
+        let table = model.deterministic_table();
+        prop_assert!(table.is_supermodular());
+    }
+
+    /// Lemma 1: the union of two local maxima is a local maximum.
+    #[test]
+    fn union_of_local_maxima_is_local_maximum(model in supermodular_model(4)) {
+        let table = model.deterministic_table();
+        let full = ItemSet::full(4);
+        for a in full.subsets() {
+            for b in full.subsets() {
+                if table.is_local_maximum(a) && table.is_local_maximum(b) {
+                    prop_assert!(
+                        table.is_local_maximum(a.union(b)),
+                        "{a} ∪ {b} not a local max"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The adoption oracle always returns a local maximum that sandwiches
+    /// between the current adoption and the desire set (Lemma 2).
+    #[test]
+    fn adoption_oracle_invariants(model in supermodular_model(4)) {
+        let table = model.deterministic_table();
+        let mut oracle = AdoptionOracle::new(&table);
+        let full = ItemSet::full(4);
+        for desire in full.subsets() {
+            for adopted in desire.subsets() {
+                // Reachable model states: the current adoption set is a
+                // non-negative local maximum (Lemma 2, inductively).
+                if table.utility(adopted) < 0.0 || !table.is_local_maximum(adopted) {
+                    continue;
+                }
+                let t = oracle.adopt(desire, adopted);
+                prop_assert!(adopted.is_subset_of(t));
+                prop_assert!(t.is_subset_of(desire));
+                prop_assert!(table.is_local_maximum(t), "{t} not local max");
+                prop_assert!(table.utility(t) >= table.utility(adopted) - 1e-9);
+            }
+        }
+    }
+
+    /// Block generation partitions I* with non-negative gains summing to
+    /// U(I*) (Property 2), and partial-block gains never exceed the full
+    /// gains (Property 3).
+    #[test]
+    fn block_accounting_properties(model in supermodular_model(5)) {
+        let table = model.deterministic_table();
+        let blocks = uic::items::generate_blocks(&table);
+        let mut union = ItemSet::EMPTY;
+        for (i, &b) in blocks.blocks.iter().enumerate() {
+            prop_assert!(!b.is_empty());
+            prop_assert!(union.is_disjoint_from(b), "block {i} overlaps");
+            prop_assert!(blocks.gains[i] >= -1e-9);
+            union = union.union(b);
+        }
+        prop_assert_eq!(union, blocks.istar);
+        let total: f64 = blocks.gains.iter().sum();
+        prop_assert!((total - table.utility(blocks.istar)).abs() < 1e-6);
+    }
+
+    /// Spread is monotone in the seed set on arbitrary graphs (exact
+    /// computation on tiny instances).
+    #[test]
+    fn exact_spread_is_monotone(g in small_graph(6, 10), extra in 0u32..6) {
+        prop_assume!(g.num_edges() <= 10);
+        let base = uic::diffusion::exact_spread(&g, &[0]);
+        let bigger = uic::diffusion::exact_spread(&g, &[0, extra.min(5)]);
+        prop_assert!(bigger >= base - 1e-9);
+    }
+
+    /// Welfare in any fixed possible world is monotone in the allocation
+    /// (the per-world argument behind Theorem 1).
+    #[test]
+    fn per_world_welfare_monotone(
+        g in small_graph(5, 8),
+        model in supermodular_model(3),
+        mask in 0u32..(1 << 15),
+    ) {
+        prop_assume!(g.num_edges() <= 8);
+        let table = model.deterministic_table();
+        // Random allocation from the mask bits: pair (node v, item i)
+        // present iff bit (v*3 + i) set.
+        let mut small = Allocation::new();
+        let mut large = Allocation::new();
+        for v in 0..5u32 {
+            for i in 0..3u32 {
+                if mask >> (v * 3 + i) & 1 == 1 {
+                    small.assign(v, i);
+                }
+                // large ⊇ small plus the diagonal pairs
+                if (mask >> (v * 3 + i) & 1 == 1) || v == i {
+                    large.assign(v, i);
+                }
+            }
+        }
+        for (world, _) in uic::diffusion::enumerate_edge_worlds(&g) {
+            let w_small = uic::diffusion::simulate_uic_in_world(&g, &small, &table, &world)
+                .welfare(&table);
+            let w_large = uic::diffusion::simulate_uic_in_world(&g, &large, &table, &world)
+                .welfare(&table);
+            prop_assert!(
+                w_large >= w_small - 1e-9,
+                "welfare dropped {} → {}", w_small, w_large
+            );
+        }
+    }
+
+    /// Reachability lemma (Lemma 3) on random graphs and utilities: any
+    /// item adopted at u is adopted by every world-reachable node.
+    #[test]
+    fn reachability_lemma(
+        g in small_graph(5, 8),
+        model in supermodular_model(3),
+        seed_mask in 1u32..32,
+    ) {
+        prop_assume!(g.num_edges() <= 8);
+        let table = model.deterministic_table();
+        let mut alloc = Allocation::new();
+        for v in 0..5u32 {
+            if seed_mask >> v & 1 == 1 {
+                alloc.assign_set(v, ItemSet::full(3));
+            }
+        }
+        for (world, _) in uic::diffusion::enumerate_edge_worlds(&g) {
+            let out = uic::diffusion::simulate_uic_in_world(&g, &alloc, &table, &world);
+            for (&u, &a_u) in &out.adoptions {
+                for v in world.reachable(&g, &[u]) {
+                    prop_assert!(
+                        a_u.is_subset_of(out.adoption_of(v)),
+                        "items lost from {} to {}", u, v
+                    );
+                }
+            }
+        }
+    }
+
+    /// RR-set spread estimates are consistent with exact spread.
+    #[test]
+    fn rr_estimates_match_exact(g in small_graph(6, 9), seed in 0u64..1000) {
+        prop_assume!(g.num_edges() <= 9);
+        prop_assume!(g.num_nodes() >= 2);
+        let mut coll = uic::im::RrCollection::new(&g, DiffusionModel::IC, seed);
+        coll.extend_to(&g, 60_000);
+        let est = coll.estimate_spread(&[0, 1]);
+        let exact = uic::diffusion::exact_spread(&g, &[0, 1]);
+        prop_assert!((est - exact).abs() < 0.15, "RR {} vs exact {}", est, exact);
+    }
+
+    /// Allocation round-trips: from_item_seeds ∘ seeds_of_item = id.
+    #[test]
+    fn allocation_roundtrip(seeds0 in proptest::collection::btree_set(0u32..50, 0..10),
+                            seeds1 in proptest::collection::btree_set(0u32..50, 0..10)) {
+        let s0: Vec<u32> = seeds0.into_iter().collect();
+        let s1: Vec<u32> = seeds1.into_iter().collect();
+        let alloc = Allocation::from_item_seeds(&[s0.clone(), s1.clone()]);
+        prop_assert_eq!(alloc.seeds_of_item(0), s0);
+        prop_assert_eq!(alloc.seeds_of_item(1), s1);
+    }
+}

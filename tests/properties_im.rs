@@ -1,0 +1,146 @@
+//! Property-based tests (proptest) on the influence-maximization
+//! machinery: PageRank invariants, SKIM's sketch accounting, greedy
+//! max-coverage structure, and live-edge world consistency — all over
+//! randomly generated graphs.
+
+use proptest::prelude::*;
+use uic::prelude::*;
+
+/// Strategy: a random directed graph as an edge list over `n` nodes.
+fn small_graph(n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0..n, 0..n, 0.0f32..=1.0), 0..max_edges).prop_map(move |edges| {
+        let mut b = GraphBuilder::new(n).dedup(true);
+        for (u, v, p) in edges {
+            if u != v {
+                b.add_edge(u, v, p);
+            }
+        }
+        b.build(Weighting::AsGiven, 0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// PageRank is a probability distribution on every graph, dangling
+    /// nodes or not.
+    #[test]
+    fn pagerank_is_a_distribution(g in small_graph(12, 40), damping in 0.0f64..0.99) {
+        let scores = pagerank(&g, damping, 60);
+        let total: f64 = scores.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+        for &s in &scores {
+            prop_assert!(s >= 0.0 && s.is_finite());
+        }
+    }
+
+    /// With damping 0 PageRank collapses to the uniform distribution
+    /// regardless of structure.
+    #[test]
+    fn pagerank_damping_zero_is_uniform(g in small_graph(10, 30)) {
+        let scores = pagerank(&g, 0.0, 5);
+        for &s in &scores {
+            prop_assert!((s - 0.1).abs() < 1e-9);
+        }
+    }
+
+    /// SKIM with the full budget returns a permutation of the nodes and
+    /// marginals that telescope to exactly n (every (instance, node)
+    /// pair gets covered exactly once).
+    #[test]
+    fn skim_full_budget_is_a_permutation_with_telescoping_marginals(
+        g in small_graph(10, 30),
+        seed in 0u64..1000,
+    ) {
+        let opts = SkimOptions { num_instances: 8, sketch_size: 8 };
+        let r = skim(&g, 10, &opts, seed);
+        prop_assert_eq!(r.seeds.len(), 10);
+        let mut sorted = r.seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), 10, "seeds must be distinct");
+        let total: f64 = r.marginal_spreads.iter().sum();
+        prop_assert!((total - 10.0).abs() < 1e-9, "telescoped to {total}");
+        // Marginals are per-seed averages over instances: each in [0, n].
+        for &m in &r.marginal_spreads {
+            prop_assert!((0.0..=10.0).contains(&m));
+        }
+    }
+
+    /// SKIM marginal estimates are honest: the prefix-sum estimate never
+    /// exceeds n and is at least the prefix length × (1/instances)
+    /// (every seed covers at least itself in every instance, unless
+    /// already covered — in which case an earlier marginal absorbed it).
+    #[test]
+    fn skim_prefix_estimates_bounded(g in small_graph(10, 30), seed in 0u64..1000) {
+        let r = skim(&g, 5, &SkimOptions { num_instances: 4, sketch_size: 4 }, seed);
+        for k in 1..=r.seeds.len() {
+            let est = r.estimated_spread(k);
+            prop_assert!(est <= 10.0 + 1e-9, "estimate {est} exceeds n");
+            prop_assert!(est >= 0.0);
+        }
+    }
+
+    /// Greedy max-coverage (NodeSelection) prefix property on random
+    /// collections: the k-seed result is a prefix of the (k+j)-seed
+    /// result over the same sets.
+    #[test]
+    fn node_selection_prefix_property(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..8, 1..4), 1..20),
+        k in 1u32..4,
+    ) {
+        let coll = uic::im::RrCollection::from_raw_sets(8, sets);
+        let small = uic::im::node_selection(&coll, k);
+        let large = uic::im::node_selection(&coll, k + 3);
+        prop_assert_eq!(&small.seeds[..], &large.seeds[..small.seeds.len()]);
+        // Cumulative coverage is non-decreasing and bounded by |sets|.
+        for w in large.covered.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        if let Some(&last) = large.covered.last() {
+            prop_assert!(last <= coll.len() as u64);
+        }
+    }
+
+    /// Live-edge worlds: reachability contains the sources, is monotone
+    /// in the source set, and `is_live_id` agrees with `is_live`.
+    #[test]
+    fn live_edge_world_consistency(g in small_graph(10, 30), seed in 0u64..1000) {
+        let w = uic::diffusion::LiveEdgeWorld::sample(&g, &mut UicRng::new(seed));
+        // Edge-id view agrees with the (node, out-index) view.
+        for u in 0..g.num_nodes() {
+            for i in 0..g.out_degree(u) {
+                let eid = g.out_edge_id(u, i);
+                prop_assert_eq!(w.is_live(&g, u, i), w.is_live_id(eid));
+            }
+        }
+        let small = w.reachable(&g, &[0]);
+        prop_assert!(small.contains(&0));
+        let large = w.reachable(&g, &[0, 5]);
+        for v in &small {
+            prop_assert!(large.contains(v), "monotonicity violated at {v}");
+        }
+    }
+
+    /// Degree and PageRank allocations are always budget-exact and
+    /// prefix-shaped (smaller-budget items get subsets of larger ones).
+    #[test]
+    fn heuristic_allocations_are_prefix_shaped(
+        g in small_graph(12, 40),
+        b1 in 1u32..6,
+        b2 in 1u32..6,
+    ) {
+        for r in [degree_top(&g, &[b1, b2]), pagerank_top(&g, &[b1, b2], 0.85, 30)] {
+            prop_assert!(r.allocation.respects_budgets(&[b1, b2]));
+            let s0 = r.allocation.seeds_of_item(0);
+            let s1 = r.allocation.seeds_of_item(1);
+            prop_assert_eq!(s0.len(), b1 as usize);
+            prop_assert_eq!(s1.len(), b2 as usize);
+            let (short, long) = if b1 <= b2 { (&s0, &s1) } else { (&s1, &s0) };
+            for v in short.iter() {
+                prop_assert!(long.contains(v), "prefix shape violated");
+            }
+        }
+    }
+}

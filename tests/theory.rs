@@ -1,0 +1,206 @@
+//! Theory tests: the paper's propositions, counterexamples and worked
+//! examples, encoded verbatim.
+
+use std::sync::Arc;
+use uic::prelude::*;
+
+/// Theorem 1's **submodularity counterexample**: one node `u`, two items
+/// with negative individual deterministic utility but positive joint
+/// utility, bounded noise. Adding `(u, i2)` to `∅` gains nothing, while
+/// adding it to `{(u, i1)}` gains the pair's utility — breaking
+/// submodularity of `ρ`.
+#[test]
+fn welfare_is_not_submodular() {
+    let g = Graph::from_edges(1, &[]);
+    // P > V individually, V({i1,i2}) > P(i1) + P(i2); noise bounded by
+    // |V − P| (uniform with half-width 1 = |3−4|).
+    let model = UtilityModel::new(
+        Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 3.0, 9.0])),
+        Price::additive(vec![4.0, 4.0]),
+        NoiseModel::new(vec![
+            NoiseDistribution::Uniform { half_width: 1.0 },
+            NoiseDistribution::Uniform { half_width: 1.0 },
+        ]),
+    );
+    let est = WelfareEstimator::new(&g, &model, 20_000, 3);
+    let empty = Allocation::new();
+    let s_prime = Allocation::from_item_seeds(&[vec![0], vec![]]); // {(u,i1)}
+    let mut with_i2 = empty.clone();
+    with_i2.assign(0, 1);
+    let mut s_prime_i2 = s_prime.clone();
+    s_prime_i2.assign(0, 1);
+
+    let gain_at_empty = est.estimate(&with_i2) - est.estimate(&empty);
+    let gain_at_sprime = est.estimate(&s_prime_i2) - est.estimate(&s_prime);
+    assert!(
+        gain_at_empty.abs() < 0.05,
+        "adding i2 alone must add ≈ nothing, got {gain_at_empty}"
+    );
+    assert!(
+        gain_at_sprime > 0.5,
+        "adding i2 after i1 must add the pair's utility, got {gain_at_sprime}"
+    );
+    assert!(
+        gain_at_sprime > gain_at_empty + 0.3,
+        "marginal gain grew with the base set: not submodular"
+    );
+}
+
+/// Theorem 1's **supermodularity counterexample**: two nodes `v1 → v2`
+/// with probability 1, one item with positive deterministic utility.
+/// Adding `(v2, i)` to `∅` gains `E[U]⁺`-ish welfare; adding it to
+/// `{(v1, i)}` gains nothing (v2 adopts via propagation anyway).
+#[test]
+fn welfare_is_not_supermodular() {
+    let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+    let model = UtilityModel::new(
+        Arc::new(TableValuation::from_table(1, vec![0.0, 5.0])),
+        Price::additive(vec![4.0]),
+        NoiseModel::new(vec![NoiseDistribution::Uniform { half_width: 1.0 }]),
+    );
+    let est = WelfareEstimator::new(&g, &model, 20_000, 5);
+    let empty = Allocation::new();
+    let s_prime = Allocation::from_item_seeds(&[vec![0]]); // {(v1,i)}
+    let mut v2_only = empty.clone();
+    v2_only.assign(1, 0);
+    let mut both = s_prime.clone();
+    both.assign(1, 0);
+
+    let gain_at_empty = est.estimate(&v2_only) - est.estimate(&empty);
+    let gain_at_sprime = est.estimate(&both) - est.estimate(&s_prime);
+    assert!(
+        gain_at_empty > 0.5,
+        "seeding v2 from scratch must create welfare, got {gain_at_empty}"
+    );
+    assert!(
+        gain_at_sprime.abs() < 0.05,
+        "seeding v2 after v1 changes nothing (reachability), got {gain_at_sprime}"
+    );
+}
+
+/// Proposition 1's reduction: single item, `V = 1`, `P = 0`, zero noise
+/// ⇒ WelMax *is* influence maximization (welfare = spread), so
+/// bundleGRD's seeds must be IM-quality.
+#[test]
+fn welmax_subsumes_influence_maximization() {
+    let g = uic::datasets::generators::preferential_attachment(
+        uic::datasets::PaOptions {
+            n: 500,
+            edges_per_node: 4,
+            ..Default::default()
+        },
+        11,
+    );
+    let model = UtilityModel::new(
+        Arc::new(AdditiveValuation::new(vec![1.0])),
+        Price::additive(vec![0.0]),
+        NoiseModel::none(1),
+    );
+    let r = bundle_grd(&g, &[10], 0.4, 1.0, DiffusionModel::IC, 7);
+    let im = imm(&g, 10, 0.4, 1.0, DiffusionModel::IC, 7);
+    assert_eq!(
+        r.allocation.seeds_of_item(0),
+        {
+            let mut s = im.seeds.clone();
+            s.sort_unstable();
+            s
+        },
+        "single free item: bundleGRD degenerates to IMM"
+    );
+    let welfare = WelfareEstimator::new(&g, &model, 4_000, 9).estimate(&r.allocation);
+    let spread = spread_mc(&g, &im.seeds, 4_000, 13);
+    assert!(
+        (welfare - spread).abs() / spread < 0.05,
+        "welfare {welfare} == spread {spread}"
+    );
+}
+
+/// Example 2 + Example 3/4 of the paper on an actual diffusion: blocks
+/// ({i1,i3}, {i2}) with Δ = (1, 3), anchors at i3, and the Lemma 5
+/// decomposition matching exact welfare on a concrete graph.
+#[test]
+fn worked_example_blocks_and_decomposition() {
+    // Utilities exactly as Example 2 (encode via V with zero prices).
+    let table = UtilityTable::from_values(3, vec![0.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 4.0]);
+    let blocks = uic::items::generate_blocks(&table);
+    assert_eq!(
+        blocks.blocks,
+        vec![ItemSet::from_items(&[0, 2]), ItemSet::singleton(1)]
+    );
+    assert!((blocks.gains[0] - 1.0).abs() < 1e-12);
+    assert!((blocks.gains[1] - 3.0).abs() < 1e-12);
+
+    // Budgets b1 > b2 > b3 as in Example 3; greedy order [0, 1, 2, 3].
+    let budgets = [4u32, 3, 2];
+    assert_eq!(blocks.effective_budget(0, &budgets), 2);
+    assert_eq!(blocks.effective_budget(1, &budgets), 2);
+    assert_eq!(blocks.anchor_item(1, &budgets), 2, "anchor is i3");
+
+    // A path graph 0→1→2→3 (p=1): spreads are deterministic.
+    let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+    let order = [0u32, 1, 2, 3];
+    // Greedy allocation: item i gets top-b_i seeds.
+    let mut alloc = Allocation::new();
+    for (i, &b) in budgets.iter().enumerate() {
+        for &v in order.iter().take(b as usize) {
+            alloc.assign(v, i as u32);
+        }
+    }
+    let exact = uic::diffusion::exact_welfare_given_noise(&g, &alloc, &table);
+    let decomposed = uic::core::greedy_welfare_decomposition(&table, &budgets, &order, |s| {
+        uic::diffusion::exact_spread(&g, s)
+    });
+    assert!(
+        (exact - decomposed).abs() < 1e-9,
+        "Lemma 5: exact {exact} vs decomposition {decomposed}"
+    );
+    // Hand check: effective seeds of both blocks = top-2 = {0,1};
+    // σ({0,1}) = 4 (path, p=1); ρ = 4·1 + 4·3 = 16.
+    assert!((exact - 16.0).abs() < 1e-9);
+}
+
+/// The bundling insight of §4.2.1: bundleGRD's allocation is
+/// simultaneously near-optimal for *any* supermodular configuration —
+/// check the same allocation against several utility models.
+#[test]
+fn one_allocation_serves_all_supermodular_configurations() {
+    let g = uic::datasets::generators::preferential_attachment(
+        uic::datasets::PaOptions {
+            n: 400,
+            edges_per_node: 4,
+            ..Default::default()
+        },
+        17,
+    );
+    let budgets = [10u32, 8];
+    let r = bundle_grd(&g, &budgets, 0.4, 1.0, DiffusionModel::IC, 21);
+    // Three very different supermodular settings.
+    let models = [
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 8.0])),
+            Price::additive(vec![3.0, 4.0]),
+            NoiseModel::iid_gaussian_var(2, 1.0),
+        ),
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 0.5, 0.5, 5.0])),
+            Price::additive(vec![1.0, 1.0]),
+            NoiseModel::none(2),
+        ),
+        UtilityModel::new(
+            Arc::new(ConeValuation::new(2, 0, 4.0, 2.0)),
+            Price::additive(vec![1.0, 0.5]),
+            NoiseModel::iid_gaussian_var(2, 0.5),
+        ),
+    ];
+    for (i, model) in models.iter().enumerate() {
+        let est = WelfareEstimator::new(&g, model, 2_000, 31 + i as u64);
+        let w_bundle = est.estimate(&r.allocation);
+        // Compare against item-disj under the same model.
+        let disj = item_disj(&g, &budgets, 0.4, 1.0, DiffusionModel::IC, 21);
+        let w_disj = est.estimate(&disj.allocation);
+        assert!(
+            w_bundle >= 0.9 * w_disj,
+            "model {i}: bundleGRD {w_bundle} collapsed below item-disj {w_disj}"
+        );
+    }
+}
