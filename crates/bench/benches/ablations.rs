@@ -129,7 +129,11 @@ fn bench_im_zoo(c: &mut Criterion) {
         b.iter(|| imm(&g, k, 0.5, 1.0, DiffusionModel::IC, 42).seeds.len())
     });
     group.bench_function("tim_plus", |b| {
-        b.iter(|| tim_plus(&g, k, 0.5, 1.0, DiffusionModel::IC, 42).seeds.len())
+        b.iter(|| {
+            tim_plus(&g, k, 0.5, 1.0, DiffusionModel::IC, 42)
+                .seeds
+                .len()
+        })
     });
     group.bench_function("ssa", |b| {
         b.iter(|| ssa(&g, k, 0.5, 1.0, DiffusionModel::IC, 42).seeds.len())
@@ -155,10 +159,18 @@ fn bench_prefix_orderings(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_prefix_orderings");
     group.sample_size(10);
     group.bench_function("prima_multi_budget", |b| {
-        b.iter(|| prima(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42).order.len())
+        b.iter(|| {
+            prima(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42)
+                .order
+                .len()
+        })
     });
     group.bench_function("skim_ordering", |b| {
-        b.iter(|| skim(&g, budgets[0], &SkimOptions::default(), 42).seeds.len())
+        b.iter(|| {
+            skim(&g, budgets[0], &SkimOptions::default(), 42)
+                .seeds
+                .len()
+        })
     });
     group.finish();
 }

@@ -39,11 +39,11 @@ pub use allocation::Allocation;
 pub use comic::{ComicOutcome, ComicSimulator};
 pub use ic::{exact_spread, simulate_ic, spread_mc};
 pub use lt::simulate_lt;
+pub use personalized::{personalized_welfare_mc, simulate_uic_personalized, PersonalizedOutcome};
 pub use triggering::{
     simulate_triggering, spread_triggering_mc, IcTriggering, LtTriggering, TriggeringSampler,
     UniformSubsetTriggering,
 };
-pub use personalized::{personalized_welfare_mc, simulate_uic_personalized, PersonalizedOutcome};
 pub use uic::{simulate_uic, simulate_uic_in_world, UicOutcome, UicSimulator};
 pub use welfare::{exact_welfare_given_noise, WelfareEstimator};
 pub use worlds::{enumerate_edge_worlds, LiveEdgeWorld};

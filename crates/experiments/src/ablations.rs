@@ -291,14 +291,7 @@ pub fn ablation_prefix_preservation(opts: &ExpOptions) -> Table {
         opts.seed,
     );
     let s = skim(&g, b_max, &SkimOptions::default(), opts.seed);
-    let imm_max = imm(
-        &g,
-        b_max,
-        opts.eps,
-        opts.ell,
-        DiffusionModel::IC,
-        opts.seed,
-    );
+    let imm_max = imm(&g, b_max, opts.eps, opts.ell, DiffusionModel::IC, opts.seed);
     // Neutral judge: a fresh RR collection none of the contestants saw.
     let mut judge = RrCollection::new(&g, DiffusionModel::IC, opts.seed ^ 0x1D6E);
     judge.extend_to(&g, 40_000);
@@ -335,7 +328,12 @@ pub fn ablation_im_algorithms(opts: &ExpOptions) -> Table {
     judge.extend_to(&g, 40_000);
     let mut t = Table::new(
         "Ablation: IM algorithm zoo (single item, one budget)",
-        &["algorithm", "spread (judge)", "cost (RR sets / instances)", "time (ms)"],
+        &[
+            "algorithm",
+            "spread (judge)",
+            "cost (RR sets / instances)",
+            "time (ms)",
+        ],
     );
     let mut push = |name: &str, seeds: &[u32], cost: u64, ms: f64| {
         t.push_row(vec![
@@ -347,10 +345,20 @@ pub fn ablation_im_algorithms(opts: &ExpOptions) -> Table {
     };
     let clock = std::time::Instant::now();
     let r = imm(&g, k, opts.eps, opts.ell, DiffusionModel::IC, opts.seed);
-    push("IMM", &r.seeds, r.rr_sets_total, clock.elapsed().as_secs_f64() * 1e3);
+    push(
+        "IMM",
+        &r.seeds,
+        r.rr_sets_total,
+        clock.elapsed().as_secs_f64() * 1e3,
+    );
     let clock = std::time::Instant::now();
     let r = tim_plus(&g, k, opts.eps, opts.ell, DiffusionModel::IC, opts.seed);
-    push("TIM+", &r.seeds, r.rr_sets_total, clock.elapsed().as_secs_f64() * 1e3);
+    push(
+        "TIM+",
+        &r.seeds,
+        r.rr_sets_total,
+        clock.elapsed().as_secs_f64() * 1e3,
+    );
     let clock = std::time::Instant::now();
     let r = ssa(&g, k, opts.eps, opts.ell, DiffusionModel::IC, opts.seed);
     push(
@@ -361,7 +369,12 @@ pub fn ablation_im_algorithms(opts: &ExpOptions) -> Table {
     );
     let clock = std::time::Instant::now();
     let r = opim_c(&g, k, opts.eps, opts.ell, DiffusionModel::IC, opts.seed);
-    push("OPIM-C", &r.seeds, r.rr_sets_total, clock.elapsed().as_secs_f64() * 1e3);
+    push(
+        "OPIM-C",
+        &r.seeds,
+        r.rr_sets_total,
+        clock.elapsed().as_secs_f64() * 1e3,
+    );
     let clock = std::time::Instant::now();
     let r = skim(&g, k, &SkimOptions::default(), opts.seed);
     push(
@@ -393,7 +406,11 @@ pub fn ablation_im_algorithms(opts: &ExpOptions) -> Table {
 /// target, wildly different cost — and no guarantee for the pair-greedy
 /// (ρ is neither submodular nor supermodular).
 pub fn ablation_pair_greedy(opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::Flixster, (opts.scale * 0.25).max(0.002), opts.seed);
+    let g = named_network(
+        NamedNetwork::Flixster,
+        (opts.scale * 0.25).max(0.002),
+        opts.seed,
+    );
     let n = g.num_nodes();
     let cfg = TwoItemConfig::new(3);
     let model = cfg.model();
@@ -418,7 +435,8 @@ pub fn ablation_pair_greedy(opts: &ExpOptions) -> Table {
         order
     };
     let clock = std::time::Instant::now();
-    let pg = uic_baselines::mc_greedy_welfare(&g, &model, &budgets, &pool, opts.sims / 4, opts.seed);
+    let pg =
+        uic_baselines::mc_greedy_welfare(&g, &model, &budgets, &pool, opts.sims / 4, opts.seed);
     let pg_ms = clock.elapsed().as_secs_f64() * 1e3;
     let mut t = Table::new(
         "Ablation: bundleGRD vs direct pair-greedy on welfare (Config 3)",

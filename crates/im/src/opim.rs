@@ -106,10 +106,11 @@ pub fn opim_c(
             est * r2.len() as f64 / nf
         };
         let scale = nf / theta as f64;
-        let opt_upper = scale * ((cov1 / one_minus_inv_e + a / 2.0).sqrt() + (a / 2.0).sqrt()).powi(2);
-        let spread_lower =
-            (scale * (((cov2 + 2.0 * a / 9.0).sqrt() - (a / 2.0).sqrt()).powi(2) - a / 18.0))
-                .max(0.0);
+        let opt_upper =
+            scale * ((cov1 / one_minus_inv_e + a / 2.0).sqrt() + (a / 2.0).sqrt()).powi(2);
+        let spread_lower = (scale
+            * (((cov2 + 2.0 * a / 9.0).sqrt() - (a / 2.0).sqrt()).powi(2) - a / 18.0))
+            .max(0.0);
         let ratio = if opt_upper > 0.0 {
             spread_lower / opt_upper
         } else {

@@ -279,10 +279,7 @@ mod tests {
                     2,
                     vec![0.0, v1, v2, v1 + v2 + boost],
                 )),
-                Price::additive(vec![
-                    0.1 + rng.next_f64() * 6.0,
-                    0.1 + rng.next_f64() * 6.0,
-                ]),
+                Price::additive(vec![0.1 + rng.next_f64() * 6.0, 0.1 + rng.next_f64() * 6.0]),
                 NoiseModel::new(vec![
                     NoiseDistribution::gaussian_var(rng.next_f64() * 3.0),
                     NoiseDistribution::gaussian_var(rng.next_f64() * 3.0),

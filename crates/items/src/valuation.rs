@@ -615,9 +615,7 @@ mod tests {
     #[test]
     fn pairwise_synergy_values_by_hand() {
         // v = (1, 2, 3); w(0,1)=10, w(0,2)=20, w(1,2)=30.
-        let v = PairwiseSynergyValuation::new(vec![1.0, 2.0, 3.0], |i, j| {
-            ((i + j) * 10) as f64
-        });
+        let v = PairwiseSynergyValuation::new(vec![1.0, 2.0, 3.0], |i, j| ((i + j) * 10) as f64);
         assert_eq!(v.value(ItemSet::EMPTY), 0.0);
         assert_eq!(v.value(ItemSet::singleton(1)), 2.0);
         assert_eq!(v.value(ItemSet::from_items(&[0, 1])), 1.0 + 2.0 + 10.0);

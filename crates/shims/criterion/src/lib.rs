@@ -1,0 +1,203 @@
+//! Offline shim for the subset of the `criterion` crate API this
+//! workspace's benches use. The build container has no access to
+//! crates.io, so this provides a small, honest measurement harness with
+//! the same surface: `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark takes `sample_size` wall-clock
+//! samples of one routine invocation each (after one warm-up call) and
+//! reports min / mean / max. It intentionally skips criterion's
+//! statistical machinery — the goal is stable relative numbers for the
+//! BENCH_* records, not confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (shim: one setup per sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup for every routine call.
+    PerIteration,
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            times: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` over `samples` invocations (plus one warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark driver (shim for `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo bench` the harness binary receives flags such as
+        // `--bench`; the first non-flag argument is a name filter, as
+        // with real criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            filter,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.default_samples;
+        self.run_one(&id, samples, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        if b.times.is_empty() {
+            println!("{id:<60} (no samples)");
+            return;
+        }
+        let min = *b.times.iter().min().unwrap();
+        let max = *b.times.iter().max().unwrap();
+        let total: Duration = b.times.iter().sum();
+        let mean = total / b.times.len() as u32;
+        println!(
+            "{id:<60} [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max)
+        );
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        self.criterion.run_one(&full, samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the harness `main` for one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}

@@ -1,0 +1,66 @@
+//! Offline shim for the subset of the `crossbeam` crate API this
+//! workspace uses: `crossbeam::thread::scope` + `Scope::spawn`. The
+//! build container has no access to crates.io, and `std::thread::scope`
+//! (stable since 1.63) provides the same structured-concurrency
+//! guarantees, so the shim is a thin adapter over std.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread (same shape as `std::thread::Result`).
+    pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to the `scope` closure; spawn workers on it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Placeholder passed to spawned closures in place of crossbeam's
+    /// nested scope handle (every call site in this workspace ignores it).
+    #[derive(Clone, Copy)]
+    pub struct NestedScope {
+        _private: (),
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> ThreadResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker thread. The closure receives a
+        /// placeholder nested-scope argument for crossbeam signature
+        /// compatibility.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(NestedScope { _private: () })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope on which borrowing worker threads can be
+    /// spawned; all workers are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a panic in an unjoined worker propagates
+    /// (std behavior) instead of being collected into the `Err` arm, so
+    /// the `Err` case only occurs through explicitly joined panics —
+    /// call sites treat both identically via `.expect(..)`.
+    pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

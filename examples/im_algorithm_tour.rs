@@ -68,7 +68,11 @@ fn main() {
         format!("{:.0}", t.elapsed().as_secs_f64() * 1e3),
         format!(
             "stare {} after {} rounds",
-            if r.stare_certified { "certified" } else { "capped" },
+            if r.stare_certified {
+                "certified"
+            } else {
+                "capped"
+            },
             r.rounds
         ),
     ]);

@@ -25,10 +25,10 @@ fn catalogue() -> UtilityModel {
     let base = vec![5.0, 2.0, 2.0, 1.5, 1.5, 1.0, 1.0, 1.0];
     let synergy = |i: u32, j: u32| -> f64 {
         match (i.min(j), i.max(j)) {
-            (0, _) => 1.6,          // every accessory complements the hub
-            (1, 2) => 0.8,          // controller pairs with headset
+            (0, _) => 1.6,               // every accessory complements the hub
+            (1, 2) => 0.8,               // controller pairs with headset
             (a, b) if b - a == 1 => 0.4, // adjacent accessories mildly synergize
-            _ => 0.1,               // weak background complementarity
+            _ => 0.1,                    // weak background complementarity
         }
     };
     let v = PairwiseSynergyValuation::new(base, synergy);
@@ -62,19 +62,19 @@ fn main() {
     let total = 160u32;
     let splits: [(&str, Vec<u32>); 3] = [
         ("uniform (20 each)", vec![20; 8]),
-        (
-            "large skew (82% on hub)",
-            vec![132, 4, 4, 4, 4, 4, 4, 4],
-        ),
-        (
-            "moderate skew",
-            vec![40, 40, 20, 20, 10, 10, 10, 10],
-        ),
+        ("large skew (82% on hub)", vec![132, 4, 4, 4, 4, 4, 4, 4]),
+        ("moderate skew", vec![40, 40, 20, 20, 10, 10, 10, 10]),
     ];
 
     let mut report = Table::new(
         "welfare by allocator and budget split (total budget 160)",
-        &["budget split", "bundleGRD", "item-disj", "bundle-disj", "GRD time (ms)"],
+        &[
+            "budget split",
+            "bundleGRD",
+            "item-disj",
+            "bundle-disj",
+            "GRD time (ms)",
+        ],
     );
     for (name, budgets) in &splits {
         assert_eq!(budgets.iter().sum::<u32>(), total);

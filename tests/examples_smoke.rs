@@ -1,0 +1,228 @@
+//! Smoke tests mirroring the core path of each of the seven
+//! `examples/*.rs` targets on tiny graphs, so the examples cannot
+//! silently rot: every API call an example demonstrates is exercised
+//! here with assertions on the invariants the example's prose claims.
+
+use std::sync::Arc;
+use uic::baselines::bundle_disj;
+use uic::datasets::{
+    budget_splits, named_network, real_param_model, NamedNetwork, PaOptions, REAL_ITEM_NAMES,
+};
+use uic::prelude::*;
+
+/// `examples/quickstart.rs`: PA network, complementary pair, bundleGRD
+/// vs item-disj, MC welfare scoring.
+#[test]
+fn quickstart_core_path() {
+    let g = uic::datasets::generators::preferential_attachment(
+        PaOptions {
+            n: 120,
+            edges_per_node: 4,
+            ..Default::default()
+        },
+        7,
+    );
+    assert_eq!(g.num_nodes(), 120);
+    let model = UtilityModel::new(
+        Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 9.5])),
+        Price::additive(vec![3.0, 4.0]),
+        NoiseModel::iid_gaussian_var(2, 1.0),
+    );
+    assert!(model.deterministic_utility(ItemSet::full(2)) > 0.0);
+    let budgets = [5u32, 5];
+    let greedy = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    let disj = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    assert!(greedy.allocation.num_seed_nodes() > 0);
+    let estimator = WelfareEstimator::new(&g, &model, 200, 1);
+    let w_greedy = estimator.estimate(&greedy.allocation);
+    let w_disj = estimator.estimate(&disj.allocation);
+    assert!(w_greedy.is_finite() && w_disj.is_finite());
+}
+
+/// `examples/campaign_planner.rs`: three budget splits over the real
+/// parameters, scored with one shared estimator.
+#[test]
+fn campaign_planner_core_path() {
+    let g = named_network(NamedNetwork::Twitter, 0.005, 11);
+    let model = real_param_model();
+    let total = 20u32;
+    let estimator = WelfareEstimator::new(&g, &model, 100, 9);
+    let mut report = Table::new(
+        format!("campaign plans, total budget {total}"),
+        &["split", "welfare"],
+    );
+    for budgets in [
+        budget_splits::uniform(total, 5),
+        budget_splits::large_skew(total, 5),
+        budget_splits::real_params(total),
+    ] {
+        assert_eq!(budgets.iter().sum::<u32>(), total);
+        let capped: Vec<u32> = budgets.iter().map(|&b| b.min(g.num_nodes())).collect();
+        let r = bundle_grd(&g, &capped, 0.5, 1.0, DiffusionModel::IC, 42);
+        let w = estimator.estimate(&r.allocation);
+        assert!(w.is_finite());
+        report.push_row(vec![format!("{capped:?}"), format!("{w:.1}")]);
+    }
+    assert!(report.to_string().contains("campaign plans"));
+}
+
+/// `examples/im_algorithm_tour.rs`: every IM algorithm in the zoo on one
+/// network and budget, plus the shared MC spread scorer.
+#[test]
+fn im_algorithm_tour_core_path() {
+    let g = named_network(NamedNetwork::Flixster, 0.05, 7);
+    let k = 5u32;
+    let score = |seeds: &[NodeId]| spread_mc(&g, seeds, 200, 99);
+
+    let r = imm(&g, k, 0.5, 1.0, DiffusionModel::IC, 42);
+    assert_eq!(r.seeds.len(), k as usize);
+    assert!(score(&r.seeds) >= k as f64 - 1e-9);
+
+    let r = tim_plus(&g, k, 0.5, 1.0, DiffusionModel::IC, 42);
+    assert_eq!(r.seeds.len(), k as usize);
+    assert!(r.rr_sets_total > 0);
+
+    let r = ssa(&g, k, 0.5, 1.0, DiffusionModel::IC, 42);
+    assert_eq!(r.seeds.len(), k as usize);
+    assert!(r.rounds >= 1);
+
+    let r = opim_c(&g, k, 0.5, 1.0, DiffusionModel::IC, 42);
+    assert_eq!(r.seeds.len(), k as usize);
+    assert!(r.spread_lower <= r.opt_upper);
+
+    let r = skim(&g, k, &SkimOptions::default(), 42);
+    assert_eq!(r.seeds.len(), k as usize);
+    assert!(r.num_instances > 0);
+
+    let r = prima(&g, &[k, k / 2], 0.5, 1.0, DiffusionModel::IC, 42);
+    assert!(r.order.len() >= k as usize);
+
+    let r = degree_top(&g, &[k]);
+    assert_eq!(r.allocation.seeds_of_item(0).len(), k as usize);
+
+    let r = pagerank_top(&g, &[k], 0.85, 30);
+    assert_eq!(r.allocation.seeds_of_item(0).len(), k as usize);
+
+    let seeds = uic::im::greedy_mc_spread(&g, 2, 50, DiffusionModel::IC, 42);
+    assert_eq!(seeds.len(), 2);
+}
+
+/// `examples/prefix_oracle.rs`: one PRIMA ordering serves every budget,
+/// and smaller-budget prefixes nest inside larger ones.
+#[test]
+fn prefix_oracle_core_path() {
+    let g = named_network(NamedNetwork::DoubanBook, 0.02, 3);
+    let budgets = [8u32, 4, 2, 1];
+    let oracle = prima(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    assert!(oracle.order.len() >= budgets[0] as usize);
+    for pair in budgets.windows(2) {
+        let bigger = oracle.seeds_for_budget(pair[0]);
+        let smaller = oracle.seeds_for_budget(pair[1]);
+        assert_eq!(smaller.len(), pair[1] as usize);
+        assert!(
+            smaller.iter().all(|v| bigger.contains(v)),
+            "budget {} seeds are not nested in budget {} seeds",
+            pair[1],
+            pair[0]
+        );
+    }
+    let r = imm(&g, budgets[0], 0.5, 1.0, DiffusionModel::IC, 42);
+    assert_eq!(r.seeds.len(), budgets[0] as usize);
+}
+
+/// `examples/substitutes_vs_complements.rs`: the same two allocations
+/// scored under a supermodular and a substitutes valuation.
+#[test]
+fn substitutes_vs_complements_core_path() {
+    let g = uic::datasets::generators::preferential_attachment(
+        PaOptions {
+            n: 100,
+            edges_per_node: 4,
+            ..Default::default()
+        },
+        3,
+    );
+    let budgets = [4u32, 4];
+    let bundled = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    let disjoint = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    let complements = UtilityModel::new(
+        Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 3.0, 9.0])),
+        Price::additive(vec![3.5, 3.5]),
+        NoiseModel::iid_gaussian_var(2, 1.0),
+    );
+    let substitutes = UtilityModel::new(
+        Arc::new(CoverageValuation::substitutes(2, 3.0)),
+        Price::additive(vec![1.0, 1.0]),
+        NoiseModel::iid_gaussian_var(2, 0.25),
+    );
+    for model in [&complements, &substitutes] {
+        let est = WelfareEstimator::new(&g, model, 200, 9);
+        assert!(est.estimate(&bundled.allocation).is_finite());
+        assert!(est.estimate(&disjoint.allocation).is_finite());
+    }
+}
+
+/// `examples/synergy_catalog.rs`: a pairwise-synergy catalogue priced
+/// above standalone value, allocated three ways.
+#[test]
+fn synergy_catalog_core_path() {
+    let base = vec![5.0, 2.0, 2.0, 1.5];
+    let v =
+        PairwiseSynergyValuation::new(base, |i: u32, j: u32| if i.min(j) == 0 { 1.6 } else { 0.2 });
+    let prices: Vec<f64> = (0..4u32)
+        .map(|i| 1.15 * v.value(ItemSet::singleton(i)))
+        .collect();
+    let model = UtilityModel::new(
+        Arc::new(v),
+        Price::additive(prices),
+        NoiseModel::iid_gaussian_var(4, 0.25),
+    );
+    assert_eq!(model.num_items(), 4);
+    // Every singleton is a loss by construction.
+    for i in 0..4u32 {
+        assert!(model.deterministic_utility(ItemSet::singleton(i)) < 0.0);
+    }
+    let g = named_network(NamedNetwork::DoubanBook, 0.02, 11);
+    let budgets = [4u32, 4, 2, 2];
+    let greedy = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    let itemwise = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    let bundled = bundle_disj(&g, &budgets, &model, 0.5, 1.0, DiffusionModel::IC, 42);
+    let est = WelfareEstimator::new(&g, &model, 100, 7);
+    for alloc in [
+        &greedy.allocation,
+        &itemwise.allocation,
+        &bundled.allocation,
+    ] {
+        assert!(est.estimate(alloc).is_finite());
+    }
+}
+
+/// `examples/viral_bundle_launch.rs`: the §4.3.4 console-bundle scenario
+/// with auction-learned parameters.
+#[test]
+fn viral_bundle_launch_core_path() {
+    let g = named_network(NamedNetwork::Twitter, 0.005, 11);
+    let model = real_param_model();
+    assert_eq!(REAL_ITEM_NAMES.len(), model.num_items() as usize);
+    let table = model.deterministic_table();
+    let istar = uic::items::istar(&table);
+    assert!(
+        table.utility(istar) > 0.0,
+        "the learned best bundle must be profitable"
+    );
+    let budgets: Vec<u32> = budget_splits::real_params(20)
+        .into_iter()
+        .map(|b| b.min(g.num_nodes()))
+        .collect();
+    let estimator = WelfareEstimator::new(&g, &model, 100, 3);
+    let greedy = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    let disj = bundle_disj(&g, &budgets, &model, 0.5, 1.0, DiffusionModel::IC, 42);
+    let itemwise = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    let w_greedy = estimator.estimate(&greedy.allocation);
+    let w_disj = estimator.estimate(&disj.allocation);
+    let w_item = estimator.estimate(&itemwise.allocation);
+    assert!(w_greedy.is_finite() && w_disj.is_finite() && w_item.is_finite());
+    // Item-by-item marketing is hopeless here: every single item is a
+    // loss, so bundle-aware seeding must not lose to item-disj.
+    assert!(w_greedy >= w_item - 1e-9);
+}

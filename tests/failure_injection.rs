@@ -36,7 +36,10 @@ fn single_node_graph_diffusion_is_trivial() {
     let mut alloc = Allocation::new();
     alloc.assign(0, 0);
     let w = WelfareEstimator::new(&g, &model, 50, 1).estimate(&alloc);
-    assert!((w - 1.0).abs() < 1e-9, "lone seed adopts, welfare 1, got {w}");
+    assert!(
+        (w - 1.0).abs() < 1e-9,
+        "lone seed adopts, welfare 1, got {w}"
+    );
 }
 
 #[test]
@@ -195,14 +198,8 @@ fn disconnected_components_do_not_leak_adoptions() {
         outcome.adoption_of(1).contains(0),
         "in-component node adopts"
     );
-    assert!(
-        !outcome.adoption_of(2).contains(0),
-        "cross-component leak"
-    );
-    assert!(
-        !outcome.adoption_of(3).contains(0),
-        "cross-component leak"
-    );
+    assert!(!outcome.adoption_of(2).contains(0), "cross-component leak");
+    assert!(!outcome.adoption_of(3).contains(0), "cross-component leak");
 }
 
 // ---------------------------------------------------------------------
