@@ -32,7 +32,7 @@ use std::time::Instant;
 use uic_graph::{Graph, NodeId};
 use uic_im::{imm, node_selection, DiffusionModel, RrCollection};
 use uic_items::GapParams;
-use uic_util::{log_choose, split_seed, FxHashMap, UicRng, VisitTags};
+use uic_util::{log_choose, split_seed, EdgeStatusCache, EpochMap, UicRng, VisitTags};
 
 /// TIM's RR-set budget: `θ = λ/KPT`,
 /// `λ = (8 + 2ε)·n·(ℓ·ln n + ln C(n,k) + ln 2)/ε²`, capped at
@@ -58,6 +58,7 @@ fn sample_self_rr(
     q: f64,
     rng: &mut UicRng,
     tags: &mut VisitTags,
+    expand: &mut Vec<NodeId>,
     out: &mut Vec<NodeId>,
 ) {
     out.clear();
@@ -73,7 +74,8 @@ fn sample_self_rr(
     tags.mark(root as usize);
     out.push(root);
     // Queue of nodes allowed to relay (passed their q coin).
-    let mut expand = vec![root];
+    expand.clear();
+    expand.push(root);
     let mut head = 0;
     while head < expand.len() {
         let w = expand[head];
@@ -115,12 +117,13 @@ pub fn rr_sim_plus(
     // Pilot sample to estimate KPT (mean set size ≈ E[σ(random v)]).
     let pilot = 2_000usize;
     let mut tags = VisitTags::new(n as usize);
+    let mut expand = Vec::new();
     let mut buf = Vec::new();
     let mut sets: Vec<Vec<NodeId>> = Vec::with_capacity(pilot);
     let mut size_sum = 0usize;
     for j in 0..pilot {
         let mut rng = UicRng::new(split_seed(seed, 100 + j as u64));
-        sample_self_rr(g, gap.q1_alone, &mut rng, &mut tags, &mut buf);
+        sample_self_rr(g, gap.q1_alone, &mut rng, &mut tags, &mut expand, &mut buf);
         size_sum += buf.len();
         sets.push(buf.clone());
     }
@@ -129,7 +132,7 @@ pub fn rr_sim_plus(
     sets.reserve(theta.saturating_sub(sets.len()));
     for j in sets.len()..theta {
         let mut rng = UicRng::new(split_seed(seed, 100 + j as u64));
-        sample_self_rr(g, gap.q1_alone, &mut rng, &mut tags, &mut buf);
+        sample_self_rr(g, gap.q1_alone, &mut rng, &mut tags, &mut expand, &mut buf);
         sets.push(buf.clone());
     }
     let total = sets.len();
@@ -150,40 +153,79 @@ pub fn rr_sim_plus(
     }
 }
 
+/// Dense per-world scratch shared by RR-CIM's forward and reverse
+/// passes: edge coins, per-node adoption decisions, adopter marks, and
+/// the reusable BFS queue. All components are epoch-stamped, so
+/// [`WorldScratch::reset`] is `O(1)`.
+struct WorldScratch {
+    edge_cache: EdgeStatusCache,
+    informed: EpochMap<bool>,
+    adopters: VisitTags,
+    queue: Vec<NodeId>,
+}
+
+impl WorldScratch {
+    fn new(g: &Graph) -> WorldScratch {
+        WorldScratch {
+            edge_cache: EdgeStatusCache::new(g.num_edges()),
+            informed: EpochMap::new(g.num_nodes() as usize),
+            adopters: VisitTags::new(g.num_nodes() as usize),
+            queue: Vec::new(),
+        }
+    }
+
+    /// Forgets the current world.
+    fn reset(&mut self) {
+        self.edge_cache.reset();
+        self.informed.reset();
+        self.adopters.reset();
+    }
+}
+
 /// Forward Com-IC single-item cascade of item 1 from `s1`, recording
-/// adopters and the edge coins into `edge_cache` so the reverse pass
-/// sees the same world.
+/// adopters and the edge coins into `scratch` so the reverse pass sees
+/// the same world. Callers reset the scratch per world.
 fn forward_item1(
     g: &Graph,
     s1: &[NodeId],
     q1_alone: f64,
     rng: &mut UicRng,
-    edge_cache: &mut FxHashMap<u32, bool>,
-    adopters: &mut VisitTags,
+    scratch: &mut WorldScratch,
 ) {
-    let mut queue: Vec<NodeId> = Vec::new();
+    let WorldScratch {
+        edge_cache,
+        informed,
+        adopters,
+        queue,
+    } = scratch;
+    queue.clear();
     for &v in s1 {
         if adopters.mark(v as usize) {
             queue.push(v);
         }
     }
     let mut head = 0;
-    let mut informed: FxHashMap<NodeId, bool> = FxHashMap::default();
     while head < queue.len() {
         let u = queue[head];
         head += 1;
         let nbrs = g.out_neighbors(u);
         let probs = g.out_probs(u);
+        let first_eid = g.out_edge_id(u, 0);
         for (i, &v) in nbrs.iter().enumerate() {
-            let eid = g.out_edge_id(u, i) as u32;
-            let live = *edge_cache
-                .entry(eid)
-                .or_insert_with(|| rng.coin(probs[i] as f64));
+            let rng_ref = &mut *rng;
+            let live = edge_cache.get_or_flip(first_eid + i, || rng_ref.coin(probs[i] as f64));
             if !live || adopters.is_marked(v as usize) {
                 continue;
             }
             // One adoption decision per informed node.
-            let adopt = *informed.entry(v).or_insert_with(|| rng.coin(q1_alone));
+            let adopt = match informed.get(v as usize) {
+                Some(decision) => decision,
+                None => {
+                    let decision = rng.coin(q1_alone);
+                    informed.insert(v as usize, decision);
+                    decision
+                }
+            };
             if adopt && adopters.mark(v as usize) {
                 queue.push(v);
             }
@@ -219,9 +261,9 @@ pub fn rr_cim(
     // exchangeable, and the coverage estimator tolerates the mild
     // within-batch correlation).
     const BATCH: u64 = 32;
-    let mut adopters = VisitTags::new(n as usize);
+    let mut scratch = WorldScratch::new(g);
     let mut tags = VisitTags::new(n as usize);
-    let mut edge_cache: FxHashMap<u32, bool> = FxHashMap::default();
+    let mut expand: Vec<NodeId> = Vec::new();
     let mut world_id = u64::MAX;
     let mut sample = |j: u64, out: &mut Vec<NodeId>| {
         let world = j / BATCH;
@@ -229,22 +271,14 @@ pub fn rr_cim(
         if world != world_id {
             world_id = world;
             let mut wrng = UicRng::new(split_seed(seed ^ 0xF0F0, world));
-            edge_cache.clear();
-            adopters.reset();
-            forward_item1(
-                g,
-                s1,
-                gap.q1_alone,
-                &mut wrng,
-                &mut edge_cache,
-                &mut adopters,
-            );
+            scratch.reset();
+            forward_item1(g, s1, gap.q1_alone, &mut wrng, &mut scratch);
         }
         // Reverse pass for item 2 with complement-aware node coins.
         out.clear();
         tags.reset();
         let root = rng.next_below(n);
-        let q_root = if adopters.is_marked(root as usize) {
+        let q_root = if scratch.adopters.is_marked(root as usize) {
             gap.q2_given_1
         } else {
             gap.q2_alone
@@ -254,7 +288,8 @@ pub fn rr_cim(
         }
         tags.mark(root as usize);
         out.push(root);
-        let mut expand = vec![root];
+        expand.clear();
+        expand.push(root);
         let mut head = 0;
         while head < expand.len() {
             let w = expand[head];
@@ -266,15 +301,16 @@ pub fn rr_cim(
                 if tags.is_marked(u as usize) {
                     continue;
                 }
-                let live = *edge_cache
-                    .entry(eids[i])
-                    .or_insert_with(|| rng.coin(probs[i] as f64));
+                let rng_ref = &mut rng;
+                let live = scratch
+                    .edge_cache
+                    .get_or_flip(eids[i] as usize, || rng_ref.coin(probs[i] as f64));
                 if !live {
                     continue;
                 }
                 tags.mark(u as usize);
                 out.push(u);
-                let q_u = if adopters.is_marked(u as usize) {
+                let q_u = if scratch.adopters.is_marked(u as usize) {
                     gap.q2_given_1
                 } else {
                     gap.q2_alone
@@ -395,12 +431,13 @@ mod tests {
         // Smaller q ⇒ fewer accepted roots/relays ⇒ smaller total mass.
         let g = hub_graph();
         let mut tags = VisitTags::new(30);
+        let mut expand = Vec::new();
         let mut buf = Vec::new();
         let mut mass = |q: f64| {
             let mut total = 0usize;
             for j in 0..3000u64 {
                 let mut rng = UicRng::new(split_seed(42, j));
-                sample_self_rr(&g, q, &mut rng, &mut tags, &mut buf);
+                sample_self_rr(&g, q, &mut rng, &mut tags, &mut expand, &mut buf);
                 total += buf.len();
             }
             total

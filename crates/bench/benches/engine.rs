@@ -1,0 +1,117 @@
+//! Benchmarks for the dense epoch-stamped cascade engine
+//! (`uic-diffusion::engine`) against the hash-map reference path it
+//! replaced.
+//!
+//! Two scales, mirroring the acceptance bar of the engine refactor:
+//! * **10k nodes / 50k edges** — welfare-estimation microbench (the
+//!   Monte-Carlo loop dominated by per-cascade state handling);
+//! * **100k nodes / 500k edges** — single-cascade simulation cost.
+//!
+//! Record the `dense_*` vs `reference_*` numbers in BENCH notes: the
+//! dense engine must beat the reference hash-map path on the 10k welfare
+//! estimation bench.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use uic_datasets::erdos_renyi;
+use uic_diffusion::engine::reference;
+use uic_diffusion::{Allocation, UicSimulator, WelfareEstimator};
+use uic_graph::Graph;
+use uic_items::{NoiseModel, Price, TableValuation, UtilityModel, UtilityTable};
+use uic_util::{split_seed, UicRng};
+
+fn model() -> UtilityModel {
+    UtilityModel::new(
+        Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 3.0, 8.0])),
+        Price::additive(vec![3.0, 4.0]),
+        NoiseModel::none(2),
+    )
+}
+
+fn seeds_alloc() -> Allocation {
+    let seeds: Vec<u32> = (0..20).collect();
+    Allocation::from_item_seeds(&[seeds.clone(), seeds])
+}
+
+/// Sum of Monte-Carlo welfare over `sims` cascades through the dense
+/// engine (reused scratch, as the estimator runs it).
+fn dense_mc(g: &Graph, table: &UtilityTable, alloc: &Allocation, sims: u64) -> f64 {
+    let mut sim = UicSimulator::new(g);
+    let mut total = 0.0;
+    for s in 0..sims {
+        let mut rng = UicRng::new(split_seed(11, s));
+        total += sim.run(g, alloc, table, &mut rng).welfare(table);
+    }
+    total
+}
+
+/// The same loop through the hash-map reference implementation (with
+/// the same scratch reuse the pre-engine simulator had).
+fn reference_mc(g: &Graph, table: &UtilityTable, alloc: &Allocation, sims: u64) -> f64 {
+    let mut sim = reference::ReferenceSimulator::new(g);
+    let mut total = 0.0;
+    for s in 0..sims {
+        let mut rng = UicRng::new(split_seed(11, s));
+        total += sim.run(g, alloc, table, &mut rng).welfare(table);
+    }
+    total
+}
+
+fn bench_welfare_estimation_10k(c: &mut Criterion) {
+    let g = erdos_renyi(10_000, 50_000, 7);
+    let m = model();
+    let table = m.deterministic_table();
+    let alloc = seeds_alloc();
+    let sims = 200u64;
+    let mut group = c.benchmark_group("engine_welfare_10k");
+    group.sample_size(10);
+    group.bench_function("dense_200_cascades", |b| {
+        b.iter(|| dense_mc(&g, &table, &alloc, black_box(sims)))
+    });
+    group.bench_function("reference_hashmap_200_cascades", |b| {
+        b.iter(|| reference_mc(&g, &table, &alloc, black_box(sims)))
+    });
+    group.bench_function("estimator_single_thread_200", |b| {
+        b.iter(|| {
+            WelfareEstimator::new(&g, &m, 200, 11)
+                .with_threads(1)
+                .estimate(&alloc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_cascade_100k(c: &mut Criterion) {
+    let g = erdos_renyi(100_000, 500_000, 7);
+    let m = model();
+    let table = m.deterministic_table();
+    let alloc = seeds_alloc();
+    let mut group = c.benchmark_group("engine_cascade_100k");
+    group.sample_size(10);
+    group.bench_function("dense_single_cascade", |b| {
+        let mut sim = UicSimulator::new(&g);
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            let mut rng = UicRng::new(split_seed(23, s));
+            sim.run(&g, &alloc, &table, &mut rng).total_adoptions()
+        })
+    });
+    group.bench_function("reference_hashmap_single_cascade", |b| {
+        let mut sim = reference::ReferenceSimulator::new(&g);
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            let mut rng = UicRng::new(split_seed(23, s));
+            sim.run(&g, &alloc, &table, &mut rng).total_adoptions()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_welfare_estimation_10k,
+    bench_single_cascade_100k
+);
+criterion_main!(benches);

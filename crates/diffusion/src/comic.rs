@@ -18,10 +18,15 @@
 //! Seeds adopt their seeded item outright (Com-IC's convention; the UIC
 //! paper highlights as a *difference* that its own seeds are rational
 //! utility maximizers).
+//!
+//! Like the UIC engine, per-cascade state is dense and epoch-stamped:
+//! node automata live in an [`EpochMap`], edge coins in an
+//! [`EdgeStatusCache`], so the Monte-Carlo estimator never allocates or
+//! hashes inside a cascade.
 
 use uic_graph::{Graph, NodeId};
 use uic_items::GapParams;
-use uic_util::{FxHashMap, UicRng};
+use uic_util::{EdgeStatusCache, EpochMap, UicRng};
 
 /// Adoption state of one item at one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,10 +66,16 @@ impl ComicOutcome {
     }
 }
 
-/// Reusable Com-IC simulator.
+/// Reusable Com-IC simulator; owns dense per-cascade scratch.
 pub struct ComicSimulator<'a> {
     graph: &'a Graph,
     gap: GapParams,
+    states: EpochMap<[ItemState; 2]>,
+    coins: EdgeStatusCache,
+    /// Nodes touched this cascade, in first-contact order.
+    touched: Vec<NodeId>,
+    frontier: Vec<(NodeId, u8)>,
+    next: Vec<(NodeId, u8)>,
 }
 
 impl<'a> ComicSimulator<'a> {
@@ -75,54 +86,83 @@ impl<'a> ComicSimulator<'a> {
             gap.is_mutually_complementary(),
             "Com-IC complementary semantics require q_X|Y ≥ q_X|∅"
         );
-        ComicSimulator { graph, gap }
+        ComicSimulator {
+            graph,
+            gap,
+            states: EpochMap::new(graph.num_nodes() as usize),
+            coins: EdgeStatusCache::new(graph.num_edges()),
+            touched: Vec::new(),
+            frontier: Vec::new(),
+            next: Vec::new(),
+        }
     }
 
     /// Runs one cascade from per-item seed sets.
-    pub fn run(&self, seeds_a: &[NodeId], seeds_b: &[NodeId], rng: &mut UicRng) -> ComicOutcome {
+    pub fn run(
+        &mut self,
+        seeds_a: &[NodeId],
+        seeds_b: &[NodeId],
+        rng: &mut UicRng,
+    ) -> ComicOutcome {
         let g = self.graph;
-        let mut states: FxHashMap<NodeId, [ItemState; 2]> = FxHashMap::default();
-        let mut edge_cache: FxHashMap<usize, bool> = FxHashMap::default();
-        // Frontier of fresh adoptions awaiting propagation: (node, item).
-        let mut frontier: Vec<(NodeId, u8)> = Vec::new();
+        self.states.reset();
+        self.coins.reset();
+        self.touched.clear();
+        self.frontier.clear();
+        self.next.clear();
 
         // Seeds adopt outright.
         for &v in seeds_a {
-            let st = states.entry(v).or_default();
+            let (st, fresh) = self.states.slot(v as usize);
             if st[0] != ItemState::Adopted {
                 st[0] = ItemState::Adopted;
-                frontier.push((v, 0));
+                self.frontier.push((v, 0));
+            }
+            if fresh {
+                self.touched.push(v);
             }
         }
         for &v in seeds_b {
-            let st = states.entry(v).or_default();
+            let (st, fresh) = self.states.slot(v as usize);
             if st[1] != ItemState::Adopted {
                 st[1] = ItemState::Adopted;
-                frontier.push((v, 1));
+                self.frontier.push((v, 1));
+            }
+            if fresh {
+                self.touched.push(v);
             }
         }
 
-        let mut next: Vec<(NodeId, u8)> = Vec::new();
-        while !frontier.is_empty() {
-            next.clear();
-            for &(u, item) in &frontier {
+        while !self.frontier.is_empty() {
+            self.next.clear();
+            for fi in 0..self.frontier.len() {
+                let (u, item) = self.frontier[fi];
                 let nbrs = g.out_neighbors(u);
                 let probs = g.out_probs(u);
+                let first_eid = g.out_edge_id(u, 0);
                 for (i, &v) in nbrs.iter().enumerate() {
-                    let eid = g.out_edge_id(u, i);
-                    let live = *edge_cache
-                        .entry(eid)
-                        .or_insert_with(|| rng.coin(probs[i] as f64));
+                    let live = self
+                        .coins
+                        .get_or_flip(first_eid + i, || rng.coin(probs[i] as f64));
                     if live {
-                        self.inform(v, item, &mut states, &mut next, rng);
+                        Self::inform(
+                            self.gap,
+                            v,
+                            item,
+                            &mut self.states,
+                            &mut self.touched,
+                            &mut self.next,
+                            rng,
+                        );
                     }
                 }
             }
-            std::mem::swap(&mut frontier, &mut next);
+            std::mem::swap(&mut self.frontier, &mut self.next);
         }
 
         let mut out = ComicOutcome::default();
-        for (&v, st) in &states {
+        for &v in &self.touched {
+            let st = self.states.get_or_default(v as usize);
             if st[0] == ItemState::Adopted {
                 out.adopters_a.push(v);
             }
@@ -136,40 +176,45 @@ impl<'a> ComicSimulator<'a> {
     }
 
     /// Information of `item` arrives at `v`.
+    #[allow(clippy::too_many_arguments)]
     fn inform(
-        &self,
+        gap: GapParams,
         v: NodeId,
         item: u8,
-        states: &mut FxHashMap<NodeId, [ItemState; 2]>,
-        fresh: &mut Vec<(NodeId, u8)>,
+        states: &mut EpochMap<[ItemState; 2]>,
+        touched: &mut Vec<NodeId>,
+        fresh_adopters: &mut Vec<(NodeId, u8)>,
         rng: &mut UicRng,
     ) {
-        let st = states.entry(v).or_default();
+        let (st, fresh) = states.slot(v as usize);
+        if fresh {
+            touched.push(v);
+        }
         if st[item as usize] != ItemState::Idle {
             return; // informed before; decision already made (or adopted)
         }
         let other = 1 - item;
         let other_adopted = st[other as usize] == ItemState::Adopted;
         let q = match (item, other_adopted) {
-            (0, false) => self.gap.q1_alone,
-            (0, true) => self.gap.q1_given_2,
-            (1, false) => self.gap.q2_alone,
-            (1, true) => self.gap.q2_given_1,
+            (0, false) => gap.q1_alone,
+            (0, true) => gap.q1_given_2,
+            (1, false) => gap.q2_alone,
+            (1, true) => gap.q2_given_1,
             _ => unreachable!(),
         };
         if rng.coin(q) {
             st[item as usize] = ItemState::Adopted;
-            fresh.push((v, item));
+            fresh_adopters.push((v, item));
             // Reconsideration of a suspended complement.
             if st[other as usize] == ItemState::Suspended {
                 let rho = if other == 0 {
-                    self.gap.reconsider_1()
+                    gap.reconsider_1()
                 } else {
-                    self.gap.reconsider_2()
+                    gap.reconsider_2()
                 };
                 if rng.coin(rho) {
                     st[other as usize] = ItemState::Adopted;
-                    fresh.push((v, other));
+                    fresh_adopters.push((v, other));
                 }
             }
         } else {
@@ -179,7 +224,7 @@ impl<'a> ComicSimulator<'a> {
 
     /// Monte-Carlo expected adoption counts `(E[#A], E[#B])`.
     pub fn expected_adoptions(
-        &self,
+        &mut self,
         seeds_a: &[NodeId],
         seeds_b: &[NodeId],
         sims: u32,
@@ -209,7 +254,7 @@ mod tests {
     fn perfect_adoption_spreads_everywhere() {
         let g = path3();
         let gap = GapParams::new(1.0, 1.0, 1.0, 1.0);
-        let sim = ComicSimulator::new(&g, gap);
+        let mut sim = ComicSimulator::new(&g, gap);
         let out = sim.run(&[0], &[], &mut UicRng::new(1));
         assert_eq!(out.adopters_a, vec![0, 1, 2]);
         assert!(out.adopters_b.is_empty());
@@ -220,7 +265,7 @@ mod tests {
         let g = path3();
         // q = 0 for spontaneous adoption — but seeds adopt outright.
         let gap = GapParams::new(0.0, 0.5, 0.0, 0.5);
-        let sim = ComicSimulator::new(&g, gap);
+        let mut sim = ComicSimulator::new(&g, gap);
         let out = sim.run(&[0], &[2], &mut UicRng::new(3));
         assert!(out.adopters_a.contains(&0));
         assert!(out.adopters_b.contains(&2));
@@ -232,7 +277,7 @@ mod tests {
         // should happen with probability q_{A|∅} = 0.3.
         let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
         let gap = GapParams::new(0.3, 0.3, 0.3, 0.3);
-        let sim = ComicSimulator::new(&g, gap);
+        let mut sim = ComicSimulator::new(&g, gap);
         let (ea, _) = sim.expected_adoptions(&[0], &[], 40_000, 9);
         // E[#A] = 1 (seed) + 0.3.
         assert!((ea - 1.3).abs() < 0.02, "E[#A] = {ea}");
@@ -246,7 +291,7 @@ mod tests {
         // dynamics guarantee: P[adopt A] ∈ [q_alone, q_given].
         let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
         let gap = GapParams::new(0.2, 0.8, 0.2, 0.8);
-        let sim = ComicSimulator::new(&g, gap);
+        let mut sim = ComicSimulator::new(&g, gap);
         let (ea, eb) = sim.expected_adoptions(&[0], &[0], 60_000, 17);
         let pa = ea - 1.0; // node-1 adoption probability of A
         let pb = eb - 1.0;
@@ -264,7 +309,7 @@ mod tests {
         // processed in a different order.
         let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
         let gap = GapParams::new(1.0, 1.0, 0.3, 0.9);
-        let sim = ComicSimulator::new(&g, gap);
+        let mut sim = ComicSimulator::new(&g, gap);
         let (_, eb) = sim.expected_adoptions(&[0], &[0], 60_000, 23);
         let pb = eb - 1.0;
         assert!((pb - 0.9).abs() < 0.01, "P[B at node1] = {pb}");
@@ -275,7 +320,7 @@ mod tests {
         // q_{A|∅} = 0: node 1 never adopts, so node 2 is never informed.
         let g = path3();
         let gap = GapParams::new(0.0, 0.0, 0.0, 0.0);
-        let sim = ComicSimulator::new(&g, gap);
+        let mut sim = ComicSimulator::new(&g, gap);
         let out = sim.run(&[0], &[], &mut UicRng::new(5));
         assert_eq!(out.adopters_a, vec![0]);
     }
@@ -284,7 +329,7 @@ mod tests {
     fn blocked_edges_stop_information() {
         let g = Graph::from_edges(2, &[(0, 1, 0.0)]);
         let gap = GapParams::new(1.0, 1.0, 1.0, 1.0);
-        let sim = ComicSimulator::new(&g, gap);
+        let mut sim = ComicSimulator::new(&g, gap);
         let out = sim.run(&[0], &[], &mut UicRng::new(5));
         assert_eq!(out.adopters_a, vec![0]);
     }
@@ -300,10 +345,23 @@ mod tests {
     fn deterministic_under_same_seed() {
         let g = path3();
         let gap = GapParams::new(0.4, 0.9, 0.4, 0.9);
-        let sim = ComicSimulator::new(&g, gap);
+        let mut sim = ComicSimulator::new(&g, gap);
         let a = sim.run(&[0], &[2], &mut UicRng::new(77));
         let b = sim.run(&[0], &[2], &mut UicRng::new(77));
         assert_eq!(a.adopters_a, b.adopters_a);
         assert_eq!(a.adopters_b, b.adopters_b);
+    }
+
+    #[test]
+    fn simulator_reuse_matches_fresh_runs() {
+        let g = path3();
+        let gap = GapParams::new(0.4, 0.9, 0.4, 0.9);
+        let mut reused = ComicSimulator::new(&g, gap);
+        for seed in 0..30u64 {
+            let a = reused.run(&[0], &[2], &mut UicRng::new(seed));
+            let b = ComicSimulator::new(&g, gap).run(&[0], &[2], &mut UicRng::new(seed));
+            assert_eq!(a.adopters_a, b.adopters_a, "seed {seed}");
+            assert_eq!(a.adopters_b, b.adopters_b, "seed {seed}");
+        }
     }
 }

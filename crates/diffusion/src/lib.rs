@@ -15,9 +15,14 @@
 //!   instance, plus forward simulation and MC spread.
 //! * [`worlds`] — sampled live-edge worlds `W^E` and their enumeration
 //!   with probabilities (the possible-world semantics of §4.1.1).
+//! * [`engine`] — the dense, epoch-stamped cascade engine shared by every
+//!   simulator: flat per-node state ([`uic_util::EpochMap`]), per-edge
+//!   coin cache ([`uic_util::EdgeStatusCache`]), frontier double-buffer,
+//!   and the [`engine::EdgeOracle`] trait unifying lazy sampling with
+//!   fixed-world replay. Zero allocation per cascade after warm-up.
 //! * [`uic`] — the paper's multi-item **utility-driven IC** diffusion
 //!   (Fig. 1): desire/adoption sets, one-shot edge tests, per-noise-world
-//!   adoption oracle.
+//!   adoption oracle. A thin API layer over [`engine`].
 //! * [`welfare`] — Monte-Carlo social-welfare estimation
 //!   `ρ(𝒮) = E_{W^N} E_{W^E} [ Σ_v U(A_v) ]`, parallelized with
 //!   deterministic seed splitting; plus exact tiny-instance welfare.
@@ -27,6 +32,7 @@
 
 pub mod allocation;
 pub mod comic;
+pub mod engine;
 pub mod ic;
 pub mod lt;
 pub mod personalized;
@@ -37,9 +43,12 @@ pub mod worlds;
 
 pub use allocation::Allocation;
 pub use comic::{ComicOutcome, ComicSimulator};
+pub use engine::{CascadeState, EdgeOracle, LazyCoins, WorldOracle};
 pub use ic::{exact_spread, simulate_ic, spread_mc};
 pub use lt::simulate_lt;
-pub use personalized::{personalized_welfare_mc, simulate_uic_personalized, PersonalizedOutcome};
+pub use personalized::{
+    personalized_welfare_mc, simulate_uic_personalized, PersonalizedOutcome, PersonalizedSimulator,
+};
 pub use triggering::{
     simulate_triggering, spread_triggering_mc, IcTriggering, LtTriggering, TriggeringSampler,
     UniformSubsetTriggering,

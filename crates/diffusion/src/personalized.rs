@@ -12,90 +12,111 @@
 //! Implementation notes: per-node noise is derived deterministically from
 //! `(diffusion seed, node id)`, so simulations remain replayable; since
 //! there is no shared utility table, adoption decisions evaluate
-//! `V(T) − P(T) + N_v(T)` directly over the (small) candidate subsets,
-//! memoized per `(node, desire, adopted)`.
+//! `V(T) − P(T) + N_v(T)` directly over the (small) candidate subsets.
+//! Per-cascade state is dense and epoch-stamped like the base engine:
+//! `(desire, adopted)` pairs in an [`EpochMap`], realized noise in a flat
+//! `n × |I|` array, and edge coins in an [`EdgeStatusCache`] — no hashing
+//! or allocation inside the cascade loop.
 
 use crate::allocation::Allocation;
 use uic_graph::{Graph, NodeId};
 use uic_items::{ItemSet, UtilityModel};
-use uic_util::{split_seed, FxHashMap, OnlineStats, UicRng};
+use uic_util::{split_seed, EdgeStatusCache, EpochMap, OnlineStats, UicRng, VisitTags};
 
-/// Outcome of one personalized-noise UIC diffusion.
-#[derive(Debug, Clone, Default)]
+/// Outcome of one personalized-noise UIC diffusion, sorted by node id.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PersonalizedOutcome {
-    /// Final adoption set per adopting node.
-    pub adoptions: FxHashMap<NodeId, ItemSet>,
-    /// Realized utility earned at each adopting node (its own noise).
-    pub node_welfare: FxHashMap<NodeId, f64>,
+    /// Final adoption set per adopting node, sorted by node id.
+    pub adoptions: Vec<(NodeId, ItemSet)>,
+    /// Realized utility earned at each adopting node (its own noise),
+    /// parallel to `adoptions`.
+    pub node_welfare: Vec<(NodeId, f64)>,
 }
 
 impl PersonalizedOutcome {
     /// Social welfare of this run: `Σ_v U_v(A(v))`.
     pub fn welfare(&self) -> f64 {
-        self.node_welfare.values().sum()
+        self.node_welfare.iter().map(|&(_, w)| w).sum()
     }
 
     /// Total `(node, item)` adoptions.
     pub fn total_adoptions(&self) -> usize {
-        self.adoptions.values().map(|a| a.len() as usize).sum()
+        self.adoptions.iter().map(|&(_, a)| a.len() as usize).sum()
+    }
+
+    /// Final adoption set of `v` (empty if `v` adopted nothing).
+    pub fn adoption_of(&self, v: NodeId) -> ItemSet {
+        match self.adoptions.binary_search_by_key(&v, |&(u, _)| u) {
+            Ok(idx) => self.adoptions[idx].1,
+            Err(_) => ItemSet::EMPTY,
+        }
     }
 }
 
-/// Per-node state during a personalized diffusion.
-struct NodeState {
+/// Per-node diffusion state (noise lives in the simulator's flat array).
+#[derive(Debug, Clone, Copy, Default)]
+struct PersNodeState {
     desire: ItemSet,
     adopted: ItemSet,
-    /// This node's realized noise per item.
-    noise: Vec<f64>,
 }
 
-/// Runs one UIC diffusion where every node samples its own noise vector
-/// on first contact. `noise_seed` controls all per-node draws; `rng`
-/// drives the edge coins (mirroring the base simulator's split between
-/// noise world and edge world).
-pub fn simulate_uic_personalized(
-    g: &Graph,
-    allocation: &Allocation,
-    model: &UtilityModel,
-    noise_seed: u64,
-    rng: &mut UicRng,
-) -> PersonalizedOutcome {
-    let num_items = model.num_items() as usize;
-    let mut states: FxHashMap<NodeId, NodeState> = FxHashMap::default();
-    let mut edge_cache: FxHashMap<usize, bool> = FxHashMap::default();
-    let mut decision_memo: FxHashMap<(NodeId, u32, u32), ItemSet> = FxHashMap::default();
+/// Reusable personalized-noise simulator: dense per-cascade scratch for
+/// one `(graph, item-universe)` pair.
+pub struct PersonalizedSimulator {
+    num_items: usize,
+    state: EpochMap<PersNodeState>,
+    /// Realized noise per `(node, item)`, row-major; valid only for nodes
+    /// stamped in `state` this cascade.
+    noise: Box<[f64]>,
+    coins: EdgeStatusCache,
+    /// Nodes informed this cascade, in first-contact order.
+    informed: Vec<NodeId>,
+    frontier: Vec<NodeId>,
+    next_frontier: Vec<NodeId>,
+    step_tags: VisitTags,
+    step_touched: Vec<NodeId>,
+    seed_buf: Vec<(NodeId, ItemSet)>,
+}
 
-    let fresh_state = |v: NodeId| -> NodeState {
+impl PersonalizedSimulator {
+    /// Scratch sized for graph `g` and `num_items` items.
+    pub fn new(g: &Graph, num_items: u32) -> PersonalizedSimulator {
+        let n = g.num_nodes() as usize;
+        PersonalizedSimulator {
+            num_items: num_items as usize,
+            state: EpochMap::new(n),
+            noise: vec![0.0; n * num_items as usize].into_boxed_slice(),
+            coins: EdgeStatusCache::new(g.num_edges()),
+            informed: Vec::new(),
+            frontier: Vec::new(),
+            next_frontier: Vec::new(),
+            step_tags: VisitTags::new(n),
+            step_touched: Vec::new(),
+            seed_buf: Vec::new(),
+        }
+    }
+
+    /// First contact: draw this node's personal noise vector from its own
+    /// deterministic stream (independent of contact order).
+    fn sample_noise(noise: &mut [f64], model: &UtilityModel, noise_seed: u64, v: NodeId) {
         let mut node_rng = UicRng::new(split_seed(noise_seed, v as u64));
-        let noise: Vec<f64> = (0..num_items)
-            .map(|i| model.noise().dist(i as u32).sample(&mut node_rng))
-            .collect();
-        NodeState {
-            desire: ItemSet::EMPTY,
-            adopted: ItemSet::EMPTY,
-            noise,
+        for (i, slot) in noise.iter_mut().enumerate() {
+            *slot = model.noise().dist(i as u32).sample(&mut node_rng);
         }
-    };
+    }
 
-    // The personalized adoption decision: enumerate supersets of
-    // `adopted` inside `desire`, maximizing V − P + N_v with the
-    // larger-cardinality (union) tie-break.
-    let decide = |state: &NodeState,
-                  v: NodeId,
-                  memo: &mut FxHashMap<(NodeId, u32, u32), ItemSet>|
-     -> ItemSet {
-        let key = (v, state.desire.mask(), state.adopted.mask());
-        if let Some(&t) = memo.get(&key) {
-            return t;
-        }
+    /// The personalized adoption decision: enumerate supersets of
+    /// `adopted` inside `desire`, maximizing `V − P + N_v` with the
+    /// larger-cardinality (union) tie-break.
+    fn decide(model: &UtilityModel, noise: &[f64], desire: ItemSet, adopted: ItemSet) -> ItemSet {
         let util = |s: ItemSet| -> f64 {
-            model.deterministic_utility(s) + s.iter().map(|i| state.noise[i as usize]).sum::<f64>()
+            model.deterministic_utility(s) + s.iter().map(|i| noise[i as usize]).sum::<f64>()
         };
-        let free = state.desire.minus(state.adopted);
+        let free = desire.minus(adopted);
         let mut best = f64::NEG_INFINITY;
         let mut best_union = ItemSet::EMPTY;
         for x in free.subsets() {
-            let t = state.adopted.union(x);
+            let t = adopted.union(x);
             let u = util(t);
             if u > best + 1e-9 {
                 best = u;
@@ -104,82 +125,132 @@ pub fn simulate_uic_personalized(
                 best_union = best_union.union(t);
             }
         }
-        let result = if best < 0.0 {
-            state.adopted
+        if best < 0.0 {
+            adopted
         } else {
             best_union
-        };
-        memo.insert(key, result);
-        result
-    };
-
-    let mut frontier: Vec<NodeId> = Vec::new();
-    for (v, items) in allocation.seeds() {
-        if items.is_empty() {
-            continue;
-        }
-        let mut st = fresh_state(v);
-        st.desire = items;
-        st.adopted = decide(&st, v, &mut decision_memo);
-        let adopted_something = !st.adopted.is_empty();
-        states.insert(v, st);
-        if adopted_something {
-            frontier.push(v);
         }
     }
 
-    let mut next: Vec<NodeId> = Vec::new();
-    let mut touched: Vec<NodeId> = Vec::new();
-    while !frontier.is_empty() {
-        touched.clear();
-        for &u in &frontier {
-            let a_u = states.get(&u).map(|s| s.adopted).unwrap_or(ItemSet::EMPTY);
-            let nbrs = g.out_neighbors(u);
-            let probs = g.out_probs(u);
-            for (i, &v) in nbrs.iter().enumerate() {
-                let eid = g.out_edge_id(u, i);
-                let live = *edge_cache
-                    .entry(eid)
-                    .or_insert_with(|| rng.coin(probs[i] as f64));
-                if !live {
-                    continue;
-                }
-                let st = states.entry(v).or_insert_with(|| fresh_state(v));
-                let grown = a_u.minus(st.desire);
-                if !grown.is_empty() {
-                    st.desire = st.desire.union(a_u);
-                    touched.push(v);
-                }
+    /// Runs one diffusion where every node samples its own noise vector
+    /// on first contact. `noise_seed` controls all per-node draws; `rng`
+    /// drives the edge coins (mirroring the base simulator's split
+    /// between noise world and edge world).
+    pub fn run(
+        &mut self,
+        g: &Graph,
+        allocation: &Allocation,
+        model: &UtilityModel,
+        noise_seed: u64,
+        rng: &mut UicRng,
+    ) -> PersonalizedOutcome {
+        let k = self.num_items;
+        debug_assert_eq!(k, model.num_items() as usize, "item universe mismatch");
+        self.state.reset();
+        self.coins.reset();
+        self.informed.clear();
+        self.frontier.clear();
+        self.next_frontier.clear();
+
+        self.seed_buf.clear();
+        self.seed_buf
+            .extend(allocation.seeds().filter(|(_, items)| !items.is_empty()));
+        self.seed_buf.sort_unstable_by_key(|&(v, _)| v);
+        for si in 0..self.seed_buf.len() {
+            let (v, items) = self.seed_buf[si];
+            let row = &mut self.noise[v as usize * k..(v as usize + 1) * k];
+            Self::sample_noise(row, model, noise_seed, v);
+            let adopted = Self::decide(model, row, items, ItemSet::EMPTY);
+            self.state.insert(
+                v as usize,
+                PersNodeState {
+                    desire: items,
+                    adopted,
+                },
+            );
+            self.informed.push(v);
+            if !adopted.is_empty() {
+                self.frontier.push(v);
             }
         }
-        touched.sort_unstable();
-        touched.dedup();
-        next.clear();
-        for &v in &touched {
-            let (desire, adopted, decision) = {
-                let st = states.get(&v).expect("touched node has state");
-                (st.desire, st.adopted, decide(st, v, &mut decision_memo))
-            };
-            let _ = desire;
-            if decision != adopted {
-                states.get_mut(&v).unwrap().adopted = decision;
-                next.push(v);
-            }
-        }
-        std::mem::swap(&mut frontier, &mut next);
-    }
 
-    let mut out = PersonalizedOutcome::default();
-    for (&v, st) in &states {
-        if st.adopted.is_empty() {
-            continue;
+        while !self.frontier.is_empty() {
+            self.step_touched.clear();
+            self.step_tags.reset();
+            for fi in 0..self.frontier.len() {
+                let u = self.frontier[fi];
+                let a_u = self.state.get_or_default(u as usize).adopted;
+                let nbrs = g.out_neighbors(u);
+                let probs = g.out_probs(u);
+                let first_eid = g.out_edge_id(u, 0);
+                for (i, &v) in nbrs.iter().enumerate() {
+                    let rng_ref = &mut *rng;
+                    let live = self
+                        .coins
+                        .get_or_flip(first_eid + i, || rng_ref.coin(probs[i] as f64));
+                    if !live {
+                        continue;
+                    }
+                    let (_, fresh) = self.state.slot(v as usize);
+                    if fresh {
+                        self.informed.push(v);
+                        let row = &mut self.noise[v as usize * k..(v as usize + 1) * k];
+                        Self::sample_noise(row, model, noise_seed, v);
+                    }
+                    let st = self.state.get_mut(v as usize).expect("just stamped");
+                    let grown = a_u.minus(st.desire);
+                    if !grown.is_empty() {
+                        st.desire = st.desire.union(a_u);
+                        if self.step_tags.mark(v as usize) {
+                            self.step_touched.push(v);
+                        }
+                    }
+                }
+            }
+            self.next_frontier.clear();
+            for ti in 0..self.step_touched.len() {
+                let v = self.step_touched[ti];
+                let st = self
+                    .state
+                    .get(v as usize)
+                    .expect("touched node must have state");
+                let row = &self.noise[v as usize * k..(v as usize + 1) * k];
+                let decision = Self::decide(model, row, st.desire, st.adopted);
+                if decision != st.adopted {
+                    self.state.get_mut(v as usize).unwrap().adopted = decision;
+                    self.next_frontier.push(v);
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
         }
-        let u = model.deterministic_utility(st.adopted)
-            + st.adopted.iter().map(|i| st.noise[i as usize]).sum::<f64>();
-        out.adoptions.insert(v, st.adopted);
-        out.node_welfare.insert(v, u);
+
+        self.informed.sort_unstable();
+        let mut out = PersonalizedOutcome::default();
+        for &v in &self.informed {
+            let st = self.state.get_or_default(v as usize);
+            if st.adopted.is_empty() {
+                continue;
+            }
+            let row = &self.noise[v as usize * k..(v as usize + 1) * k];
+            let u = model.deterministic_utility(st.adopted)
+                + st.adopted.iter().map(|i| row[i as usize]).sum::<f64>();
+            out.adoptions.push((v, st.adopted));
+            out.node_welfare.push((v, u));
+        }
+        out
     }
-    out
+}
+
+/// One-shot personalized-noise UIC diffusion (convenience wrapper; reuse
+/// a [`PersonalizedSimulator`] in Monte-Carlo loops).
+pub fn simulate_uic_personalized(
+    g: &Graph,
+    allocation: &Allocation,
+    model: &UtilityModel,
+    noise_seed: u64,
+    rng: &mut UicRng,
+) -> PersonalizedOutcome {
+    PersonalizedSimulator::new(g, model.num_items()).run(g, allocation, model, noise_seed, rng)
 }
 
 /// Monte-Carlo expected welfare under personalized noise.
@@ -191,10 +262,11 @@ pub fn personalized_welfare_mc(
     seed: u64,
 ) -> OnlineStats {
     let mut stats = OnlineStats::new();
+    let mut sim = PersonalizedSimulator::new(g, model.num_items());
     for s in 0..sims {
         let world_seed = split_seed(seed, s as u64);
         let mut rng = UicRng::new(split_seed(world_seed, u64::MAX));
-        let out = simulate_uic_personalized(g, allocation, model, world_seed, &mut rng);
+        let out = sim.run(g, allocation, model, world_seed, &mut rng);
         stats.push(out.welfare());
     }
     stats
@@ -259,11 +331,12 @@ mod tests {
         alloc.assign(0, 0);
         let sims = 30_000u32;
         let mut downstream = 0u32;
+        let mut sim = PersonalizedSimulator::new(&g, 1);
         for s in 0..sims {
             let world_seed = split_seed(7, s as u64);
             let mut rng = UicRng::new(split_seed(world_seed, u64::MAX));
-            let out = simulate_uic_personalized(&g, &alloc, &m, world_seed, &mut rng);
-            if out.adoptions.contains_key(&1) {
+            let out = sim.run(&g, &alloc, &m, world_seed, &mut rng);
+            if !out.adoption_of(1).is_empty() {
                 downstream += 1;
             }
         }
@@ -289,6 +362,23 @@ mod tests {
         // Different noise seeds generally differ.
         let all_same = (0..10u64).map(run).all(|w| (w - run(0)).abs() < 1e-12);
         assert!(!all_same, "noise seed should matter");
+    }
+
+    #[test]
+    fn simulator_reuse_matches_fresh_runs() {
+        let g = chain2();
+        let m = model(1.0);
+        let mut alloc = Allocation::new();
+        alloc.assign(0, 0);
+        alloc.assign(0, 1);
+        let mut reused = PersonalizedSimulator::new(&g, 2);
+        for seed in 0..20u64 {
+            let mut r1 = UicRng::new(seed);
+            let mut r2 = UicRng::new(seed);
+            let a = reused.run(&g, &alloc, &m, seed, &mut r1);
+            let b = simulate_uic_personalized(&g, &alloc, &m, seed, &mut r2);
+            assert_eq!(a, b, "seed {seed}");
+        }
     }
 
     #[test]

@@ -13,20 +13,32 @@
 //!    `argmax { U(T) | A ⊆ T ⊆ R, U(T) ≥ 0 }`.
 //! 4. The process is progressive — desire and adoption sets only grow —
 //!    and stops when no adoption set changes.
+//!
+//! The actual cascade loop lives in [`crate::engine`]; this module keeps
+//! the UIC-facing API ([`UicSimulator`], [`UicOutcome`], the one-shot
+//! helpers) on top of it.
 
 use crate::allocation::Allocation;
+use crate::engine::CascadeState;
 use crate::worlds::LiveEdgeWorld;
 use uic_graph::{Graph, NodeId};
-use uic_items::{AdoptionOracle, ItemSet, UtilityTable};
-use uic_util::{FxHashMap, UicRng, VisitTags};
+use uic_items::{ItemSet, UtilityTable};
+use uic_util::UicRng;
 
-/// Result of one UIC diffusion.
-#[derive(Debug, Clone, Default)]
+/// Result of one UIC diffusion, in dense sorted-vector form.
+///
+/// Both vectors are sorted by node id, so point lookups are binary
+/// searches and whole-outcome scans are cache-linear — the hash-map
+/// representation this replaced was the dominant cost of small-cascade
+/// Monte-Carlo loops.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UicOutcome {
-    /// Final adoption set `A^𝒮(v)` for every node that adopted something.
-    pub adoptions: FxHashMap<NodeId, ItemSet>,
-    /// Final desire set `R^𝒮(v)` for every node that was ever informed.
-    pub desires: FxHashMap<NodeId, ItemSet>,
+    /// Final adoption set `A^𝒮(v)` for every node that adopted something,
+    /// sorted by node id.
+    pub adoptions: Vec<(NodeId, ItemSet)>,
+    /// Final desire set `R^𝒮(v)` for every node that was ever informed,
+    /// sorted by node id.
+    pub desires: Vec<(NodeId, ItemSet)>,
     /// Number of diffusion steps until quiescence.
     pub steps: u32,
 }
@@ -34,74 +46,60 @@ pub struct UicOutcome {
 impl UicOutcome {
     /// Social welfare of this world: `Σ_v U(A(v))` (Fig. 1 §3.3).
     pub fn welfare(&self, table: &UtilityTable) -> f64 {
-        self.adoptions.values().map(|&a| table.utility(a)).sum()
+        self.adoptions.iter().map(|&(_, a)| table.utility(a)).sum()
     }
 
     /// Number of nodes that adopted item `i`.
     pub fn adopters_of(&self, item: u32) -> usize {
-        self.adoptions.values().filter(|a| a.contains(item)).count()
+        self.adoptions
+            .iter()
+            .filter(|(_, a)| a.contains(item))
+            .count()
     }
 
     /// Total `(node, item)` adoption count (the multi-item "spread").
     pub fn total_adoptions(&self) -> usize {
-        self.adoptions.values().map(|a| a.len() as usize).sum()
+        self.adoptions.iter().map(|&(_, a)| a.len() as usize).sum()
     }
 
-    /// Final adoption set of `v`.
+    /// Number of nodes that adopted anything.
+    pub fn num_adopters(&self) -> usize {
+        self.adoptions.len()
+    }
+
+    /// Final adoption set of `v` (empty if `v` adopted nothing).
     pub fn adoption_of(&self, v: NodeId) -> ItemSet {
-        self.adoptions.get(&v).copied().unwrap_or(ItemSet::EMPTY)
-    }
-}
-
-/// How edge liveness is decided during a simulation.
-enum EdgeSource<'a> {
-    /// Lazy coin flips, memoized per edge id (each edge tested once).
-    Lazy {
-        rng: &'a mut UicRng,
-        cache: FxHashMap<usize, bool>,
-    },
-    /// A pre-sampled world (deterministic replay / exact enumeration).
-    World(&'a LiveEdgeWorld),
-}
-
-impl EdgeSource<'_> {
-    #[inline]
-    fn is_live(&mut self, g: &Graph, u: NodeId, i: usize, p: f32) -> bool {
-        match self {
-            EdgeSource::Lazy { rng, cache } => {
-                let id = g.out_edge_id(u, i);
-                match cache.get(&id) {
-                    Some(&status) => status,
-                    None => {
-                        let status = rng.coin(p as f64);
-                        cache.insert(id, status);
-                        status
-                    }
-                }
-            }
-            EdgeSource::World(w) => w.is_live(g, u, i),
+        match self.adoptions.binary_search_by_key(&v, |&(u, _)| u) {
+            Ok(idx) => self.adoptions[idx].1,
+            Err(_) => ItemSet::EMPTY,
         }
     }
+
+    /// Final desire set of `v`, or `None` if `v` was never informed.
+    pub fn desire_of(&self, v: NodeId) -> Option<ItemSet> {
+        self.desires
+            .binary_search_by_key(&v, |&(u, _)| u)
+            .ok()
+            .map(|idx| self.desires[idx].1)
+    }
+
+    /// Iterates the final adoption sets (of adopting nodes only).
+    pub fn adoption_sets(&self) -> impl Iterator<Item = ItemSet> + '_ {
+        self.adoptions.iter().map(|&(_, a)| a)
+    }
 }
 
-/// Reusable simulator: owns the scratch buffers so Monte-Carlo loops do
-/// not re-allocate per cascade (perf-book guidance on workhorse
-/// collections).
+/// Reusable simulator: owns the dense scratch state so Monte-Carlo loops
+/// do not allocate per cascade (see [`crate::engine`]).
 pub struct UicSimulator {
-    touched_tags: VisitTags,
-    touched: Vec<NodeId>,
-    frontier: Vec<NodeId>,
-    next_frontier: Vec<NodeId>,
+    state: CascadeState,
 }
 
 impl UicSimulator {
     /// Scratch sized for graph `g`.
     pub fn new(g: &Graph) -> UicSimulator {
         UicSimulator {
-            touched_tags: VisitTags::new(g.num_nodes() as usize),
-            touched: Vec::new(),
-            frontier: Vec::new(),
-            next_frontier: Vec::new(),
+            state: CascadeState::new(g),
         }
     }
 
@@ -113,11 +111,7 @@ impl UicSimulator {
         table: &UtilityTable,
         rng: &mut UicRng,
     ) -> UicOutcome {
-        let mut source = EdgeSource::Lazy {
-            rng,
-            cache: FxHashMap::default(),
-        };
-        self.run_inner(g, allocation, table, &mut source)
+        self.state.run_lazy(g, allocation, table, rng)
     }
 
     /// Runs one diffusion in a fixed live-edge world (deterministic).
@@ -128,89 +122,7 @@ impl UicSimulator {
         table: &UtilityTable,
         world: &LiveEdgeWorld,
     ) -> UicOutcome {
-        let mut source = EdgeSource::World(world);
-        self.run_inner(g, allocation, table, &mut source)
-    }
-
-    fn run_inner(
-        &mut self,
-        g: &Graph,
-        allocation: &Allocation,
-        table: &UtilityTable,
-        edges: &mut EdgeSource<'_>,
-    ) -> UicOutcome {
-        let mut oracle = AdoptionOracle::new(table);
-        // (desire, adopted) per informed node.
-        let mut state: FxHashMap<NodeId, (ItemSet, ItemSet)> = FxHashMap::default();
-        self.frontier.clear();
-        self.next_frontier.clear();
-
-        // t = 1: seed initialization (Fig. 1 preamble).
-        for (v, items) in allocation.seeds() {
-            if items.is_empty() {
-                continue;
-            }
-            let adopted = oracle.adopt(items, ItemSet::EMPTY);
-            state.insert(v, (items, adopted));
-            if !adopted.is_empty() {
-                self.frontier.push(v);
-            }
-        }
-
-        let mut steps = 0u32;
-        while !self.frontier.is_empty() {
-            steps += 1;
-            self.touched.clear();
-            self.touched_tags.reset();
-            // Step 1–2: propagate adoption sets over (newly tested or
-            // already live) out-edges of last round's adopters.
-            for fi in 0..self.frontier.len() {
-                let u = self.frontier[fi];
-                let a_u = state.get(&u).map(|&(_, a)| a).unwrap_or(ItemSet::EMPTY);
-                debug_assert!(!a_u.is_empty(), "frontier node {u} adopted nothing");
-                let nbrs = g.out_neighbors(u);
-                let probs = g.out_probs(u);
-                for (i, &v) in nbrs.iter().enumerate() {
-                    if !edges.is_live(g, u, i, probs[i]) {
-                        continue;
-                    }
-                    let entry = state.entry(v).or_insert((ItemSet::EMPTY, ItemSet::EMPTY));
-                    let grown = a_u.minus(entry.0);
-                    if !grown.is_empty() {
-                        entry.0 = entry.0.union(a_u);
-                        if self.touched_tags.mark(v as usize) {
-                            self.touched.push(v);
-                        }
-                    }
-                }
-            }
-            // Step 3: re-evaluate adoption where desire grew.
-            self.next_frontier.clear();
-            for ti in 0..self.touched.len() {
-                let v = self.touched[ti];
-                let (desire, adopted) = *state.get(&v).expect("touched node must have state");
-                let new_adopted = oracle.adopt(desire, adopted);
-                if new_adopted != adopted {
-                    state.get_mut(&v).unwrap().1 = new_adopted;
-                    self.next_frontier.push(v);
-                }
-            }
-            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
-        }
-
-        let mut adoptions = FxHashMap::default();
-        let mut desires = FxHashMap::default();
-        for (&v, &(desire, adopted)) in &state {
-            desires.insert(v, desire);
-            if !adopted.is_empty() {
-                adoptions.insert(v, adopted);
-            }
-        }
-        UicOutcome {
-            adoptions,
-            desires,
-            steps,
-        }
+        self.state.run_world(g, allocation, table, world)
     }
 }
 
@@ -277,6 +189,7 @@ mod tests {
         assert!((out.welfare(&table) - 0.8).abs() < 1e-12);
         assert_eq!(out.adopters_of(0), 3);
         assert_eq!(out.adopters_of(1), 1);
+        assert_eq!(out.num_adopters(), 3);
     }
 
     #[test]
@@ -286,7 +199,8 @@ mod tests {
         let world = LiveEdgeWorld::from_mask(&g, 0b000); // nothing live
         let out = simulate_uic_in_world(&g, &fig2_allocation(), &table, &world);
         assert_eq!(out.adoption_of(2), ItemSet::EMPTY);
-        assert_eq!(out.desires.get(&2), Some(&ItemSet::singleton(1)));
+        assert_eq!(out.desire_of(2), Some(ItemSet::singleton(1)));
+        assert_eq!(out.desire_of(1), None, "v2 was never informed");
         assert!((out.welfare(&table) - 0.1).abs() < 1e-12, "only v1's i1");
     }
 
@@ -325,7 +239,7 @@ mod tests {
         let alloc = fig2_allocation();
         for (world, _) in enumerate_edge_worlds(&g) {
             let out = simulate_uic_in_world(&g, &alloc, &table, &world);
-            for (&u, &a_u) in &out.adoptions {
+            for &(u, a_u) in &out.adoptions {
                 for v in world.reachable(&g, &[u]) {
                     let a_v = out.adoption_of(v);
                     assert!(
@@ -365,7 +279,7 @@ mod tests {
         let alloc = fig2_allocation();
         for (world, _) in enumerate_edge_worlds(&g) {
             let out = simulate_uic_in_world(&g, &alloc, &table, &world);
-            for (&v, &a) in &out.adoptions {
+            for &(v, a) in &out.adoptions {
                 assert!(table.is_local_maximum(a), "node {v}: {a} not local max");
             }
         }
@@ -403,8 +317,7 @@ mod tests {
             let mut r2 = UicRng::new(seed);
             let reused = sim.run(&g, &alloc, &table, &mut r1);
             let fresh = simulate_uic(&g, &alloc, &table, &mut r2);
-            assert_eq!(reused.welfare(&table), fresh.welfare(&table));
-            assert_eq!(reused.total_adoptions(), fresh.total_adoptions());
+            assert_eq!(reused, fresh, "seed {seed}");
         }
     }
 

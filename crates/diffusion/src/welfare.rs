@@ -7,7 +7,7 @@
 //! experiments is scored by this same estimator for fairness.
 
 use crate::allocation::Allocation;
-use crate::ic::{chunk_ranges, num_threads};
+use crate::ic::num_threads;
 use crate::uic::UicSimulator;
 use crate::worlds::enumerate_edge_worlds;
 use crossbeam::thread;
@@ -22,6 +22,8 @@ pub struct WelfareEstimator<'a> {
     model: &'a UtilityModel,
     sims: u32,
     seed: u64,
+    /// Worker-thread override; `None` sizes by hardware and sample count.
+    threads: Option<usize>,
 }
 
 impl<'a> WelfareEstimator<'a> {
@@ -33,7 +35,20 @@ impl<'a> WelfareEstimator<'a> {
             model,
             sims,
             seed,
+            threads: None,
         }
+    }
+
+    /// Pins the worker-thread count (normally sized automatically).
+    ///
+    /// Because every sample `s` draws from its own stream
+    /// `split_seed(seed, s)`, the estimate is a pure function of the
+    /// constructor arguments — this knob only changes how work is
+    /// chunked, never the result (asserted in the test suite).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = Some(threads);
+        self
     }
 
     /// Estimated expected social welfare `ρ(𝒮)`.
@@ -73,7 +88,17 @@ impl<'a> WelfareEstimator<'a> {
         self.stats_range(allocation, 0, self.sims)
     }
 
+    /// Samples per reduction block (see [`Self::stats_range`]).
+    const BLOCK: u32 = 64;
+
     /// Statistics over the sample-index range `[first, last)`.
+    ///
+    /// The reduction is structured for **thread-count invariance**: the
+    /// range is cut into fixed [`Self::BLOCK`]-sample blocks, each block
+    /// is accumulated sequentially, and blocks are merged in block order.
+    /// Worker threads only decide *who* computes a block, never the block
+    /// boundaries or merge order, so the result is bit-identical for any
+    /// thread count (asserted in the test suite).
     fn stats_range(&self, allocation: &Allocation, first: u32, last: u32) -> OnlineStats {
         if first >= last {
             return OnlineStats::new();
@@ -87,13 +112,12 @@ impl<'a> WelfareEstimator<'a> {
             None
         };
         let count = last - first;
-        let threads = num_threads(count);
+        let threads = self.threads.unwrap_or_else(|| num_threads(count));
         let graph = self.graph;
         let model = self.model;
         let seed = self.seed;
-        let run_range = |lo: u32, hi: u32| -> OnlineStats {
+        let run_block = |sim: &mut UicSimulator, lo: u32, hi: u32| -> OnlineStats {
             let mut stats = OnlineStats::new();
-            let mut sim = UicSimulator::new(graph);
             for s in lo..hi {
                 let mut rng = UicRng::new(split_seed(seed, s as u64));
                 let outcome_welfare = match &shared_table {
@@ -108,21 +132,48 @@ impl<'a> WelfareEstimator<'a> {
             }
             stats
         };
-        if threads <= 1 {
-            return run_range(first, last);
+        let num_blocks = count.div_ceil(Self::BLOCK);
+        let block_range = |b: u32| {
+            let lo = first + b * Self::BLOCK;
+            (lo, (lo + Self::BLOCK).min(last))
+        };
+        let mut partials: Vec<OnlineStats> = vec![OnlineStats::new(); num_blocks as usize];
+        if threads <= 1 || num_blocks == 1 {
+            let mut sim = UicSimulator::new(graph);
+            for (b, slot) in partials.iter_mut().enumerate() {
+                let (lo, hi) = block_range(b as u32);
+                *slot = run_block(&mut sim, lo, hi);
+            }
+        } else {
+            let next = std::sync::atomic::AtomicU32::new(0);
+            let done = thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move |_| {
+                            let mut sim = UicSimulator::new(graph);
+                            let mut mine: Vec<(u32, OnlineStats)> = Vec::new();
+                            loop {
+                                let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if b >= num_blocks {
+                                    return mine;
+                                }
+                                let (lo, hi) = block_range(b);
+                                mine.push((b, run_block(&mut sim, lo, hi)));
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("welfare worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("crossbeam scope failed");
+            for (b, stats) in done {
+                partials[b as usize] = stats;
+            }
         }
-        let chunks = chunk_ranges(count, threads);
-        let partials = thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|&(lo, hi)| scope.spawn(move |_| run_range(first + lo, first + hi)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("welfare worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("crossbeam scope failed");
         let mut total = OnlineStats::new();
         for p in &partials {
             total.merge(p);
@@ -274,6 +325,44 @@ mod tests {
         // E[#adoptions]: v1 i1 always (1) + v2 i1 (.5) + v3 both (.625·2)
         // = 1 + 0.5 + 1.25 = 2.75.
         assert!((adoptions - 2.75).abs() < 0.05, "got {adoptions}");
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        // Seed-split determinism: sample s always draws from stream
+        // split_seed(seed, s), so chunking across 1, 2, or 8 workers must
+        // not change a single bit of the result — the engine port cannot
+        // silently alter chunking semantics without tripping this.
+        use uic_items::NoiseDistribution;
+        let g = fig2_graph();
+        // A noisy model so per-sample tables differ (the harder path).
+        let model = UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 3.1, 2.5, 6.6])),
+            Price::additive(vec![3.0, 3.0]),
+            NoiseModel::new(vec![
+                NoiseDistribution::gaussian_var(1.0),
+                NoiseDistribution::gaussian_var(1.0),
+            ]),
+        );
+        let alloc = fig2_alloc();
+        let reference = WelfareEstimator::new(&g, &model, 4_000, 29)
+            .with_threads(1)
+            .estimate_stats(&alloc);
+        for threads in [2usize, 8] {
+            let got = WelfareEstimator::new(&g, &model, 4_000, 29)
+                .with_threads(threads)
+                .estimate_stats(&alloc);
+            assert_eq!(got.count(), reference.count(), "{threads} threads");
+            assert_eq!(got.mean(), reference.mean(), "{threads} threads");
+            assert_eq!(
+                got.ci95_halfwidth(),
+                reference.ci95_halfwidth(),
+                "{threads} threads"
+            );
+        }
+        // The automatic sizing must agree with the pinned runs too.
+        let auto = WelfareEstimator::new(&g, &model, 4_000, 29).estimate_stats(&alloc);
+        assert_eq!(auto.mean(), reference.mean());
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!   guidance for hashing-heavy database workloads.
 //! * [`bitset`] — dense bitsets and a timestamped visit-tag array that makes
 //!   repeated graph traversals O(1) to "clear".
+//! * [`epoch`] — epoch-stamped dense maps ([`EpochMap`], [`EdgeStatusCache`])
+//!   generalizing the visit-tag trick to arbitrary per-slot values; the
+//!   zero-allocation-per-cascade state substrate of the diffusion engine.
 //! * [`rng`] — deterministic, splittable random number generation
 //!   (SplitMix64 seeding + xoshiro256++ streams) so that every experiment in
 //!   the reproduction is replayable from a single `u64` seed, independent of
@@ -20,6 +23,7 @@
 //!   harness to print the paper's tables and figure series.
 
 pub mod bitset;
+pub mod epoch;
 pub mod fxhash;
 pub mod rng;
 pub mod special;
@@ -27,6 +31,7 @@ pub mod stats;
 pub mod table;
 
 pub use bitset::{BitSet, VisitTags};
+pub use epoch::{EdgeStatusCache, EpochMap};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::{split_seed, UicRng};
 pub use special::{ln_gamma, log_choose, normal_cdf, normal_quantile};

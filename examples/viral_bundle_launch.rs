@@ -66,10 +66,10 @@ fn main() {
     let outcome = simulate_uic(&g, &greedy.allocation, &utable, &mut rng);
     println!(
         "one sampled cascade: {} adopters, {} (node,item) adoptions, welfare {:.1}",
-        outcome.adoptions.len(),
+        outcome.num_adopters(),
         outcome.total_adoptions(),
         outcome.welfare(&utable)
     );
-    let full_bundles = outcome.adoptions.values().filter(|a| a.len() == 5).count();
+    let full_bundles = outcome.adoption_sets().filter(|a| a.len() == 5).count();
     println!("  …of which {full_bundles} users adopted the complete 5-item bundle");
 }

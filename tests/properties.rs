@@ -171,7 +171,7 @@ proptest! {
         }
         for (world, _) in uic::diffusion::enumerate_edge_worlds(&g) {
             let out = uic::diffusion::simulate_uic_in_world(&g, &alloc, &table, &world);
-            for (&u, &a_u) in &out.adoptions {
+            for &(u, a_u) in &out.adoptions {
                 for v in world.reachable(&g, &[u]) {
                     prop_assert!(
                         a_u.is_subset_of(out.adoption_of(v)),
