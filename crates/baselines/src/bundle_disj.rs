@@ -14,15 +14,18 @@
 //! 3. Surplus budgets are recycled onto the seeds of the first existing
 //!    bundle not containing the item; any remainder gets fresh IMM seeds.
 
-use crate::BaselineResult;
 use std::time::Instant;
-use uic_diffusion::Allocation;
+use uic_diffusion::{Allocation, SolveReport};
 use uic_graph::{Graph, NodeId};
 use uic_im::{imm, DiffusionModel};
 use uic_items::{ItemSet, UtilityModel};
 
 /// Runs bundle-disj. Unlike bundleGRD this baseline must see the
 /// deterministic utilities (`model`), exactly as the paper describes.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct through the solver registry: <dyn uic_core::Allocator>::by_name(\"bundle-disj\")"
+)]
 pub fn bundle_disj(
     g: &Graph,
     budgets: &[u32],
@@ -31,7 +34,7 @@ pub fn bundle_disj(
     ell: f64,
     model: DiffusionModel,
     seed: u64,
-) -> BaselineResult {
+) -> SolveReport {
     let n_items = budgets.len() as u32;
     assert_eq!(n_items, utility.num_items(), "budget arity mismatch");
     let start = Instant::now();
@@ -125,15 +128,13 @@ pub fn bundle_disj(
         }
     }
 
-    BaselineResult {
-        allocation,
-        rr_sets_final: rr_final,
-        rr_sets_total: rr_total,
-        elapsed: start.elapsed(),
-    }
+    SolveReport::new("bundle-disj", allocation)
+        .with_rr_sets(rr_final, rr_total)
+        .with_elapsed_since(start)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests exercise the engine behind the registry
 mod tests {
     use super::*;
     use std::sync::Arc;

@@ -8,24 +8,22 @@
 //! quality*, not allocation shape). No spread estimation is performed, so
 //! both run in near-linear time and carry no approximation guarantee.
 
-use crate::BaselineResult;
 use std::time::Instant;
-use uic_diffusion::Allocation;
+use uic_diffusion::{Allocation, SolveReport};
 use uic_graph::{Graph, NodeId};
 
 /// Ranks nodes by out-degree (ties → lower id first) and assigns item
 /// `i`'s budget to the top-`b_i` prefix.
-pub fn degree_top(g: &Graph, budgets: &[u32]) -> BaselineResult {
+#[deprecated(
+    since = "0.1.0",
+    note = "construct through the solver registry: <dyn uic_core::Allocator>::by_name(\"degree-top\")"
+)]
+pub fn degree_top(g: &Graph, budgets: &[u32]) -> SolveReport {
     assert!(!budgets.is_empty(), "need at least one item");
     let start = Instant::now();
     let mut order: Vec<NodeId> = (0..g.num_nodes()).collect();
     order.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(v)), v));
-    BaselineResult {
-        allocation: prefix_allocation(&order, budgets),
-        rr_sets_final: 0,
-        rr_sets_total: 0,
-        elapsed: start.elapsed(),
-    }
+    SolveReport::new("degree-top", prefix_allocation(&order, budgets)).with_elapsed_since(start)
 }
 
 /// Ranks nodes by PageRank **on the transposed graph** (influence flows
@@ -33,7 +31,11 @@ pub fn degree_top(g: &Graph, budgets: &[u32]) -> BaselineResult {
 /// influential nodes are reachable *from* it — the mirror image of the
 /// usual prestige ranking) and assigns item `i`'s budget to the
 /// top-`b_i` prefix.
-pub fn pagerank_top(g: &Graph, budgets: &[u32], damping: f64, iterations: u32) -> BaselineResult {
+#[deprecated(
+    since = "0.1.0",
+    note = "construct through the solver registry: <dyn uic_core::Allocator>::by_name(\"pagerank-top\")"
+)]
+pub fn pagerank_top(g: &Graph, budgets: &[u32], damping: f64, iterations: u32) -> SolveReport {
     assert!(!budgets.is_empty(), "need at least one item");
     let start = Instant::now();
     let scores = pagerank(&g.transpose(), damping, iterations);
@@ -44,12 +46,7 @@ pub fn pagerank_top(g: &Graph, budgets: &[u32], damping: f64, iterations: u32) -
             .expect("PageRank scores are finite")
             .then(a.cmp(&b))
     });
-    BaselineResult {
-        allocation: prefix_allocation(&order, budgets),
-        rr_sets_final: 0,
-        rr_sets_total: 0,
-        elapsed: start.elapsed(),
-    }
+    SolveReport::new("pagerank-top", prefix_allocation(&order, budgets)).with_elapsed_since(start)
 }
 
 /// Standard PageRank by power iteration with uniform teleportation;
@@ -114,6 +111,7 @@ fn prefix_allocation(order: &[NodeId], budgets: &[u32]) -> Allocation {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests exercise the engines behind the registry
 mod tests {
     use super::*;
     use uic_graph::{GraphBuilder, Weighting};

@@ -6,13 +6,17 @@
 //! L." Every seed gets exactly one item — no bundling, so supermodular
 //! value-boosts can only arise downstream through propagation.
 
-use crate::BaselineResult;
 use std::time::Instant;
+use uic_diffusion::SolveReport;
 use uic_graph::Graph;
 use uic_im::{imm, DiffusionModel};
 
 /// Runs item-disj for `budgets` (indexed by item; need not be sorted —
 /// items are *visited* in non-increasing budget order per the paper).
+#[deprecated(
+    since = "0.1.0",
+    note = "construct through the solver registry: <dyn uic_core::Allocator>::by_name(\"item-disj\")"
+)]
 pub fn item_disj(
     g: &Graph,
     budgets: &[u32],
@@ -20,7 +24,7 @@ pub fn item_disj(
     ell: f64,
     model: DiffusionModel,
     seed: u64,
-) -> BaselineResult {
+) -> SolveReport {
     assert!(!budgets.is_empty(), "need at least one item");
     let start = Instant::now();
     let total: u32 = budgets.iter().sum();
@@ -39,15 +43,13 @@ pub fn item_disj(
         }
         cursor += take;
     }
-    BaselineResult {
-        allocation,
-        rr_sets_final: imm_result.rr_sets_final,
-        rr_sets_total: imm_result.rr_sets_total,
-        elapsed: start.elapsed(),
-    }
+    SolveReport::new("item-disj", allocation)
+        .with_rr_sets(imm_result.rr_sets_final, imm_result.rr_sets_total)
+        .with_elapsed_since(start)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests exercise the engine behind the registry
 mod tests {
     use super::*;
     use uic_graph::{GraphBuilder, Weighting};

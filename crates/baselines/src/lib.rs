@@ -30,6 +30,13 @@
 //!   expensive; the honest strawman bundleGRD is measured against).
 //! * [`heuristics`] — **high-degree** and **PageRank** proxy rankings,
 //!   the classic KKT'03 comparison points, allocated bundleGRD-style.
+//!
+//! Every seed-selection function returns the workspace-wide
+//! [`uic_diffusion::SolveReport`] (unscored — welfare statistics are
+//! attached by the `Allocator::solve` entry point in `uic-core`). The
+//! free functions themselves are deprecated entry points kept for
+//! back-compat: prefer constructing solvers through the registry,
+//! `<dyn uic_core::Allocator>::by_name("item-disj")`.
 
 pub mod bdhs;
 pub mod bundle_disj;
@@ -39,24 +46,14 @@ pub mod mc_greedy;
 pub mod rr_sim;
 
 pub use bdhs::{bdhs_concave_welfare, bdhs_step_welfare, bdhs_step_welfare_exact, best_bundle};
+#[allow(deprecated)]
 pub use bundle_disj::bundle_disj;
-pub use heuristics::{degree_top, pagerank, pagerank_top};
+pub use heuristics::pagerank;
+#[allow(deprecated)]
+pub use heuristics::{degree_top, pagerank_top};
+#[allow(deprecated)]
 pub use item_disj::item_disj;
+#[allow(deprecated)]
 pub use mc_greedy::mc_greedy_welfare;
+#[allow(deprecated)]
 pub use rr_sim::{rr_cim, rr_sim_plus};
-
-use std::time::Duration;
-use uic_diffusion::Allocation;
-
-/// Common result shape for seed-selection baselines.
-#[derive(Debug, Clone)]
-pub struct BaselineResult {
-    /// The produced seed allocation.
-    pub allocation: Allocation,
-    /// RR sets held at the final node selection(s), summed over calls.
-    pub rr_sets_final: usize,
-    /// RR sets generated in total.
-    pub rr_sets_total: u64,
-    /// Wall-clock time.
-    pub elapsed: Duration,
-}

@@ -25,9 +25,8 @@
 //! shared estimate never decreases along the greedy path, so the loop
 //! runs until the budgets are exhausted.
 
-use crate::BaselineResult;
 use std::time::Instant;
-use uic_diffusion::{Allocation, WelfareEstimator};
+use uic_diffusion::{Allocation, SolveReport, WelfareEstimator};
 use uic_graph::{Graph, NodeId};
 use uic_items::UtilityModel;
 
@@ -37,6 +36,10 @@ use uic_items::UtilityModel;
 ///
 /// `budgets[i]` is item `i`'s seed budget; the allocator stops when every
 /// budget is exhausted or no pair improves the estimate.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct through the solver registry: <dyn uic_core::Allocator>::by_name(\"mc-greedy\")"
+)]
 pub fn mc_greedy_welfare(
     g: &Graph,
     model: &UtilityModel,
@@ -44,7 +47,7 @@ pub fn mc_greedy_welfare(
     candidates: &[NodeId],
     sims: u32,
     seed: u64,
-) -> BaselineResult {
+) -> SolveReport {
     assert_eq!(
         budgets.len() as u32,
         model.num_items(),
@@ -83,15 +86,11 @@ pub fn mc_greedy_welfare(
             break;
         }
     }
-    BaselineResult {
-        allocation,
-        rr_sets_final: 0,
-        rr_sets_total: 0,
-        elapsed: start.elapsed(),
-    }
+    SolveReport::new("mc-greedy", allocation).with_elapsed_since(start)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests exercise the engine behind the registry
 mod tests {
     use super::*;
     use std::sync::Arc;

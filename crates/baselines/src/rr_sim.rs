@@ -27,8 +27,8 @@
 //! near-bundleGRD welfare in Table 3 configurations, TIM-scale RR
 //! counts, and forward+backward cost.
 
-use crate::BaselineResult;
 use std::time::Instant;
+use uic_diffusion::SolveReport;
 use uic_graph::{Graph, NodeId};
 use uic_im::{imm, node_selection, DiffusionModel, RrCollection};
 use uic_items::GapParams;
@@ -97,6 +97,10 @@ fn sample_self_rr(
 
 /// Runs RR-SIM+: item 2 seeded by IMM with budget `b2`, item 1's `b1`
 /// seeds selected on self-influence RR sets sized by the TIM bound.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct through the solver registry: <dyn uic_core::Allocator>::by_name(\"rr-sim+\")"
+)]
 pub fn rr_sim_plus(
     g: &Graph,
     gap: GapParams,
@@ -105,7 +109,7 @@ pub fn rr_sim_plus(
     eps: f64,
     ell: f64,
     seed: u64,
-) -> BaselineResult {
+) -> SolveReport {
     let start = Instant::now();
     let n = g.num_nodes();
     assert!(
@@ -145,12 +149,12 @@ pub fn rr_sim_plus(
     for &v in &partner.seeds {
         allocation.assign(v, 1);
     }
-    BaselineResult {
-        allocation,
-        rr_sets_final: total + partner.rr_sets_final,
-        rr_sets_total: total as u64 + partner.rr_sets_total,
-        elapsed: start.elapsed(),
-    }
+    SolveReport::new("rr-sim+", allocation)
+        .with_rr_sets(
+            total + partner.rr_sets_final,
+            total as u64 + partner.rr_sets_total,
+        )
+        .with_elapsed_since(start)
 }
 
 /// Dense per-world scratch shared by RR-CIM's forward and reverse
@@ -236,6 +240,10 @@ fn forward_item1(
 /// Runs RR-CIM: item 1 seeded by IMM with budget `b1`; item 2's `b2`
 /// seeds selected on complement-aware RR sets (forward + backward pass
 /// per sample, shared edge world).
+#[deprecated(
+    since = "0.1.0",
+    note = "construct through the solver registry: <dyn uic_core::Allocator>::by_name(\"rr-cim\")"
+)]
 pub fn rr_cim(
     g: &Graph,
     gap: GapParams,
@@ -244,7 +252,7 @@ pub fn rr_cim(
     eps: f64,
     ell: f64,
     seed: u64,
-) -> BaselineResult {
+) -> SolveReport {
     let start = Instant::now();
     let n = g.num_nodes();
     assert!(
@@ -348,15 +356,16 @@ pub fn rr_cim(
     for &v in &sel.seeds {
         allocation.assign(v, 1);
     }
-    BaselineResult {
-        allocation,
-        rr_sets_final: total + partner.rr_sets_final,
-        rr_sets_total: total as u64 + partner.rr_sets_total,
-        elapsed: start.elapsed(),
-    }
+    SolveReport::new("rr-cim", allocation)
+        .with_rr_sets(
+            total + partner.rr_sets_final,
+            total as u64 + partner.rr_sets_total,
+        )
+        .with_elapsed_since(start)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests exercise the engines behind the registry
 mod tests {
     use super::*;
     use uic_graph::{GraphBuilder, Weighting};

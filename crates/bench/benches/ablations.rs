@@ -12,6 +12,9 @@
 //! * **Prefix-preserving orderings** — PRIMA vs SKIM, one multi-budget
 //!   ordering each.
 
+// These benches time the raw engine functions below the registry facade.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use uic_baselines::{degree_top, pagerank_top};

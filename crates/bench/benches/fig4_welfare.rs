@@ -4,7 +4,6 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use uic_bench::bench_opts;
 use uic_datasets::{named_network, NamedNetwork, TwoItemConfig};
-use uic_diffusion::WelfareEstimator;
 use uic_experiments::common::{run_algo, Algo};
 
 fn bench(c: &mut Criterion) {
@@ -12,16 +11,13 @@ fn bench(c: &mut Criterion) {
     let g = named_network(NamedNetwork::DoubanMovie, opts.scale, opts.seed);
     let cfg = TwoItemConfig::new(1);
     let model = cfg.model();
-    let gap = Some(cfg.gap());
     let budgets = [10u32.min(g.num_nodes()), 10u32.min(g.num_nodes())];
     let mut group = c.benchmark_group("fig4_welfare");
     group.sample_size(10);
     for algo in Algo::TWO_ITEM {
         group.bench_function(format!("allocate+score/{}", algo.name()), |b| {
-            b.iter(|| {
-                let r = run_algo(algo, &g, &budgets, &model, gap, &opts);
-                WelfareEstimator::new(&g, &model, opts.sims, opts.seed).estimate(&r.allocation)
-            })
+            // run_algo scores through the solver registry's shared ctx.
+            b.iter(|| run_algo(algo, &g, &budgets, &model, &opts).welfare_mean())
         });
     }
     group.finish();

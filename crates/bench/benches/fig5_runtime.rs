@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use uic_bench::bench_opts;
 use uic_datasets::{named_network, NamedNetwork, TwoItemConfig};
-use uic_experiments::common::{run_algo, Algo};
+use uic_experiments::common::{run_algo_unscored, Algo};
 
 fn bench(c: &mut Criterion) {
     let opts = bench_opts();
@@ -15,12 +15,11 @@ fn bench(c: &mut Criterion) {
         let g = named_network(which, opts.scale, opts.seed);
         let cfg = TwoItemConfig::new(1);
         let model = cfg.model();
-        let gap = Some(cfg.gap());
         let k = 10u32.min(g.num_nodes());
         let budgets = [k, k];
         for algo in Algo::TWO_ITEM {
             group.bench_function(format!("{}/{}", which.name(), algo.name()), |b| {
-                b.iter(|| run_algo(algo, &g, &budgets, &model, gap, &opts))
+                b.iter(|| run_algo_unscored(algo, &g, &budgets, &model, &opts))
             });
         }
     }

@@ -4,7 +4,6 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use uic_bench::bench_opts;
 use uic_datasets::{named_network, Config, NamedNetwork};
-use uic_diffusion::WelfareEstimator;
 use uic_experiments::common::{run_algo, Algo};
 use uic_experiments::fig7::budgets_for;
 
@@ -20,10 +19,8 @@ fn bench(c: &mut Criterion) {
         let budgets = budgets_for(cfg, 50, n);
         for algo in Algo::MULTI_ITEM {
             group.bench_function(format!("config{}/{}", cfg.id(), algo.name()), |b| {
-                b.iter(|| {
-                    let r = run_algo(algo, &g, &budgets, &model, None, &opts);
-                    WelfareEstimator::new(&g, &model, opts.sims, opts.seed).estimate(&r.allocation)
-                })
+                // run_algo scores through the solver registry's shared ctx.
+                b.iter(|| run_algo(algo, &g, &budgets, &model, &opts).welfare_mean())
             });
         }
     }

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use uic_bench::bench_opts;
 use uic_datasets::{named_network, Config, NamedNetwork};
-use uic_experiments::common::{run_algo, Algo};
+use uic_experiments::common::{run_algo_unscored, Algo};
 
 fn bench(c: &mut Criterion) {
     let opts = bench_opts();
@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
         let budgets = vec![per_item; items as usize];
         for algo in Algo::MULTI_ITEM {
             group.bench_function(format!("{}items/{}", items, algo.name()), |b| {
-                b.iter(|| run_algo(algo, &g, &budgets, &model, None, &opts))
+                b.iter(|| run_algo_unscored(algo, &g, &budgets, &model, &opts))
             });
         }
     }

@@ -2,6 +2,9 @@
 //! the real Param — large skew forces the biggest PRIMA budget and is
 //! the slowest, matching the paper.
 
+// These benches time the raw engine functions below the registry facade.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use uic_bench::bench_opts;
 use uic_core::bundle_grd;

@@ -1,6 +1,9 @@
 //! Fig. 9(a–c) bench: the BDHS externality benchmarks vs a propagated
 //! bundleGRD welfare evaluation.
 
+// These benches time the raw engine functions below the registry facade.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use uic_baselines::{bdhs_concave_welfare, bdhs_step_welfare_exact};
 use uic_bench::bench_opts;

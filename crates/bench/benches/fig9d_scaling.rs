@@ -1,6 +1,9 @@
 //! Fig. 9(d) bench: bundleGRD across BFS-prefix graph sizes with both
 //! edge-weight schemes — the linear-scaling story.
 
+// These benches time the raw engine functions below the registry facade.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use uic_bench::bench_opts;
 use uic_core::bundle_grd;

@@ -1,6 +1,9 @@
 //! Table 6 bench: RR-set accounting — PRIMA (inside bundleGRD) vs the
 //! two IMM variants under the real-Param budget distributions.
 
+// These benches time the raw engine functions below the registry facade.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use uic_core::bundle_grd;
 use uic_datasets::{budget_splits, named_network, NamedNetwork};

@@ -38,17 +38,15 @@ pub struct BundleGrdResult {
     pub elapsed: Duration,
 }
 
-impl BundleGrdResult {
-    /// Seeds assigned to item `i`.
-    pub fn seeds_of_item(&self, i: u32) -> Vec<NodeId> {
-        self.allocation.seeds_of_item(i)
-    }
-}
-
 /// Runs bundleGRD: one PRIMA invocation on the budget vector, then the
 /// per-item prefix assignment. `budgets[i]` is item `i`'s budget; the
 /// vector need not be sorted (PRIMA receives a sorted copy; assignment
 /// only depends on each item's own budget).
+#[deprecated(
+    since = "0.1.0",
+    note = "construct through the solver registry: <dyn uic_core::Allocator>::by_name(\"bundle-grd\") \
+            (or call uic_im::prima directly if you need the seed ordering)"
+)]
 pub fn bundle_grd(
     g: &Graph,
     budgets: &[u32],
@@ -78,6 +76,7 @@ pub fn bundle_grd(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests exercise the engine behind the registry
 mod tests {
     use super::*;
     use uic_graph::{GraphBuilder, Weighting};
@@ -98,8 +97,8 @@ mod tests {
         let g = two_hub_graph();
         let r = bundle_grd(&g, &[3, 1], 0.4, 1.0, DiffusionModel::IC, 5);
         assert_eq!(r.order.len(), 3);
-        let s0 = r.seeds_of_item(0);
-        let s1 = r.seeds_of_item(1);
+        let s0 = r.allocation.seeds_of_item(0);
+        let s1 = r.allocation.seeds_of_item(1);
         assert_eq!(s0.len(), 3);
         assert_eq!(s1.len(), 1);
         // Item 1's single seed is the top node of the shared ordering —
@@ -123,9 +122,9 @@ mod tests {
         let g = two_hub_graph();
         // Item 0 has the SMALL budget here.
         let r = bundle_grd(&g, &[1, 3], 0.4, 1.0, DiffusionModel::IC, 9);
-        assert_eq!(r.seeds_of_item(0).len(), 1);
-        assert_eq!(r.seeds_of_item(1).len(), 3);
-        assert_eq!(r.seeds_of_item(0)[0], r.order[0]);
+        assert_eq!(r.allocation.seeds_of_item(0).len(), 1);
+        assert_eq!(r.allocation.seeds_of_item(1).len(), 3);
+        assert_eq!(r.allocation.seeds_of_item(0)[0], r.order[0]);
     }
 
     #[test]

@@ -19,13 +19,26 @@
 //! * [`exact`] — brute-force WelMax solver for tiny instances (exhaustive
 //!   allocation search over exact welfare), powering empirical
 //!   approximation-ratio checks.
+//! * [`solver`] — the unified solver API: the [`Allocator`] trait over
+//!   all nine algorithms (bundleGRD + the eight baselines), the
+//!   string-keyed [`solver::registry`], typed per-algorithm parameter
+//!   structs with config-text serialization, and the [`WelMax`] builder
+//!   for assembling instances.
 
 pub mod accounting;
 pub mod bundle_grd;
 pub mod exact;
 pub mod problem;
+pub mod solver;
 
 pub use accounting::{greedy_welfare_decomposition, upper_bound_welfare};
-pub use bundle_grd::{bundle_grd, BundleGrdResult};
+#[allow(deprecated)]
+pub use bundle_grd::bundle_grd;
+pub use bundle_grd::BundleGrdResult;
 pub use exact::solve_welmax_bruteforce;
-pub use problem::WelMaxInstance;
+pub use problem::{InstanceError, WelMax, WelMaxInstance};
+pub use solver::{registry, Allocator, RegistryEntry, RegistryError, SolveCtx, Unsupported};
+// The unified report type lives in uic-diffusion (below every algorithm
+// crate); re-export it here so `uic_core::{Allocator, SolveReport}` is a
+// complete import for solver users.
+pub use uic_diffusion::SolveReport;

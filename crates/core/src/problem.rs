@@ -1,17 +1,86 @@
 //! The WelMax problem instance (Problem 1 of the paper).
 
+use std::fmt;
 use uic_graph::Graph;
 use uic_items::UtilityModel;
+
+/// Why a WelMax instance could not be assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// `budgets.len()` disagrees with the model's item count.
+    ArityMismatch {
+        /// Length of the budget vector.
+        budgets: usize,
+        /// Item count of the utility model.
+        items: u32,
+    },
+    /// The budget vector was empty.
+    NoItems,
+    /// Items were not indexed in non-increasing budget order (§4.2.2.1).
+    UnsortedBudgets,
+    /// An item had budget zero.
+    ZeroBudget {
+        /// The offending item index.
+        item: usize,
+    },
+    /// An item's budget exceeded the node count.
+    BudgetExceedsNodes {
+        /// The offending item index.
+        item: usize,
+        /// Its budget.
+        budget: u32,
+        /// The graph's node count.
+        nodes: u32,
+    },
+    /// The builder was finalized without a utility model.
+    MissingModel,
+    /// The builder was finalized without a budget vector.
+    MissingBudgets,
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            InstanceError::ArityMismatch { budgets, items } => {
+                write!(f, "budget vector arity {budgets} != item count {items}")
+            }
+            InstanceError::NoItems => write!(f, "at least one item required"),
+            InstanceError::UnsortedBudgets => {
+                write!(f, "items must be indexed in non-increasing budget order")
+            }
+            InstanceError::ZeroBudget { item } => {
+                write!(f, "budget of item {item} must be ≥ 1")
+            }
+            InstanceError::BudgetExceedsNodes {
+                item,
+                budget,
+                nodes,
+            } => write!(
+                f,
+                "budget {budget} of item {item} exceeds node count {nodes}"
+            ),
+            InstanceError::MissingModel => write!(f, "builder needs a utility model"),
+            InstanceError::MissingBudgets => write!(f, "builder needs a budget vector"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
 
 /// A complete WelMax instance: social network, utility model `Param`, and
 /// per-item budget vector `b̄`.
 ///
 /// **Indexing convention** (§4.2.2.1): item indices are sorted in
-/// non-increasing budget order, `b_0 ≥ b_1 ≥ …` — the constructor
-/// enforces this so the block-accounting machinery and the precedence
-/// order `≺` (numeric mask order) apply directly. Use
-/// [`uic_items::blocks::budget_sort_permutation`] to relabel unsorted
-/// inputs before building an instance.
+/// non-increasing budget order, `b_0 ≥ b_1 ≥ …` — [`WelMaxInstance::new`]
+/// and [`WelMaxInstance::try_new`] enforce this so the block-accounting
+/// machinery and the precedence order `≺` (numeric mask order) apply
+/// directly. Use [`uic_items::blocks::budget_sort_permutation`] to
+/// relabel unsorted inputs before building an instance, or — when item
+/// identity must survive a budget sweep (the Fig. 4 non-uniform
+/// configurations fix `b₁ = 70` while `b₂` crosses it) — opt out with
+/// [`WelMaxInstance::try_new_any_order`] / [`WelMax::any_item_order`].
+/// The allocation algorithms are order-agnostic; only the Lemma 5/7
+/// accounting helpers require the canonical order.
 pub struct WelMaxInstance<'a> {
     graph: &'a Graph,
     model: UtilityModel,
@@ -20,31 +89,66 @@ pub struct WelMaxInstance<'a> {
 
 impl<'a> WelMaxInstance<'a> {
     /// Assembles an instance; `budgets[i]` is item `i`'s seed budget.
+    ///
+    /// # Panics
+    /// On any [`InstanceError`] — this is the historical panicking entry
+    /// point, kept for back-compat; it delegates to [`Self::try_new`].
     pub fn new(graph: &'a Graph, model: UtilityModel, budgets: Vec<u32>) -> Self {
-        assert_eq!(
-            budgets.len() as u32,
-            model.num_items(),
-            "budget vector arity {} != item count {}",
-            budgets.len(),
-            model.num_items()
-        );
-        assert!(!budgets.is_empty(), "at least one item required");
-        assert!(
-            budgets.windows(2).all(|w| w[0] >= w[1]),
-            "items must be indexed in non-increasing budget order"
-        );
-        for (i, &b) in budgets.iter().enumerate() {
-            assert!(b >= 1, "budget of item {i} must be ≥ 1");
-            assert!(
-                b <= graph.num_nodes(),
-                "budget {b} of item {i} exceeds node count"
-            );
+        match Self::try_new(graph, model, budgets) {
+            Ok(inst) => inst,
+            Err(e) => panic!("{e}"),
         }
-        WelMaxInstance {
+    }
+
+    /// Fallible constructor: validates arity, non-emptiness, the
+    /// non-increasing budget order, and per-item budget bounds.
+    pub fn try_new(
+        graph: &'a Graph,
+        model: UtilityModel,
+        budgets: Vec<u32>,
+    ) -> Result<Self, InstanceError> {
+        if !budgets.windows(2).all(|w| w[0] >= w[1]) {
+            return Err(InstanceError::UnsortedBudgets);
+        }
+        Self::try_new_any_order(graph, model, budgets)
+    }
+
+    /// [`Self::try_new`] without the §4.2.2.1 ordering requirement.
+    ///
+    /// Algorithms never rely on the canonical item order (each item's
+    /// assignment depends only on its own budget), but the Lemma 5/7
+    /// block-accounting helpers do — they re-check it themselves.
+    pub fn try_new_any_order(
+        graph: &'a Graph,
+        model: UtilityModel,
+        budgets: Vec<u32>,
+    ) -> Result<Self, InstanceError> {
+        if budgets.len() as u32 != model.num_items() {
+            return Err(InstanceError::ArityMismatch {
+                budgets: budgets.len(),
+                items: model.num_items(),
+            });
+        }
+        if budgets.is_empty() {
+            return Err(InstanceError::NoItems);
+        }
+        for (item, &b) in budgets.iter().enumerate() {
+            if b == 0 {
+                return Err(InstanceError::ZeroBudget { item });
+            }
+            if b > graph.num_nodes() {
+                return Err(InstanceError::BudgetExceedsNodes {
+                    item,
+                    budget: b,
+                    nodes: graph.num_nodes(),
+                });
+            }
+        }
+        Ok(WelMaxInstance {
             graph,
             model,
             budgets,
-        }
+        })
     }
 
     /// The social network.
@@ -57,14 +161,20 @@ impl<'a> WelMaxInstance<'a> {
         &self.model
     }
 
-    /// The budget vector `b̄` (non-increasing).
+    /// The budget vector `b̄`.
     pub fn budgets(&self) -> &[u32] {
         &self.budgets
     }
 
     /// The maximum budget `b = max b̄` (the PRIMA seed-count).
     pub fn max_budget(&self) -> u32 {
-        self.budgets[0]
+        *self.budgets.iter().max().expect("at least one item")
+    }
+
+    /// True when items follow the canonical non-increasing budget order
+    /// (always the case unless built through an `any_order` entry point).
+    pub fn has_canonical_item_order(&self) -> bool {
+        self.budgets.windows(2).all(|w| w[0] >= w[1])
     }
 
     /// Number of items `|I|`.
@@ -75,6 +185,72 @@ impl<'a> WelMaxInstance<'a> {
     /// Total seed budget `Σ b_i` (what item-disj spends).
     pub fn total_budget(&self) -> u32 {
         self.budgets.iter().sum()
+    }
+}
+
+/// Builder entry point for WelMax instances:
+///
+/// ```
+/// use uic_core::WelMax;
+/// use uic_graph::Graph;
+/// use uic_items::{NoiseModel, Price, TableValuation, UtilityModel};
+/// use std::sync::Arc;
+///
+/// let g = Graph::from_edges(10, &[(0, 1, 0.5)]);
+/// let model = UtilityModel::new(
+///     Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 8.0])),
+///     Price::additive(vec![3.0, 4.0]),
+///     NoiseModel::none(2),
+/// );
+/// let inst = WelMax::on(&g).model(model).budgets([5, 3]).build().unwrap();
+/// assert_eq!(inst.max_budget(), 5);
+/// ```
+pub struct WelMax<'a> {
+    graph: &'a Graph,
+    model: Option<UtilityModel>,
+    budgets: Option<Vec<u32>>,
+    any_order: bool,
+}
+
+impl<'a> WelMax<'a> {
+    /// Starts a builder on the given social network.
+    pub fn on(graph: &'a Graph) -> WelMax<'a> {
+        WelMax {
+            graph,
+            model: None,
+            budgets: None,
+            any_order: false,
+        }
+    }
+
+    /// Sets the utility model `Param = (V, P, N)`.
+    pub fn model(mut self, model: UtilityModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the per-item budget vector `b̄`.
+    pub fn budgets(mut self, budgets: impl Into<Vec<u32>>) -> Self {
+        self.budgets = Some(budgets.into());
+        self
+    }
+
+    /// Waives the §4.2.2.1 non-increasing-budget indexing requirement
+    /// (see [`WelMaxInstance::try_new_any_order`]).
+    pub fn any_item_order(mut self) -> Self {
+        self.any_order = true;
+        self
+    }
+
+    /// Finalizes the instance.
+    pub fn build(self) -> Result<WelMaxInstance<'a>, InstanceError> {
+        let model = self.model.ok_or(InstanceError::MissingModel)?;
+        let budgets = self.budgets.ok_or(InstanceError::MissingBudgets)?;
+        if self.any_order {
+            WelMaxInstance::try_new_any_order(self.graph, model, budgets)
+        } else {
+            WelMaxInstance::try_new(self.graph, model, budgets)
+        }
     }
 }
 
@@ -102,6 +278,7 @@ mod tests {
         assert_eq!(inst.budgets(), &[5, 3]);
         assert_eq!(inst.graph().num_nodes(), 10);
         assert_eq!(inst.model().num_items(), 2);
+        assert!(inst.has_canonical_item_order());
     }
 
     #[test]
@@ -123,5 +300,109 @@ mod tests {
     fn rejects_oversized_budget() {
         let g = Graph::from_edges(4, &[(0, 1, 0.5)]);
         WelMaxInstance::new(&g, two_item_model(), vec![9, 1]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let g = Graph::from_edges(4, &[(0, 1, 0.5)]);
+        assert_eq!(
+            WelMaxInstance::try_new(&g, two_item_model(), vec![3, 5]).err(),
+            Some(InstanceError::UnsortedBudgets)
+        );
+        assert_eq!(
+            WelMaxInstance::try_new(&g, two_item_model(), vec![3]).err(),
+            Some(InstanceError::ArityMismatch {
+                budgets: 1,
+                items: 2
+            })
+        );
+        assert_eq!(
+            WelMaxInstance::try_new(&g, two_item_model(), vec![3, 0]).err(),
+            Some(InstanceError::ZeroBudget { item: 1 })
+        );
+        assert_eq!(
+            WelMaxInstance::try_new(&g, two_item_model(), vec![9, 1]).err(),
+            Some(InstanceError::BudgetExceedsNodes {
+                item: 0,
+                budget: 9,
+                nodes: 4
+            })
+        );
+        assert!(WelMaxInstance::try_new(&g, two_item_model(), vec![3, 2]).is_ok());
+    }
+
+    #[test]
+    fn any_order_entry_points_accept_sweep_shapes() {
+        let g = Graph::from_edges(10, &[(0, 1, 0.5)]);
+        let inst = WelMaxInstance::try_new_any_order(&g, two_item_model(), vec![3, 5]).unwrap();
+        assert!(!inst.has_canonical_item_order());
+        assert_eq!(inst.max_budget(), 5, "max budget is a max, not budgets[0]");
+        // The hard errors still apply.
+        assert_eq!(
+            WelMaxInstance::try_new_any_order(&g, two_item_model(), vec![0, 5]).err(),
+            Some(InstanceError::ZeroBudget { item: 0 })
+        );
+    }
+
+    #[test]
+    fn builder_happy_path_and_missing_pieces() {
+        let g = Graph::from_edges(10, &[(0, 1, 0.5)]);
+        let inst = WelMax::on(&g)
+            .model(two_item_model())
+            .budgets([5u32, 3])
+            .build()
+            .unwrap();
+        assert_eq!(inst.budgets(), &[5, 3]);
+
+        assert_eq!(
+            WelMax::on(&g).budgets([5u32, 3]).build().err(),
+            Some(InstanceError::MissingModel)
+        );
+        assert_eq!(
+            WelMax::on(&g).model(two_item_model()).build().err(),
+            Some(InstanceError::MissingBudgets)
+        );
+        assert_eq!(
+            WelMax::on(&g)
+                .model(two_item_model())
+                .budgets([3u32, 5])
+                .build()
+                .err(),
+            Some(InstanceError::UnsortedBudgets)
+        );
+        assert!(WelMax::on(&g)
+            .model(two_item_model())
+            .budgets([3u32, 5])
+            .any_item_order()
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn errors_display_like_the_old_panics() {
+        // The panic-message contract of `new` is part of the public API
+        // (downstream tests match on substrings).
+        assert!(InstanceError::UnsortedBudgets
+            .to_string()
+            .contains("non-increasing budget order"));
+        assert!(InstanceError::ArityMismatch {
+            budgets: 1,
+            items: 2
+        }
+        .to_string()
+        .contains("arity"));
+        assert!(InstanceError::BudgetExceedsNodes {
+            item: 0,
+            budget: 9,
+            nodes: 4
+        }
+        .to_string()
+        .contains("exceeds node count"));
+        assert!(InstanceError::NoItems
+            .to_string()
+            .contains("at least one item required"));
+        assert!(InstanceError::ZeroBudget { item: 3 }
+            .to_string()
+            .contains("must be ≥ 1"));
     }
 }

@@ -1,0 +1,1165 @@
+//! The unified solver API: one [`Allocator`] trait over every WelMax
+//! algorithm in the workspace, a string-keyed registry, and typed
+//! per-algorithm parameter structs that serialize to/from the
+//! [`uic_datasets::spec`] config text format.
+//!
+//! ```
+//! use uic_core::{Allocator, SolveCtx, WelMax};
+//! use uic_datasets::{named_network, NamedNetwork, TwoItemConfig};
+//!
+//! let g = named_network(NamedNetwork::Flixster, 0.01, 7);
+//! let cfg = TwoItemConfig::new(1);
+//! let inst = WelMax::on(&g).model(cfg.model()).budgets([3u32, 3]).build().unwrap();
+//!
+//! let solver = <dyn Allocator>::by_name("bundle-grd").unwrap();
+//! let report = solver.solve(&inst, &SolveCtx::new(42).with_sims(60));
+//! assert!(report.allocation.respects_budgets(inst.budgets()));
+//! assert!(report.welfare_mean().is_finite());
+//! ```
+//!
+//! Every algorithm — bundleGRD and the eight baselines — is a registry
+//! entry; adding a workload means adding an entry, not a new `match` arm.
+//! The deprecated free functions (`bundle_grd`, `uic_baselines::*`)
+//! remain as the engines these impls wrap.
+
+#![allow(deprecated)] // the registry is the supported facade over the deprecated free-function engines
+
+use crate::problem::WelMaxInstance;
+use std::fmt;
+use std::time::Instant;
+use uic_baselines as baselines;
+use uic_datasets::{SolverSpec, SpecError, SpecMap};
+use uic_diffusion::{SolveReport, WelfareEstimator};
+use uic_graph::NodeId;
+use uic_im::DiffusionModel;
+use uic_items::{GapParams, ItemSet};
+
+/// Shared run context: seeds, welfare-scoring effort, and threading.
+/// Algorithm-specific knobs (ε, ℓ, damping, …) live on the typed
+/// parameter structs instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveCtx {
+    /// Master seed for the algorithm's own randomness.
+    pub seed: u64,
+    /// Monte-Carlo samples for welfare scoring; `0` skips scoring
+    /// (the report then carries `welfare: None`).
+    pub sims: u32,
+    /// Seed stream of the welfare estimator (decoupled from `seed` so
+    /// scoring never perturbs, and is never perturbed by, the solver).
+    pub welfare_seed: u64,
+    /// Worker-thread override for the welfare estimator's deterministic
+    /// block reducer; `None` sizes automatically.
+    pub threads: Option<usize>,
+}
+
+impl SolveCtx {
+    /// Context with the given master seed, 300 scoring samples, and a
+    /// welfare stream derived from (but independent of) the seed.
+    pub fn new(seed: u64) -> SolveCtx {
+        SolveCtx {
+            seed,
+            sims: 300,
+            welfare_seed: seed ^ 0xEF_AE,
+            threads: None,
+        }
+    }
+
+    /// Overrides the welfare-scoring sample count (`0` = skip scoring).
+    pub fn with_sims(mut self, sims: u32) -> SolveCtx {
+        self.sims = sims;
+        self
+    }
+
+    /// Overrides the welfare estimator's seed stream.
+    pub fn with_welfare_seed(mut self, seed: u64) -> SolveCtx {
+        self.welfare_seed = seed;
+        self
+    }
+
+    /// Pins the welfare estimator's worker-thread count.
+    pub fn with_threads(mut self, threads: Option<usize>) -> SolveCtx {
+        self.threads = threads;
+        self
+    }
+}
+
+impl Default for SolveCtx {
+    fn default() -> Self {
+        SolveCtx::new(0)
+    }
+}
+
+/// Why an allocator refuses a particular instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unsupported {
+    /// Registry key of the refusing allocator.
+    pub algorithm: &'static str,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} does not support this instance: {}",
+            self.algorithm, self.reason
+        )
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// A WelMax allocation algorithm behind a uniform interface.
+///
+/// Implementors provide [`Allocator::run`] (produce the allocation and
+/// cost counters); the provided [`Allocator::solve`] entry point adds the
+/// uniform bookkeeping every caller wants: seed stamping, per-item budget
+/// usage, and welfare mean ± CI from
+/// [`WelfareEstimator::estimate_stats`].
+pub trait Allocator {
+    /// The registry key (e.g. `"bundle-grd"`).
+    fn name(&self) -> &'static str;
+
+    /// This allocator's configuration as a spec line — `name key=value…`
+    /// — suitable for config files; round-trips through
+    /// [`<dyn Allocator>::from_spec`](trait.Allocator.html#method.from_spec).
+    fn spec(&self) -> SolverSpec;
+
+    /// Checks instance compatibility (e.g. the Com-IC algorithms handle
+    /// exactly two items). The default accepts everything.
+    fn supports(&self, inst: &WelMaxInstance) -> Result<(), Unsupported> {
+        let _ = inst;
+        Ok(())
+    }
+
+    /// Runs the raw algorithm: allocation, RR-set counters, and timing.
+    /// Welfare is left unscored; use [`Allocator::solve`] instead unless
+    /// you are building custom scoring.
+    fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport;
+
+    /// Runs the algorithm and completes the report: stamps the seed and
+    /// per-item budget usage, and (when `ctx.sims > 0`) attaches welfare
+    /// statistics estimated on the instance's own utility model.
+    ///
+    /// `elapsed` in the report covers the algorithm only — scoring time
+    /// is excluded, exactly as the paper's running-time figures demand.
+    ///
+    /// # Panics
+    /// When [`Allocator::supports`] rejects the instance.
+    fn solve(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
+        if let Err(e) = self.supports(inst) {
+            panic!("{e}");
+        }
+        let mut report = self.run(inst, ctx);
+        report.seed = ctx.seed;
+        report.budgets_used = report.allocation.budgets_used(inst.num_items());
+        if ctx.sims > 0 {
+            let mut est =
+                WelfareEstimator::new(inst.graph(), inst.model(), ctx.sims, ctx.welfare_seed);
+            if let Some(t) = ctx.threads {
+                est = est.with_threads(t);
+            }
+            report.welfare = Some(est.estimate_stats(&report.allocation));
+        }
+        report
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spec plumbing shared by the parameter structs.
+// ---------------------------------------------------------------------
+
+fn spec_model(params: &SpecMap, default: DiffusionModel) -> Result<DiffusionModel, SpecError> {
+    match params.get("model") {
+        None => Ok(default),
+        Some("ic") => Ok(DiffusionModel::IC),
+        Some("lt") => Ok(DiffusionModel::LT),
+        Some(other) => Err(SpecError::BadValue {
+            key: "model".to_string(),
+            value: other.to_string(),
+            expected: "ic|lt",
+        }),
+    }
+}
+
+fn model_str(model: DiffusionModel) -> &'static str {
+    match model {
+        DiffusionModel::IC => "ic",
+        DiffusionModel::LT => "lt",
+    }
+}
+
+// ---------------------------------------------------------------------
+// The nine allocators.
+// ---------------------------------------------------------------------
+
+/// **bundleGRD** (Algorithm 1): one PRIMA ordering, every item seeded on
+/// its budget-prefix. Registry key `"bundle-grd"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BundleGrd {
+    /// PRIMA approximation parameter ε (paper default 0.5).
+    pub eps: f64,
+    /// PRIMA failure exponent ℓ (paper default 1).
+    pub ell: f64,
+    /// Diffusion model the RR sampler follows.
+    pub model: DiffusionModel,
+}
+
+impl Default for BundleGrd {
+    fn default() -> Self {
+        BundleGrd {
+            eps: 0.5,
+            ell: 1.0,
+            model: DiffusionModel::IC,
+        }
+    }
+}
+
+impl BundleGrd {
+    /// Reads `eps`, `ell`, and `model` overrides from a spec.
+    pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
+        let d = BundleGrd::default();
+        Ok(BundleGrd {
+            eps: params.get_f64("eps")?.unwrap_or(d.eps),
+            ell: params.get_f64("ell")?.unwrap_or(d.ell),
+            model: spec_model(params, d.model)?,
+        })
+    }
+
+    /// Serializes the parameters (always explicit, for reproducibility).
+    pub fn to_spec(&self) -> SpecMap {
+        SpecMap::new()
+            .with("eps", self.eps)
+            .with("ell", self.ell)
+            .with("model", model_str(self.model))
+    }
+}
+
+impl Allocator for BundleGrd {
+    fn name(&self) -> &'static str {
+        "bundle-grd"
+    }
+
+    fn spec(&self) -> SolverSpec {
+        SolverSpec {
+            name: self.name().to_string(),
+            params: self.to_spec(),
+        }
+    }
+
+    fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
+        let r = crate::bundle_grd(
+            inst.graph(),
+            inst.budgets(),
+            self.eps,
+            self.ell,
+            self.model,
+            ctx.seed,
+        );
+        SolveReport {
+            algorithm: self.name(),
+            allocation: r.allocation,
+            welfare: None,
+            elapsed: r.elapsed,
+            seed: ctx.seed,
+            budgets_used: Vec::new(),
+            rr_sets_final: r.rr_sets_final,
+            rr_sets_total: r.rr_sets_total,
+        }
+    }
+}
+
+/// **item-disj** (§4.3.1.2): one IMM call at `Σ b_i`, disjoint chunks per
+/// item. Registry key `"item-disj"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ItemDisj {
+    /// IMM approximation parameter ε.
+    pub eps: f64,
+    /// IMM failure exponent ℓ.
+    pub ell: f64,
+    /// Diffusion model the RR sampler follows.
+    pub model: DiffusionModel,
+}
+
+impl Default for ItemDisj {
+    fn default() -> Self {
+        ItemDisj {
+            eps: 0.5,
+            ell: 1.0,
+            model: DiffusionModel::IC,
+        }
+    }
+}
+
+impl ItemDisj {
+    /// Reads `eps`, `ell`, and `model` overrides from a spec.
+    pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
+        let d = ItemDisj::default();
+        Ok(ItemDisj {
+            eps: params.get_f64("eps")?.unwrap_or(d.eps),
+            ell: params.get_f64("ell")?.unwrap_or(d.ell),
+            model: spec_model(params, d.model)?,
+        })
+    }
+
+    /// Serializes the parameters.
+    pub fn to_spec(&self) -> SpecMap {
+        SpecMap::new()
+            .with("eps", self.eps)
+            .with("ell", self.ell)
+            .with("model", model_str(self.model))
+    }
+}
+
+impl Allocator for ItemDisj {
+    fn name(&self) -> &'static str {
+        "item-disj"
+    }
+
+    fn spec(&self) -> SolverSpec {
+        SolverSpec {
+            name: self.name().to_string(),
+            params: self.to_spec(),
+        }
+    }
+
+    fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
+        baselines::item_disj(
+            inst.graph(),
+            inst.budgets(),
+            self.eps,
+            self.ell,
+            self.model,
+            ctx.seed,
+        )
+    }
+}
+
+/// **bundle-disj** (§4.3.1.2): minimum profitable bundles on disjoint
+/// seed chunks; reads the deterministic utilities from the instance.
+/// Registry key `"bundle-disj"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BundleDisj {
+    /// IMM approximation parameter ε.
+    pub eps: f64,
+    /// IMM failure exponent ℓ.
+    pub ell: f64,
+    /// Diffusion model the RR sampler follows.
+    pub model: DiffusionModel,
+}
+
+impl Default for BundleDisj {
+    fn default() -> Self {
+        BundleDisj {
+            eps: 0.5,
+            ell: 1.0,
+            model: DiffusionModel::IC,
+        }
+    }
+}
+
+impl BundleDisj {
+    /// Reads `eps`, `ell`, and `model` overrides from a spec.
+    pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
+        let d = BundleDisj::default();
+        Ok(BundleDisj {
+            eps: params.get_f64("eps")?.unwrap_or(d.eps),
+            ell: params.get_f64("ell")?.unwrap_or(d.ell),
+            model: spec_model(params, d.model)?,
+        })
+    }
+
+    /// Serializes the parameters.
+    pub fn to_spec(&self) -> SpecMap {
+        SpecMap::new()
+            .with("eps", self.eps)
+            .with("ell", self.ell)
+            .with("model", model_str(self.model))
+    }
+}
+
+impl Allocator for BundleDisj {
+    fn name(&self) -> &'static str {
+        "bundle-disj"
+    }
+
+    fn spec(&self) -> SolverSpec {
+        SolverSpec {
+            name: self.name().to_string(),
+            params: self.to_spec(),
+        }
+    }
+
+    fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
+        baselines::bundle_disj(
+            inst.graph(),
+            inst.budgets(),
+            inst.model(),
+            self.eps,
+            self.ell,
+            self.model,
+            ctx.seed,
+        )
+    }
+}
+
+fn needs_two_items(name: &'static str, inst: &WelMaxInstance) -> Result<(), Unsupported> {
+    if inst.num_items() == 2 {
+        Ok(())
+    } else {
+        Err(Unsupported {
+            algorithm: name,
+            reason: format!(
+                "the Com-IC algorithms handle exactly two items, got {}",
+                inst.num_items()
+            ),
+        })
+    }
+}
+
+/// **RR-SIM+** (Lu et al., Com-IC): item 2 by IMM, item 1 on
+/// self-influence RR sets. GAP parameters are derived from the
+/// instance's utility model via Eq. 12. Two items only.
+/// Registry key `"rr-sim+"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RrSimPlus {
+    /// TIM approximation parameter ε.
+    pub eps: f64,
+    /// TIM failure exponent ℓ.
+    pub ell: f64,
+}
+
+impl Default for RrSimPlus {
+    fn default() -> Self {
+        RrSimPlus { eps: 0.5, ell: 1.0 }
+    }
+}
+
+impl RrSimPlus {
+    /// Reads `eps` and `ell` overrides from a spec.
+    pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
+        let d = RrSimPlus::default();
+        Ok(RrSimPlus {
+            eps: params.get_f64("eps")?.unwrap_or(d.eps),
+            ell: params.get_f64("ell")?.unwrap_or(d.ell),
+        })
+    }
+
+    /// Serializes the parameters.
+    pub fn to_spec(&self) -> SpecMap {
+        SpecMap::new().with("eps", self.eps).with("ell", self.ell)
+    }
+}
+
+impl Allocator for RrSimPlus {
+    fn name(&self) -> &'static str {
+        "rr-sim+"
+    }
+
+    fn spec(&self) -> SolverSpec {
+        SolverSpec {
+            name: self.name().to_string(),
+            params: self.to_spec(),
+        }
+    }
+
+    fn supports(&self, inst: &WelMaxInstance) -> Result<(), Unsupported> {
+        needs_two_items(self.name(), inst)
+    }
+
+    fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
+        let gap = GapParams::from_utility(inst.model());
+        baselines::rr_sim_plus(
+            inst.graph(),
+            gap,
+            inst.budgets()[0],
+            inst.budgets()[1],
+            self.eps,
+            self.ell,
+            ctx.seed,
+        )
+    }
+}
+
+/// **RR-CIM** (Lu et al., Com-IC): item 1 by IMM, item 2 on
+/// complement-aware RR sets. GAP parameters are derived from the
+/// instance's utility model via Eq. 12. Two items only.
+/// Registry key `"rr-cim"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RrCim {
+    /// TIM approximation parameter ε.
+    pub eps: f64,
+    /// TIM failure exponent ℓ.
+    pub ell: f64,
+}
+
+impl Default for RrCim {
+    fn default() -> Self {
+        RrCim { eps: 0.5, ell: 1.0 }
+    }
+}
+
+impl RrCim {
+    /// Reads `eps` and `ell` overrides from a spec.
+    pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
+        let d = RrCim::default();
+        Ok(RrCim {
+            eps: params.get_f64("eps")?.unwrap_or(d.eps),
+            ell: params.get_f64("ell")?.unwrap_or(d.ell),
+        })
+    }
+
+    /// Serializes the parameters.
+    pub fn to_spec(&self) -> SpecMap {
+        SpecMap::new().with("eps", self.eps).with("ell", self.ell)
+    }
+}
+
+impl Allocator for RrCim {
+    fn name(&self) -> &'static str {
+        "rr-cim"
+    }
+
+    fn spec(&self) -> SolverSpec {
+        SolverSpec {
+            name: self.name().to_string(),
+            params: self.to_spec(),
+        }
+    }
+
+    fn supports(&self, inst: &WelMaxInstance) -> Result<(), Unsupported> {
+        needs_two_items(self.name(), inst)
+    }
+
+    fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
+        let gap = GapParams::from_utility(inst.model());
+        baselines::rr_cim(
+            inst.graph(),
+            gap,
+            inst.budgets()[0],
+            inst.budgets()[1],
+            self.eps,
+            self.ell,
+            ctx.seed,
+        )
+    }
+}
+
+/// **BDHS** (Bhattacharya et al., budgeted conversion): the best bundle
+/// `J* = argmax_J V(J) − P(J)` is seeded on the nodes with the highest
+/// 1-step live-in-edge support `1 − Π_{(u,v)}(1 − p_{uv})`, each item of
+/// `J*` taking its budget-prefix of that ranking. Items outside `J*` (or
+/// all items, when `U(J*) ≤ 0`) get no seeds.
+///
+/// The paper's §4.3.4.4 conversion is budget-free — every node holds `J*`
+/// outright; those horizontal Fig. 9 benchmarks remain available as
+/// [`uic_baselines::bdhs_step_welfare`] /
+/// [`uic_baselines::bdhs_concave_welfare`]. This entry is the
+/// budget-respecting member of the same family so BDHS can ride the
+/// shared registry harness. Registry key `"bdhs"`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bdhs;
+
+impl Bdhs {
+    /// BDHS has no tunable parameters; any spec is accepted as-is.
+    pub fn from_spec(_params: &SpecMap) -> Result<Self, SpecError> {
+        Ok(Bdhs)
+    }
+
+    /// Serializes the (empty) parameter set.
+    pub fn to_spec(&self) -> SpecMap {
+        SpecMap::new()
+    }
+}
+
+impl Allocator for Bdhs {
+    fn name(&self) -> &'static str {
+        "bdhs"
+    }
+
+    fn spec(&self) -> SolverSpec {
+        SolverSpec {
+            name: self.name().to_string(),
+            params: self.to_spec(),
+        }
+    }
+
+    fn run(&self, inst: &WelMaxInstance, _ctx: &SolveCtx) -> SolveReport {
+        let start = Instant::now();
+        let g = inst.graph();
+        let (bundle, utility): (ItemSet, f64) = baselines::best_bundle(inst.model());
+        let mut allocation = uic_diffusion::Allocation::new();
+        if utility > 0.0 {
+            // Rank by exact step support (prob. of ≥ 1 live in-edge).
+            let mut order: Vec<NodeId> = (0..g.num_nodes()).collect();
+            let support: Vec<f64> = order
+                .iter()
+                .map(|&v| {
+                    1.0 - g
+                        .in_probs(v)
+                        .iter()
+                        .map(|&p| 1.0 - p as f64)
+                        .product::<f64>()
+                })
+                .collect();
+            order.sort_by(|&a, &b| {
+                support[b as usize]
+                    .partial_cmp(&support[a as usize])
+                    .expect("edge probabilities are finite")
+                    .then(a.cmp(&b))
+            });
+            for item in bundle.iter() {
+                let b = inst.budgets()[item as usize] as usize;
+                for &v in &order[..b.min(order.len())] {
+                    allocation.assign(v, item);
+                }
+            }
+        }
+        SolveReport::new(self.name(), allocation).with_elapsed_since(start)
+    }
+}
+
+/// **MC pair-greedy**: direct greedy on the Monte-Carlo welfare estimate
+/// over `(node, item)` pairs — the guarantee-free, expensive strawman.
+/// Candidates are all nodes when the graph is small, else the top
+/// `pool` nodes by out-degree. Registry key `"mc-greedy"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McGreedy {
+    /// Monte-Carlo samples per candidate evaluation.
+    pub sims: u32,
+    /// Candidate-pool cap (top out-degree preselection above this size).
+    pub pool: u32,
+}
+
+impl Default for McGreedy {
+    fn default() -> Self {
+        McGreedy {
+            sims: 100,
+            pool: 64,
+        }
+    }
+}
+
+impl McGreedy {
+    /// Reads `sims` and `pool` overrides from a spec.
+    pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
+        let d = McGreedy::default();
+        Ok(McGreedy {
+            sims: params.get_u32("sims")?.unwrap_or(d.sims),
+            pool: params.get_u32("pool")?.unwrap_or(d.pool),
+        })
+    }
+
+    /// Serializes the parameters.
+    pub fn to_spec(&self) -> SpecMap {
+        SpecMap::new()
+            .with("sims", self.sims)
+            .with("pool", self.pool)
+    }
+}
+
+impl Allocator for McGreedy {
+    fn name(&self) -> &'static str {
+        "mc-greedy"
+    }
+
+    fn spec(&self) -> SolverSpec {
+        SolverSpec {
+            name: self.name().to_string(),
+            params: self.to_spec(),
+        }
+    }
+
+    fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
+        let g = inst.graph();
+        let mut candidates: Vec<NodeId> = (0..g.num_nodes()).collect();
+        if candidates.len() > self.pool as usize {
+            candidates.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(v)), v));
+            candidates.truncate(self.pool as usize);
+        }
+        baselines::mc_greedy_welfare(
+            g,
+            inst.model(),
+            inst.budgets(),
+            &candidates,
+            self.sims,
+            ctx.seed,
+        )
+    }
+}
+
+/// **degree-top**: rank by out-degree, seed every item on its
+/// budget-prefix of the shared ranking (KKT'03 comparison point).
+/// Registry key `"degree-top"`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegreeTop;
+
+impl DegreeTop {
+    /// degree-top has no tunable parameters; any spec is accepted as-is.
+    pub fn from_spec(_params: &SpecMap) -> Result<Self, SpecError> {
+        Ok(DegreeTop)
+    }
+
+    /// Serializes the (empty) parameter set.
+    pub fn to_spec(&self) -> SpecMap {
+        SpecMap::new()
+    }
+}
+
+impl Allocator for DegreeTop {
+    fn name(&self) -> &'static str {
+        "degree-top"
+    }
+
+    fn spec(&self) -> SolverSpec {
+        SolverSpec {
+            name: self.name().to_string(),
+            params: self.to_spec(),
+        }
+    }
+
+    fn run(&self, inst: &WelMaxInstance, _ctx: &SolveCtx) -> SolveReport {
+        baselines::degree_top(inst.graph(), inst.budgets())
+    }
+}
+
+/// **PageRank-top**: rank by PageRank on the transposed graph, seed
+/// every item on its budget-prefix (KKT'03 comparison point).
+/// Registry key `"pagerank-top"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankTop {
+    /// Damping factor `d ∈ [0, 1)`.
+    pub damping: f64,
+    /// Power-iteration count.
+    pub iterations: u32,
+}
+
+impl Default for PageRankTop {
+    fn default() -> Self {
+        PageRankTop {
+            damping: 0.85,
+            iterations: 50,
+        }
+    }
+}
+
+impl PageRankTop {
+    /// Reads `damping` and `iterations` overrides from a spec.
+    pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
+        let d = PageRankTop::default();
+        Ok(PageRankTop {
+            damping: params.get_f64("damping")?.unwrap_or(d.damping),
+            iterations: params.get_u32("iterations")?.unwrap_or(d.iterations),
+        })
+    }
+
+    /// Serializes the parameters.
+    pub fn to_spec(&self) -> SpecMap {
+        SpecMap::new()
+            .with("damping", self.damping)
+            .with("iterations", self.iterations)
+    }
+}
+
+impl Allocator for PageRankTop {
+    fn name(&self) -> &'static str {
+        "pagerank-top"
+    }
+
+    fn spec(&self) -> SolverSpec {
+        SolverSpec {
+            name: self.name().to_string(),
+            params: self.to_spec(),
+        }
+    }
+
+    fn run(&self, inst: &WelMaxInstance, _ctx: &SolveCtx) -> SolveReport {
+        baselines::pagerank_top(inst.graph(), inst.budgets(), self.damping, self.iterations)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The registry.
+// ---------------------------------------------------------------------
+
+/// One registered allocator: its key, a one-line summary, and a factory
+/// from spec parameters.
+pub struct RegistryEntry {
+    /// The registry key.
+    pub name: &'static str,
+    /// One-line description (shown in the README registry table).
+    pub summary: &'static str,
+    build: fn(&SpecMap) -> Result<Box<dyn Allocator>, SpecError>,
+}
+
+impl RegistryEntry {
+    /// Instantiates the allocator with parameter overrides from `params`
+    /// (keys the algorithm does not define are ignored, so one shared
+    /// spec — e.g. `eps=0.3 ell=1` — can configure a whole sweep).
+    pub fn build(&self, params: &SpecMap) -> Result<Box<dyn Allocator>, SpecError> {
+        (self.build)(params)
+    }
+
+    /// Instantiates the allocator with its default parameters.
+    pub fn default_allocator(&self) -> Box<dyn Allocator> {
+        self.build(&SpecMap::new())
+            .expect("defaults are always valid")
+    }
+}
+
+macro_rules! entry {
+    ($name:literal, $ty:ty, $summary:literal) => {
+        RegistryEntry {
+            name: $name,
+            summary: $summary,
+            build: |params| Ok(Box::new(<$ty>::from_spec(params)?) as Box<dyn Allocator>),
+        }
+    };
+}
+
+/// All registered allocators, in the paper's comparison order.
+pub fn registry() -> &'static [RegistryEntry] {
+    static REGISTRY: [RegistryEntry; 9] = [
+        entry!(
+            "bundle-grd",
+            BundleGrd,
+            "bundleGRD (Alg. 1): shared PRIMA prefix, (1−1/e−ε)-approx"
+        ),
+        entry!(
+            "item-disj",
+            ItemDisj,
+            "item-disj: one IMM call at Σbᵢ, disjoint chunk per item"
+        ),
+        entry!(
+            "bundle-disj",
+            BundleDisj,
+            "bundle-disj: min profitable bundles on disjoint seed chunks"
+        ),
+        entry!(
+            "rr-sim+",
+            RrSimPlus,
+            "RR-SIM+ (Com-IC): self-influence RR sets, two items"
+        ),
+        entry!(
+            "rr-cim",
+            RrCim,
+            "RR-CIM (Com-IC): complement-aware RR sets, two items"
+        ),
+        entry!(
+            "bdhs",
+            Bdhs,
+            "BDHS: best bundle J* on top step-support nodes (budgeted)"
+        ),
+        entry!(
+            "mc-greedy",
+            McGreedy,
+            "MC pair-greedy on the welfare estimate (no guarantee, slow)"
+        ),
+        entry!(
+            "degree-top",
+            DegreeTop,
+            "high-degree ranking, budget-prefix per item"
+        ),
+        entry!(
+            "pagerank-top",
+            PageRankTop,
+            "PageRank-on-transpose ranking, budget-prefix per item"
+        ),
+    ];
+    &REGISTRY
+}
+
+/// Errors from registry lookups and spec-driven construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The spec's head token names no registered allocator.
+    UnknownAlgorithm(String),
+    /// The spec's parameters were malformed.
+    Spec(SpecError),
+    /// A spec key the named algorithm does not define (typo guard of the
+    /// strict [`<dyn Allocator>::from_spec`](trait.Allocator.html) path).
+    UnknownKey {
+        /// The registry key of the algorithm.
+        algorithm: String,
+        /// The unrecognized parameter key.
+        key: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownAlgorithm(name) => {
+                write!(f, "no allocator named `{name}` in the registry")
+            }
+            RegistryError::Spec(e) => write!(f, "bad solver spec: {e}"),
+            RegistryError::UnknownKey { algorithm, key } => {
+                write!(f, "`{algorithm}` has no parameter `{key}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<SpecError> for RegistryError {
+    fn from(e: SpecError) -> Self {
+        RegistryError::Spec(e)
+    }
+}
+
+impl dyn Allocator {
+    /// Looks an allocator up by registry key and instantiates it with
+    /// default parameters: `<dyn Allocator>::by_name("bundle-grd")`.
+    pub fn by_name(name: &str) -> Option<Box<dyn Allocator>> {
+        registry()
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.default_allocator())
+    }
+
+    /// Instantiates an allocator from a parsed [`SolverSpec`].
+    ///
+    /// Unlike [`RegistryEntry::build`] (which ignores keys an algorithm
+    /// does not define, so one shared spec can configure a sweep), this
+    /// single-solver entry point is strict: a key the algorithm does not
+    /// serialize is reported as [`RegistryError::UnknownKey`] rather
+    /// than silently running with defaults.
+    pub fn from_spec(spec: &SolverSpec) -> Result<Box<dyn Allocator>, RegistryError> {
+        let built = registry()
+            .iter()
+            .find(|e| e.name == spec.name)
+            .ok_or_else(|| RegistryError::UnknownAlgorithm(spec.name.clone()))?
+            .build(&spec.params)
+            .map_err(RegistryError::from)?;
+        let known = built.spec();
+        if let Some(bad) = spec.params.keys().find(|k| known.params.get(k).is_none()) {
+            return Err(RegistryError::UnknownKey {
+                algorithm: spec.name.clone(),
+                key: bad.to_string(),
+            });
+        }
+        Ok(built)
+    }
+
+    /// Parses a config text line — `"<name> [key=value]…"` — and
+    /// instantiates the named allocator.
+    pub fn parse(text: &str) -> Result<Box<dyn Allocator>, RegistryError> {
+        <dyn Allocator>::from_spec(&SolverSpec::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WelMax;
+    use std::sync::Arc;
+    use uic_graph::{Graph, GraphBuilder, Weighting};
+    use uic_items::{NoiseModel, Price, TableValuation, UtilityModel};
+
+    fn two_item_model() -> UtilityModel {
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 9.0])),
+            Price::additive(vec![3.5, 4.5]),
+            NoiseModel::iid_gaussian_var(2, 1.0),
+        )
+    }
+
+    fn hub_graph() -> Graph {
+        let mut b = GraphBuilder::new(30);
+        for leaf in 2..20u32 {
+            b.add_edge(0, leaf, 0.6);
+        }
+        for leaf in 20..28u32 {
+            b.add_edge(1, leaf, 0.6);
+        }
+        b.build(Weighting::AsGiven, 0)
+    }
+
+    #[test]
+    fn every_registry_entry_solves_a_two_item_instance() {
+        let g = hub_graph();
+        let inst = WelMax::on(&g)
+            .model(two_item_model())
+            .budgets([3u32, 2])
+            .build()
+            .unwrap();
+        let ctx = SolveCtx::new(7).with_sims(40);
+        for entry in registry() {
+            let solver = entry.default_allocator();
+            assert_eq!(solver.name(), entry.name);
+            let report = solver.solve(&inst, &ctx);
+            assert_eq!(report.algorithm, entry.name);
+            assert_eq!(report.seed, 7);
+            assert!(
+                report.allocation.respects_budgets(inst.budgets()),
+                "{} violated budgets",
+                entry.name
+            );
+            assert_eq!(report.budgets_used.len(), 2, "{}", entry.name);
+            assert!(
+                report.welfare_mean().is_finite(),
+                "{} welfare not finite",
+                entry.name
+            );
+            assert!(report.welfare_ci95().is_finite(), "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips_every_key_and_spec() {
+        for entry in registry() {
+            let solver = <dyn Allocator>::by_name(entry.name)
+                .unwrap_or_else(|| panic!("{} not constructible", entry.name));
+            assert_eq!(solver.name(), entry.name);
+            // spec() → parse → same name and spec (defaults round-trip).
+            let line = solver.spec().to_string();
+            let reparsed = <dyn Allocator>::parse(&line).unwrap();
+            assert_eq!(reparsed.name(), entry.name);
+            assert_eq!(reparsed.spec(), solver.spec(), "{line}");
+        }
+        assert!(<dyn Allocator>::by_name("no-such-algo").is_none());
+    }
+
+    #[test]
+    fn spec_overrides_are_applied() {
+        let solver = <dyn Allocator>::parse("bundle-grd eps=0.3 ell=2 model=lt").unwrap();
+        assert_eq!(
+            solver.spec().to_string(),
+            "bundle-grd eps=0.3 ell=2 model=lt"
+        );
+        let pr =
+            PageRankTop::from_spec(&SpecMap::parse("damping=0.5 iterations=9").unwrap()).unwrap();
+        assert_eq!(pr.damping, 0.5);
+        assert_eq!(pr.iterations, 9);
+        // Unknown algorithms and malformed values are typed errors.
+        assert_eq!(
+            <dyn Allocator>::parse("frobnicate").err(),
+            Some(RegistryError::UnknownAlgorithm("frobnicate".to_string()))
+        );
+        assert!(matches!(
+            <dyn Allocator>::parse("bundle-grd model=xyz"),
+            Err(RegistryError::Spec(SpecError::BadValue { .. }))
+        ));
+        // The single-solver path is strict about typo'd keys; the
+        // registry-entry path stays lenient for shared sweep specs.
+        assert_eq!(
+            <dyn Allocator>::parse("bundle-grd epsilon=0.1").err(),
+            Some(RegistryError::UnknownKey {
+                algorithm: "bundle-grd".to_string(),
+                key: "epsilon".to_string(),
+            })
+        );
+        let sweep_spec = SpecMap::parse("eps=0.3 damping=0.5").unwrap();
+        for entry in registry() {
+            assert!(entry.build(&sweep_spec).is_ok(), "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn welfare_scoring_matches_a_direct_estimator_run() {
+        let g = hub_graph();
+        let model = two_item_model();
+        let inst = WelMax::on(&g)
+            .model(model.clone())
+            .budgets([3u32, 2])
+            .build()
+            .unwrap();
+        let ctx = SolveCtx::new(11).with_sims(200);
+        let report = <dyn Allocator>::by_name("degree-top")
+            .unwrap()
+            .solve(&inst, &ctx);
+        let direct = WelfareEstimator::new(&g, &model, 200, ctx.welfare_seed)
+            .estimate_stats(&report.allocation);
+        assert_eq!(report.welfare_stats(), &direct);
+        // Thread pinning must not change the estimate (PR 2 reducer).
+        let pinned = <dyn Allocator>::by_name("degree-top")
+            .unwrap()
+            .solve(&inst, &ctx.with_threads(Some(2)));
+        assert_eq!(pinned.welfare_mean(), report.welfare_mean());
+    }
+
+    #[test]
+    fn zero_sims_skips_scoring() {
+        let g = hub_graph();
+        let inst = WelMax::on(&g)
+            .model(two_item_model())
+            .budgets([2u32, 2])
+            .build()
+            .unwrap();
+        let report = <dyn Allocator>::by_name("degree-top")
+            .unwrap()
+            .solve(&inst, &SolveCtx::new(3).with_sims(0));
+        assert!(!report.is_scored());
+        assert_eq!(report.budgets_used, vec![2, 2]);
+    }
+
+    #[test]
+    fn comic_algorithms_reject_non_two_item_instances() {
+        let g = hub_graph();
+        let model = UtilityModel::new(
+            Arc::new(TableValuation::from_table(1, vec![0.0, 2.0])),
+            Price::additive(vec![1.0]),
+            NoiseModel::none(1),
+        );
+        let inst = WelMax::on(&g).model(model).budgets([3u32]).build().unwrap();
+        let solver = <dyn Allocator>::by_name("rr-sim+").unwrap();
+        let err = solver.supports(&inst).unwrap_err();
+        assert_eq!(err.algorithm, "rr-sim+");
+        assert!(err.to_string().contains("exactly two items"));
+        // The one-item instance is fine for everyone else.
+        let report = <dyn Allocator>::by_name("bundle-grd")
+            .unwrap()
+            .solve(&inst, &SolveCtx::new(5).with_sims(20));
+        assert!(report.welfare_mean().is_finite());
+    }
+
+    #[test]
+    fn bdhs_budgeted_conversion_shapes() {
+        // Profitable pair: both items seeded on the best-supported nodes.
+        let g = Graph::from_edges(4, &[(0, 1, 0.9), (2, 1, 0.9), (0, 3, 0.5)]);
+        let inst = WelMax::on(&g)
+            .model(two_item_model())
+            .budgets([2u32, 1])
+            .build()
+            .unwrap();
+        let report = Bdhs.solve(&inst, &SolveCtx::new(1).with_sims(10));
+        // Node 1 has the highest live-in-edge support (two 0.9 edges).
+        assert_eq!(report.allocation.seeds_of_item(0), vec![1, 3]);
+        assert_eq!(report.allocation.seeds_of_item(1), vec![1]);
+        assert!(report.allocation.respects_budgets(inst.budgets()));
+
+        // Worthless bundle: nothing is seeded.
+        let loss = UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 1.0, 1.0, 2.0])),
+            Price::additive(vec![5.0, 5.0]),
+            NoiseModel::none(2),
+        );
+        let inst = WelMax::on(&g)
+            .model(loss)
+            .budgets([2u32, 1])
+            .build()
+            .unwrap();
+        let report = Bdhs.solve(&inst, &SolveCtx::new(1).with_sims(10));
+        assert!(report.allocation.is_empty());
+        assert_eq!(report.welfare_mean(), 0.0);
+    }
+
+    #[test]
+    fn solve_is_deterministic_given_ctx() {
+        let g = hub_graph();
+        let inst = WelMax::on(&g)
+            .model(two_item_model())
+            .budgets([3u32, 2])
+            .build()
+            .unwrap();
+        let ctx = SolveCtx::new(13).with_sims(50);
+        for entry in registry() {
+            let a = entry.default_allocator().solve(&inst, &ctx);
+            let b = entry.default_allocator().solve(&inst, &ctx);
+            assert_eq!(a.allocation, b.allocation, "{}", entry.name);
+            assert_eq!(a.welfare, b.welfare, "{}", entry.name);
+        }
+    }
+}

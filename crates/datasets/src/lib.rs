@@ -15,6 +15,9 @@
 //!   split helpers (uniform / max-min / large-skew / moderate-skew).
 //! * [`real_params`] — the learned "real Param" of Table 5 (PS4 bundle:
 //!   console, controller, three games) as a [`uic_items::UtilityModel`].
+//! * [`spec`] — the plain-text `key=value` configuration format
+//!   ([`SpecMap`], [`SolverSpec`]) that the solver registry in `uic-core`
+//!   serializes its per-algorithm parameters to and from.
 //! * [`auction`] — an English-auction simulator plus a hidden-bid
 //!   valuation learner in the spirit of Jiang & Leyton-Brown (2007),
 //!   regenerating Table-5-style parameters from synthetic bid histories
@@ -25,8 +28,10 @@ pub mod configs;
 pub mod generators;
 pub mod networks;
 pub mod real_params;
+pub mod spec;
 
 pub use configs::{budget_splits, Config, TwoItemConfig};
 pub use generators::{erdos_renyi, preferential_attachment, watts_strogatz, PaOptions};
 pub use networks::{named_network, network_stats_table, NamedNetwork};
 pub use real_params::{real_param_model, real_params_table, REAL_ITEM_NAMES};
+pub use spec::{SolverSpec, SpecError, SpecMap};

@@ -1,0 +1,290 @@
+//! The workspace's plain-text configuration format: whitespace-separated
+//! `key=value` tokens, optionally preceded by a bare head token naming the
+//! thing being configured.
+//!
+//! ```text
+//! bundle-grd eps=0.5 ell=1 model=ic
+//! pagerank-top damping=0.85 iterations=50
+//! ```
+//!
+//! [`SpecMap`] holds the ordered `key=value` pairs and offers typed
+//! accessors; [`SolverSpec`] pairs a map with the head token (a solver
+//! registry key). The format round-trips: `parse(x.to_string()) == x`.
+//! It is deliberately minimal — no quoting, no nesting — because every
+//! value the solver registry needs is a number or a short identifier.
+
+use std::fmt;
+
+/// Errors raised while parsing or reading a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A token carried no `=` separator (and a head token was not
+    /// expected at that position).
+    MissingSeparator(String),
+    /// A token of the form `=value` (empty key).
+    EmptyKey(String),
+    /// The same key appeared twice.
+    DuplicateKey(String),
+    /// A value failed to parse as the requested type.
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// The raw value text.
+        value: String,
+        /// What the reader wanted (e.g. `"f64"`, `"u32"`, `"ic|lt"`).
+        expected: &'static str,
+    },
+    /// The text had no head token where one was required.
+    MissingHead,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::MissingSeparator(tok) => {
+                write!(f, "token `{tok}` is not of the form key=value")
+            }
+            SpecError::EmptyKey(tok) => write!(f, "token `{tok}` has an empty key"),
+            SpecError::DuplicateKey(k) => write!(f, "duplicate key `{k}`"),
+            SpecError::BadValue {
+                key,
+                value,
+                expected,
+            } => write!(f, "key `{key}`: `{value}` is not a valid {expected}"),
+            SpecError::MissingHead => write!(f, "spec is empty (expected a head token)"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// An ordered set of `key=value` pairs (insertion order is preserved so
+/// serialization is deterministic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecMap {
+    entries: Vec<(String, String)>,
+}
+
+impl SpecMap {
+    /// An empty map.
+    pub fn new() -> SpecMap {
+        SpecMap::default()
+    }
+
+    /// Parses whitespace-separated `key=value` tokens.
+    pub fn parse(text: &str) -> Result<SpecMap, SpecError> {
+        let mut map = SpecMap::new();
+        for tok in text.split_whitespace() {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| SpecError::MissingSeparator(tok.to_string()))?;
+            if k.is_empty() {
+                return Err(SpecError::EmptyKey(tok.to_string()));
+            }
+            map.insert(k, v)?;
+        }
+        Ok(map)
+    }
+
+    /// Adds a pair, rejecting duplicate keys.
+    pub fn insert(&mut self, key: &str, value: impl fmt::Display) -> Result<(), SpecError> {
+        if self.get(key).is_some() {
+            return Err(SpecError::DuplicateKey(key.to_string()));
+        }
+        self.entries.push((key.to_string(), value.to_string()));
+        Ok(())
+    }
+
+    /// Adds a pair, panicking on duplicates (builder-style convenience
+    /// for programmatic construction where keys are statically distinct).
+    pub fn with(mut self, key: &str, value: impl fmt::Display) -> SpecMap {
+        self.insert(key, value).expect("statically distinct keys");
+        self
+    }
+
+    /// Raw value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `f64` value of `key`; `None` when absent, `Err` when malformed.
+    pub fn get_f64(&self, key: &str) -> Result<Option<f64>, SpecError> {
+        self.typed(key, "f64", |v| v.parse::<f64>().ok())
+    }
+
+    /// `u32` value of `key`; `None` when absent, `Err` when malformed.
+    pub fn get_u32(&self, key: &str) -> Result<Option<u32>, SpecError> {
+        self.typed(key, "u32", |v| v.parse::<u32>().ok())
+    }
+
+    /// `u64` value of `key`; `None` when absent, `Err` when malformed.
+    pub fn get_u64(&self, key: &str) -> Result<Option<u64>, SpecError> {
+        self.typed(key, "u64", |v| v.parse::<u64>().ok())
+    }
+
+    fn typed<T>(
+        &self,
+        key: &str,
+        expected: &'static str,
+        parse: impl Fn(&str) -> Option<T>,
+    ) -> Result<Option<T>, SpecError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => parse(v).map(Some).ok_or_else(|| SpecError::BadValue {
+                key: key.to_string(),
+                value: v.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// True when no pairs are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl fmt::Display for SpecMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A solver configuration line: a head token (the registry key) followed
+/// by `key=value` parameters — e.g. `bundle-grd eps=0.5 ell=1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverSpec {
+    /// The solver registry key (e.g. `"bundle-grd"`).
+    pub name: String,
+    /// The parameter overrides.
+    pub params: SpecMap,
+}
+
+impl SolverSpec {
+    /// A spec with no parameter overrides.
+    pub fn named(name: &str) -> SolverSpec {
+        SolverSpec {
+            name: name.to_string(),
+            params: SpecMap::new(),
+        }
+    }
+
+    /// Parses `"<name> [key=value]…"`.
+    pub fn parse(text: &str) -> Result<SolverSpec, SpecError> {
+        let mut toks = text.split_whitespace();
+        let name = toks.next().ok_or(SpecError::MissingHead)?;
+        if name.contains('=') {
+            return Err(SpecError::MissingHead);
+        }
+        let rest = SpecMap::parse(&toks.collect::<Vec<_>>().join(" "))?;
+        Ok(SolverSpec {
+            name: name.to_string(),
+            params: rest,
+        })
+    }
+}
+
+impl fmt::Display for SolverSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.params.is_empty() {
+            write!(f, " {}", self.params)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_roundtrip() {
+        let m = SpecMap::parse("eps=0.5 ell=1 model=ic").unwrap();
+        assert_eq!(m.get("eps"), Some("0.5"));
+        assert_eq!(m.get_f64("eps").unwrap(), Some(0.5));
+        assert_eq!(m.get_u32("ell").unwrap(), Some(1));
+        assert_eq!(m.get("model"), Some("ic"));
+        assert_eq!(m.get("absent"), None);
+        let text = m.to_string();
+        assert_eq!(SpecMap::parse(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn builder_style_construction() {
+        let m = SpecMap::new().with("eps", 0.3).with("iterations", 50u32);
+        assert_eq!(m.to_string(), "eps=0.3 iterations=50");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn typed_reader_errors() {
+        let m = SpecMap::parse("eps=abc").unwrap();
+        assert!(matches!(
+            m.get_f64("eps"),
+            Err(SpecError::BadValue {
+                expected: "f64",
+                ..
+            })
+        ));
+        assert_eq!(m.get_f64("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_tokens_rejected() {
+        assert!(matches!(
+            SpecMap::parse("noequals"),
+            Err(SpecError::MissingSeparator(_))
+        ));
+        assert!(matches!(SpecMap::parse("=5"), Err(SpecError::EmptyKey(_))));
+        assert!(matches!(
+            SpecMap::parse("a=1 a=2"),
+            Err(SpecError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn solver_spec_parse_and_display() {
+        let s = SolverSpec::parse("bundle-grd eps=0.5 ell=1").unwrap();
+        assert_eq!(s.name, "bundle-grd");
+        assert_eq!(s.params.get_f64("eps").unwrap(), Some(0.5));
+        assert_eq!(s.to_string(), "bundle-grd eps=0.5 ell=1");
+        assert_eq!(SolverSpec::parse(&s.to_string()).unwrap(), s);
+
+        let bare = SolverSpec::parse("degree-top").unwrap();
+        assert_eq!(bare.to_string(), "degree-top");
+        assert!(bare.params.is_empty());
+    }
+
+    #[test]
+    fn solver_spec_requires_head() {
+        assert_eq!(SolverSpec::parse("  "), Err(SpecError::MissingHead));
+        assert_eq!(SolverSpec::parse("eps=0.5"), Err(SpecError::MissingHead));
+    }
+
+    #[test]
+    fn empty_map_parses_and_prints_empty() {
+        let m = SpecMap::parse("").unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.to_string(), "");
+    }
+}

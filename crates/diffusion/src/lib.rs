@@ -29,6 +29,9 @@
 //! * [`comic`] — the Com-IC model of Lu et al. (two items, GAP
 //!   parameters + reconsideration), the substrate for the RR-SIM+/RR-CIM
 //!   baselines.
+//! * [`report`] — [`SolveReport`], the unified result every WelMax
+//!   allocator returns: allocation, welfare mean ± CI, timing, RR-set
+//!   counters, seed, and budget usage.
 
 pub mod allocation;
 pub mod comic;
@@ -36,6 +39,7 @@ pub mod engine;
 pub mod ic;
 pub mod lt;
 pub mod personalized;
+pub mod report;
 pub mod triggering;
 pub mod uic;
 pub mod welfare;
@@ -49,6 +53,7 @@ pub use lt::simulate_lt;
 pub use personalized::{
     personalized_welfare_mc, simulate_uic_personalized, PersonalizedOutcome, PersonalizedSimulator,
 };
+pub use report::SolveReport;
 pub use triggering::{
     simulate_triggering, spread_triggering_mc, IcTriggering, LtTriggering, TriggeringSampler,
     UniformSubsetTriggering,

@@ -1,0 +1,160 @@
+//! The unified result of a WelMax solver run.
+//!
+//! Every allocation algorithm in the workspace — bundleGRD, the six
+//! baselines of §4.3.1.2, and the reference heuristics — reports its
+//! output through one [`SolveReport`]: the produced [`Allocation`], the
+//! RR-set cost counters (Table 6 / Fig. 6 metrics), wall-clock time
+//! (Fig. 5/8 metric), and, once scored, the Monte-Carlo welfare
+//! statistics (mean ± 95% CI) from
+//! [`WelfareEstimator::estimate_stats`](crate::WelfareEstimator::estimate_stats).
+//!
+//! The report is produced in two stages: the algorithm fills the
+//! allocation, counters, and timing; the `Allocator::solve` entry point
+//! in `uic-core` then stamps the RNG seed, the per-item budget usage, and
+//! the welfare statistics. `elapsed` always measures the *algorithm*
+//! alone — welfare scoring is measurement, not solver cost.
+
+use crate::allocation::Allocation;
+use std::time::{Duration, Instant};
+use uic_util::OnlineStats;
+
+/// Unified output of one allocator run on a WelMax instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Registry key of the algorithm that produced this report
+    /// (e.g. `"bundle-grd"`).
+    pub algorithm: &'static str,
+    /// The produced seed allocation `𝒮`.
+    pub allocation: Allocation,
+    /// Welfare sample statistics (mean, stderr, 95% CI); `None` until the
+    /// report has been scored.
+    pub welfare: Option<OnlineStats>,
+    /// Wall-clock time of the algorithm itself (excludes welfare scoring).
+    pub elapsed: Duration,
+    /// RNG seed the run derived every stochastic choice from.
+    pub seed: u64,
+    /// Seeds actually spent per item (`|S_i^𝒮|`, indexed by item).
+    pub budgets_used: Vec<u32>,
+    /// RR sets held at the final node selection(s), summed over calls.
+    pub rr_sets_final: usize,
+    /// RR sets generated in total, including discarded phase-1 sets.
+    pub rr_sets_total: u64,
+}
+
+impl SolveReport {
+    /// A fresh, unscored report carrying only the allocation.
+    pub fn new(algorithm: &'static str, allocation: Allocation) -> SolveReport {
+        SolveReport {
+            algorithm,
+            allocation,
+            welfare: None,
+            elapsed: Duration::ZERO,
+            seed: 0,
+            budgets_used: Vec::new(),
+            rr_sets_final: 0,
+            rr_sets_total: 0,
+        }
+    }
+
+    /// Attaches RR-set cost counters.
+    pub fn with_rr_sets(mut self, rr_final: usize, rr_total: u64) -> SolveReport {
+        self.rr_sets_final = rr_final;
+        self.rr_sets_total = rr_total;
+        self
+    }
+
+    /// Stamps `elapsed` with the time since `start`.
+    pub fn with_elapsed_since(mut self, start: Instant) -> SolveReport {
+        self.elapsed = start.elapsed();
+        self
+    }
+
+    /// True once welfare statistics have been attached.
+    pub fn is_scored(&self) -> bool {
+        self.welfare.is_some()
+    }
+
+    /// The welfare sample statistics.
+    ///
+    /// # Panics
+    /// When the report has not been scored (the raw algorithm wrappers
+    /// return unscored reports; `Allocator::solve` scores them).
+    pub fn welfare_stats(&self) -> &OnlineStats {
+        self.welfare
+            .as_ref()
+            .expect("report is unscored: run it through Allocator::solve")
+    }
+
+    /// Estimated expected welfare `ρ̂(𝒮)` (the sample mean).
+    pub fn welfare_mean(&self) -> f64 {
+        self.welfare_stats().mean()
+    }
+
+    /// Half-width of the 95% confidence interval on the welfare mean.
+    pub fn welfare_ci95(&self) -> f64 {
+        self.welfare_stats().ci95_halfwidth()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let welfare = match &self.welfare {
+            Some(s) => format!("{:.2} ± {:.2}", s.mean(), s.ci95_halfwidth()),
+            None => "unscored".to_string(),
+        };
+        format!(
+            "{}: welfare {}, {} seed nodes, {} RR sets, {:.1} ms",
+            self.algorithm,
+            welfare,
+            self.allocation.num_seed_nodes(),
+            self.rr_sets_final,
+            self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> Allocation {
+        Allocation::from_item_seeds(&[vec![1, 2], vec![2]])
+    }
+
+    #[test]
+    fn builder_stages() {
+        let start = Instant::now();
+        let r = SolveReport::new("bundle-grd", alloc())
+            .with_rr_sets(10, 25)
+            .with_elapsed_since(start);
+        assert_eq!(r.algorithm, "bundle-grd");
+        assert_eq!(r.rr_sets_final, 10);
+        assert_eq!(r.rr_sets_total, 25);
+        assert!(!r.is_scored());
+        assert_eq!(r.allocation.num_pairs(), 3);
+    }
+
+    #[test]
+    fn scored_accessors() {
+        let mut r = SolveReport::new("degree-top", alloc());
+        let mut stats = OnlineStats::new();
+        stats.push(1.0);
+        stats.push(3.0);
+        r.welfare = Some(stats);
+        assert!(r.is_scored());
+        assert_eq!(r.welfare_mean(), 2.0);
+        assert!(r.welfare_ci95() > 0.0);
+        assert!(r.summary().contains("degree-top"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unscored")]
+    fn unscored_welfare_panics() {
+        SolveReport::new("degree-top", alloc()).welfare_mean();
+    }
+
+    #[test]
+    fn unscored_summary_reads_unscored() {
+        let r = SolveReport::new("item-disj", alloc());
+        assert!(r.summary().contains("unscored"));
+    }
+}

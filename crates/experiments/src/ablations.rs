@@ -19,6 +19,11 @@
 //!   high-degree / PageRank head-to-head at one budget.
 //! * **bundleGRD vs direct pair-greedy** — the naive greedy on ρ itself.
 
+// The ablations deliberately drive the raw engine functions (custom
+// diffusion models, candidate pools, per-budget orderings) below the
+// registry facade.
+#![allow(deprecated)]
+
 use crate::common::{fmt, score_welfare, ExpOptions};
 use std::sync::Arc;
 use uic_core::bundle_grd;

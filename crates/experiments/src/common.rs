@@ -1,12 +1,11 @@
-//! Shared experiment plumbing: options, algorithm dispatch, welfare
-//! scoring.
+//! Shared experiment plumbing: options, registry-backed algorithm
+//! dispatch, welfare scoring.
 
-use uic_baselines::BaselineResult;
-use uic_core::bundle_grd;
+use uic_core::{SolveCtx, SolveReport, WelMax};
+use uic_datasets::SpecMap;
 use uic_diffusion::{Allocation, WelfareEstimator};
 use uic_graph::Graph;
-use uic_im::DiffusionModel;
-use uic_items::{GapParams, UtilityModel};
+use uic_items::UtilityModel;
 
 /// Knobs shared by every experiment.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +20,9 @@ pub struct ExpOptions {
     pub ell: f64,
     /// Master seed — every stochastic component derives from it.
     pub seed: u64,
+    /// Welfare-estimator worker threads; `None` sizes automatically.
+    /// Either way the estimate is bit-identical (the PR 2 block reducer).
+    pub threads: Option<usize>,
 }
 
 impl Default for ExpOptions {
@@ -31,6 +33,7 @@ impl Default for ExpOptions {
             eps: 0.5,
             ell: 1.0,
             seed: 20190630, // SIGMOD'19 opening day
+            threads: None,
         }
     }
 }
@@ -43,6 +46,21 @@ impl ExpOptions {
             sims: 60,
             ..Default::default()
         }
+    }
+
+    /// The solver run context these options induce. `SolveCtx::new`
+    /// already decouples the welfare stream from the algorithm seed with
+    /// the derivation the historical experiment code used, so regenerated
+    /// figures match earlier revisions bit-for-bit.
+    pub fn solve_ctx(&self) -> SolveCtx {
+        SolveCtx::new(self.seed)
+            .with_sims(self.sims)
+            .with_threads(self.threads)
+    }
+
+    /// Parameter overrides every registry entry reads what it needs from.
+    pub fn solver_params(&self) -> SpecMap {
+        SpecMap::new().with("eps", self.eps).with("ell", self.ell)
     }
 }
 
@@ -85,78 +103,92 @@ impl Algo {
             Algo::BundleDisj => "bundle-disj",
         }
     }
+
+    /// The solver-registry key this legend entry dispatches to.
+    pub fn key(self) -> &'static str {
+        match self {
+            Algo::BundleGrd => "bundle-grd",
+            Algo::RrSimPlus => "rr-sim+",
+            Algo::RrCim => "rr-cim",
+            Algo::ItemDisj => "item-disj",
+            Algo::BundleDisj => "bundle-disj",
+        }
+    }
 }
 
-/// Runs one algorithm on a WelMax input and returns its allocation plus
-/// cost counters. `gap` is required by the Com-IC algorithms (two items
-/// only); `model` by bundle-disj (deterministic utilities).
+fn run_algo_with_ctx(
+    algo: Algo,
+    g: &Graph,
+    budgets: &[u32],
+    model: &UtilityModel,
+    opts: &ExpOptions,
+    ctx: &SolveCtx,
+) -> SolveReport {
+    // Budget sweeps keep item identity even when a swept budget crosses
+    // a fixed one (Fig. 4 configs 2/4), so the canonical ordering is
+    // explicitly waived.
+    let inst = WelMax::on(g)
+        .model(model.clone())
+        .budgets(budgets)
+        .any_item_order()
+        .build()
+        .expect("experiment WelMax instance");
+    let solver = uic_core::registry()
+        .iter()
+        .find(|e| e.name == algo.key())
+        .expect("every Algo key is registered")
+        .build(&opts.solver_params())
+        .expect("ExpOptions produce valid solver params");
+    solver.solve(&inst, ctx)
+}
+
+/// Runs one algorithm on a WelMax input through the solver registry and
+/// returns its scored [`SolveReport`] (welfare mean ± CI attached). The
+/// Com-IC algorithms derive their GAP parameters from `model`; bundle-disj
+/// reads its deterministic utilities from it.
 pub fn run_algo(
     algo: Algo,
     g: &Graph,
     budgets: &[u32],
     model: &UtilityModel,
-    gap: Option<GapParams>,
     opts: &ExpOptions,
-) -> BaselineResult {
-    match algo {
-        Algo::BundleGrd => {
-            let r = bundle_grd(
-                g,
-                budgets,
-                opts.eps,
-                opts.ell,
-                DiffusionModel::IC,
-                opts.seed,
-            );
-            BaselineResult {
-                allocation: r.allocation,
-                rr_sets_final: r.rr_sets_final,
-                rr_sets_total: r.rr_sets_total,
-                elapsed: r.elapsed,
-            }
-        }
-        Algo::ItemDisj => uic_baselines::item_disj(
-            g,
-            budgets,
-            opts.eps,
-            opts.ell,
-            DiffusionModel::IC,
-            opts.seed,
-        ),
-        Algo::BundleDisj => uic_baselines::bundle_disj(
-            g,
-            budgets,
-            model,
-            opts.eps,
-            opts.ell,
-            DiffusionModel::IC,
-            opts.seed,
-        ),
-        Algo::RrSimPlus => {
-            let gap = gap.expect("RR-SIM+ needs GAP parameters");
-            assert_eq!(budgets.len(), 2, "RR-SIM+ handles exactly two items");
-            uic_baselines::rr_sim_plus(
-                g, gap, budgets[0], budgets[1], opts.eps, opts.ell, opts.seed,
-            )
-        }
-        Algo::RrCim => {
-            let gap = gap.expect("RR-CIM needs GAP parameters");
-            assert_eq!(budgets.len(), 2, "RR-CIM handles exactly two items");
-            uic_baselines::rr_cim(
-                g, gap, budgets[0], budgets[1], opts.eps, opts.ell, opts.seed,
-            )
-        }
-    }
+) -> SolveReport {
+    run_algo_with_ctx(algo, g, budgets, model, opts, &opts.solve_ctx())
 }
 
-/// Scores an allocation with the shared UIC welfare estimator.
+/// [`run_algo`] without welfare scoring — for the running-time and
+/// RR-set-count figures, where scoring would only burn cycles.
+pub fn run_algo_unscored(
+    algo: Algo,
+    g: &Graph,
+    budgets: &[u32],
+    model: &UtilityModel,
+    opts: &ExpOptions,
+) -> SolveReport {
+    run_algo_with_ctx(
+        algo,
+        g,
+        budgets,
+        model,
+        opts,
+        &opts.solve_ctx().with_sims(0),
+    )
+}
+
+/// Scores a standalone allocation with the shared UIC welfare estimator
+/// (same stream as [`run_algo`]'s attached statistics).
 pub fn score_welfare(
     g: &Graph,
     model: &UtilityModel,
     allocation: &Allocation,
     opts: &ExpOptions,
 ) -> f64 {
-    WelfareEstimator::new(g, model, opts.sims, opts.seed ^ 0xEF_AE).estimate(allocation)
+    let ctx = opts.solve_ctx();
+    let mut est = WelfareEstimator::new(g, model, ctx.sims, ctx.welfare_seed);
+    if let Some(t) = ctx.threads {
+        est = est.with_threads(t);
+    }
+    est.estimate(allocation)
 }
 
 /// Formats a welfare/number cell consistently.
@@ -176,17 +208,54 @@ mod tests {
         let g = named_network(NamedNetwork::Flixster, opts.scale, opts.seed);
         let cfg = TwoItemConfig::new(1);
         let model = cfg.model();
-        let gap = Some(cfg.gap());
         for algo in Algo::TWO_ITEM {
-            let r = run_algo(algo, &g, &[3, 3], &model, gap, &opts);
+            let r = run_algo(algo, &g, &[3, 3], &model, &opts);
+            assert_eq!(r.algorithm, algo.key());
             assert!(
                 r.allocation.respects_budgets(&[3, 3]),
                 "{} violated budgets",
                 algo.name()
             );
-            let w = score_welfare(&g, &model, &r.allocation, &opts);
-            assert!(w.is_finite(), "{} welfare NaN", algo.name());
+            assert!(r.welfare_mean().is_finite(), "{} welfare NaN", algo.name());
+            // The attached statistics equal a standalone scoring pass —
+            // one estimator stream serves the whole experiment suite.
+            assert_eq!(
+                r.welfare_mean(),
+                score_welfare(&g, &model, &r.allocation, &opts),
+                "{}",
+                algo.name()
+            );
         }
+    }
+
+    #[test]
+    fn unscored_runs_skip_the_estimator() {
+        let opts = ExpOptions::smoke();
+        let g = named_network(NamedNetwork::Flixster, opts.scale, opts.seed);
+        let model = TwoItemConfig::new(1).model();
+        let r = run_algo_unscored(Algo::BundleGrd, &g, &[3, 3], &model, &opts);
+        assert!(!r.is_scored());
+        assert!(r.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn threads_knob_reaches_the_estimator_unchanged() {
+        // PR 2's reducer is thread-count invariant; the knob must only
+        // change scheduling, never a figure's numbers.
+        let opts = ExpOptions::smoke();
+        let pinned = ExpOptions {
+            threads: Some(2),
+            ..opts
+        };
+        let g = named_network(NamedNetwork::Flixster, opts.scale, opts.seed);
+        let model = TwoItemConfig::new(1).model();
+        let auto = run_algo(Algo::BundleGrd, &g, &[3, 3], &model, &opts);
+        let two = run_algo(Algo::BundleGrd, &g, &[3, 3], &model, &pinned);
+        assert_eq!(auto.welfare_mean(), two.welfare_mean());
+        assert_eq!(
+            score_welfare(&g, &model, &auto.allocation, &opts),
+            score_welfare(&g, &model, &auto.allocation, &pinned),
+        );
     }
 
     #[test]
@@ -197,8 +266,20 @@ mod tests {
     }
 
     #[test]
+    fn every_algo_key_is_registered() {
+        for algo in Algo::TWO_ITEM {
+            assert!(
+                uic_core::registry().iter().any(|e| e.name == algo.key()),
+                "{} missing from the registry",
+                algo.key()
+            );
+        }
+    }
+
+    #[test]
     fn default_options_sane() {
         let o = ExpOptions::default();
         assert!(o.scale > 0.0 && o.sims > 0 && o.eps > 0.0);
+        assert!(o.threads.is_none());
     }
 }

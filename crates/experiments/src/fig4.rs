@@ -7,7 +7,7 @@
 //! negative-utility item (3/4), where bundle-disj ≡ bundleGRD; in
 //! configurations 1/2, bundle-disj ≡ item-disj.
 
-use crate::common::{fmt, run_algo, score_welfare, Algo, ExpOptions};
+use crate::common::{fmt, run_algo, Algo, ExpOptions};
 use uic_datasets::{named_network, NamedNetwork, TwoItemConfig};
 use uic_util::Table;
 
@@ -15,7 +15,6 @@ use uic_util::Table;
 pub fn fig4_config(cfg: TwoItemConfig, opts: &ExpOptions) -> Table {
     let g = named_network(NamedNetwork::DoubanMovie, opts.scale, opts.seed);
     let model = cfg.model();
-    let gap = Some(cfg.gap());
     let mut headers: Vec<&str> = vec![if cfg.uniform_budgets() {
         "budget(both)"
     } else {
@@ -36,8 +35,8 @@ pub fn fig4_config(cfg: TwoItemConfig, opts: &ExpOptions) -> Table {
         let budgets: Vec<u32> = budgets_arr.iter().map(|&b| b.min(n)).collect();
         let mut row = vec![sweep.to_string()];
         for algo in Algo::TWO_ITEM {
-            let r = run_algo(algo, &g, &budgets, &model, gap, opts);
-            row.push(fmt(score_welfare(&g, &model, &r.allocation, opts)));
+            let r = run_algo(algo, &g, &budgets, &model, opts);
+            row.push(fmt(r.welfare_mean()));
         }
         t.push_row(row);
     }

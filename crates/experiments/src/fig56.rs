@@ -9,7 +9,7 @@
 //! far more RR sets; item-disj sits in between (one IMM call at the
 //! summed budget).
 
-use crate::common::{run_algo, Algo, ExpOptions};
+use crate::common::{run_algo_unscored, Algo, ExpOptions};
 use uic_datasets::{named_network, NamedNetwork, TwoItemConfig};
 use uic_util::Table;
 
@@ -26,7 +26,6 @@ pub fn fig56_network(which: NamedNetwork, opts: &ExpOptions) -> (Table, Table) {
     let g = named_network(which, opts.scale, opts.seed);
     let cfg = TwoItemConfig::new(1);
     let model = cfg.model();
-    let gap = Some(cfg.gap());
     let mut headers: Vec<&str> = vec!["budget(both)"];
     headers.extend(Algo::TWO_ITEM.iter().map(|a| a.name()));
     let mut time_t = Table::new(
@@ -43,7 +42,7 @@ pub fn fig56_network(which: NamedNetwork, opts: &ExpOptions) -> (Table, Table) {
         let mut time_row = vec![k.to_string()];
         let mut rr_row = vec![k.to_string()];
         for algo in Algo::TWO_ITEM {
-            let r = run_algo(algo, &g, &budgets, &model, gap, opts);
+            let r = run_algo_unscored(algo, &g, &budgets, &model, opts);
             time_row.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));
             rr_row.push(r.rr_sets_final.to_string());
         }

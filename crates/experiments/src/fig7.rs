@@ -5,7 +5,7 @@
 //! Configuration 5 (additive, uniform) and 7 the allocations of
 //! bundleGRD and bundle-disj coincide by design, so their welfares tie.
 
-use crate::common::{fmt, run_algo, score_welfare, Algo, ExpOptions};
+use crate::common::{fmt, run_algo, Algo, ExpOptions};
 use uic_datasets::{budget_splits, named_network, Config, NamedNetwork};
 use uic_util::Table;
 
@@ -50,8 +50,8 @@ pub fn fig7_config(cfg: Config, opts: &ExpOptions) -> Table {
         let budgets = budgets_for(cfg, total, n);
         let mut row = vec![total.to_string()];
         for algo in Algo::MULTI_ITEM {
-            let r = run_algo(algo, &g, &budgets, &model, None, opts);
-            row.push(fmt(score_welfare(&g, &model, &r.allocation, opts)));
+            let r = run_algo(algo, &g, &budgets, &model, opts);
+            row.push(fmt(r.welfare_mean()));
         }
         t.push_row(row);
     }

@@ -1,7 +1,7 @@
 //! **Figure 8**: (a) running time vs number of items; (b, c) welfare and
 //! running time under the real Param; (d) the budget-skew study.
 
-use crate::common::{fmt, run_algo, score_welfare, Algo, ExpOptions};
+use crate::common::{fmt, run_algo, run_algo_unscored, Algo, ExpOptions};
 use uic_datasets::{budget_splits, named_network, real_param_model, Config, NamedNetwork};
 use uic_util::Table;
 
@@ -25,7 +25,7 @@ pub fn fig8a(opts: &ExpOptions) -> Table {
         let budgets = vec![per_item; s as usize];
         let mut row = vec![s.to_string()];
         for algo in Algo::MULTI_ITEM {
-            let r = run_algo(algo, &g, &budgets, &model, None, opts);
+            let r = run_algo_unscored(algo, &g, &budgets, &model, opts);
             row.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));
         }
         t.push_row(row);
@@ -55,8 +55,8 @@ pub fn fig8bc(opts: &ExpOptions) -> (Table, Table) {
         let mut wrow = vec![total.to_string()];
         let mut trow = vec![total.to_string()];
         for algo in algos {
-            let r = run_algo(algo, &g, &budgets, &model, None, opts);
-            wrow.push(fmt(score_welfare(&g, &model, &r.allocation, opts)));
+            let r = run_algo(algo, &g, &budgets, &model, opts);
+            wrow.push(fmt(r.welfare_mean()));
             trow.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));
         }
         welfare_t.push_row(wrow);
@@ -84,8 +84,8 @@ pub fn fig8d(opts: &ExpOptions) -> Table {
     ];
     for (name, budgets) in distros {
         let budgets: Vec<u32> = budgets.into_iter().map(|b| b.min(n)).collect();
-        let r = run_algo(Algo::BundleGrd, &g, &budgets, &model, None, opts);
-        let w = score_welfare(&g, &model, &r.allocation, opts);
+        let r = run_algo(Algo::BundleGrd, &g, &budgets, &model, opts);
+        let w = r.welfare_mean();
         t.push_row(vec![
             name.to_string(),
             fmt(w),

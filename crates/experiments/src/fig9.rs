@@ -2,7 +2,7 @@
 //! budget fraction needed to match the BDHS benchmarks; (d) scalability
 //! of bundleGRD with network size.
 
-use crate::common::{fmt, run_algo, score_welfare, Algo, ExpOptions};
+use crate::common::{fmt, run_algo, Algo, ExpOptions};
 use uic_baselines::{bdhs_concave_welfare, bdhs_step_welfare_exact};
 use uic_datasets::{named_network, real_param_model, NamedNetwork};
 use uic_graph::bfs_prefix_subgraph;
@@ -47,8 +47,8 @@ pub fn fig9_panel(which: NamedNetwork, opts: &ExpOptions) -> Table {
     for pct in [5u32, 10, 20, 35, 50, 75, 100] {
         let per_item = ((n as u64 * pct as u64) / 100).max(1) as u32;
         let budgets = vec![per_item.min(n); model.num_items() as usize];
-        let r = run_algo(Algo::BundleGrd, &g, &budgets, &model, None, opts);
-        let w = score_welfare(&g, &model, &r.allocation, opts);
+        let r = run_algo(Algo::BundleGrd, &g, &budgets, &model, opts);
+        let w = r.welfare_mean();
         t.push_row(vec![
             pct.to_string(),
             fmt(w),
@@ -91,13 +91,13 @@ pub fn fig9d(opts: &ExpOptions) -> Table {
         // Weighted-cascade variant (the subgraph extraction keeps the
         // parent probabilities; recompute 1/din on the subgraph).
         let wc = sub.reweighted(|_, v, _| 1.0 / sub.in_degree(v).max(1) as f32);
-        let r = run_algo(Algo::BundleGrd, &wc, &budgets, &model, None, opts);
-        row.push(fmt(score_welfare(&wc, &model, &r.allocation, opts)));
+        let r = run_algo(Algo::BundleGrd, &wc, &budgets, &model, opts);
+        row.push(fmt(r.welfare_mean()));
         row.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));
         // Constant-probability variant.
         let cp = sub.reweighted(|_, _, _| 0.01);
-        let r = run_algo(Algo::BundleGrd, &cp, &budgets, &model, None, opts);
-        row.push(fmt(score_welfare(&cp, &model, &r.allocation, opts)));
+        let r = run_algo(Algo::BundleGrd, &cp, &budgets, &model, opts);
+        row.push(fmt(r.welfare_mean()));
         row.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));
         t.push_row(row);
     }

@@ -33,7 +33,10 @@ fn main() {
         ),
     ];
 
-    let estimator = WelfareEstimator::new(&g, &model, 1_000, 9);
+    // One solver, one scoring context (1,000 sampled worlds) — only the
+    // instance's budget vector changes between plans.
+    let solver = <dyn Allocator>::by_name("bundle-grd").unwrap();
+    let ctx = SolveCtx::new(42).with_sims(1_000).with_welfare_seed(9);
     let mut report = Table::new(
         format!("campaign plans, total budget {total}"),
         &["split", "budgets", "welfare", "time (ms)", "seeds used"],
@@ -41,8 +44,13 @@ fn main() {
     let mut best: Option<(String, f64)> = None;
     for (name, budgets) in splits {
         let capped: Vec<u32> = budgets.iter().map(|&b| b.min(g.num_nodes())).collect();
-        let r = bundle_grd(&g, &capped, 0.5, 1.0, DiffusionModel::IC, 42);
-        let w = estimator.estimate(&r.allocation);
+        let inst = WelMax::on(&g)
+            .model(model.clone())
+            .budgets(capped.clone())
+            .build()
+            .expect("valid WelMax instance");
+        let r = solver.solve(&inst, &ctx);
+        let w = r.welfare_mean();
         report.push_row(vec![
             name.to_string(),
             format!("{capped:?}"),

@@ -1,6 +1,7 @@
-//! Quickstart: allocate two complementary items on a synthetic social
-//! network with bundleGRD, compare against item-disj, and print the
-//! expected social welfare of both.
+//! Quickstart: build a WelMax instance with the `WelMax` builder,
+//! allocate two complementary items with bundleGRD from the solver
+//! registry, compare against item-disj, and print the expected social
+//! welfare of both from their unified `SolveReport`s.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -42,25 +43,29 @@ fn main() {
         model.deterministic_utility(ItemSet::full(2)),
     );
 
-    // 3. bundleGRD: one prefix-preserving seed ordering (PRIMA), every
-    //    item assigned its budget-prefix. Note it never saw `model`.
-    let budgets = [25u32, 25];
-    let greedy = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
-    println!(
-        "bundleGRD: {} seed nodes, {} RR sets, {:.1} ms",
-        greedy.allocation.num_seed_nodes(),
-        greedy.rr_sets_final,
-        greedy.elapsed.as_secs_f64() * 1e3
-    );
+    // 3. One instance, many solvers: graph + utility model + budgets.
+    let inst = WelMax::on(&g)
+        .model(model)
+        .budgets([25u32, 25])
+        .build()
+        .expect("valid WelMax instance");
 
-    // 4. The item-disj baseline: disjoint seeds per item.
-    let disj = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    // 4. Both algorithms come from the registry and are scored by the
+    //    same Monte-Carlo welfare estimator (2,000 sampled noise × edge
+    //    worlds), so the comparison is apples to apples. Note bundleGRD
+    //    never reads the utility model — only the budgets.
+    let ctx = SolveCtx::new(42).with_sims(2_000).with_welfare_seed(1);
+    let greedy = <dyn Allocator>::by_name("bundle-grd")
+        .unwrap()
+        .solve(&inst, &ctx);
+    let disj = <dyn Allocator>::by_name("item-disj")
+        .unwrap()
+        .solve(&inst, &ctx);
+    println!("{}", greedy.summary());
+    println!("{}", disj.summary());
 
-    // 5. Score both allocations with the same Monte-Carlo welfare
-    //    estimator (2,000 sampled noise × edge worlds).
-    let estimator = WelfareEstimator::new(&g, &model, 2_000, 1);
-    let w_greedy = estimator.estimate(&greedy.allocation);
-    let w_disj = estimator.estimate(&disj.allocation);
+    // 5. The unified report carries welfare mean ± CI, timing, and cost.
+    let (w_greedy, w_disj) = (greedy.welfare_mean(), disj.welfare_mean());
     println!("expected social welfare: bundleGRD = {w_greedy:.1}, item-disj = {w_disj:.1}");
     println!(
         "bundling advantage: {:.2}x",

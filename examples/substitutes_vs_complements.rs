@@ -32,11 +32,6 @@ fn main() {
     );
     let budgets = [20u32, 20];
 
-    // Strategy A: bundleGRD (both items share the best seed prefix).
-    let bundled = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
-    // Strategy B: item-disj (disjoint seed chunks).
-    let disjoint = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
-
     // Regime 1: complements — worth little alone, a lot together.
     let complements = UtilityModel::new(
         Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 3.0, 9.0])),
@@ -49,6 +44,24 @@ fn main() {
         Price::additive(vec![1.0, 1.0]),
         NoiseModel::iid_gaussian_var(2, 0.25),
     );
+
+    // Neither seed-selection algorithm reads the utilities, so one
+    // unscored run per strategy serves both regimes; the instance just
+    // needs *a* model for arity. Scoring happens per regime below.
+    let inst = WelMax::on(&g)
+        .model(complements.clone())
+        .budgets(budgets)
+        .build()
+        .expect("valid WelMax instance");
+    let ctx = SolveCtx::new(42).with_sims(0);
+    // Strategy A: bundleGRD (both items share the best seed prefix).
+    let bundled = <dyn Allocator>::by_name("bundle-grd")
+        .unwrap()
+        .solve(&inst, &ctx);
+    // Strategy B: item-disj (disjoint seed chunks).
+    let disjoint = <dyn Allocator>::by_name("item-disj")
+        .unwrap()
+        .solve(&inst, &ctx);
 
     let mut report = Table::new(
         "seeding strategy × valuation regime (expected welfare)",

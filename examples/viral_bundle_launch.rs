@@ -11,7 +11,6 @@
 //! cargo run --release --example viral_bundle_launch
 //! ```
 
-use uic::baselines::bundle_disj;
 use uic::datasets::{
     budget_splits, named_network, real_param_model, NamedNetwork, REAL_ITEM_NAMES,
 };
@@ -40,19 +39,32 @@ fn main() {
     let budgets = budget_splits::real_params(200);
     println!("budgets {budgets:?}");
 
-    let estimator = WelfareEstimator::new(&g, &model, 1_000, 3);
+    // One instance; the three allocators are registry lookups sharing a
+    // scoring context (1,000 sampled worlds each).
+    let inst = WelMax::on(&g)
+        .model(model.clone())
+        .budgets(budgets)
+        .build()
+        .expect("valid WelMax instance");
+    let ctx = SolveCtx::new(42).with_sims(1_000).with_welfare_seed(3);
 
     // bundleGRD: shared seed prefix — consoles and accessories co-seeded.
-    let greedy = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
-    let w_greedy = estimator.estimate(&greedy.allocation);
+    let greedy = <dyn Allocator>::by_name("bundle-grd")
+        .unwrap()
+        .solve(&inst, &ctx);
+    let w_greedy = greedy.welfare_mean();
 
     // bundle-disj: forms profitable bundles, but each on fresh seeds.
-    let disj = bundle_disj(&g, &budgets, &model, 0.5, 1.0, DiffusionModel::IC, 42);
-    let w_disj = estimator.estimate(&disj.allocation);
+    let w_disj = <dyn Allocator>::by_name("bundle-disj")
+        .unwrap()
+        .solve(&inst, &ctx)
+        .welfare_mean();
 
     // item-disj: one item per seed — provably hopeless here.
-    let itemwise = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
-    let w_item = estimator.estimate(&itemwise.allocation);
+    let w_item = <dyn Allocator>::by_name("item-disj")
+        .unwrap()
+        .solve(&inst, &ctx)
+        .welfare_mean();
 
     println!("expected social welfare:");
     println!("  bundleGRD   {w_greedy:>10.1}");

@@ -10,15 +10,19 @@
 //! |---|---|
 //! | [`graph`] | CSR influence graphs, traversal, SCC, stats, I/O |
 //! | [`items`] | itemsets, prices, supermodular valuations, noise, utility, adoption oracle, block accounting, GAP conversion |
-//! | [`diffusion`] | IC / LT / UIC / Com-IC simulation, possible worlds, welfare estimation |
+//! | [`diffusion`] | IC / LT / UIC / Com-IC simulation, possible worlds, welfare estimation, [`SolveReport`](diffusion::SolveReport) |
 //! | [`im`] | RR sets, NodeSelection, IMM, TIM⁺, SSA, OPIM-C, SKIM, **PRIMA**, CELF greedy |
-//! | [`core`] | WelMax, **bundleGRD**, block-accounting bounds, brute-force solver |
+//! | [`core`] | WelMax, **bundleGRD**, the [`Allocator`](core::Allocator) registry, block-accounting bounds, brute-force solver |
 //! | [`baselines`] | item-disj, bundle-disj, RR-SIM+, RR-CIM, BDHS, pair-greedy, degree/PageRank |
-//! | [`datasets`] | Table-2 network stand-ins, Table-3/4/5 configurations, auction learning |
+//! | [`datasets`] | Table-2 network stand-ins, Table-3/4/5 configurations, config text format, auction learning |
 //! | [`experiments`] | regenerators for every table and figure |
 //! | [`util`] | hashing, bitsets, RNG, special functions, stats, tables |
 //!
 //! ## Quickstart
+//!
+//! Assemble a [`WelMaxInstance`](core::WelMaxInstance) with the
+//! [`WelMax`](core::WelMax) builder, pick any solver from the registry by
+//! name, and read the unified [`SolveReport`](diffusion::SolveReport):
 //!
 //! ```
 //! use uic::prelude::*;
@@ -36,13 +40,22 @@
 //!     Price::additive(vec![3.5, 4.5]),
 //!     NoiseModel::iid_gaussian_var(2, 1.0),
 //! );
+//! let inst = WelMax::on(&g).model(model).budgets([10u32, 10]).build()?;
 //!
-//! // bundleGRD needs only the graph and the budgets — never the utilities.
-//! let result = bundle_grd(&g, &[10, 10], 0.5, 1.0, DiffusionModel::IC, 42);
+//! // Any of the nine registered algorithms, by name. bundleGRD never
+//! // reads the utilities — only the budgets (the power of bundling).
+//! let solver = <dyn Allocator>::by_name("bundle-grd").unwrap();
+//! let report = solver.solve(&inst, &SolveCtx::new(42).with_sims(500));
 //!
-//! // Score the allocation under the UIC diffusion.
-//! let welfare = WelfareEstimator::new(&g, &model, 500, 1).estimate(&result.allocation);
-//! assert!(welfare >= 0.0);
+//! assert!(report.allocation.respects_budgets(inst.budgets()));
+//! println!("{}", report.summary()); // welfare mean ± CI, seeds, time
+//! assert!(report.welfare_mean() >= 0.0);
+//!
+//! // Swapping algorithms is a string, not a new code path:
+//! let disj = <dyn Allocator>::by_name("item-disj").unwrap();
+//! let report_disj = disj.solve(&inst, &SolveCtx::new(42).with_sims(500));
+//! assert!(report_disj.welfare_mean().is_finite());
+//! # Ok::<(), uic::core::InstanceError>(())
 //! ```
 
 pub use uic_baselines as baselines;
@@ -58,10 +71,13 @@ pub use uic_util as util;
 /// The most common imports in one place.
 pub mod prelude {
     pub use uic_baselines::{
-        bundle_disj, degree_top, item_disj, mc_greedy_welfare, pagerank, pagerank_top, rr_cim,
-        rr_sim_plus, BaselineResult,
+        bdhs_concave_welfare, bdhs_step_welfare, bdhs_step_welfare_exact, best_bundle, pagerank,
     };
-    pub use uic_core::{bundle_grd, solve_welmax_bruteforce, BundleGrdResult, WelMaxInstance};
+    pub use uic_core::{
+        registry, solve_welmax_bruteforce, Allocator, InstanceError, SolveCtx, SolveReport, WelMax,
+        WelMaxInstance,
+    };
+    pub use uic_datasets::{SolverSpec, SpecMap};
     pub use uic_diffusion::{
         simulate_ic, simulate_triggering, simulate_uic, spread_mc, spread_triggering_mc,
         Allocation, IcTriggering, LtTriggering, TriggeringSampler, UniformSubsetTriggering,
@@ -85,5 +101,6 @@ mod tests {
         assert_eq!(g.num_nodes(), 2);
         let s = crate::items::ItemSet::singleton(0);
         assert_eq!(s.len(), 1);
+        assert_eq!(crate::core::registry().len(), 9);
     }
 }

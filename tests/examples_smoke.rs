@@ -4,7 +4,6 @@
 //! here with assertions on the invariants the example's prose claims.
 
 use std::sync::Arc;
-use uic::baselines::bundle_disj;
 use uic::datasets::{
     budget_splits, named_network, real_param_model, NamedNetwork, PaOptions, REAL_ITEM_NAMES,
 };
@@ -30,13 +29,21 @@ fn quickstart_core_path() {
     );
     assert!(model.deterministic_utility(ItemSet::full(2)) > 0.0);
     let budgets = [5u32, 5];
-    let greedy = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
-    let disj = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
+    let inst = WelMax::on(&g)
+        .model(model)
+        .budgets(budgets)
+        .build()
+        .unwrap();
+    let ctx = SolveCtx::new(42).with_sims(200).with_welfare_seed(1);
+    let greedy = <dyn Allocator>::by_name("bundle-grd")
+        .unwrap()
+        .solve(&inst, &ctx);
+    let disj = <dyn Allocator>::by_name("item-disj")
+        .unwrap()
+        .solve(&inst, &ctx);
     assert!(greedy.allocation.num_seed_nodes() > 0);
-    let estimator = WelfareEstimator::new(&g, &model, 200, 1);
-    let w_greedy = estimator.estimate(&greedy.allocation);
-    let w_disj = estimator.estimate(&disj.allocation);
-    assert!(w_greedy.is_finite() && w_disj.is_finite());
+    assert!(greedy.welfare_mean().is_finite() && disj.welfare_mean().is_finite());
+    assert!(greedy.summary().contains("bundle-grd"));
 }
 
 /// `examples/campaign_planner.rs`: three budget splits over the real
@@ -46,7 +53,8 @@ fn campaign_planner_core_path() {
     let g = named_network(NamedNetwork::Twitter, 0.005, 11);
     let model = real_param_model();
     let total = 20u32;
-    let estimator = WelfareEstimator::new(&g, &model, 100, 9);
+    let solver = <dyn Allocator>::by_name("bundle-grd").unwrap();
+    let ctx = SolveCtx::new(42).with_sims(100).with_welfare_seed(9);
     let mut report = Table::new(
         format!("campaign plans, total budget {total}"),
         &["split", "welfare"],
@@ -58,8 +66,12 @@ fn campaign_planner_core_path() {
     ] {
         assert_eq!(budgets.iter().sum::<u32>(), total);
         let capped: Vec<u32> = budgets.iter().map(|&b| b.min(g.num_nodes())).collect();
-        let r = bundle_grd(&g, &capped, 0.5, 1.0, DiffusionModel::IC, 42);
-        let w = estimator.estimate(&r.allocation);
+        let inst = WelMax::on(&g)
+            .model(model.clone())
+            .budgets(capped.clone())
+            .build()
+            .unwrap();
+        let w = solver.solve(&inst, &ctx).welfare_mean();
         assert!(w.is_finite());
         report.push_row(vec![format!("{capped:?}"), format!("{w:.1}")]);
     }
@@ -97,10 +109,21 @@ fn im_algorithm_tour_core_path() {
     let r = prima(&g, &[k, k / 2], 0.5, 1.0, DiffusionModel::IC, 42);
     assert!(r.order.len() >= k as usize);
 
-    let r = degree_top(&g, &[k]);
+    let im_model = UtilityModel::new(
+        Arc::new(AdditiveValuation::new(vec![1.0])),
+        Price::additive(vec![0.0]),
+        NoiseModel::none(1),
+    );
+    let inst = WelMax::on(&g).model(im_model).budgets([k]).build().unwrap();
+    let ctx = SolveCtx::new(42).with_sims(0);
+    let r = <dyn Allocator>::by_name("degree-top")
+        .unwrap()
+        .solve(&inst, &ctx);
     assert_eq!(r.allocation.seeds_of_item(0).len(), k as usize);
 
-    let r = pagerank_top(&g, &[k], 0.85, 30);
+    let r = <dyn Allocator>::by_name("pagerank-top")
+        .unwrap()
+        .solve(&inst, &ctx);
     assert_eq!(r.allocation.seeds_of_item(0).len(), k as usize);
 
     let seeds = uic::im::greedy_mc_spread(&g, 2, 50, DiffusionModel::IC, 42);
@@ -143,8 +166,6 @@ fn substitutes_vs_complements_core_path() {
         3,
     );
     let budgets = [4u32, 4];
-    let bundled = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
-    let disjoint = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
     let complements = UtilityModel::new(
         Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 3.0, 9.0])),
         Price::additive(vec![3.5, 3.5]),
@@ -155,6 +176,18 @@ fn substitutes_vs_complements_core_path() {
         Price::additive(vec![1.0, 1.0]),
         NoiseModel::iid_gaussian_var(2, 0.25),
     );
+    let inst = WelMax::on(&g)
+        .model(complements.clone())
+        .budgets(budgets)
+        .build()
+        .unwrap();
+    let ctx = SolveCtx::new(42).with_sims(0);
+    let bundled = <dyn Allocator>::by_name("bundle-grd")
+        .unwrap()
+        .solve(&inst, &ctx);
+    let disjoint = <dyn Allocator>::by_name("item-disj")
+        .unwrap()
+        .solve(&inst, &ctx);
     for model in [&complements, &substitutes] {
         let est = WelfareEstimator::new(&g, model, 200, 9);
         assert!(est.estimate(&bundled.allocation).is_finite());
@@ -184,16 +217,15 @@ fn synergy_catalog_core_path() {
     }
     let g = named_network(NamedNetwork::DoubanBook, 0.02, 11);
     let budgets = [4u32, 4, 2, 2];
-    let greedy = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
-    let itemwise = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
-    let bundled = bundle_disj(&g, &budgets, &model, 0.5, 1.0, DiffusionModel::IC, 42);
-    let est = WelfareEstimator::new(&g, &model, 100, 7);
-    for alloc in [
-        &greedy.allocation,
-        &itemwise.allocation,
-        &bundled.allocation,
-    ] {
-        assert!(est.estimate(alloc).is_finite());
+    let inst = WelMax::on(&g)
+        .model(model)
+        .budgets(budgets)
+        .build()
+        .unwrap();
+    let ctx = SolveCtx::new(42).with_sims(100).with_welfare_seed(7);
+    for key in ["bundle-grd", "item-disj", "bundle-disj"] {
+        let r = <dyn Allocator>::by_name(key).unwrap().solve(&inst, &ctx);
+        assert!(r.welfare_mean().is_finite(), "{key}");
     }
 }
 
@@ -214,13 +246,24 @@ fn viral_bundle_launch_core_path() {
         .into_iter()
         .map(|b| b.min(g.num_nodes()))
         .collect();
-    let estimator = WelfareEstimator::new(&g, &model, 100, 3);
-    let greedy = bundle_grd(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
-    let disj = bundle_disj(&g, &budgets, &model, 0.5, 1.0, DiffusionModel::IC, 42);
-    let itemwise = item_disj(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 42);
-    let w_greedy = estimator.estimate(&greedy.allocation);
-    let w_disj = estimator.estimate(&disj.allocation);
-    let w_item = estimator.estimate(&itemwise.allocation);
+    let inst = WelMax::on(&g)
+        .model(model.clone())
+        .budgets(budgets)
+        .build()
+        .unwrap();
+    let ctx = SolveCtx::new(42).with_sims(100).with_welfare_seed(3);
+    let w_greedy = <dyn Allocator>::by_name("bundle-grd")
+        .unwrap()
+        .solve(&inst, &ctx)
+        .welfare_mean();
+    let w_disj = <dyn Allocator>::by_name("bundle-disj")
+        .unwrap()
+        .solve(&inst, &ctx)
+        .welfare_mean();
+    let w_item = <dyn Allocator>::by_name("item-disj")
+        .unwrap()
+        .solve(&inst, &ctx)
+        .welfare_mean();
     assert!(w_greedy.is_finite() && w_disj.is_finite() && w_item.is_finite());
     // Item-by-item marketing is hopeless here: every single item is a
     // loss, so bundle-aware seeding must not lose to item-disj.

@@ -101,17 +101,19 @@ fn noise_model_arity_is_enforced_at_model_assembly() {
 // ---------------------------------------------------------------------
 
 #[test]
+#[allow(deprecated)] // boundary test on the engine entry point
 fn bundle_grd_with_budget_equal_to_n_seeds_everyone() {
     let g = Graph::from_edges(4, &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)]);
-    let r = bundle_grd(&g, &[4, 2], 0.5, 1.0, DiffusionModel::IC, 1);
+    let r = uic::core::bundle_grd(&g, &[4, 2], 0.5, 1.0, DiffusionModel::IC, 1);
     assert_eq!(r.allocation.seeds_of_item(0).len(), 4);
     assert_eq!(r.allocation.seeds_of_item(1).len(), 2);
 }
 
 #[test]
+#[allow(deprecated)] // boundary test on the engine entry point
 fn item_disj_survives_total_budget_exceeding_n() {
     let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
-    let r = item_disj(&g, &[3, 3], 0.5, 1.0, DiffusionModel::IC, 1);
+    let r = uic::baselines::item_disj(&g, &[3, 3], 0.5, 1.0, DiffusionModel::IC, 1);
     assert!(r.allocation.num_seed_nodes() <= 3);
     assert!(r.allocation.respects_budgets(&[3, 3]));
 }
@@ -125,6 +127,7 @@ fn prima_rejects_budget_above_n() {
 
 #[test]
 #[should_panic(expected = "non-empty candidate")]
+#[allow(deprecated)] // boundary test on the engine entry point
 fn pair_greedy_rejects_empty_candidate_pool() {
     let g = Graph::from_edges(2, &[(0, 1, 0.5)]);
     let model = UtilityModel::new(
@@ -132,7 +135,7 @@ fn pair_greedy_rejects_empty_candidate_pool() {
         Price::additive(vec![1.0]),
         NoiseModel::none(1),
     );
-    mc_greedy_welfare(&g, &model, &[1], &[], 10, 1);
+    uic::baselines::mc_greedy_welfare(&g, &model, &[1], &[], 10, 1);
 }
 
 // ---------------------------------------------------------------------

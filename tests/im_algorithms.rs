@@ -141,8 +141,19 @@ fn heuristics_trail_but_are_not_absurd_on_hub_heavy_graphs() {
     let k = 15u32;
     let j = judge(&g, 30_000);
     let imm_spread = j.estimate_spread(&imm(&g, k, 0.5, 1.0, DiffusionModel::IC, 7).seeds);
-    let deg = degree_top(&g, &[k]);
-    let pr = pagerank_top(&g, &[k], 0.85, 50);
+    let model = UtilityModel::new(
+        std::sync::Arc::new(AdditiveValuation::new(vec![1.0])),
+        Price::additive(vec![0.0]),
+        NoiseModel::none(1),
+    );
+    let inst = WelMaxInstance::new(&g, model, vec![k]);
+    let ctx = SolveCtx::new(1).with_sims(0);
+    let deg = <dyn Allocator>::by_name("degree-top")
+        .unwrap()
+        .solve(&inst, &ctx);
+    let pr = <dyn Allocator>::by_name("pagerank-top")
+        .unwrap()
+        .solve(&inst, &ctx);
     let deg_spread = j.estimate_spread(&deg.allocation.seeds_of_item(0));
     let pr_spread = j.estimate_spread(&pr.allocation.seeds_of_item(0));
     assert!(

@@ -131,7 +131,15 @@ proptest! {
         b1 in 1u32..6,
         b2 in 1u32..6,
     ) {
-        for r in [degree_top(&g, &[b1, b2]), pagerank_top(&g, &[b1, b2], 0.85, 30)] {
+        let model = UtilityModel::new(
+            std::sync::Arc::new(AdditiveValuation::new(vec![1.0, 1.0])),
+            Price::additive(vec![0.0, 0.0]),
+            NoiseModel::none(2),
+        );
+        let inst = WelMaxInstance::try_new_any_order(&g, model, vec![b1, b2]).unwrap();
+        let ctx = SolveCtx::new(1).with_sims(0);
+        for key in ["degree-top", "pagerank-top"] {
+            let r = <dyn Allocator>::by_name(key).unwrap().solve(&inst, &ctx);
             prop_assert!(r.allocation.respects_budgets(&[b1, b2]));
             let s0 = r.allocation.seeds_of_item(0);
             let s1 = r.allocation.seeds_of_item(1);

@@ -1,0 +1,133 @@
+//! Property-based tests (proptest) on the solver registry: every
+//! registered allocator, on random small WelMax instances, returns a
+//! budget-respecting allocation with a finite welfare estimate; the
+//! registry keys round-trip through `by_name` and the config text
+//! format; and `solve` is a pure function of `(instance, ctx)`.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use uic::prelude::*;
+
+/// Strategy: a random directed graph as an edge list over `n` nodes.
+fn small_graph(n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0..n, 0..n, 0.05f32..=1.0), 1..max_edges).prop_map(move |edges| {
+        let mut b = GraphBuilder::new(n).dedup(true);
+        for (u, v, p) in edges {
+            if u != v {
+                b.add_edge(u, v, p);
+            }
+        }
+        b.build(Weighting::AsGiven, 0)
+    })
+}
+
+/// Strategy: a random two-item utility model (two items so *every*
+/// registered allocator, including the Com-IC pair, applies). Values are
+/// supermodular-ish but unconstrained in sign; prices straddle them so
+/// instances range from everything-profitable to everything-a-loss.
+fn two_item_model() -> impl Strategy<Value = UtilityModel> {
+    (
+        0.5f64..6.0,
+        0.5f64..6.0,
+        0.0f64..4.0,
+        0.1f64..5.0,
+        0.1f64..5.0,
+    )
+        .prop_map(|(v1, v2, synergy, p1, p2)| {
+            UtilityModel::new(
+                Arc::new(TableValuation::from_table(
+                    2,
+                    vec![0.0, v1, v2, v1 + v2 + synergy],
+                )),
+                Price::additive(vec![p1, p2]),
+                NoiseModel::iid_gaussian_var(2, 1.0),
+            )
+        })
+}
+
+proptest! {
+    // Each case runs all nine allocators (mc-greedy included), so keep
+    // the case count modest; graphs are ≤ 12 nodes.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The satellite contract: every registered allocator returns an
+    /// allocation with `respects_budgets` true and a finite welfare
+    /// estimate, and the report's bookkeeping is consistent.
+    #[test]
+    fn every_allocator_is_feasible_and_finite_on_random_instances(
+        g in small_graph(12, 40),
+        model in two_item_model(),
+        b1 in 1u32..6,
+        b2 in 1u32..6,
+        seed in 0u64..1_000,
+    ) {
+        let budgets = vec![b1.max(b2), b1.min(b2)];
+        let inst = WelMax::on(&g)
+            .model(model)
+            .budgets(budgets.clone())
+            .build()
+            .unwrap();
+        let ctx = SolveCtx::new(seed).with_sims(24);
+        for entry in registry() {
+            let solver = entry.default_allocator();
+            prop_assert!(solver.supports(&inst).is_ok(), "{}", entry.name);
+            let r = solver.solve(&inst, &ctx);
+            prop_assert_eq!(r.algorithm, entry.name);
+            prop_assert_eq!(r.seed, seed, "{}", entry.name);
+            prop_assert!(
+                r.allocation.respects_budgets(&budgets),
+                "{} violated budgets {:?} (used {:?})",
+                entry.name,
+                &budgets,
+                r.allocation.budgets_used(2)
+            );
+            prop_assert_eq!(
+                r.budgets_used.clone(),
+                r.allocation.budgets_used(2),
+                "{} budget accounting",
+                entry.name
+            );
+            let w = r.welfare_mean();
+            prop_assert!(w.is_finite(), "{} welfare {w}", entry.name);
+            prop_assert!(r.welfare_ci95().is_finite(), "{}", entry.name);
+        }
+    }
+
+    /// Solving is deterministic: the same `(instance, ctx)` pair yields
+    /// identical allocations and welfare statistics for every solver.
+    #[test]
+    fn solve_is_deterministic_on_random_instances(
+        g in small_graph(10, 30),
+        model in two_item_model(),
+        seed in 0u64..1_000,
+    ) {
+        let inst = WelMax::on(&g)
+            .model(model)
+            .budgets([2u32, 1])
+            .build()
+            .unwrap();
+        let ctx = SolveCtx::new(seed).with_sims(16);
+        for entry in registry() {
+            let a = entry.default_allocator().solve(&inst, &ctx);
+            let b = entry.default_allocator().solve(&inst, &ctx);
+            prop_assert_eq!(a.allocation, b.allocation, "{}", entry.name);
+            prop_assert_eq!(a.welfare, b.welfare, "{}", entry.name);
+        }
+    }
+}
+
+/// `by_name` round-trips every registry key, and each allocator's spec
+/// line survives a parse → build → spec cycle. (Deterministic, so a
+/// plain test rather than a property.)
+#[test]
+fn by_name_and_spec_round_trip_every_registry_key() {
+    for entry in registry() {
+        let solver = <dyn Allocator>::by_name(entry.name).unwrap();
+        assert_eq!(solver.name(), entry.name);
+        let line = solver.spec().to_string();
+        assert!(line.starts_with(entry.name), "{line}");
+        let rebuilt = <dyn Allocator>::parse(&line).unwrap();
+        assert_eq!(rebuilt.spec(), solver.spec());
+    }
+    assert!(<dyn Allocator>::by_name("not-an-algorithm").is_none());
+}

@@ -96,7 +96,17 @@ fn welmax_subsumes_influence_maximization() {
         Price::additive(vec![0.0]),
         NoiseModel::none(1),
     );
-    let r = bundle_grd(&g, &[10], 0.4, 1.0, DiffusionModel::IC, 7);
+    let inst = WelMax::on(&g)
+        .model(model.clone())
+        .budgets([10u32])
+        .build()
+        .unwrap();
+    let r = uic::core::solver::BundleGrd {
+        eps: 0.4,
+        ell: 1.0,
+        model: DiffusionModel::IC,
+    }
+    .solve(&inst, &SolveCtx::new(7).with_sims(0));
     let im = imm(&g, 10, 0.4, 1.0, DiffusionModel::IC, 7);
     assert_eq!(
         r.allocation.seeds_of_item(0),
@@ -173,7 +183,6 @@ fn one_allocation_serves_all_supermodular_configurations() {
         17,
     );
     let budgets = [10u32, 8];
-    let r = bundle_grd(&g, &budgets, 0.4, 1.0, DiffusionModel::IC, 21);
     // Three very different supermodular settings.
     let models = [
         UtilityModel::new(
@@ -192,11 +201,29 @@ fn one_allocation_serves_all_supermodular_configurations() {
             NoiseModel::iid_gaussian_var(2, 0.5),
         ),
     ];
+    // One instance (the solver never reads its utility model), one
+    // allocation, every configuration.
+    let inst = WelMax::on(&g)
+        .model(models[0].clone())
+        .budgets(budgets)
+        .build()
+        .unwrap();
+    let ctx = SolveCtx::new(21).with_sims(0);
+    let grd = uic::core::solver::BundleGrd {
+        eps: 0.4,
+        ell: 1.0,
+        model: DiffusionModel::IC,
+    };
+    let r = grd.solve(&inst, &ctx);
+    let disj = uic::core::solver::ItemDisj {
+        eps: 0.4,
+        ell: 1.0,
+        model: DiffusionModel::IC,
+    }
+    .solve(&inst, &ctx);
     for (i, model) in models.iter().enumerate() {
         let est = WelfareEstimator::new(&g, model, 2_000, 31 + i as u64);
         let w_bundle = est.estimate(&r.allocation);
-        // Compare against item-disj under the same model.
-        let disj = item_disj(&g, &budgets, 0.4, 1.0, DiffusionModel::IC, 21);
         let w_disj = est.estimate(&disj.allocation);
         assert!(
             w_bundle >= 0.9 * w_disj,
