@@ -21,6 +21,11 @@
 //!   live-edge world through the graph's reverse edge-id map. The
 //!   forward pass per sample is the documented source of its slowness.
 //!
+//! Both samplers implement [`RrSampler`] and write **directly into the
+//! shared [`RrCollection`] arena** (parallel, deterministic per
+//! `(seed, index)`) instead of materializing nested vectors and
+//! round-tripping through `from_raw_sets`.
+//!
 //! Faithfulness note (recorded in DESIGN.md): the original RR-CIM also
 //! iterates the i1↔i2 feedback; this one-directional variant preserves
 //! the published behavioral signature the UIC paper compares against —
@@ -30,7 +35,7 @@
 use std::time::Instant;
 use uic_diffusion::SolveReport;
 use uic_graph::{Graph, NodeId};
-use uic_im::{imm, node_selection, DiffusionModel, RrCollection};
+use uic_im::{imm, node_selection, DiffusionModel, RrCollection, RrSampler};
 use uic_items::GapParams;
 use uic_util::{log_choose, split_seed, EdgeStatusCache, EpochMap, UicRng, VisitTags};
 
@@ -50,18 +55,19 @@ fn tim_theta(n: u32, k: u32, eps: f64, ell: f64, kpt: f64) -> usize {
     ((lambda / kpt.max(1.0)).ceil() as usize).min(THETA_CAP)
 }
 
-/// Self-influence RR set: reverse walk where expansion through a node
-/// (and acceptance of the root) requires a `q` coin; edge coins use
-/// `p(u,v)`. An empty set means the root cannot adopt at all.
-fn sample_self_rr(
+/// Appends one self-influence RR set onto `arena`: reverse walk where
+/// expansion through a node (and acceptance of the root) requires a `q`
+/// coin; edge coins use `p(u,v)`. An empty sample (nothing appended)
+/// means the root cannot adopt at all.
+fn sample_self_rr_into(
     g: &Graph,
     q: f64,
     rng: &mut UicRng,
     tags: &mut VisitTags,
     expand: &mut Vec<NodeId>,
-    out: &mut Vec<NodeId>,
+    arena: &mut Vec<NodeId>,
+    width: &mut u64,
 ) {
-    out.clear();
     tags.reset();
     let n = g.num_nodes();
     if n == 0 {
@@ -72,7 +78,7 @@ fn sample_self_rr(
         return; // root never adopts: uncoverable sample
     }
     tags.mark(root as usize);
-    out.push(root);
+    arena.push(root);
     // Queue of nodes allowed to relay (passed their q coin).
     expand.clear();
     expand.push(root);
@@ -82,16 +88,45 @@ fn sample_self_rr(
         head += 1;
         let srcs = g.in_neighbors(w);
         let probs = g.in_probs(w);
+        *width += srcs.len() as u64;
         for (i, &u) in srcs.iter().enumerate() {
             if tags.is_marked(u as usize) || !rng.coin(probs[i] as f64) {
                 continue;
             }
             tags.mark(u as usize);
-            out.push(u); // u can seed-adopt unconditionally
+            arena.push(u); // u can seed-adopt unconditionally
             if rng.coin(q) {
                 expand.push(u); // and may also relay
             }
         }
+    }
+}
+
+/// [`RrSampler`] for RR-SIM+'s self-influence sets: sample `index`
+/// draws from stream `split_seed(seed, 100 + index)` (the offset keeps
+/// the stream disjoint from the partner IMM run's).
+struct SelfRrSampler {
+    q: f64,
+    seed: u64,
+}
+
+impl RrSampler for SelfRrSampler {
+    type Scratch = (VisitTags, Vec<NodeId>);
+
+    fn scratch(&self, g: &Graph) -> Self::Scratch {
+        (VisitTags::new(g.num_nodes() as usize), Vec::new())
+    }
+
+    fn sample_into(
+        &self,
+        g: &Graph,
+        index: u64,
+        (tags, expand): &mut Self::Scratch,
+        arena: &mut Vec<NodeId>,
+        width: &mut u64,
+    ) {
+        let mut rng = UicRng::new(split_seed(self.seed, 100 + index));
+        sample_self_rr_into(g, self.q, &mut rng, tags, expand, arena, width);
     }
 }
 
@@ -118,30 +153,20 @@ pub fn rr_sim_plus(
     );
     // Partner item's seeds by plain IMM.
     let partner = imm(g, b2, eps, ell, DiffusionModel::IC, split_seed(seed, 1));
-    // Pilot sample to estimate KPT (mean set size ≈ E[σ(random v)]).
+    let sampler = SelfRrSampler {
+        q: gap.q1_alone,
+        seed,
+    };
+    // Pilot sample to estimate KPT (mean set size ≈ E[σ(random v)]),
+    // straight into the arena the main sample keeps growing.
     let pilot = 2_000usize;
-    let mut tags = VisitTags::new(n as usize);
-    let mut expand = Vec::new();
-    let mut buf = Vec::new();
-    let mut sets: Vec<Vec<NodeId>> = Vec::with_capacity(pilot);
-    let mut size_sum = 0usize;
-    for j in 0..pilot {
-        let mut rng = UicRng::new(split_seed(seed, 100 + j as u64));
-        sample_self_rr(g, gap.q1_alone, &mut rng, &mut tags, &mut expand, &mut buf);
-        size_sum += buf.len();
-        sets.push(buf.clone());
-    }
-    let kpt = size_sum as f64 / pilot as f64;
+    let mut coll = RrCollection::empty(n);
+    coll.extend_with(g, pilot, &sampler);
+    let kpt = coll.total_entries() as f64 / pilot as f64;
     let theta = tim_theta(n, b1, eps, ell, kpt);
-    sets.reserve(theta.saturating_sub(sets.len()));
-    for j in sets.len()..theta {
-        let mut rng = UicRng::new(split_seed(seed, 100 + j as u64));
-        sample_self_rr(g, gap.q1_alone, &mut rng, &mut tags, &mut expand, &mut buf);
-        sets.push(buf.clone());
-    }
-    let total = sets.len();
-    let coll = RrCollection::from_raw_sets(n, sets);
-    let sel = node_selection(&coll, b1);
+    coll.extend_with(g, theta, &sampler);
+    let total = coll.len();
+    let sel = node_selection(&mut coll, b1);
     let mut allocation = uic_diffusion::Allocation::new();
     for &v in &sel.seeds {
         allocation.assign(v, 0);
@@ -161,11 +186,18 @@ pub fn rr_sim_plus(
 /// passes: edge coins, per-node adoption decisions, adopter marks, and
 /// the reusable BFS queue. All components are epoch-stamped, so
 /// [`WorldScratch::reset`] is `O(1)`.
+///
+/// Edge liveness is a **pure function of `(world_seed, edge id)`** —
+/// the cache only memoizes it. This is what keeps every RR-CIM sample a
+/// pure function of `(seed, index)`: a worker that re-simulates a world
+/// at a chunk boundary reconstructs exactly the coins another worker's
+/// earlier reverse passes would have cached.
 struct WorldScratch {
     edge_cache: EdgeStatusCache,
     informed: EpochMap<bool>,
     adopters: VisitTags,
     queue: Vec<NodeId>,
+    world_seed: u64,
 }
 
 impl WorldScratch {
@@ -175,20 +207,36 @@ impl WorldScratch {
             informed: EpochMap::new(g.num_nodes() as usize),
             adopters: VisitTags::new(g.num_nodes() as usize),
             queue: Vec::new(),
+            world_seed: 0,
         }
     }
 
-    /// Forgets the current world.
-    fn reset(&mut self) {
+    /// Forgets the current world and fixes the new one's edge-coin seed.
+    fn reset(&mut self, world_seed: u64) {
         self.edge_cache.reset();
         self.informed.reset();
         self.adopters.reset();
+        self.world_seed = world_seed;
+    }
+
+    /// Whether edge `eid` is live in this world, at probability `p`:
+    /// `split_seed(world_seed, eid)` hashed to a uniform in `[0, 1)`,
+    /// memoized in the epoch cache.
+    #[inline]
+    fn edge_live(&mut self, eid: usize, p: f64) -> bool {
+        let ws = self.world_seed;
+        self.edge_cache.get_or_flip(eid, || {
+            let u = split_seed(ws, eid as u64);
+            ((u >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+        })
     }
 }
 
 /// Forward Com-IC single-item cascade of item 1 from `s1`, recording
-/// adopters and the edge coins into `scratch` so the reverse pass sees
-/// the same world. Callers reset the scratch per world.
+/// adopters into `scratch` so the reverse pass sees the same world.
+/// Edge coins come from the world's hash stream ([`WorldScratch::edge_live`]);
+/// `rng` drives only the per-node adoption decisions. Callers reset the
+/// scratch per world.
 fn forward_item1(
     g: &Graph,
     s1: &[NodeId],
@@ -196,42 +244,143 @@ fn forward_item1(
     rng: &mut UicRng,
     scratch: &mut WorldScratch,
 ) {
-    let WorldScratch {
-        edge_cache,
-        informed,
-        adopters,
-        queue,
-    } = scratch;
-    queue.clear();
+    scratch.queue.clear();
     for &v in s1 {
-        if adopters.mark(v as usize) {
-            queue.push(v);
+        if scratch.adopters.mark(v as usize) {
+            scratch.queue.push(v);
         }
     }
     let mut head = 0;
-    while head < queue.len() {
-        let u = queue[head];
+    while head < scratch.queue.len() {
+        let u = scratch.queue[head];
         head += 1;
         let nbrs = g.out_neighbors(u);
         let probs = g.out_probs(u);
         let first_eid = g.out_edge_id(u, 0);
         for (i, &v) in nbrs.iter().enumerate() {
-            let rng_ref = &mut *rng;
-            let live = edge_cache.get_or_flip(first_eid + i, || rng_ref.coin(probs[i] as f64));
-            if !live || adopters.is_marked(v as usize) {
+            let live = scratch.edge_live(first_eid + i, probs[i] as f64);
+            if !live || scratch.adopters.is_marked(v as usize) {
                 continue;
             }
             // One adoption decision per informed node.
-            let adopt = match informed.get(v as usize) {
+            let adopt = match scratch.informed.get(v as usize) {
                 Some(decision) => decision,
                 None => {
                     let decision = rng.coin(q1_alone);
-                    informed.insert(v as usize, decision);
+                    scratch.informed.insert(v as usize, decision);
                     decision
                 }
             };
-            if adopt && adopters.mark(v as usize) {
-                queue.push(v);
+            if adopt && scratch.adopters.mark(v as usize) {
+                scratch.queue.push(v);
+            }
+        }
+    }
+}
+
+/// Reverse samples per forward-simulated world: one forward Com-IC pass
+/// of item 1 is shared by a *batch* of reverse samples drawn in the same
+/// possible world — the hybrid sampling of the original RR-CIM
+/// implementation (each forward simulation is expensive; roots within a
+/// world are exchangeable, and the coverage estimator tolerates the mild
+/// within-batch correlation).
+const BATCH: u64 = 32;
+
+/// [`RrSampler`] for RR-CIM's complement-aware sets: sample `index`
+/// lives in world `index / BATCH`; its reverse pass uses node coins
+/// `q_{2|1}` on that world's item-1 adopters and `q_{2|∅}` elsewhere,
+/// sharing the world's hash-stream edge coins through the cached
+/// [`WorldScratch`]. Both the forward pass and the edge coins are pure
+/// functions of `(seed, world)`, so chunk boundaries may re-simulate a
+/// world at will and the output stays a pure function of
+/// `(seed, index)` under any thread count (tested on graphs with edges
+/// the forward pass never reaches).
+struct CimSampler<'a> {
+    s1: &'a [NodeId],
+    gap: GapParams,
+    seed: u64,
+}
+
+/// Per-worker state for [`CimSampler`]: the cached forward world plus
+/// reverse-pass scratch.
+struct CimScratch {
+    world: WorldScratch,
+    world_id: u64,
+    tags: VisitTags,
+    expand: Vec<NodeId>,
+}
+
+impl RrSampler for CimSampler<'_> {
+    type Scratch = CimScratch;
+
+    fn scratch(&self, g: &Graph) -> CimScratch {
+        CimScratch {
+            world: WorldScratch::new(g),
+            world_id: u64::MAX,
+            tags: VisitTags::new(g.num_nodes() as usize),
+            expand: Vec::new(),
+        }
+    }
+
+    fn sample_into(
+        &self,
+        g: &Graph,
+        index: u64,
+        scratch: &mut CimScratch,
+        arena: &mut Vec<NodeId>,
+        width: &mut u64,
+    ) {
+        let world = index / BATCH;
+        let mut rng = UicRng::new(split_seed(self.seed, (500 + world) * BATCH + index % BATCH));
+        if world != scratch.world_id {
+            scratch.world_id = world;
+            let mut wrng = UicRng::new(split_seed(self.seed ^ 0xF0F0, world));
+            scratch
+                .world
+                .reset(split_seed(self.seed ^ 0x00ED_6E5D, world));
+            forward_item1(g, self.s1, self.gap.q1_alone, &mut wrng, &mut scratch.world);
+        }
+        // Reverse pass for item 2 with complement-aware node coins.
+        scratch.tags.reset();
+        let root = rng.next_below(g.num_nodes());
+        let q_root = if scratch.world.adopters.is_marked(root as usize) {
+            self.gap.q2_given_1
+        } else {
+            self.gap.q2_alone
+        };
+        if !rng.coin(q_root) {
+            return;
+        }
+        scratch.tags.mark(root as usize);
+        arena.push(root);
+        scratch.expand.clear();
+        scratch.expand.push(root);
+        let mut head = 0;
+        while head < scratch.expand.len() {
+            let w = scratch.expand[head];
+            head += 1;
+            let srcs = g.in_neighbors(w);
+            let probs = g.in_probs(w);
+            let eids = g.in_edge_ids(w);
+            *width += srcs.len() as u64;
+            for (i, &u) in srcs.iter().enumerate() {
+                if scratch.tags.is_marked(u as usize) {
+                    continue;
+                }
+                let live = scratch.world.edge_live(eids[i] as usize, probs[i] as f64);
+                if !live {
+                    continue;
+                }
+                scratch.tags.mark(u as usize);
+                arena.push(u);
+                let q_u = if scratch.world.adopters.is_marked(u as usize) {
+                    self.gap.q2_given_1
+                } else {
+                    self.gap.q2_alone
+                };
+                if rng.coin(q_u) {
+                    scratch.expand.push(u);
+                }
             }
         }
     }
@@ -260,97 +409,22 @@ pub fn rr_cim(
         "budgets out of range"
     );
     let partner = imm(g, b1, eps, ell, DiffusionModel::IC, split_seed(seed, 1));
-    let s1 = &partner.seeds;
-
-    // Per-world machinery: one forward Com-IC pass of item 1 is shared
-    // by a *batch* of reverse samples drawn in the same possible world —
-    // the hybrid sampling of the original RR-CIM implementation (each
-    // forward simulation is expensive; roots within a world are
-    // exchangeable, and the coverage estimator tolerates the mild
-    // within-batch correlation).
-    const BATCH: u64 = 32;
-    let mut scratch = WorldScratch::new(g);
-    let mut tags = VisitTags::new(n as usize);
-    let mut expand: Vec<NodeId> = Vec::new();
-    let mut world_id = u64::MAX;
-    let mut sample = |j: u64, out: &mut Vec<NodeId>| {
-        let world = j / BATCH;
-        let mut rng = UicRng::new(split_seed(seed, (500 + world) * BATCH + j % BATCH));
-        if world != world_id {
-            world_id = world;
-            let mut wrng = UicRng::new(split_seed(seed ^ 0xF0F0, world));
-            scratch.reset();
-            forward_item1(g, s1, gap.q1_alone, &mut wrng, &mut scratch);
-        }
-        // Reverse pass for item 2 with complement-aware node coins.
-        out.clear();
-        tags.reset();
-        let root = rng.next_below(n);
-        let q_root = if scratch.adopters.is_marked(root as usize) {
-            gap.q2_given_1
-        } else {
-            gap.q2_alone
-        };
-        if !rng.coin(q_root) {
-            return;
-        }
-        tags.mark(root as usize);
-        out.push(root);
-        expand.clear();
-        expand.push(root);
-        let mut head = 0;
-        while head < expand.len() {
-            let w = expand[head];
-            head += 1;
-            let srcs = g.in_neighbors(w);
-            let probs = g.in_probs(w);
-            let eids = g.in_edge_ids(w);
-            for (i, &u) in srcs.iter().enumerate() {
-                if tags.is_marked(u as usize) {
-                    continue;
-                }
-                let rng_ref = &mut rng;
-                let live = scratch
-                    .edge_cache
-                    .get_or_flip(eids[i] as usize, || rng_ref.coin(probs[i] as f64));
-                if !live {
-                    continue;
-                }
-                tags.mark(u as usize);
-                out.push(u);
-                let q_u = if scratch.adopters.is_marked(u as usize) {
-                    gap.q2_given_1
-                } else {
-                    gap.q2_alone
-                };
-                if rng.coin(q_u) {
-                    expand.push(u);
-                }
-            }
-        }
+    let sampler = CimSampler {
+        s1: &partner.seeds,
+        gap,
+        seed,
     };
-
-    // Pilot + TIM-sized main sample.
+    // Pilot + TIM-sized main sample, all in one arena.
     let pilot = 1_024usize;
-    let mut sets: Vec<Vec<NodeId>> = Vec::with_capacity(pilot);
-    let mut buf = Vec::new();
-    let mut size_sum = 0usize;
-    for j in 0..pilot {
-        sample(j as u64, &mut buf);
-        size_sum += buf.len();
-        sets.push(buf.clone());
-    }
-    let kpt = size_sum as f64 / pilot as f64;
+    let mut coll = RrCollection::empty(n);
+    coll.extend_with(g, pilot, &sampler);
+    let kpt = coll.total_entries() as f64 / pilot as f64;
     let theta = tim_theta(n, b2, eps, ell, kpt);
-    for j in sets.len()..theta {
-        sample(j as u64, &mut buf);
-        sets.push(buf.clone());
-    }
-    let total = sets.len();
-    let coll = RrCollection::from_raw_sets(n, sets);
-    let sel = node_selection(&coll, b2);
+    coll.extend_with(g, theta, &sampler);
+    let total = coll.len();
+    let sel = node_selection(&mut coll, b2);
     let mut allocation = uic_diffusion::Allocation::new();
-    for &v in s1 {
+    for &v in &partner.seeds {
         allocation.assign(v, 0);
     }
     for &v in &sel.seeds {
@@ -416,6 +490,68 @@ mod tests {
     }
 
     #[test]
+    fn arena_sampling_is_thread_count_independent() {
+        // Both custom samplers must honor the `(seed, index)` contract:
+        // the collections they grow are bit-identical for any worker
+        // count.
+        let g = hub_graph();
+        let self_sampler = SelfRrSampler { q: 0.6, seed: 41 };
+        let s1 = [0u32, 1];
+        let cim_sampler = CimSampler {
+            s1: &s1,
+            gap: friendly_gap(),
+            seed: 41,
+        };
+        let mut self_ref = RrCollection::empty(30).with_threads(1);
+        self_ref.extend_with(&g, 4_000, &self_sampler);
+        let mut cim_ref = RrCollection::empty(30).with_threads(1);
+        cim_ref.extend_with(&g, 4_000, &cim_sampler);
+        for threads in [2usize, 8] {
+            let mut a = RrCollection::empty(30).with_threads(threads);
+            a.extend_with(&g, 4_000, &self_sampler);
+            assert_eq!(a, self_ref, "self sampler, {threads} threads");
+            let mut b = RrCollection::empty(30).with_threads(threads);
+            b.extend_with(&g, 4_000, &cim_sampler);
+            assert_eq!(b, cim_ref, "cim sampler, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn cim_sampler_pure_beyond_forward_reach() {
+        // Regression: edges the forward pass never reaches get their
+        // coins from reverse passes. With history-dependent coins, a
+        // chunk boundary mid-batch made later samples depend on which
+        // batch-mates ran on the same worker; the hash-stream coins must
+        // keep the collection thread-count independent even here.
+        let mut b = GraphBuilder::new(30);
+        for leaf in 2..20u32 {
+            b.add_edge(0, leaf, 0.8);
+        }
+        for leaf in 20..28u32 {
+            b.add_edge(1, leaf, 0.8);
+        }
+        // A back-alley component no item-1 cascade from {0, 1} can touch.
+        b.add_edge(28, 29, 0.7);
+        b.add_edge(29, 28, 0.7);
+        b.add_edge(28, 2, 0.7);
+        b.add_edge(29, 21, 0.7);
+        let g = b.build(Weighting::AsGiven, 0);
+        let s1 = [0u32, 1];
+        let sampler = CimSampler {
+            s1: &s1,
+            gap: friendly_gap(),
+            seed: 1,
+        };
+        let mut reference = RrCollection::empty(30).with_threads(1);
+        reference.extend_with(&g, 4_000, &sampler);
+        for threads in [2usize, 3, 8] {
+            let mut coll = RrCollection::empty(30).with_threads(threads);
+            coll.extend_with(&g, 4_000, &sampler);
+            assert_eq!(coll, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
     fn rr_cim_follows_complement_when_alone_is_hopeless() {
         // Two disjoint hub communities. Item 1 seeded (by IMM) at the
         // bigger hub 0. With q2_alone = 0 item 2 can only be adopted by
@@ -439,17 +575,11 @@ mod tests {
     fn self_rr_sets_shrink_with_q() {
         // Smaller q ⇒ fewer accepted roots/relays ⇒ smaller total mass.
         let g = hub_graph();
-        let mut tags = VisitTags::new(30);
-        let mut expand = Vec::new();
-        let mut buf = Vec::new();
-        let mut mass = |q: f64| {
-            let mut total = 0usize;
-            for j in 0..3000u64 {
-                let mut rng = UicRng::new(split_seed(42, j));
-                sample_self_rr(&g, q, &mut rng, &mut tags, &mut expand, &mut buf);
-                total += buf.len();
-            }
-            total
+        let mass = |q: f64| {
+            let sampler = SelfRrSampler { q, seed: 0 };
+            let mut coll = RrCollection::empty(30);
+            coll.extend_with(&g, 3000, &sampler);
+            coll.total_entries()
         };
         let high = mass(0.9);
         let low = mass(0.1);

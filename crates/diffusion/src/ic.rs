@@ -96,12 +96,11 @@ pub fn exact_spread(g: &Graph, seeds: &[NodeId]) -> f64 {
         .sum()
 }
 
-/// Number of worker threads for `work` independent tasks.
+/// Number of worker threads for `work` independent simulations
+/// (the shared [`uic_util::parallelism`] heuristic at the Monte-Carlo
+/// grain of 64 cascades per worker).
 pub(crate) fn num_threads(work: u32) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    hw.min((work as usize).div_ceil(64)).max(1)
+    uic_util::parallelism(work as usize, 64)
 }
 
 /// Splits `[0, total)` into `parts` contiguous ranges.

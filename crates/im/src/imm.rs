@@ -95,7 +95,7 @@ pub fn imm(g: &Graph, k: u32, eps: f64, ell: f64, model: DiffusionModel, seed: u
         let x = nf / 2f64.powi(i as i32);
         let theta_i = (bounds.lambda_prime(k) / x).ceil() as usize;
         coll.extend_to(g, theta_i);
-        let sel = node_selection(&coll, k);
+        let sel = node_selection(&mut coll, k);
         let est = sel.estimated_spread(n, k as usize);
         if est >= (1.0 + eps_prime) * x {
             lb = est / (1.0 + eps_prime);
@@ -106,7 +106,7 @@ pub fn imm(g: &Graph, k: u32, eps: f64, ell: f64, model: DiffusionModel, seed: u
     // Chen (2018) fix: regenerate from scratch for the final selection.
     coll.reset();
     coll.extend_to(g, theta);
-    let sel: NodeSelectionResult = node_selection(&coll, k);
+    let sel: NodeSelectionResult = node_selection(&mut coll, k);
     let estimated_spread = sel.estimated_spread(n, sel.seeds.len());
     ImmResult {
         seeds: sel.seeds,

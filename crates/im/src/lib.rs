@@ -5,7 +5,9 @@
 //!
 //! * [`rrset`] — RR-set samplers for the IC and LT models with
 //!   deterministic per-set seed splitting and parallel batch generation;
-//!   [`rrset::RrCollection`] owns the sampled sets and their statistics.
+//!   [`rrset::RrCollection`] owns the sampled sets in a flat CSR arena
+//!   with a persistent, incrementally-grown inverted index, and custom
+//!   reverse processes plug in through [`rrset::RrSampler`].
 //! * [`mod@node_selection`] — the greedy max-coverage `NodeSelection`
 //!   procedure shared by all RIS algorithms (returns the full greedy
 //!   *ordering* plus cumulative coverage, which is what makes prefix
@@ -48,7 +50,7 @@ pub use imm::{imm, ImmResult};
 pub use node_selection::{node_selection, NodeSelectionResult};
 pub use opim::{opim_c, OpimResult};
 pub use prima::{prima, PrimaResult};
-pub use rrset::{DiffusionModel, RrCollection};
+pub use rrset::{DiffusionModel, RrCollection, RrSampler, StandardRrSampler};
 pub use skim::{skim, SkimOptions, SkimResult};
 pub use ssa::{ssa, SsaResult};
 pub use tim::{tim_plus, TimResult};

@@ -6,6 +6,12 @@
 //! is deterministic on a fixed collection, the result for budget `k` is a
 //! *prefix* of the result for any larger budget — the fact PRIMA exploits
 //! when switching budgets.
+//!
+//! Selection consumes the collection's **persistent inverted index**
+//! (node → set ids, CSR): the index is brought up to date incrementally
+//! on entry, so the IMM/OPIM doubling loops that re-select on a growing
+//! collection every round never rebuild it from scratch — only the sets
+//! appended since the previous round are merged in.
 
 use crate::rrset::RrCollection;
 use uic_graph::NodeId;
@@ -44,41 +50,24 @@ impl NodeSelectionResult {
 }
 
 /// Greedy max-coverage: picks `k` nodes maximizing marginal RR-set
-/// coverage. Runs in `O(Σ|R| + n)` using an inverted index and lazy
-/// bucketed updates.
-pub fn node_selection(coll: &RrCollection, k: u32) -> NodeSelectionResult {
+/// coverage. Runs in `O(Σ|R| + n)` amortized using the collection's
+/// persistent inverted index and lazy bucketed updates; repeated calls
+/// on an unchanged (or incrementally grown) collection reuse the index.
+pub fn node_selection(coll: &mut RrCollection, k: u32) -> NodeSelectionResult {
+    coll.ensure_index();
+    let coll = &*coll;
     let n = coll.num_nodes() as usize;
-    let sets = coll.sets();
+    let num_sets = coll.len();
     let k = (k as usize).min(n);
-    // Inverted index node → RR-set ids, CSR layout.
-    let mut deg = vec![0u32; n + 1];
-    for r in sets {
-        for &v in r {
-            deg[v as usize + 1] += 1;
-        }
-    }
-    for i in 0..n {
-        deg[i + 1] += deg[i];
-    }
-    let total: usize = deg[n] as usize;
-    let mut idx = vec![0u32; total];
-    let mut cursor = deg.clone();
-    for (rid, r) in sets.iter().enumerate() {
-        for &v in r {
-            idx[cursor[v as usize] as usize] = rid as u32;
-            cursor[v as usize] += 1;
-        }
-    }
     // Coverage counts with a lazy max-heap (CELF-style): the marginal
     // coverage of a node only decreases as sets get covered, so a stale
     // heap entry is an upper bound.
-    let mut cover_count: Vec<u64> = vec![0; n];
-    for v in 0..n {
-        cover_count[v] = (deg[v + 1] - deg[v]) as u64;
-    }
+    let mut cover_count: Vec<u64> = (0..n)
+        .map(|v| coll.covering_sets(v as NodeId).len() as u64)
+        .collect();
     let mut heap: std::collections::BinaryHeap<(u64, NodeId)> =
         (0..n).map(|v| (cover_count[v], v as NodeId)).collect();
-    let mut set_covered = vec![false; sets.len()];
+    let mut set_covered = vec![false; num_sets];
     let mut seeds = Vec::with_capacity(k);
     let mut covered_cum = Vec::with_capacity(k);
     let mut covered_total = 0u64;
@@ -99,12 +88,12 @@ pub fn node_selection(coll: &RrCollection, k: u32) -> NodeSelectionResult {
         covered_total += cover_count[vi];
         covered_cum.push(covered_total);
         // Mark v's sets covered and decrement counts of their members.
-        for &rid in &idx[deg[vi] as usize..deg[vi + 1] as usize] {
+        for &rid in coll.covering_sets(v) {
             if set_covered[rid as usize] {
                 continue;
             }
             set_covered[rid as usize] = true;
-            for &u in &sets[rid as usize] {
+            for &u in coll.get(rid as usize) {
                 cover_count[u as usize] = cover_count[u as usize].saturating_sub(1);
             }
         }
@@ -113,7 +102,7 @@ pub fn node_selection(coll: &RrCollection, k: u32) -> NodeSelectionResult {
     NodeSelectionResult {
         seeds,
         covered: covered_cum,
-        num_sets: sets.len(),
+        num_sets,
     }
 }
 
@@ -128,8 +117,9 @@ mod tests {
     #[test]
     fn picks_highest_coverage_first() {
         // Node 0 covers 3 sets, node 1 covers 2, node 2 covers 1.
-        let coll = collection_from_sets(3, vec![vec![0], vec![0, 1], vec![0], vec![2], vec![1]]);
-        let r = node_selection(&coll, 2);
+        let mut coll =
+            collection_from_sets(3, vec![vec![0], vec![0, 1], vec![0], vec![2], vec![1]]);
+        let r = node_selection(&mut coll, 2);
         assert_eq!(r.seeds[0], 0);
         assert_eq!(r.covered[0], 3);
         // After 0: remaining uncovered {3:{2}, 4:{1}} — node 1 and 2 tie
@@ -140,16 +130,16 @@ mod tests {
     #[test]
     fn marginal_not_total_coverage_drives_second_pick() {
         // Node 1 has total coverage 2 but zero marginal after node 0.
-        let coll = collection_from_sets(3, vec![vec![0, 1], vec![0, 1], vec![0], vec![2]]);
-        let r = node_selection(&coll, 2);
+        let mut coll = collection_from_sets(3, vec![vec![0, 1], vec![0, 1], vec![0], vec![2]]);
+        let r = node_selection(&mut coll, 2);
         assert_eq!(r.seeds, vec![0, 2]);
         assert_eq!(r.covered, vec![3, 4]);
     }
 
     #[test]
     fn coverage_fraction_and_spread() {
-        let coll = collection_from_sets(4, vec![vec![0], vec![0], vec![1], vec![2]]);
-        let r = node_selection(&coll, 4);
+        let mut coll = collection_from_sets(4, vec![vec![0], vec![0], vec![1], vec![2]]);
+        let r = node_selection(&mut coll, 4);
         assert_eq!(r.num_sets, 4);
         assert!((r.coverage_fraction(1) - 0.5).abs() < 1e-12);
         assert!((r.estimated_spread(4, 1) - 2.0).abs() < 1e-12);
@@ -160,7 +150,7 @@ mod tests {
     #[test]
     fn prefix_property_of_greedy() {
         // Greedy for k is a prefix of greedy for k′ > k on the same sets.
-        let coll = collection_from_sets(
+        let mut coll = collection_from_sets(
             5,
             vec![
                 vec![0, 1],
@@ -171,22 +161,22 @@ mod tests {
                 vec![0, 4],
             ],
         );
-        let small = node_selection(&coll, 2);
-        let large = node_selection(&coll, 4);
+        let small = node_selection(&mut coll, 2);
+        let large = node_selection(&mut coll, 4);
         assert_eq!(small.seeds[..], large.seeds[..2]);
     }
 
     #[test]
     fn k_capped_at_n() {
-        let coll = collection_from_sets(2, vec![vec![0], vec![1]]);
-        let r = node_selection(&coll, 10);
+        let mut coll = collection_from_sets(2, vec![vec![0], vec![1]]);
+        let r = node_selection(&mut coll, 10);
         assert_eq!(r.seeds.len(), 2);
     }
 
     #[test]
     fn empty_collection_selects_arbitrary_nodes_with_zero_coverage() {
-        let coll = collection_from_sets(3, vec![]);
-        let r = node_selection(&coll, 2);
+        let mut coll = collection_from_sets(3, vec![]);
+        let r = node_selection(&mut coll, 2);
         assert_eq!(r.seeds.len(), 2);
         assert_eq!(r.covered, vec![0, 0]);
         assert_eq!(r.coverage_fraction(2), 0.0);
@@ -208,8 +198,8 @@ mod tests {
                     s
                 })
                 .collect();
-            let coll = collection_from_sets(n, sets.clone());
-            let r = node_selection(&coll, 1);
+            let mut coll = collection_from_sets(n, sets.clone());
+            let r = node_selection(&mut coll, 1);
             let best: u64 = (0..n)
                 .map(|v| sets.iter().filter(|s| s.contains(&v)).count() as u64)
                 .max()
@@ -219,10 +209,29 @@ mod tests {
     }
 
     #[test]
+    fn selection_tracks_incremental_growth() {
+        // Selecting, growing the collection, then selecting again must
+        // behave exactly as selecting on a collection built in one shot
+        // (the persistent index merges the appended sets).
+        use crate::rrset::DiffusionModel;
+        use uic_graph::Graph;
+        let g = Graph::from_edges(4, &[(0, 1, 0.7), (1, 2, 0.7), (2, 3, 0.7), (3, 0, 0.7)]);
+        let mut grown = RrCollection::new(&g, DiffusionModel::IC, 77);
+        grown.extend_to(&g, 500);
+        let _warm = node_selection(&mut grown, 2);
+        grown.extend_to(&g, 2_000);
+        let after_growth = node_selection(&mut grown, 2);
+        let mut fresh = RrCollection::new(&g, DiffusionModel::IC, 77);
+        fresh.extend_to(&g, 2_000);
+        let oneshot = node_selection(&mut fresh, 2);
+        assert_eq!(after_growth, oneshot);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn coverage_fraction_range_checked() {
-        let coll = collection_from_sets(2, vec![vec![0]]);
-        let r = node_selection(&coll, 1);
+        let mut coll = collection_from_sets(2, vec![vec![0]]);
+        let r = node_selection(&mut coll, 1);
         r.coverage_fraction(2);
     }
 }

@@ -99,7 +99,7 @@ pub fn opim_c(
         rounds += 1;
         r1.extend_to(g, theta);
         r2.extend_to(g, theta);
-        let sel = node_selection(&r1, k);
+        let sel = node_selection(&mut r1, k);
         let cov1 = *sel.covered.last().expect("k ≥ 1") as f64;
         let cov2 = {
             let est = r2.estimate_spread(&sel.seeds);

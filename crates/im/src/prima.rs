@@ -88,9 +88,9 @@ pub fn prima(
                 .as_ref()
                 .expect("budget switch implies a previous selection");
             let prefix = prev.prefix(k as usize);
-            coll.num_nodes() as f64 * fraction_covered(&coll, prefix)
+            coll.num_nodes() as f64 * fraction_covered(&mut coll, prefix)
         } else {
-            let sel = node_selection(&coll, k);
+            let sel = node_selection(&mut coll, k);
             let est = sel.estimated_spread(n, sel.seeds.len().min(k as usize));
             prev_selection = Some(sel);
             est
@@ -125,7 +125,7 @@ pub fn prima(
     // Lines 22–25: regenerate from scratch, final NodeSelection at b.
     coll.reset();
     coll.extend_to(g, theta_required.max(1));
-    let sel = node_selection(&coll, b);
+    let sel = node_selection(&mut coll, b);
     PrimaResult {
         order: sel.seeds,
         coverage: sel.covered,
@@ -136,7 +136,7 @@ pub fn prima(
 }
 
 /// `F_R(S)` for an arbitrary seed set over a collection.
-fn fraction_covered(coll: &RrCollection, seeds: &[NodeId]) -> f64 {
+fn fraction_covered(coll: &mut RrCollection, seeds: &[NodeId]) -> f64 {
     if coll.is_empty() {
         return 0.0;
     }

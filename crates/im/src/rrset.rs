@@ -7,12 +7,36 @@
 //! `σ(S) = n · E[ 𝟙{S ∩ R ≠ ∅} ]` turns influence maximization into
 //! max-coverage over sampled sets.
 //!
-//! Sampling is deterministic given `(seed, set index)` — batches can be
-//! generated in parallel without changing the resulting collection.
+//! ## Storage layout
+//!
+//! [`RrCollection`] keeps every sampled set in one flat **arena**: a
+//! single `Vec<NodeId>` of concatenated members plus an offsets array
+//! (CSR layout), so a collection of millions of sets costs two
+//! allocations instead of one per set, and scanning all sets is a linear
+//! walk. Alongside the arena the collection maintains a persistent
+//! **inverted index** (node → ids of the sets containing it, also CSR)
+//! that is grown *incrementally* as [`RrCollection::extend_with`]
+//! appends sets: greedy selection and spread estimation consume the
+//! index instead of rebuilding it, which matters for the IMM/OPIM-style
+//! doubling loops that re-select on a mostly-unchanged collection every
+//! round.
+//!
+//! ## Determinism
+//!
+//! Sampling is deterministic given `(sampler, set index)` — set `j` is a
+//! pure function of the sampler's seed and `j`, never of the thread
+//! count. Parallel generation writes into per-thread local arenas that
+//! are merged by bulk copy in deterministic chunk order, so collections
+//! are bit-identical for 1, 2 or 64 generation threads (asserted in the
+//! test suite).
+//!
+//! Non-standard reverse processes (the Com-IC baselines' self-influence
+//! and complement-aware samplers) plug into the same arena path through
+//! the [`RrSampler`] trait instead of materializing nested vectors.
 
 use crossbeam::thread;
 use uic_graph::{Graph, NodeId};
-use uic_util::{split_seed, UicRng, VisitTags};
+use uic_util::{parallelism, split_seed, UicRng, VisitTags};
 
 /// Which diffusion model the sampler follows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,31 +48,212 @@ pub enum DiffusionModel {
     LT,
 }
 
-/// Samples one RR set for a uniformly random root.
+/// A reverse sampler that writes RR sets directly into a shared arena.
 ///
-/// `tags` and `out` are caller-provided scratch (reset here); `width`
-/// accumulates the number of in-edges examined — the `w(R)` of the
-/// paper's running-time analysis.
-pub fn sample_rr(
+/// Implementations must make sample `index` a **pure function** of
+/// `(self, index)` — typically by deriving a fresh RNG from
+/// `split_seed(seed, index)` — so that [`RrCollection::extend_with`] can
+/// distribute indices across threads without changing the resulting
+/// collection. Per-thread mutable state (visit tags, queues, cached
+/// possible worlds) lives in the associated `Scratch` type, created once
+/// per worker via [`RrSampler::scratch`].
+pub trait RrSampler: Sync {
+    /// Per-worker scratch state (reset or re-derived per sample as the
+    /// sampler requires).
+    type Scratch: Send;
+
+    /// Builds one worker's scratch for graph `g`.
+    fn scratch(&self, g: &Graph) -> Self::Scratch;
+
+    /// Appends the members of RR sample `index` onto `arena` (an empty
+    /// sample appends nothing) and accumulates the number of in-edges
+    /// examined into `width`. Must not touch `arena` below its length at
+    /// entry.
+    fn sample_into(
+        &self,
+        g: &Graph,
+        index: u64,
+        scratch: &mut Self::Scratch,
+        arena: &mut Vec<NodeId>,
+        width: &mut u64,
+    );
+}
+
+/// The standard IC/LT reverse sampler used by TIM/IMM/OPIM/SSA/PRIMA:
+/// sample `index` draws its root and coins from stream
+/// `split_seed(seed, index)`.
+#[derive(Debug, Clone, Copy)]
+pub struct StandardRrSampler {
+    model: DiffusionModel,
+    seed: u64,
+}
+
+impl StandardRrSampler {
+    /// Sampler for `model` whose sample `index` is a pure function of
+    /// `(seed, index)`.
+    pub fn new(model: DiffusionModel, seed: u64) -> StandardRrSampler {
+        StandardRrSampler { model, seed }
+    }
+}
+
+/// Per-worker scratch of [`StandardRrSampler`]: visit tags plus a
+/// per-node cache of the common in-edge probability (NaN when a node's
+/// in-list is non-uniform) and the precomputed `ln(1 − p)` the
+/// geometric-jump scan divides by.
+pub struct StandardScratch {
+    tags: VisitTags,
+    /// `(p, ln(1 − p))` per node, interleaved so the hot loop pays one
+    /// cache access; `p` is NaN for non-uniform in-lists.
+    uniform: Vec<(f32, f64)>,
+}
+
+/// Failures before the next success of a Bernoulli(`p`) run, sampled as
+/// `⌊ln U / ln(1 − p)⌋` (`lg` = `ln(1 − p)` < 0). Saturates on the
+/// astronomically unlikely `U = 0`.
+#[inline]
+fn geom_jump(rng: &mut UicRng, lg: f64) -> usize {
+    let j = rng.next_f64().ln() / lg;
+    if j >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        j as usize
+    }
+}
+
+impl RrSampler for StandardRrSampler {
+    type Scratch = StandardScratch;
+
+    fn scratch(&self, g: &Graph) -> StandardScratch {
+        let n = g.num_nodes() as usize;
+        let mut uniform = vec![(0.0f32, 0.0f64); n];
+        if self.model == DiffusionModel::IC {
+            for (v, slot) in uniform.iter_mut().enumerate() {
+                let probs = g.in_probs(v as NodeId);
+                let mut p = match probs.first() {
+                    Some(&first) if probs.iter().all(|&x| x == first) => first,
+                    Some(_) => f32::NAN,
+                    None => 0.0,
+                };
+                let mut lg = 0.0f64;
+                if p > 0.0 && p < 1.0 {
+                    lg = (1.0 - p as f64).ln();
+                    if lg == 0.0 {
+                        // p below f64 resolution (1 − p rounds to 1):
+                        // a geometric jump would divide by zero and turn
+                        // every edge live. Per-edge coins handle such
+                        // probabilities exactly.
+                        p = f32::NAN;
+                    }
+                }
+                *slot = (p, lg);
+            }
+        }
+        StandardScratch {
+            tags: VisitTags::new(n),
+            uniform,
+        }
+    }
+
+    fn sample_into(
+        &self,
+        g: &Graph,
+        index: u64,
+        scratch: &mut StandardScratch,
+        arena: &mut Vec<NodeId>,
+        width: &mut u64,
+    ) {
+        let mut rng = UicRng::new(split_seed(self.seed, index));
+        if self.model == DiffusionModel::LT {
+            sample_rr_into(g, self.model, &mut rng, &mut scratch.tags, arena, width);
+            return;
+        }
+        // IC fast path: where a node's in-edges share one probability
+        // (weighted-cascade graphs, and most real datasets), jump
+        // geometrically to the next live edge instead of flipping a coin
+        // per edge — distribution-identical to the per-edge scan of
+        // [`sample_rr`], and it skips both the coin and the visit-tag
+        // lookup for every dead edge.
+        let StandardScratch { tags, uniform } = scratch;
+        tags.reset();
+        let n = g.num_nodes();
+        if n == 0 {
+            return;
+        }
+        let start = arena.len();
+        let root = rng.next_below(n);
+        tags.mark(root as usize);
+        arena.push(root);
+        let mut head = start;
+        while head < arena.len() {
+            let v = arena[head];
+            head += 1;
+            let srcs = g.in_neighbors(v);
+            *width += srcs.len() as u64;
+            if srcs.is_empty() {
+                continue;
+            }
+            let (p, lg) = uniform[v as usize];
+            if p.is_nan() {
+                // Non-uniform in-list: per-edge coins (flipped before the
+                // tag lookup, so dead edges never touch the stamp array).
+                let probs = g.in_probs(v);
+                for (i, &u) in srcs.iter().enumerate() {
+                    if rng.coin(probs[i] as f64) && tags.mark(u as usize) {
+                        arena.push(u);
+                    }
+                }
+            } else if p >= 1.0 {
+                for &u in srcs {
+                    if tags.mark(u as usize) {
+                        arena.push(u);
+                    }
+                }
+            } else if p > 0.0 {
+                let mut i = geom_jump(&mut rng, lg);
+                while i < srcs.len() {
+                    let u = srcs[i];
+                    if tags.mark(u as usize) {
+                        arena.push(u);
+                    }
+                    i = i.saturating_add(1).saturating_add(geom_jump(&mut rng, lg));
+                }
+            }
+        }
+    }
+}
+
+/// Appends one RR set for a uniformly random root onto `arena` — the
+/// straightforward one-coin-per-edge reference sampler.
+///
+/// [`StandardRrSampler`] draws from the same distribution through a
+/// geometric-jump scan on uniform in-lists (consuming the RNG stream
+/// differently), so sets produced here and by a collection need not
+/// coincide coin-for-coin; tests compare the two statistically.
+///
+/// `tags` is caller-provided scratch (reset here); `width` accumulates
+/// the number of in-edges examined — the `w(R)` of the paper's
+/// running-time analysis. The new set occupies `arena[start..]` where
+/// `start` is the arena length at entry.
+pub fn sample_rr_into(
     g: &Graph,
     model: DiffusionModel,
     rng: &mut UicRng,
     tags: &mut VisitTags,
-    out: &mut Vec<NodeId>,
+    arena: &mut Vec<NodeId>,
     width: &mut u64,
 ) {
-    out.clear();
     tags.reset();
     let n = g.num_nodes();
     if n == 0 {
         return;
     }
+    let start = arena.len();
     let root = rng.next_below(n);
     tags.mark(root as usize);
-    out.push(root);
-    let mut head = 0;
-    while head < out.len() {
-        let v = out[head];
+    arena.push(root);
+    let mut head = start;
+    while head < arena.len() {
+        let v = arena[head];
         head += 1;
         let srcs = g.in_neighbors(v);
         let probs = g.in_probs(v);
@@ -58,7 +263,7 @@ pub fn sample_rr(
                 for (i, &u) in srcs.iter().enumerate() {
                     if !tags.is_marked(u as usize) && rng.coin(probs[i] as f64) {
                         tags.mark(u as usize);
-                        out.push(u);
+                        arena.push(u);
                     }
                 }
             }
@@ -72,7 +277,7 @@ pub fn sample_rr(
                     if x < acc {
                         if !tags.is_marked(u as usize) {
                             tags.mark(u as usize);
-                            out.push(u);
+                            arena.push(u);
                         }
                         break;
                     }
@@ -82,74 +287,157 @@ pub fn sample_rr(
     }
 }
 
-/// A growable collection of RR sets with deterministic indexing.
+/// Samples one RR set for a uniformly random root into `out`
+/// (cleared first). Compatibility wrapper around [`sample_rr_into`] for
+/// callers that want a standalone set rather than an arena segment.
+pub fn sample_rr(
+    g: &Graph,
+    model: DiffusionModel,
+    rng: &mut UicRng,
+    tags: &mut VisitTags,
+    out: &mut Vec<NodeId>,
+    width: &mut u64,
+) {
+    out.clear();
+    sample_rr_into(g, model, rng, tags, out, width);
+}
+
+/// Persistent node → set-id inverted index in CSR layout.
+///
+/// `start` has `n + 1` entries once built; `ids[start[v]..start[v+1]]`
+/// lists, in increasing order, the ids of every indexed set containing
+/// node `v`. `sets_indexed` records how many arena sets the index
+/// covers; the gap up to `RrCollection::len()` is merged in lazily by
+/// [`RrCollection::ensure_index`].
+#[derive(Debug, Clone, Default)]
+struct InvertedIndex {
+    start: Vec<usize>,
+    ids: Vec<u32>,
+    sets_indexed: usize,
+}
+
+/// A growable collection of RR sets with deterministic indexing, stored
+/// as a flat arena (see the module docs for the layout).
 #[derive(Debug, Clone)]
 pub struct RrCollection {
     num_nodes: u32,
     model: DiffusionModel,
     seed: u64,
-    sets: Vec<Vec<NodeId>>,
+    /// CSR offsets: set `i` occupies `data[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<usize>,
+    /// Concatenated members of every set.
+    data: Vec<NodeId>,
     total_width: u64,
     /// Cumulative number of sets ever generated through this collection,
     /// *including* sets discarded by [`RrCollection::reset`] — the
     /// "total work" metric behind Fig. 6 / Table 6.
     generated: u64,
+    /// Generation worker-count override (`None` sizes by hardware).
+    threads: Option<usize>,
+    index: InvertedIndex,
+    /// Epoch-stamped set-id marks reused by [`RrCollection::estimate_spread`].
+    cover_marks: VisitTags,
 }
 
+/// Collections compare by contents (graph size, offsets, members); index
+/// state and lifetime counters are intentionally excluded.
+impl PartialEq for RrCollection {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_nodes == other.num_nodes
+            && self.offsets == other.offsets
+            && self.data == other.data
+    }
+}
+
+impl Eq for RrCollection {}
+
 impl RrCollection {
-    /// Empty collection bound to a graph size, model and base seed.
+    /// Empty collection bound to a graph size, model and base seed (the
+    /// standard-sampler configuration used by [`RrCollection::extend_to`]).
     pub fn new(g: &Graph, model: DiffusionModel, seed: u64) -> RrCollection {
+        RrCollection::empty_with(g.num_nodes(), model, seed)
+    }
+
+    /// Empty collection for `num_nodes` nodes, populated through
+    /// [`RrCollection::extend_with`] by a custom [`RrSampler`] (the
+    /// model/seed of the standard sampler are unused on this path).
+    pub fn empty(num_nodes: u32) -> RrCollection {
+        RrCollection::empty_with(num_nodes, DiffusionModel::IC, 0)
+    }
+
+    fn empty_with(num_nodes: u32, model: DiffusionModel, seed: u64) -> RrCollection {
         RrCollection {
-            num_nodes: g.num_nodes(),
+            num_nodes,
             model,
             seed,
-            sets: Vec::new(),
+            offsets: vec![0],
+            data: Vec::new(),
             total_width: 0,
             generated: 0,
+            threads: None,
+            index: InvertedIndex::default(),
+            cover_marks: VisitTags::new(0),
         }
     }
 
-    /// Builds a collection directly from pre-sampled sets.
+    /// Builds a collection directly from pre-sampled nested sets,
+    /// converting them into the arena layout.
     ///
-    /// Used by samplers with non-standard reverse processes — the RR-CIM
-    /// baseline samples *complement-aware* RR sets itself and only needs
-    /// the coverage machinery — and by tests with hand-crafted sets.
-    ///
-    /// Each set is deduplicated (coverage counting assumes a node appears
-    /// at most once per set, which sampled RR sets guarantee by
-    /// construction).
-    pub fn from_raw_sets(num_nodes: u32, mut sets: Vec<Vec<NodeId>>) -> RrCollection {
-        for r in &mut sets {
-            for &v in r.iter() {
+    /// Kept as a compatibility/test constructor: samplers should
+    /// implement [`RrSampler`] and go through
+    /// [`RrCollection::extend_with`] instead, which writes into the
+    /// arena directly. Each set is deduplicated (coverage counting
+    /// assumes a node appears at most once per set, which sampled RR
+    /// sets guarantee by construction).
+    pub fn from_raw_sets(num_nodes: u32, sets: Vec<Vec<NodeId>>) -> RrCollection {
+        let mut coll = RrCollection::empty(num_nodes);
+        for mut r in sets {
+            for &v in &r {
                 assert!(v < num_nodes, "node {v} out of range in raw RR set");
             }
             r.sort_unstable();
             r.dedup();
+            coll.data.extend_from_slice(&r);
+            coll.offsets.push(coll.data.len());
         }
-        let generated = sets.len() as u64;
-        RrCollection {
-            num_nodes,
-            model: DiffusionModel::IC,
-            seed: 0,
-            sets,
-            total_width: 0,
-            generated,
-        }
+        coll.generated = coll.len() as u64;
+        coll
+    }
+
+    /// Pins the generation worker-thread count (normally sized by
+    /// [`uic_util::parallelism`]). Set `j` is a pure function of
+    /// `(sampler, j)`, so this knob only changes how sampling work is
+    /// chunked, never the resulting collection (asserted in tests).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = Some(threads);
+        self
     }
 
     /// Number of sets currently held.
     pub fn len(&self) -> usize {
-        self.sets.len()
+        self.offsets.len() - 1
     }
 
     /// True when no sets are held.
     pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
+        self.len() == 0
     }
 
-    /// All sets.
-    pub fn sets(&self) -> &[Vec<NodeId>] {
-        &self.sets
+    /// Members of set `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[NodeId] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// All sets, in id order, as arena slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        self.offsets.windows(2).map(|w| &self.data[w[0]..w[1]])
+    }
+
+    /// Total number of members across all held sets (the arena length).
+    pub fn total_entries(&self) -> usize {
+        self.data.len()
     }
 
     /// Graph size the sets were sampled from.
@@ -171,45 +459,47 @@ impl RrCollection {
     /// Chen-2018 IMM fix) while retaining the generation counter; the
     /// seed stream continues, so regenerated sets are fresh.
     pub fn reset(&mut self) {
-        self.sets.clear();
+        self.offsets.truncate(1);
+        self.data.clear();
+        self.index = InvertedIndex::default();
     }
 
-    /// Grows the collection to at least `target` sets, sampling in
-    /// parallel. Set `j` (within this growth episode) is a pure function
-    /// of `(seed, generated_so_far + j)`, so results are thread-count
+    /// Grows the collection to at least `target` sets with the standard
+    /// IC/LT sampler bound at construction, sampling in parallel. Set
+    /// `j` (within this growth episode) is a pure function of
+    /// `(seed, generated_so_far + j)`, so results are thread-count
     /// independent.
     pub fn extend_to(&mut self, g: &Graph, target: usize) {
+        let sampler = StandardRrSampler::new(self.model, self.seed);
+        self.extend_with(g, target, &sampler);
+    }
+
+    /// Grows the collection to at least `target` sets using `sampler`,
+    /// writing into per-thread local arenas merged by bulk copy in
+    /// deterministic chunk order (see the module docs).
+    pub fn extend_with<S: RrSampler>(&mut self, g: &Graph, target: usize, sampler: &S) {
         assert_eq!(g.num_nodes(), self.num_nodes, "graph mismatch");
-        if self.sets.len() >= target {
+        if self.len() >= target {
             return;
         }
-        let need = target - self.sets.len();
+        let need = target - self.len();
         let first_index = self.generated;
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-            .min(need.div_ceil(256))
-            .max(1);
+        let threads = self.threads.unwrap_or_else(|| parallelism(need, 256));
+        self.offsets.reserve(need);
         if threads <= 1 {
-            let mut tags = VisitTags::new(self.num_nodes as usize);
-            let mut buf = Vec::new();
+            let mut scratch = sampler.scratch(g);
             for j in 0..need as u64 {
-                let mut rng = UicRng::new(split_seed(self.seed, first_index + j));
-                sample_rr(
+                sampler.sample_into(
                     g,
-                    self.model,
-                    &mut rng,
-                    &mut tags,
-                    &mut buf,
+                    first_index + j,
+                    &mut scratch,
+                    &mut self.data,
                     &mut self.total_width,
                 );
-                self.sets.push(buf.clone());
+                self.offsets.push(self.data.len());
             }
         } else {
             let chunk = need.div_ceil(threads);
-            let model = self.model;
-            let seed = self.seed;
-            let n = self.num_nodes as usize;
             let results = thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for t in 0..threads {
@@ -219,16 +509,21 @@ impl RrCollection {
                         break;
                     }
                     handles.push(scope.spawn(move |_| {
-                        let mut tags = VisitTags::new(n);
-                        let mut buf = Vec::new();
+                        let mut scratch = sampler.scratch(g);
+                        let mut data: Vec<NodeId> = Vec::new();
+                        let mut ends: Vec<usize> = Vec::with_capacity(hi - lo);
                         let mut width = 0u64;
-                        let mut local = Vec::with_capacity(hi - lo);
                         for j in lo..hi {
-                            let mut rng = UicRng::new(split_seed(seed, first_index + j as u64));
-                            sample_rr(g, model, &mut rng, &mut tags, &mut buf, &mut width);
-                            local.push(buf.clone());
+                            sampler.sample_into(
+                                g,
+                                first_index + j as u64,
+                                &mut scratch,
+                                &mut data,
+                                &mut width,
+                            );
+                            ends.push(data.len());
                         }
-                        (local, width)
+                        (data, ends, width)
                     }));
                 }
                 handles
@@ -237,29 +532,104 @@ impl RrCollection {
                     .collect::<Vec<_>>()
             })
             .expect("crossbeam scope failed");
-            for (local, width) in results {
-                self.sets.extend(local);
+            self.data
+                .reserve(results.iter().map(|(d, _, _)| d.len()).sum());
+            for (data, ends, width) in results {
+                let base = self.data.len();
+                self.data.extend_from_slice(&data);
+                self.offsets.extend(ends.iter().map(|&e| base + e));
                 self.total_width += width;
             }
         }
         self.generated += need as u64;
     }
 
+    /// Brings the persistent inverted index up to date with the arena.
+    ///
+    /// Sets appended since the last call are merged in (old per-node id
+    /// runs are block-copied, new ids appended behind them), so over a
+    /// doubling growth schedule the total indexing work is linear in the
+    /// final arena size — and repeated selections or spread estimates on
+    /// an unchanged collection pay nothing.
+    pub(crate) fn ensure_index(&mut self) {
+        let n = self.num_nodes as usize;
+        if self.index.start.len() != n + 1 {
+            self.index.start = vec![0; n + 1];
+        }
+        let len = self.len();
+        if self.index.sets_indexed == len {
+            return;
+        }
+        assert!(len <= u32::MAX as usize, "set ids exceed u32 range");
+        let first_new = self.index.sets_indexed;
+        // Per-node entry counts of the un-indexed suffix.
+        let mut add = vec![0usize; n];
+        for &v in &self.data[self.offsets[first_new]..] {
+            add[v as usize] += 1;
+        }
+        let old_start = std::mem::take(&mut self.index.start);
+        let old_ids = std::mem::take(&mut self.index.ids);
+        let mut start = vec![0usize; n + 1];
+        for v in 0..n {
+            start[v + 1] = start[v] + (old_start[v + 1] - old_start[v]) + add[v];
+        }
+        let mut ids = vec![0u32; start[n]];
+        // Block-copy each node's existing run, leaving its cursor at the
+        // append position for the new ids.
+        let mut cursor = vec![0usize; n];
+        for v in 0..n {
+            let old = &old_ids[old_start[v]..old_start[v + 1]];
+            ids[start[v]..start[v] + old.len()].copy_from_slice(old);
+            cursor[v] = start[v] + old.len();
+        }
+        for rid in first_new..len {
+            for &v in self.get(rid) {
+                ids[cursor[v as usize]] = rid as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        self.index = InvertedIndex {
+            start,
+            ids,
+            sets_indexed: len,
+        };
+    }
+
+    /// Ids (in increasing order) of every indexed set containing `v`.
+    /// Callers must run [`RrCollection::ensure_index`] first.
+    #[inline]
+    pub(crate) fn covering_sets(&self, v: NodeId) -> &[u32] {
+        debug_assert_eq!(self.index.sets_indexed, self.len(), "index is stale");
+        let v = v as usize;
+        &self.index.ids[self.index.start[v]..self.index.start[v + 1]]
+    }
+
     /// Unbiased spread estimate `σ̂(S) = n · (#covered / #sets)`.
-    pub fn estimate_spread(&self, seeds: &[NodeId]) -> f64 {
-        if self.sets.is_empty() {
+    ///
+    /// Walks the inverted-index lists of the seeds and counts distinct
+    /// set ids against an epoch-stamped scratch — `O(Σ_s |R(s)|)` with
+    /// no per-call allocation, instead of scanning the whole collection
+    /// (OPIM/SSA call this in their per-round certificate loops).
+    pub fn estimate_spread(&mut self, seeds: &[NodeId]) -> f64 {
+        let len = self.len();
+        if len == 0 {
             return 0.0;
         }
-        let mut in_seed = vec![false; self.num_nodes as usize];
-        for &s in seeds {
-            in_seed[s as usize] = true;
+        self.ensure_index();
+        if self.cover_marks.len() < len {
+            self.cover_marks = VisitTags::new(len);
         }
-        let covered = self
-            .sets
-            .iter()
-            .filter(|r| r.iter().any(|&v| in_seed[v as usize]))
-            .count();
-        self.num_nodes as f64 * covered as f64 / self.sets.len() as f64
+        self.cover_marks.reset();
+        let mut covered = 0u64;
+        for &s in seeds {
+            let v = s as usize;
+            for i in self.index.start[v]..self.index.start[v + 1] {
+                if self.cover_marks.mark(self.index.ids[i] as usize) {
+                    covered += 1;
+                }
+            }
+        }
+        self.num_nodes as f64 * covered as f64 / len as f64
     }
 }
 
@@ -277,7 +647,7 @@ mod tests {
         let g = path3();
         let mut coll = RrCollection::new(&g, DiffusionModel::IC, 3);
         coll.extend_to(&g, 100);
-        for r in coll.sets() {
+        for r in coll.iter() {
             assert!(!r.is_empty());
             for &v in r {
                 assert!(v < 3);
@@ -293,7 +663,7 @@ mod tests {
         a.extend_to(&g, 120);
         let mut b = RrCollection::new(&g, DiffusionModel::IC, 7);
         b.extend_to(&g, 120);
-        assert_eq!(a.sets(), b.sets(), "same seed ⇒ same collection");
+        assert_eq!(a, b, "same seed ⇒ same collection");
         assert_eq!(a.len(), 120);
         // extend_to with smaller target is a no-op
         a.extend_to(&g, 10);
@@ -301,16 +671,29 @@ mod tests {
     }
 
     #[test]
+    fn generation_is_thread_count_independent() {
+        let g = path3();
+        let mut reference = RrCollection::new(&g, DiffusionModel::IC, 7).with_threads(1);
+        reference.extend_to(&g, 1000);
+        for threads in [2usize, 8] {
+            let mut coll = RrCollection::new(&g, DiffusionModel::IC, 7).with_threads(threads);
+            coll.extend_to(&g, 1000);
+            assert_eq!(coll, reference, "{threads} threads");
+            assert_eq!(coll.total_width(), reference.total_width());
+        }
+    }
+
+    #[test]
     fn reset_keeps_generation_counter_and_freshens_sets() {
         let g = path3();
         let mut coll = RrCollection::new(&g, DiffusionModel::IC, 5);
         coll.extend_to(&g, 60);
-        let before: Vec<Vec<u32>> = coll.sets().to_vec();
+        let before = coll.clone();
         coll.reset();
         assert!(coll.is_empty());
         coll.extend_to(&g, 60);
         assert_eq!(coll.total_generated(), 120);
-        assert_ne!(coll.sets(), &before[..], "regenerated sets must be fresh");
+        assert_ne!(coll, before, "regenerated sets must be fresh");
     }
 
     #[test]
@@ -335,6 +718,22 @@ mod tests {
     }
 
     #[test]
+    fn spread_estimate_stays_correct_across_incremental_growth() {
+        // The persistent index must track extend_to: estimates after each
+        // growth episode equal those of a fresh identically-seeded
+        // collection built in one shot.
+        let g = path3();
+        let mut grown = RrCollection::new(&g, DiffusionModel::IC, 19);
+        for target in [100usize, 1_000, 50_000] {
+            grown.extend_to(&g, target);
+            let grown_est = grown.estimate_spread(&[0, 2]);
+            let mut fresh = RrCollection::new(&g, DiffusionModel::IC, 19);
+            fresh.extend_to(&g, target);
+            assert_eq!(grown_est, fresh.estimate_spread(&[0, 2]), "at {target}");
+        }
+    }
+
+    #[test]
     fn lt_rr_sets_estimate_lt_spread() {
         // LT on star into node 2: in-weights (0.6, 0.4).
         // σ_LT({0}) = 1 + 0.6 = 1.6 (node 1 picks 0 w.p. 0.6).
@@ -352,7 +751,7 @@ mod tests {
         let g = Graph::from_edges(3, &[(0, 1, 0.6), (2, 1, 0.4), (1, 2, 0.5)]);
         let mut coll = RrCollection::new(&g, DiffusionModel::LT, 19);
         coll.extend_to(&g, 1000);
-        for r in coll.sets() {
+        for r in coll.iter() {
             assert!(r.len() <= 3);
         }
     }
@@ -368,7 +767,85 @@ mod tests {
     #[test]
     fn empty_collection_estimates_zero() {
         let g = path3();
-        let coll = RrCollection::new(&g, DiffusionModel::IC, 1);
+        let mut coll = RrCollection::new(&g, DiffusionModel::IC, 1);
         assert_eq!(coll.estimate_spread(&[0]), 0.0);
+    }
+
+    #[test]
+    fn tiny_uniform_probabilities_stay_tiny() {
+        // Regression: uniform p > 0 so small that 1 − p rounds to 1 in
+        // f64 must fall back to per-edge coins, not degenerate into
+        // every-edge-live geometric jumps.
+        let g = Graph::from_edges(3, &[(0, 1, 1e-20), (1, 2, 1e-20), (2, 0, 1e-20)]);
+        let mut coll = RrCollection::new(&g, DiffusionModel::IC, 29);
+        coll.extend_to(&g, 2_000);
+        for r in coll.iter() {
+            assert_eq!(r.len(), 1, "edges at p = 1e-20 must almost never fire");
+        }
+    }
+
+    #[test]
+    fn from_raw_sets_matches_arena_layout() {
+        let coll = RrCollection::from_raw_sets(4, vec![vec![2, 0, 2], vec![], vec![3]]);
+        assert_eq!(coll.len(), 3);
+        assert_eq!(coll.get(0), &[0, 2], "sorted and deduplicated");
+        assert_eq!(coll.get(1), &[] as &[NodeId]);
+        assert_eq!(coll.get(2), &[3]);
+        assert_eq!(coll.total_entries(), 3);
+        assert_eq!(coll.total_generated(), 3);
+    }
+
+    /// A custom sampler exercising the pluggable arena path: sample `j`
+    /// is the singleton `{j mod n}`.
+    struct ModSampler {
+        n: u32,
+    }
+
+    impl RrSampler for ModSampler {
+        type Scratch = ();
+
+        fn scratch(&self, _: &Graph) {}
+
+        fn sample_into(
+            &self,
+            _g: &Graph,
+            index: u64,
+            _scratch: &mut (),
+            arena: &mut Vec<NodeId>,
+            width: &mut u64,
+        ) {
+            arena.push((index % self.n as u64) as NodeId);
+            *width += 1;
+        }
+    }
+
+    #[test]
+    fn custom_samplers_share_the_arena_path() {
+        let g = path3();
+        let mut coll = RrCollection::empty(3);
+        coll.extend_with(&g, 9, &ModSampler { n: 3 });
+        assert_eq!(coll.len(), 9);
+        for (j, r) in coll.iter().enumerate() {
+            assert_eq!(r, &[(j % 3) as NodeId]);
+        }
+        // Every node covers exactly its 3 congruent sets.
+        assert_eq!(coll.estimate_spread(&[1]), 1.0);
+        assert_eq!(coll.estimate_spread(&[0, 1, 2]), 3.0);
+        // The index keeps up with further growth.
+        coll.extend_with(&g, 12, &ModSampler { n: 3 });
+        assert_eq!(coll.estimate_spread(&[0]), 3.0 * 4.0 / 12.0);
+        assert_eq!(coll.total_width(), 12);
+    }
+
+    #[test]
+    fn custom_sampler_generation_is_thread_count_independent() {
+        let g = path3();
+        let mut reference = RrCollection::empty(3).with_threads(1);
+        reference.extend_with(&g, 1000, &ModSampler { n: 3 });
+        for threads in [2usize, 8] {
+            let mut coll = RrCollection::empty(3).with_threads(threads);
+            coll.extend_with(&g, 1000, &ModSampler { n: 3 });
+            assert_eq!(coll, reference, "{threads} threads");
+        }
     }
 }

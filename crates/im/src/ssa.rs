@@ -83,7 +83,7 @@ pub fn ssa(g: &Graph, k: u32, eps: f64, ell: f64, model: DiffusionModel, seed: u
         rounds += 1;
         selection.extend_to(g, target);
         validation.extend_to(g, target);
-        let sel = node_selection(&selection, k);
+        let sel = node_selection(&mut selection, k);
         let est_selection = sel.estimated_spread(n, sel.seeds.len());
         let est_validation = validation.estimate_spread(&sel.seeds);
         let cov_validation = est_validation * validation.len() as f64 / nf;

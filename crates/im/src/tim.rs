@@ -55,8 +55,9 @@ pub fn tim_plus(
         let c_i = ((6.0 * ell * nf.ln() + 6.0 * log2n.ln()) * 2f64.powi(i as i32)).ceil() as usize;
         estimation_coll.extend_to(g, drawn + c_i);
         let mut sum = 0.0f64;
-        for r in &estimation_coll.sets()[drawn..drawn + c_i] {
+        for rid in drawn..drawn + c_i {
             // width(R): in-edges pointing into R.
+            let r = estimation_coll.get(rid);
             let w: usize = r.iter().map(|&v| g.in_degree(v)).sum();
             let kappa = 1.0 - (1.0 - w as f64 / m.max(1.0)).powi(k as i32);
             sum += kappa;
@@ -77,7 +78,7 @@ pub fn tim_plus(
     let theta = (lambda / kpt).ceil() as usize;
     let mut coll = RrCollection::new(g, model, seed);
     coll.extend_to(g, theta.max(1));
-    let sel = node_selection(&coll, k);
+    let sel = node_selection(&mut coll, k);
     let estimated_spread = sel.estimated_spread(n, sel.seeds.len());
     TimResult {
         seeds: sel.seeds,

@@ -1,0 +1,232 @@
+//! Equivalence suite for the flat-arena `RrCollection`: the arena-backed
+//! storage plus persistent inverted index must be **observationally
+//! identical** to the historical nested-`Vec<Vec<NodeId>>` semantics.
+//! The old `node_selection` (per-call index rebuild, lazy CELF heap) and
+//! `estimate_spread` (per-call `vec![false; n]` scan) are ported here
+//! verbatim as references and compared bit-for-bit against the arena
+//! implementations, on both sampled and hand-crafted collections, and
+//! across incremental-growth schedules and generation thread counts.
+
+use proptest::prelude::*;
+use uic_graph::{Graph, GraphBuilder, NodeId, Weighting};
+use uic_im::{node_selection, DiffusionModel, RrCollection};
+
+// ---------------------------------------------------------------------
+// Reference implementations: the pre-arena nested-Vec semantics.
+// ---------------------------------------------------------------------
+
+/// The historical `node_selection`: rebuilds the inverted index from the
+/// nested sets on every call, then runs the identical lazy-heap greedy.
+fn reference_node_selection(
+    num_nodes: u32,
+    sets: &[Vec<NodeId>],
+    k: u32,
+) -> (Vec<NodeId>, Vec<u64>) {
+    let n = num_nodes as usize;
+    let k = (k as usize).min(n);
+    let mut deg = vec![0u32; n + 1];
+    for r in sets {
+        for &v in r {
+            deg[v as usize + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        deg[i + 1] += deg[i];
+    }
+    let total: usize = deg[n] as usize;
+    let mut idx = vec![0u32; total];
+    let mut cursor = deg.clone();
+    for (rid, r) in sets.iter().enumerate() {
+        for &v in r {
+            idx[cursor[v as usize] as usize] = rid as u32;
+            cursor[v as usize] += 1;
+        }
+    }
+    let mut cover_count: Vec<u64> = vec![0; n];
+    for v in 0..n {
+        cover_count[v] = (deg[v + 1] - deg[v]) as u64;
+    }
+    let mut heap: std::collections::BinaryHeap<(u64, NodeId)> =
+        (0..n).map(|v| (cover_count[v], v as NodeId)).collect();
+    let mut set_covered = vec![false; sets.len()];
+    let mut seeds = Vec::with_capacity(k);
+    let mut covered_cum = Vec::with_capacity(k);
+    let mut covered_total = 0u64;
+    let mut chosen = vec![false; n];
+    while seeds.len() < k {
+        let Some((stale, v)) = heap.pop() else { break };
+        let vi = v as usize;
+        if chosen[vi] {
+            continue;
+        }
+        if stale != cover_count[vi] {
+            heap.push((cover_count[vi], v));
+            continue;
+        }
+        chosen[vi] = true;
+        seeds.push(v);
+        covered_total += cover_count[vi];
+        covered_cum.push(covered_total);
+        for &rid in &idx[deg[vi] as usize..deg[vi + 1] as usize] {
+            if set_covered[rid as usize] {
+                continue;
+            }
+            set_covered[rid as usize] = true;
+            for &u in &sets[rid as usize] {
+                cover_count[u as usize] = cover_count[u as usize].saturating_sub(1);
+            }
+        }
+        cover_count[vi] = 0;
+    }
+    (seeds, covered_cum)
+}
+
+/// The historical `estimate_spread`: a fresh seed-membership array and a
+/// full scan over every set, per call.
+fn reference_estimate_spread(num_nodes: u32, sets: &[Vec<NodeId>], seeds: &[NodeId]) -> f64 {
+    if sets.is_empty() {
+        return 0.0;
+    }
+    let mut in_seed = vec![false; num_nodes as usize];
+    for &s in seeds {
+        in_seed[s as usize] = true;
+    }
+    let covered = sets
+        .iter()
+        .filter(|r| r.iter().any(|&v| in_seed[v as usize]))
+        .count();
+    num_nodes as f64 * covered as f64 / sets.len() as f64
+}
+
+/// Materializes a collection's arena back into nested sets.
+fn to_nested(coll: &RrCollection) -> Vec<Vec<NodeId>> {
+    coll.iter().map(<[NodeId]>::to_vec).collect()
+}
+
+fn small_graph(n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0..n, 0..n, 0.0f32..=1.0), 0..max_edges).prop_map(move |edges| {
+        let mut b = GraphBuilder::new(n).dedup(true);
+        for (u, v, p) in edges {
+            if u != v {
+                b.add_edge(u, v, p);
+            }
+        }
+        b.build(Weighting::AsGiven, 0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sampled collections (IC): greedy seed sequence, cumulative
+    /// coverage, and spread estimates all match the nested-Vec reference
+    /// bit-for-bit.
+    #[test]
+    fn sampled_collection_matches_reference(
+        g in small_graph(12, 50),
+        seed in 0u64..1000,
+        k in 1u32..6,
+    ) {
+        let mut coll = RrCollection::new(&g, DiffusionModel::IC, seed);
+        coll.extend_to(&g, 400);
+        let nested = to_nested(&coll);
+        let sel = node_selection(&mut coll, k);
+        let (ref_seeds, ref_cov) = reference_node_selection(12, &nested, k);
+        prop_assert_eq!(&sel.seeds, &ref_seeds);
+        prop_assert_eq!(&sel.covered, &ref_cov);
+        let est = coll.estimate_spread(&sel.seeds);
+        let ref_est = reference_estimate_spread(12, &nested, &sel.seeds);
+        prop_assert_eq!(est, ref_est);
+    }
+
+    /// Same equivalence under the LT sampler.
+    #[test]
+    fn lt_collection_matches_reference(
+        g in small_graph(10, 40),
+        seed in 0u64..1000,
+    ) {
+        let mut coll = RrCollection::new(&g, DiffusionModel::LT, seed);
+        coll.extend_to(&g, 300);
+        let nested = to_nested(&coll);
+        let sel = node_selection(&mut coll, 3);
+        let (ref_seeds, ref_cov) = reference_node_selection(10, &nested, 3);
+        prop_assert_eq!(&sel.seeds, &ref_seeds);
+        prop_assert_eq!(&sel.covered, &ref_cov);
+    }
+
+    /// Hand-crafted collections through `from_raw_sets` behave like the
+    /// reference over the same (sorted, deduplicated) sets.
+    #[test]
+    fn raw_sets_match_reference(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..9, 0..5), 0..30),
+        k in 1u32..5,
+        probe in proptest::collection::vec(0u32..9, 0..4),
+    ) {
+        // from_raw_sets sorts and dedups each set; mirror that.
+        let canonical: Vec<Vec<NodeId>> = sets
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        let mut coll = RrCollection::from_raw_sets(9, sets);
+        let sel = node_selection(&mut coll, k);
+        let (ref_seeds, ref_cov) = reference_node_selection(9, &canonical, k);
+        prop_assert_eq!(&sel.seeds, &ref_seeds);
+        prop_assert_eq!(&sel.covered, &ref_cov);
+        let est = coll.estimate_spread(&probe);
+        let ref_est = reference_estimate_spread(9, &canonical, &probe);
+        prop_assert_eq!(est, ref_est);
+    }
+
+    /// The persistent index is invisible across growth schedules:
+    /// selecting after several incremental extensions equals the
+    /// reference on the final nested sets, and equals a one-shot build.
+    #[test]
+    fn incremental_growth_is_invisible(
+        g in small_graph(10, 40),
+        seed in 0u64..1000,
+    ) {
+        let mut grown = RrCollection::new(&g, DiffusionModel::IC, seed);
+        for target in [50usize, 130, 400] {
+            grown.extend_to(&g, target);
+            // Interleave estimates so the index is merged mid-schedule.
+            let _ = grown.estimate_spread(&[0, 3]);
+        }
+        let mut oneshot = RrCollection::new(&g, DiffusionModel::IC, seed);
+        oneshot.extend_to(&g, 400);
+        prop_assert_eq!(&grown, &oneshot);
+        let nested = to_nested(&oneshot);
+        let sel_grown = node_selection(&mut grown, 4);
+        let (ref_seeds, ref_cov) = reference_node_selection(10, &nested, 4);
+        prop_assert_eq!(&sel_grown.seeds, &ref_seeds);
+        prop_assert_eq!(&sel_grown.covered, &ref_cov);
+        prop_assert_eq!(
+            grown.estimate_spread(&ref_seeds),
+            reference_estimate_spread(10, &nested, &ref_seeds)
+        );
+    }
+
+    /// Generation is bit-identical for 1, 2 and 8 worker threads, for
+    /// both diffusion models.
+    #[test]
+    fn generation_threads_do_not_change_the_collection(
+        g in small_graph(10, 40),
+        seed in 0u64..1000,
+    ) {
+        for model in [DiffusionModel::IC, DiffusionModel::LT] {
+            let mut reference = RrCollection::new(&g, model, seed).with_threads(1);
+            reference.extend_to(&g, 700);
+            for threads in [2usize, 8] {
+                let mut coll = RrCollection::new(&g, model, seed).with_threads(threads);
+                coll.extend_to(&g, 700);
+                prop_assert_eq!(&coll, &reference, "{} threads", threads);
+                prop_assert_eq!(coll.total_width(), reference.total_width());
+            }
+        }
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`epoch`] — epoch-stamped dense maps ([`EpochMap`], [`EdgeStatusCache`])
 //!   generalizing the visit-tag trick to arbitrary per-slot values; the
 //!   zero-allocation-per-cascade state substrate of the diffusion engine.
+//! * [`parallel`] — the shared worker-count heuristic
+//!   ([`parallelism`]) used by every fork-join loop (RR-set generation,
+//!   welfare estimation) so sizing policy lives in exactly one place.
 //! * [`rng`] — deterministic, splittable random number generation
 //!   (SplitMix64 seeding + xoshiro256++ streams) so that every experiment in
 //!   the reproduction is replayable from a single `u64` seed, independent of
@@ -25,6 +28,7 @@
 pub mod bitset;
 pub mod epoch;
 pub mod fxhash;
+pub mod parallel;
 pub mod rng;
 pub mod special;
 pub mod stats;
@@ -33,6 +37,7 @@ pub mod table;
 pub use bitset::{BitSet, VisitTags};
 pub use epoch::{EdgeStatusCache, EpochMap};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use parallel::parallelism;
 pub use rng::{split_seed, UicRng};
 pub use special::{ln_gamma, log_choose, normal_cdf, normal_quantile};
 pub use stats::{mean, OnlineStats};

@@ -1,0 +1,60 @@
+//! Worker-count sizing shared by every fork-join loop in the workspace.
+//!
+//! Both the RR-set generator and the welfare estimator need the same
+//! decision: how many scoped threads are worth spawning for `work_items`
+//! independent tasks? Spawning is only profitable when each worker gets a
+//! minimum useful chunk (the `grain`), so the answer is
+//! `min(hardware, ⌈work_items / grain⌉)`, never less than one.
+
+/// Number of worker threads for `work_items` independent tasks of
+/// roughly uniform cost, given the minimum useful chunk `grain` (items
+/// per worker below which spawn overhead dominates).
+///
+/// Returns at least 1 and never exceeds the hardware parallelism, so the
+/// result can be fed straight into a scoped-thread spawn loop. A `grain`
+/// of 0 is treated as 1.
+///
+/// ```
+/// // One item can never use two workers…
+/// assert_eq!(uic_util::parallelism(1, 256), 1);
+/// // …and a zero-item loop still gets a (degenerate) single worker.
+/// assert_eq!(uic_util::parallelism(0, 64), 1);
+/// ```
+pub fn parallelism(work_items: usize, grain: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(work_items.div_ceil(grain.max(1)))
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_workloads_stay_sequential() {
+        assert_eq!(parallelism(0, 256), 1);
+        assert_eq!(parallelism(1, 256), 1);
+        assert_eq!(parallelism(256, 256), 1);
+    }
+
+    #[test]
+    fn worker_count_is_bounded_by_work_and_hardware() {
+        let hw = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        // Enough work for every core: capped by hardware only.
+        assert_eq!(parallelism(hw * 1000, 1), hw);
+        // Work for exactly three grains: at most three workers.
+        assert_eq!(parallelism(300, 100), hw.min(3));
+    }
+
+    #[test]
+    fn zero_grain_is_treated_as_one() {
+        let hw = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        assert_eq!(parallelism(4, 0), hw.min(4));
+    }
+}

@@ -220,7 +220,7 @@ fn rr_sets_on_edgeless_graph_are_singletons() {
     let g = Graph::from_edges(4, &[]);
     let mut coll = uic::im::RrCollection::new(&g, DiffusionModel::IC, 1);
     coll.extend_to(&g, 100);
-    for r in coll.sets() {
+    for r in coll.iter() {
         assert_eq!(r.len(), 1, "no edges ⇒ RR set is its root only");
     }
 }

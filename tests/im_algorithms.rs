@@ -30,7 +30,7 @@ fn prima_prefixes_certify_every_budget_in_the_vector() {
     let g = network(600, 5);
     let budgets = [40u32, 20, 8];
     let p = prima(&g, &budgets, 0.5, 1.0, DiffusionModel::IC, 11);
-    let j = judge(&g, 30_000);
+    let mut j = judge(&g, 30_000);
     for &k in &budgets {
         let prefix_spread = j.estimate_spread(p.seeds_for_budget(k));
         let dedicated = imm(&g, k, 0.5, 1.0, DiffusionModel::IC, 13).seeds;
@@ -48,7 +48,7 @@ fn skim_ordering_is_one_object_serving_all_budgets() {
     // dedicated IMM runs — the §2.1 claim that motivated PRIMA.
     let g = network(600, 7);
     let s = skim(&g, 40, &SkimOptions::default(), 3);
-    let j = judge(&g, 30_000);
+    let mut j = judge(&g, 30_000);
     for &k in &[8usize, 20, 40] {
         let skim_spread = j.estimate_spread(s.prefix(k));
         let dedicated = imm(&g, k as u32, 0.5, 1.0, DiffusionModel::IC, 17).seeds;
@@ -96,7 +96,7 @@ fn ssa_and_opim_match_imm_quality_on_a_real_shaped_network() {
     // tighter setting.
     let g = network(600, 13);
     let k = 15u32;
-    let j = judge(&g, 30_000);
+    let mut j = judge(&g, 30_000);
     let imm_spread = j.estimate_spread(&imm(&g, k, 0.3, 1.0, DiffusionModel::IC, 3).seeds);
     let ssa_r = ssa(&g, k, 0.3, 1.0, DiffusionModel::IC, 3);
     let opim_r = opim_c(&g, k, 0.3, 1.0, DiffusionModel::IC, 3);
@@ -116,7 +116,7 @@ fn ssa_and_opim_match_imm_quality_on_a_real_shaped_network() {
 fn opim_certificate_is_consistent_with_the_judge() {
     let g = network(600, 17);
     let r = opim_c(&g, 15, 0.4, 1.0, DiffusionModel::IC, 5);
-    let j = judge(&g, 60_000);
+    let mut j = judge(&g, 60_000);
     let spread = j.estimate_spread(&r.seeds);
     // The certified lower bound must not exceed the judged spread by
     // more than sampling noise, and the upper bound must dominate it.
@@ -139,7 +139,7 @@ fn heuristics_trail_but_are_not_absurd_on_hub_heavy_graphs() {
     // costing no sampling at all.
     let g = network(600, 19);
     let k = 15u32;
-    let j = judge(&g, 30_000);
+    let mut j = judge(&g, 30_000);
     let imm_spread = j.estimate_spread(&imm(&g, k, 0.5, 1.0, DiffusionModel::IC, 7).seeds);
     let model = UtilityModel::new(
         std::sync::Arc::new(AdditiveValuation::new(vec![1.0])),

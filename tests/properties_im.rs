@@ -90,9 +90,9 @@ proptest! {
             proptest::collection::vec(0u32..8, 1..4), 1..20),
         k in 1u32..4,
     ) {
-        let coll = uic::im::RrCollection::from_raw_sets(8, sets);
-        let small = uic::im::node_selection(&coll, k);
-        let large = uic::im::node_selection(&coll, k + 3);
+        let mut coll = uic::im::RrCollection::from_raw_sets(8, sets);
+        let small = uic::im::node_selection(&mut coll, k);
+        let large = uic::im::node_selection(&mut coll, k + 3);
         prop_assert_eq!(&small.seeds[..], &large.seeds[..small.seeds.len()]);
         // Cumulative coverage is non-decreasing and bounded by |sets|.
         for w in large.covered.windows(2) {
