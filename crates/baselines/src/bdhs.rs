@@ -44,7 +44,7 @@ pub fn bdhs_step_welfare(g: &Graph, model: &UtilityModel, worlds: u32, seed: u64
         let mut rng = UicRng::new(split_seed(seed, w as u64));
         for v in 0..n {
             let mut live = false;
-            for &p in g.in_probs(v) {
+            for p in g.in_arc_probs(v).iter() {
                 // Sample each in-edge until one comes up live.
                 if rng.coin(p as f64) {
                     live = true;
@@ -71,7 +71,7 @@ pub fn bdhs_step_welfare_exact(g: &Graph, model: &UtilityModel) -> f64 {
     }
     let mut total = 0.0f64;
     for v in 0..g.num_nodes() {
-        let none_live: f64 = g.in_probs(v).iter().map(|&p| 1.0 - p as f64).product();
+        let none_live: f64 = g.in_arc_probs(v).iter().map(|p| 1.0 - p as f64).product();
         total += 1.0 - none_live;
     }
     total * u_star

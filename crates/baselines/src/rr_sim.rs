@@ -87,10 +87,10 @@ fn sample_self_rr_into(
         let w = expand[head];
         head += 1;
         let srcs = g.in_neighbors(w);
-        let probs = g.in_probs(w);
+        let probs = g.in_arc_probs(w);
         *width += srcs.len() as u64;
         for (i, &u) in srcs.iter().enumerate() {
-            if tags.is_marked(u as usize) || !rng.coin(probs[i] as f64) {
+            if tags.is_marked(u as usize) || !rng.coin(probs.get(i) as f64) {
                 continue;
             }
             tags.mark(u as usize);
@@ -255,10 +255,10 @@ fn forward_item1(
         let u = scratch.queue[head];
         head += 1;
         let nbrs = g.out_neighbors(u);
-        let probs = g.out_probs(u);
+        let probs = g.out_arc_probs(u);
         let first_eid = g.out_edge_id(u, 0);
         for (i, &v) in nbrs.iter().enumerate() {
-            let live = scratch.edge_live(first_eid + i, probs[i] as f64);
+            let live = scratch.edge_live(first_eid + i, probs.get(i) as f64);
             if !live || scratch.adopters.is_marked(v as usize) {
                 continue;
             }
@@ -360,14 +360,16 @@ impl RrSampler for CimSampler<'_> {
             let w = scratch.expand[head];
             head += 1;
             let srcs = g.in_neighbors(w);
-            let probs = g.in_probs(w);
+            let probs = g.in_arc_probs(w);
             let eids = g.in_edge_ids(w);
             *width += srcs.len() as u64;
             for (i, &u) in srcs.iter().enumerate() {
                 if scratch.tags.is_marked(u as usize) {
                     continue;
                 }
-                let live = scratch.world.edge_live(eids[i] as usize, probs[i] as f64);
+                let live = scratch
+                    .world
+                    .edge_live(eids[i] as usize, probs.get(i) as f64);
                 if !live {
                     continue;
                 }

@@ -10,6 +10,7 @@ use uic_bench::bench_opts;
 use uic_core::bundle_grd;
 use uic_datasets::{named_network, real_param_model, NamedNetwork};
 use uic_diffusion::WelfareEstimator;
+use uic_graph::Weighting;
 use uic_im::DiffusionModel;
 
 fn bench(c: &mut Criterion) {
@@ -21,7 +22,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("bdhs_step_exact", |b| {
         b.iter(|| bdhs_step_welfare_exact(&g, &model))
     });
-    let g_uniform = g.reweighted(|_, _, _| 0.01);
+    let g_uniform = g.reweighted_as(Weighting::Constant(0.01), 0);
     group.bench_function("bdhs_concave", |b| {
         b.iter(|| bdhs_concave_welfare(&g_uniform, &model, 0.01))
     });

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use uic_bench::bench_opts;
 use uic_core::bundle_grd;
 use uic_datasets::{named_network, NamedNetwork};
-use uic_graph::bfs_prefix_subgraph;
+use uic_graph::{bfs_prefix_subgraph, Weighting};
 use uic_im::DiffusionModel;
 
 fn bench(c: &mut Criterion) {
@@ -20,11 +20,11 @@ fn bench(c: &mut Criterion) {
         let (sub, _) = bfs_prefix_subgraph(&full, 0, pct as f64 / 100.0);
         let n = sub.num_nodes();
         let budgets = vec![10u32.min(n / 4).max(1); 5];
-        let wc = sub.reweighted(|_, v, _| 1.0 / sub.in_degree(v).max(1) as f32);
+        let wc = sub.reweighted_as(Weighting::WeightedCascade, 0);
         group.bench_function(format!("wc_1_din/{pct}pct"), |b| {
             b.iter(|| bundle_grd(&wc, &budgets, opts.eps, opts.ell, DiffusionModel::IC, 42))
         });
-        let cp = sub.reweighted(|_, _, _| 0.01);
+        let cp = sub.reweighted_as(Weighting::Constant(0.01), 0);
         group.bench_function(format!("const_0.01/{pct}pct"), |b| {
             b.iter(|| bundle_grd(&cp, &budgets, opts.eps, opts.ell, DiffusionModel::IC, 42))
         });

@@ -1,0 +1,78 @@
+//! Graph storage bench: build-vs-snapshot-load at stand-in scale.
+//!
+//! The ROADMAP's million-user target needs cheap repeated access to
+//! large weighted graphs; regeneration is the baseline every process
+//! used to pay. Three phases per size:
+//!
+//! * `build` — regenerate the PA stand-in from scratch (the old cost);
+//! * `save`  — write the versioned binary snapshot;
+//! * `load`  — read it back (the cost a warm [`uic_datasets::SnapshotCache`]
+//!   pays instead of `build`).
+//!
+//! The 1M-node points are the headline numbers recorded in
+//! `BENCH_graph.json`: a directed PA graph at ~10M arcs and the Orkut
+//! stand-in scaled to exactly 1M nodes (~30M arcs) — the named network
+//! an experiment process actually regenerates. The 100k point keeps the
+//! bench usable on small machines. Weighted-cascade graphs store no
+//! per-edge weights, so the snapshot carries 5 non-empty sections
+//! (~14.5 bytes/edge at PA density) and the load is one exact-size file
+//! read plus a fused checksum/decode/validate pass.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use uic_datasets::{generators::preferential_attachment, named_network, NamedNetwork, PaOptions};
+use uic_graph::{load_snapshot, save_snapshot, Graph};
+
+fn pa_graph(n: u32, edges_per_node: u32) -> Graph {
+    preferential_attachment(
+        PaOptions {
+            n,
+            edges_per_node,
+            uniform_mix: 0.15,
+            undirected: false,
+            reciprocity: 0.05,
+        },
+        42,
+    )
+}
+
+type BuildFn = Box<dyn Fn() -> Graph>;
+
+fn bench(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("uic-graph-io-bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // (label, builder, samples): two synthetic PA densities plus the
+    // Orkut stand-in scaled to exactly 1M nodes — the named network an
+    // experiment process would actually regenerate (or cache-load).
+    let configs: [(&str, BuildFn, usize); 3] = [
+        ("100k", Box::new(|| pa_graph(100_000, 10)), 3),
+        ("1M", Box::new(|| pa_graph(1_000_000, 10)), 2),
+        (
+            "orkut-1M",
+            Box::new(|| named_network(NamedNetwork::Orkut, 10.0, 42)),
+            1,
+        ),
+    ];
+    for (label, build, samples) in configs {
+        let path = dir.join(format!("bench-{label}.uicg"));
+        let mut group = c.benchmark_group(format!("graph_io/{label}"));
+        group.sample_size(samples);
+        group.bench_function("build", |b| b.iter(&build));
+        let g = build();
+        group.bench_function("save", |b| b.iter(|| save_snapshot(&g, &path).unwrap()));
+        save_snapshot(&g, &path).unwrap();
+        group.bench_function("load", |b| {
+            b.iter_batched(
+                || (),
+                |_| load_snapshot(&path).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        // Guard: the loaded graph is the built graph, exactly.
+        assert_eq!(load_snapshot(&path).unwrap(), g, "{label}: load != build");
+        std::fs::remove_file(&path).ok();
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -597,9 +597,9 @@ impl Allocator for Bdhs {
                 .iter()
                 .map(|&v| {
                     1.0 - g
-                        .in_probs(v)
+                        .in_arc_probs(v)
                         .iter()
-                        .map(|&p| 1.0 - p as f64)
+                        .map(|p| 1.0 - p as f64)
                         .product::<f64>()
                 })
                 .collect();

@@ -251,7 +251,7 @@ mod tests {
         let g = erdos_renyi(50, 200, 9);
         for v in 0..50u32 {
             let din = g.in_degree(v);
-            for &p in g.in_probs(v) {
+            for p in g.in_arc_probs(v).iter() {
                 assert!((p - 1.0 / din as f32).abs() < 1e-6);
             }
         }

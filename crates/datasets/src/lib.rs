@@ -4,6 +4,10 @@
 //!
 //! * [`generators`] — synthetic network generators (directed/undirected
 //!   preferential attachment, Erdős–Rényi, Watts–Strogatz).
+//! * [`cache`] — the [`SnapshotCache`]: generated networks keyed by a
+//!   hash of (generator spec, scale, seed, weighting), stored in the
+//!   `uic_graph::snapshot` binary format so repeated runs load in
+//!   milliseconds instead of regenerating.
 //! * [`networks`] — the five named stand-ins for the paper's Table 2
 //!   datasets (Flixster, Douban-Book, Douban-Movie, Twitter, Orkut) at
 //!   laptop scale, with the substitution rationale in DESIGN.md. Each is
@@ -24,14 +28,16 @@
 //!   (the substitution for the paper's eBay mining pipeline).
 
 pub mod auction;
+pub mod cache;
 pub mod configs;
 pub mod generators;
 pub mod networks;
 pub mod real_params;
 pub mod spec;
 
+pub use cache::{CacheKey, SnapshotCache, CACHE_ENV_VAR};
 pub use configs::{budget_splits, Config, TwoItemConfig};
 pub use generators::{erdos_renyi, preferential_attachment, watts_strogatz, PaOptions};
-pub use networks::{named_network, network_stats_table, NamedNetwork};
+pub use networks::{named_network, network_degree_table, network_stats_table, NamedNetwork};
 pub use real_params::{real_param_model, real_params_table, REAL_ITEM_NAMES};
 pub use spec::{SolverSpec, SpecError, SpecMap};

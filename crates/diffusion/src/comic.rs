@@ -138,12 +138,12 @@ impl<'a> ComicSimulator<'a> {
             for fi in 0..self.frontier.len() {
                 let (u, item) = self.frontier[fi];
                 let nbrs = g.out_neighbors(u);
-                let probs = g.out_probs(u);
+                let probs = g.out_arc_probs(u);
                 let first_eid = g.out_edge_id(u, 0);
                 for (i, &v) in nbrs.iter().enumerate() {
                     let live = self
                         .coins
-                        .get_or_flip(first_eid + i, || rng.coin(probs[i] as f64));
+                        .get_or_flip(first_eid + i, || rng.coin(probs.get(i) as f64));
                     if live {
                         Self::inform(
                             self.gap,

@@ -197,10 +197,10 @@ impl CascadeState {
                 let a_u = self.node.get_or_default(u as usize).adopted;
                 debug_assert!(!a_u.is_empty(), "frontier node {u} adopted nothing");
                 let nbrs = g.out_neighbors(u);
-                let probs = g.out_probs(u);
+                let probs = g.out_arc_probs(u);
                 let first_eid = g.out_edge_id(u, 0);
                 for (i, &v) in nbrs.iter().enumerate() {
-                    if !edges.is_live(first_eid + i, probs[i]) {
+                    if !edges.is_live(first_eid + i, probs.get(i)) {
                         continue;
                     }
                     let (st, fresh) = self.node.slot(v as usize);
@@ -326,13 +326,13 @@ pub mod reference {
                     let u = self.frontier[fi];
                     let a_u = state.get(&u).map(|&(_, a)| a).unwrap_or(ItemSet::EMPTY);
                     let nbrs = g.out_neighbors(u);
-                    let probs = g.out_probs(u);
+                    let probs = g.out_arc_probs(u);
                     for (i, &v) in nbrs.iter().enumerate() {
                         let id = g.out_edge_id(u, i);
                         let live = match edge_cache.get(&id) {
                             Some(&status) => status,
                             None => {
-                                let status = rng.coin(probs[i] as f64);
+                                let status = rng.coin(probs.get(i) as f64);
                                 edge_cache.insert(id, status);
                                 status
                             }

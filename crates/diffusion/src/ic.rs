@@ -27,9 +27,9 @@ pub fn simulate_ic(g: &Graph, seeds: &[NodeId], rng: &mut UicRng) -> usize {
         let u = queue[head];
         head += 1;
         let nbrs = g.out_neighbors(u);
-        let probs = g.out_probs(u);
+        let probs = g.out_arc_probs(u);
         for (i, &v) in nbrs.iter().enumerate() {
-            if !tags.is_marked(v as usize) && rng.coin(probs[i] as f64) {
+            if !tags.is_marked(v as usize) && rng.coin(probs.get(i) as f64) {
                 tags.mark(v as usize);
                 queue.push(v);
             }

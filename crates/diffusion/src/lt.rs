@@ -33,7 +33,7 @@ pub fn simulate_lt(g: &Graph, seeds: &[NodeId], rng: &mut UicRng) -> usize {
         let u = queue[head];
         head += 1;
         let nbrs = g.out_neighbors(u);
-        let probs = g.out_probs(u);
+        let probs = g.out_arc_probs(u);
         for (i, &v) in nbrs.iter().enumerate() {
             let vi = v as usize;
             if active.is_marked(vi) {
@@ -42,7 +42,7 @@ pub fn simulate_lt(g: &Graph, seeds: &[NodeId], rng: &mut UicRng) -> usize {
             if drawn.mark(vi) {
                 thresholds[vi] = rng.next_f64();
             }
-            influence[vi] += probs[i] as f64;
+            influence[vi] += probs.get(i) as f64;
             debug_assert!(
                 influence[vi] <= 1.0 + 1e-6,
                 "LT weights into node {v} exceed 1"
@@ -69,11 +69,11 @@ pub fn sample_lt_triggering(g: &Graph, rng: &mut UicRng) -> Vec<Option<NodeId>> 
         if srcs.is_empty() {
             continue;
         }
-        let probs = g.in_probs(v);
+        let probs = g.in_arc_probs(v);
         let x = rng.next_f64();
         let mut acc = 0.0f64;
         for (i, &u) in srcs.iter().enumerate() {
-            acc += probs[i] as f64;
+            acc += probs.get(i) as f64;
             if x < acc {
                 chosen[v as usize] = Some(u);
                 break;

@@ -181,13 +181,13 @@ impl PersonalizedSimulator {
                 let u = self.frontier[fi];
                 let a_u = self.state.get_or_default(u as usize).adopted;
                 let nbrs = g.out_neighbors(u);
-                let probs = g.out_probs(u);
+                let probs = g.out_arc_probs(u);
                 let first_eid = g.out_edge_id(u, 0);
                 for (i, &v) in nbrs.iter().enumerate() {
                     let rng_ref = &mut *rng;
                     let live = self
                         .coins
-                        .get_or_flip(first_eid + i, || rng_ref.coin(probs[i] as f64));
+                        .get_or_flip(first_eid + i, || rng_ref.coin(probs.get(i) as f64));
                     if !live {
                         continue;
                     }

@@ -40,7 +40,7 @@ pub struct IcTriggering;
 impl TriggeringSampler for IcTriggering {
     fn sample(&self, g: &Graph, v: NodeId, rng: &mut UicRng, out: &mut Vec<usize>) {
         out.clear();
-        for (i, &p) in g.in_probs(v).iter().enumerate() {
+        for (i, p) in g.in_arc_probs(v).iter().enumerate() {
             if rng.coin(p as f64) {
                 out.push(i);
             }
@@ -58,7 +58,7 @@ impl TriggeringSampler for LtTriggering {
         out.clear();
         let x = rng.next_f64();
         let mut acc = 0.0f64;
-        for (i, &p) in g.in_probs(v).iter().enumerate() {
+        for (i, p) in g.in_arc_probs(v).iter().enumerate() {
             acc += p as f64;
             if x < acc {
                 out.push(i);

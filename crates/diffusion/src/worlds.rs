@@ -21,8 +21,8 @@ impl LiveEdgeWorld {
     pub fn sample(g: &Graph, rng: &mut UicRng) -> LiveEdgeWorld {
         let mut live = BitSet::new(g.num_edges());
         for u in 0..g.num_nodes() {
-            let probs = g.out_probs(u);
-            for (i, &p) in probs.iter().enumerate() {
+            let probs = g.out_arc_probs(u);
+            for (i, p) in probs.iter().enumerate() {
                 if rng.coin(p as f64) {
                     live.insert(g.out_edge_id(u, i));
                 }
@@ -95,7 +95,7 @@ pub fn enumerate_edge_worlds(g: &Graph) -> Vec<(LiveEdgeWorld, f64)> {
     let edge_probs: Vec<f64> = {
         let mut ps = vec![0.0f64; m];
         for u in 0..g.num_nodes() {
-            for (i, &p) in g.out_probs(u).iter().enumerate() {
+            for (i, p) in g.out_arc_probs(u).iter().enumerate() {
                 ps[g.out_edge_id(u, i)] = p as f64;
             }
         }

@@ -24,10 +24,10 @@
 // registry facade.
 #![allow(deprecated)]
 
-use crate::common::{fmt, score_welfare, ExpOptions};
+use crate::common::{fmt, network, score_welfare, ExpOptions};
 use std::sync::Arc;
 use uic_core::bundle_grd;
-use uic_datasets::{named_network, NamedNetwork, TwoItemConfig};
+use uic_datasets::{NamedNetwork, TwoItemConfig};
 use uic_diffusion::{personalized_welfare_mc, Allocation, WelfareEstimator};
 use uic_im::{imm, opim_c, prima, skim, ssa, tim_plus, DiffusionModel, RrCollection, SkimOptions};
 use uic_items::{CoverageValuation, NoiseModel, Price, UtilityModel};
@@ -35,7 +35,7 @@ use uic_util::Table;
 
 /// bundleGRD under IC vs LT on the Flixster stand-in (Config 1 model).
 pub fn ablation_triggering_model(opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::Flixster, opts.scale, opts.seed);
+    let g = network(NamedNetwork::Flixster, opts);
     let n = g.num_nodes();
     let cfg = TwoItemConfig::new(1);
     let model = cfg.model();
@@ -83,7 +83,7 @@ pub fn ablation_triggering_model(opts: &ExpOptions) -> Table {
 
 /// Additive vs volume-discounted prices: discounts only help welfare.
 pub fn ablation_submodular_prices(opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::Flixster, opts.scale, opts.seed);
+    let g = network(NamedNetwork::Flixster, opts);
     let n = g.num_nodes();
     let cfg = TwoItemConfig::new(3);
     let base = cfg.model();
@@ -126,7 +126,7 @@ pub fn ablation_submodular_prices(opts: &ExpOptions) -> Table {
 
 /// Population vs personalized noise on the same allocation.
 pub fn ablation_personalized_noise(opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::Flixster, opts.scale, opts.seed);
+    let g = network(NamedNetwork::Flixster, opts);
     let n = g.num_nodes();
     let cfg = TwoItemConfig::new(1);
     let model = cfg.model();
@@ -154,7 +154,7 @@ pub fn ablation_personalized_noise(opts: &ExpOptions) -> Table {
 /// Competition (perfect substitutes): bundling loses its advantage and
 /// disjoint seeding wins — the mirror image of the complementary story.
 pub fn ablation_competition(opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::Flixster, opts.scale, opts.seed);
+    let g = network(NamedNetwork::Flixster, opts);
     let n = g.num_nodes();
     // Two perfect substitutes worth 3 each, price 1, no noise: a user
     // gains from at most one item.
@@ -194,7 +194,7 @@ pub fn ablation_competition(opts: &ExpOptions) -> Table {
 
 /// PRIMA once vs IMM per budget: cost and prefix quality.
 pub fn ablation_prima_vs_imm(opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::DoubanBook, opts.scale, opts.seed);
+    let g = network(NamedNetwork::DoubanBook, opts);
     let n = g.num_nodes();
     let budgets: Vec<u32> = [50u32, 30, 20, 10, 5].iter().map(|&b| b.min(n)).collect();
     let start = std::time::Instant::now();
@@ -233,7 +233,7 @@ pub fn ablation_prima_vs_imm(opts: &ExpOptions) -> Table {
 /// Welfare vs raw adoption count: maximizing adoptions is NOT maximizing
 /// welfare (the paper's motivating objective distinction).
 pub fn ablation_welfare_vs_adoption(opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::Flixster, opts.scale, opts.seed);
+    let g = network(NamedNetwork::Flixster, opts);
     let n = g.num_nodes();
     let cfg = TwoItemConfig::new(3);
     let model = cfg.model();
@@ -283,7 +283,7 @@ pub fn ablation_welfare_vs_adoption(opts: &ExpOptions) -> Table {
 /// run at the max budget, all scored by a neutral RR judge against
 /// dedicated per-budget IMM runs (the "pay-per-budget" reference).
 pub fn ablation_prefix_preservation(opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::Flixster, opts.scale, opts.seed);
+    let g = network(NamedNetwork::Flixster, opts);
     let n = g.num_nodes();
     let budgets: Vec<u32> = [50u32, 30, 10].iter().map(|&b| b.min(n)).collect();
     let b_max = budgets[0];
@@ -326,7 +326,7 @@ pub fn ablation_prefix_preservation(opts: &ExpOptions) -> Table {
 /// The single-item IM algorithm zoo at one budget: quality (neutral RR
 /// judge), sampling cost, and wall-clock time in one table.
 pub fn ablation_im_algorithms(opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::Flixster, opts.scale, opts.seed);
+    let g = network(NamedNetwork::Flixster, opts);
     let n = g.num_nodes();
     let k = 20u32.min(n);
     let mut judge = RrCollection::new(&g, DiffusionModel::IC, opts.seed ^ 0x2A11);
@@ -411,10 +411,12 @@ pub fn ablation_im_algorithms(opts: &ExpOptions) -> Table {
 /// target, wildly different cost — and no guarantee for the pair-greedy
 /// (ρ is neither submodular nor supermodular).
 pub fn ablation_pair_greedy(opts: &ExpOptions) -> Table {
-    let g = named_network(
+    let g = network(
         NamedNetwork::Flixster,
-        (opts.scale * 0.25).max(0.002),
-        opts.seed,
+        &ExpOptions {
+            scale: (opts.scale * 0.25).max(0.002),
+            ..*opts
+        },
     );
     let n = g.num_nodes();
     let cfg = TwoItemConfig::new(3);

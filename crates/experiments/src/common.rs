@@ -2,7 +2,7 @@
 //! dispatch, welfare scoring.
 
 use uic_core::{SolveCtx, SolveReport, WelMax};
-use uic_datasets::SpecMap;
+use uic_datasets::{named_network, NamedNetwork, SpecMap};
 use uic_diffusion::{Allocation, WelfareEstimator};
 use uic_graph::Graph;
 use uic_items::UtilityModel;
@@ -62,6 +62,20 @@ impl ExpOptions {
     pub fn solver_params(&self) -> SpecMap {
         SpecMap::new().with("eps", self.eps).with("ell", self.ell)
     }
+}
+
+/// The named stand-in network every experiment builds its input from.
+///
+/// [`named_network`] is snapshot-cache aware: when the
+/// `UIC_SNAPSHOT_CACHE` environment variable names a directory, the
+/// graph is built once and then loaded from its binary snapshot in
+/// milliseconds on every later run — and regenerated directly
+/// otherwise. Either path yields the identical graph (asserted in the
+/// cache's test suite), so figures never depend on whether the cache
+/// was warm. An explicit [`uic_datasets::SnapshotCache`] can also be
+/// driven directly for non-experiment callers.
+pub fn network(which: NamedNetwork, opts: &ExpOptions) -> Graph {
+    named_network(which, opts.scale, opts.seed)
 }
 
 /// The seed-selection algorithms compared in Figs. 4–6.

@@ -7,13 +7,13 @@
 //! negative-utility item (3/4), where bundle-disj ≡ bundleGRD; in
 //! configurations 1/2, bundle-disj ≡ item-disj.
 
-use crate::common::{fmt, run_algo, Algo, ExpOptions};
-use uic_datasets::{named_network, NamedNetwork, TwoItemConfig};
+use crate::common::{fmt, network, run_algo, Algo, ExpOptions};
+use uic_datasets::{NamedNetwork, TwoItemConfig};
 use uic_util::Table;
 
 /// Runs the Fig. 4 sweep for one configuration.
 pub fn fig4_config(cfg: TwoItemConfig, opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::DoubanMovie, opts.scale, opts.seed);
+    let g = network(NamedNetwork::DoubanMovie, opts);
     let model = cfg.model();
     let mut headers: Vec<&str> = vec![if cfg.uniform_budgets() {
         "budget(both)"

@@ -9,8 +9,8 @@
 //! far more RR sets; item-disj sits in between (one IMM call at the
 //! summed budget).
 
-use crate::common::{run_algo_unscored, Algo, ExpOptions};
-use uic_datasets::{named_network, NamedNetwork, TwoItemConfig};
+use crate::common::{network, run_algo_unscored, Algo, ExpOptions};
+use uic_datasets::{NamedNetwork, TwoItemConfig};
 use uic_util::Table;
 
 /// The four networks of Fig. 5/6 in panel order.
@@ -23,7 +23,7 @@ pub const NETWORKS: [NamedNetwork; 4] = [
 
 /// Output of one Fig. 5/6 panel: `(running-time table, rr-set table)`.
 pub fn fig56_network(which: NamedNetwork, opts: &ExpOptions) -> (Table, Table) {
-    let g = named_network(which, opts.scale, opts.seed);
+    let g = network(which, opts);
     let cfg = TwoItemConfig::new(1);
     let model = cfg.model();
     let mut headers: Vec<&str> = vec!["budget(both)"];

@@ -5,8 +5,8 @@
 //! Configuration 5 (additive, uniform) and 7 the allocations of
 //! bundleGRD and bundle-disj coincide by design, so their welfares tie.
 
-use crate::common::{fmt, run_algo, Algo, ExpOptions};
-use uic_datasets::{budget_splits, named_network, Config, NamedNetwork};
+use crate::common::{fmt, network, run_algo, Algo, ExpOptions};
+use uic_datasets::{budget_splits, Config, NamedNetwork};
 use uic_util::Table;
 
 /// Items used for the uniform-budget configurations (5, 8).
@@ -28,7 +28,7 @@ pub fn budgets_for(cfg: Config, total: u32, n: u32) -> Vec<u32> {
 
 /// One Fig. 7 panel.
 pub fn fig7_config(cfg: Config, opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::Twitter, opts.scale, opts.seed);
+    let g = network(NamedNetwork::Twitter, opts);
     let n = g.num_nodes();
     let num_items = if cfg.uniform_budgets() {
         UNIFORM_ITEMS

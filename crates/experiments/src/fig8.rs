@@ -1,8 +1,8 @@
 //! **Figure 8**: (a) running time vs number of items; (b, c) welfare and
 //! running time under the real Param; (d) the budget-skew study.
 
-use crate::common::{fmt, run_algo, run_algo_unscored, Algo, ExpOptions};
-use uic_datasets::{budget_splits, named_network, real_param_model, Config, NamedNetwork};
+use crate::common::{fmt, network, run_algo, run_algo_unscored, Algo, ExpOptions};
+use uic_datasets::{budget_splits, real_param_model, Config, NamedNetwork};
 use uic_util::Table;
 
 /// **Fig. 8(a)**: running time of the three multi-item algorithms as the
@@ -11,7 +11,7 @@ use uic_util::Table;
 /// item count); item-disj grows (one IMM at `50·s`); bundle-disj grows
 /// fastest (`s` IMM invocations).
 pub fn fig8a(opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::Twitter, opts.scale, opts.seed);
+    let g = network(NamedNetwork::Twitter, opts);
     let n = g.num_nodes();
     let per_item = 50u32.min(n / 2).max(1);
     let mut headers: Vec<&str> = vec!["items"];
@@ -39,7 +39,7 @@ pub fn fig8a(opts: &ExpOptions) -> Table {
 /// negative utility, so its welfare is identically 0 — we show it once
 /// in the smoke tests instead).
 pub fn fig8bc(opts: &ExpOptions) -> (Table, Table) {
-    let g = named_network(NamedNetwork::Twitter, opts.scale, opts.seed);
+    let g = network(NamedNetwork::Twitter, opts);
     let n = g.num_nodes();
     let model = real_param_model();
     let algos = [Algo::BundleGrd, Algo::BundleDisj];
@@ -70,7 +70,7 @@ pub fn fig8bc(opts: &ExpOptions) -> (Table, Table) {
 /// Moderate skew. Paper shape: welfare Uniform > Moderate > Large;
 /// running time reversed (the skewed max budget forces more seeds).
 pub fn fig8d(opts: &ExpOptions) -> Table {
-    let g = named_network(NamedNetwork::Twitter, opts.scale, opts.seed);
+    let g = network(NamedNetwork::Twitter, opts);
     let n = g.num_nodes();
     let model = real_param_model();
     let mut t = Table::new(

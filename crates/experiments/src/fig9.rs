@@ -2,10 +2,10 @@
 //! budget fraction needed to match the BDHS benchmarks; (d) scalability
 //! of bundleGRD with network size.
 
-use crate::common::{fmt, run_algo, Algo, ExpOptions};
+use crate::common::{fmt, network, run_algo, Algo, ExpOptions};
 use uic_baselines::{bdhs_concave_welfare, bdhs_step_welfare_exact};
-use uic_datasets::{named_network, real_param_model, NamedNetwork};
-use uic_graph::bfs_prefix_subgraph;
+use uic_datasets::{real_param_model, NamedNetwork};
+use uic_graph::{bfs_prefix_subgraph, Weighting};
 use uic_util::Table;
 
 /// Networks of the Fig. 9(a–c) panels.
@@ -21,13 +21,13 @@ pub const BDHS_NETWORKS: [NamedNetwork; 3] = [
 /// horizontal lines (their model has no budget: every node is assigned
 /// the bundle directly).
 pub fn fig9_panel(which: NamedNetwork, opts: &ExpOptions) -> Table {
-    let g = named_network(which, opts.scale, opts.seed);
+    let g = network(which, opts);
     let n = g.num_nodes();
     let model = real_param_model();
     let step_bench = bdhs_step_welfare_exact(&g, &model);
     // The concave variant needs the uniform-p restriction of UIC.
     let p_uniform = 0.01f64;
-    let g_uniform = g.reweighted(|_, _, _| p_uniform as f32);
+    let g_uniform = g.reweighted_as(Weighting::Constant(p_uniform as f32), 0);
     let concave_bench = bdhs_concave_welfare(&g_uniform, &model, p_uniform);
     let mut t = Table::new(
         format!(
@@ -70,7 +70,7 @@ pub fn fig9abc(opts: &ExpOptions) -> Vec<Table> {
 /// (`1/d_in` and constant 0.01). Paper shape: roughly linear running
 /// time, sublinear welfare growth.
 pub fn fig9d(opts: &ExpOptions) -> Table {
-    let full = named_network(NamedNetwork::Orkut, opts.scale, opts.seed);
+    let full = network(NamedNetwork::Orkut, opts);
     let model = real_param_model();
     let mut t = Table::new(
         "Figure 9(d): scalability on the Orkut stand-in (budget 50/item)",
@@ -90,12 +90,12 @@ pub fn fig9d(opts: &ExpOptions) -> Table {
         let mut row = vec![pct.to_string(), n.to_string()];
         // Weighted-cascade variant (the subgraph extraction keeps the
         // parent probabilities; recompute 1/din on the subgraph).
-        let wc = sub.reweighted(|_, v, _| 1.0 / sub.in_degree(v).max(1) as f32);
+        let wc = sub.reweighted_as(Weighting::WeightedCascade, 0);
         let r = run_algo(Algo::BundleGrd, &wc, &budgets, &model, opts);
         row.push(fmt(r.welfare_mean()));
         row.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));
         // Constant-probability variant.
-        let cp = sub.reweighted(|_, _, _| 0.01);
+        let cp = sub.reweighted_as(Weighting::Constant(0.01), 0);
         let r = run_algo(Algo::BundleGrd, &cp, &budgets, &model, opts);
         row.push(fmt(r.welfare_mean()));
         row.push(format!("{:.1}", r.elapsed.as_secs_f64() * 1e3));

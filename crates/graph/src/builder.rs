@@ -1,6 +1,6 @@
 //! Incremental graph construction and edge-probability assignment.
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, GraphError, NodeId, WeightSpec};
 use uic_util::{FxHashSet, UicRng};
 
 /// Edge-probability assignment schemes used across the paper's experiments.
@@ -18,6 +18,19 @@ pub enum Weighting {
     UniformRandom(f32, f32),
     /// Keep whatever probabilities were supplied with the edges.
     AsGiven,
+}
+
+impl std::fmt::Display for Weighting {
+    /// Canonical token used in snapshot-cache keys and stats tables.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Weighting::WeightedCascade => write!(f, "wc"),
+            Weighting::Constant(c) => write!(f, "const:{c}"),
+            Weighting::Trivalency => write!(f, "trivalency"),
+            Weighting::UniformRandom(lo, hi) => write!(f, "uniform:{lo}:{hi}"),
+            Weighting::AsGiven => write!(f, "as-given"),
+        }
+    }
 }
 
 /// Accumulates edges, optionally deduplicates, then assigns probabilities
@@ -96,8 +109,22 @@ impl GraphBuilder {
     /// Finalizes into a CSR graph under the given weighting scheme.
     ///
     /// `seed` drives the stochastic weightings (trivalency / uniform);
-    /// deterministic schemes ignore it.
-    pub fn build(mut self, weighting: Weighting, seed: u64) -> Graph {
+    /// deterministic schemes ignore it. The weight **representation** is
+    /// chosen from the scheme: weighted-cascade graphs store
+    /// [`crate::EdgeWeights::InDegree`] and constant graphs
+    /// [`crate::EdgeWeights::Constant`] — zero per-edge weight bytes —
+    /// while the stochastic/as-given schemes materialize per-edge arrays.
+    pub fn build(self, weighting: Weighting, seed: u64) -> Graph {
+        match self.try_build(weighting, seed) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`GraphBuilder::build`]: surfaces oversized edge counts
+    /// and invalid probabilities as a typed [`GraphError`] so
+    /// dataset-loading services can reject bad inputs gracefully.
+    pub fn try_build(mut self, weighting: Weighting, seed: u64) -> Result<Graph, GraphError> {
         if self.dedup {
             let mut seen: FxHashSet<(NodeId, NodeId)> = FxHashSet::default();
             let mut kept_e = Vec::with_capacity(self.edges.len());
@@ -111,32 +138,33 @@ impl GraphBuilder {
             self.edges = kept_e;
             self.probs = kept_p;
         }
-        // In-degrees are needed for weighted cascade.
-        let mut din = vec![0u32; self.n as usize];
-        for &(_, v) in &self.edges {
-            din[v as usize] += 1;
+        match weighting {
+            // Structure-derived schemes: no per-edge arrays at all.
+            Weighting::WeightedCascade => {
+                Graph::try_from_arcs(self.n, &self.edges, WeightSpec::InDegree)
+            }
+            Weighting::Constant(c) => {
+                Graph::try_from_arcs(self.n, &self.edges, WeightSpec::Constant(c))
+            }
+            Weighting::AsGiven => {
+                Graph::try_from_arcs(self.n, &self.edges, WeightSpec::PerEdge(&self.probs))
+            }
+            Weighting::Trivalency | Weighting::UniformRandom(..) => {
+                let mut rng = UicRng::new(seed);
+                let probs: Vec<f32> = self
+                    .edges
+                    .iter()
+                    .map(|_| match weighting {
+                        Weighting::Trivalency => *[0.1f32, 0.01, 0.001]
+                            .get(rng.next_below(3) as usize)
+                            .unwrap(),
+                        Weighting::UniformRandom(lo, hi) => lo + (hi - lo) * rng.next_f32(),
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                Graph::try_from_arcs(self.n, &self.edges, WeightSpec::PerEdge(&probs))
+            }
         }
-        let mut rng = UicRng::new(seed);
-        let triple =
-            |(u, v): (NodeId, NodeId), p: f32, rng: &mut UicRng| -> (NodeId, NodeId, f32) {
-                let w = match weighting {
-                    Weighting::WeightedCascade => 1.0 / din[v as usize].max(1) as f32,
-                    Weighting::Constant(c) => c,
-                    Weighting::Trivalency => *[0.1f32, 0.01, 0.001]
-                        .get(rng.next_below(3) as usize)
-                        .unwrap(),
-                    Weighting::UniformRandom(lo, hi) => lo + (hi - lo) * rng.next_f32(),
-                    Weighting::AsGiven => p,
-                };
-                (u, v, w)
-            };
-        let weighted: Vec<(NodeId, NodeId, f32)> = self
-            .edges
-            .iter()
-            .zip(&self.probs)
-            .map(|(&e, &p)| triple(e, p, &mut rng))
-            .collect();
-        Graph::from_edges(self.n, &weighted)
     }
 }
 
@@ -152,6 +180,8 @@ mod tests {
         b.add_arc(2, 3);
         b.add_arc(0, 1);
         let g = b.build(Weighting::WeightedCascade, 0);
+        assert_eq!(g.weight_class(), crate::WeightClass::InDegree);
+        assert_eq!(g.memory_footprint().weights, 0);
         for (u, v, p) in g.edges() {
             if v == 3 {
                 assert!((p - 1.0 / 3.0).abs() < 1e-6, "({u},{v}) p={p}");
@@ -166,7 +196,8 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         b.add_arc(0, 1);
         let g = b.build(Weighting::Constant(0.01), 0);
-        assert_eq!(g.out_probs(0)[0], 0.01);
+        assert_eq!(g.weight_class(), crate::WeightClass::Constant(0.01));
+        assert_eq!(g.out_prob(0, 0), 0.01);
     }
 
     #[test]
@@ -177,7 +208,7 @@ mod tests {
         }
         let g = b.build(Weighting::Trivalency, 7);
         let mut seen = std::collections::HashSet::new();
-        for &p in g.out_probs(0) {
+        for p in g.out_arc_probs(0).iter() {
             assert!(p == 0.1 || p == 0.01 || p == 0.001);
             seen.insert((p * 1000.0) as u32);
         }
@@ -194,8 +225,10 @@ mod tests {
         }
         let g1 = b1.build(Weighting::UniformRandom(0.2, 0.4), 9);
         let g2 = b2.build(Weighting::UniformRandom(0.2, 0.4), 9);
-        assert_eq!(g1.out_probs(0), g2.out_probs(0), "same seed ⇒ same weights");
-        for &p in g1.out_probs(0) {
+        let p1: Vec<f32> = g1.out_arc_probs(0).iter().collect();
+        let p2: Vec<f32> = g2.out_arc_probs(0).iter().collect();
+        assert_eq!(p1, p2, "same seed ⇒ same weights");
+        for p in p1 {
             assert!((0.2..=0.4).contains(&p));
         }
     }
@@ -205,7 +238,7 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 1, 0.123);
         let g = b.build(Weighting::AsGiven, 0);
-        assert_eq!(g.out_probs(0)[0], 0.123);
+        assert_eq!(g.out_prob(0, 0), 0.123);
     }
 
     #[test]
@@ -215,7 +248,7 @@ mod tests {
         b.add_edge(0, 1, 0.9);
         let g = b.build(Weighting::AsGiven, 0);
         assert_eq!(g.num_edges(), 1);
-        assert_eq!(g.out_probs(0)[0], 0.5, "first edge wins");
+        assert_eq!(g.out_prob(0, 0), 0.5, "first edge wins");
     }
 
     #[test]

@@ -6,11 +6,12 @@
 //! <src> <dst> [prob]
 //! ```
 //! The optional third column carries an explicit probability; absent
-//! columns default to 0 and are expected to be overwritten by a
-//! [`crate::Weighting`] scheme.
+//! columns are only legal when a [`crate::Weighting`] scheme overwrites
+//! them — under [`Weighting::AsGiven`] a missing column is a typed
+//! [`IoError::Parse`], never a silent zero-probability edge.
 
 use crate::builder::{GraphBuilder, Weighting};
-use crate::graph::Graph;
+use crate::graph::{Graph, GraphError};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -21,6 +22,9 @@ pub enum IoError {
     Io(std::io::Error),
     /// Malformed line with its 1-based line number.
     Parse { line: usize, message: String },
+    /// Structurally invalid graph (oversized edge count, bad
+    /// probability) reported by [`Graph`] construction.
+    Graph(GraphError),
 }
 
 impl std::fmt::Display for IoError {
@@ -28,7 +32,14 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::Graph(e) => write!(f, "invalid graph: {e}"),
         }
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
     }
 }
 
@@ -50,6 +61,7 @@ pub fn read_edge_list<R: Read>(
     let mut edges: Vec<(u32, u32, f32)> = Vec::new();
     let mut declared_n: Option<u32> = None;
     let mut max_id = 0u32;
+    let mut max_id_line = 0usize;
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
         let line = line?;
@@ -86,18 +98,36 @@ pub fn read_edge_list<R: Read>(
                 line: lineno,
                 message: format!("bad probability: {e}"),
             })?,
+            // Without an overriding scheme a defaulted 0.0 would silently
+            // drop the edge from every cascade — reject it instead.
+            None if weighting == Weighting::AsGiven => {
+                return Err(IoError::Parse {
+                    line: lineno,
+                    message: "missing probability column (required with Weighting::AsGiven)"
+                        .to_string(),
+                });
+            }
             None => 0.0,
         };
-        max_id = max_id.max(u).max(v);
+        if u.max(v) > max_id {
+            max_id = u.max(v);
+            max_id_line = lineno;
+        }
         edges.push((u, v, p));
     }
     let n = declared_n.unwrap_or(if edges.is_empty() { 0 } else { max_id + 1 });
+    if !edges.is_empty() && max_id >= n {
+        return Err(IoError::Parse {
+            line: max_id_line,
+            message: format!("node id {max_id} out of range for declared n={n}"),
+        });
+    }
     let mut b = GraphBuilder::new(n);
     b.reserve(edges.len());
     for (u, v, p) in edges {
         b.add_edge(u, v, p);
     }
-    Ok(b.build(weighting, seed))
+    Ok(b.try_build(weighting, seed)?)
 }
 
 /// Reads an edge-list file from `path`.
@@ -162,12 +192,52 @@ mod tests {
         let text = "# a comment\n\n0 1 0.7\n# another\n1 0 0.3\n";
         let g = read_edge_list(text.as_bytes(), Weighting::AsGiven, 0).unwrap();
         assert_eq!(g.num_edges(), 2);
-        assert_eq!(g.out_probs(0)[0], 0.7);
+        assert_eq!(g.out_prob(0, 0), 0.7);
+    }
+
+    #[test]
+    fn missing_probability_under_as_given_is_an_error() {
+        // A defaulted 0.0 would silently drop the edge from every
+        // cascade; it must be a typed parse error instead.
+        let text = "0 1 0.4\n1 2\n";
+        let err = read_edge_list(text.as_bytes(), Weighting::AsGiven, 0).unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("missing probability"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // Schemes that overwrite the column still accept bare arcs.
+        let g = read_edge_list(text.as_bytes(), Weighting::WeightedCascade, 0).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn declared_n_smaller_than_ids_is_an_error() {
+        let text = "# n 2\n0 1 0.5\n5 1 0.5\n";
+        let err = read_edge_list(text.as_bytes(), Weighting::AsGiven, 0).unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("out of range"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn weighting_picks_snapshot_representation() {
+        let text = "0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), Weighting::WeightedCascade, 0).unwrap();
+        assert_eq!(g.weight_class(), crate::WeightClass::InDegree);
+        let g = read_edge_list(text.as_bytes(), Weighting::Constant(0.3), 0).unwrap();
+        assert_eq!(g.weight_class(), crate::WeightClass::Constant(0.3));
     }
 
     #[test]
     fn reports_malformed_line_number() {
-        let text = "0 1\nnot numbers\n";
+        let text = "0 1 0.5\nnot numbers\n";
         let err = read_edge_list(text.as_bytes(), Weighting::AsGiven, 0).unwrap_err();
         match err {
             IoError::Parse { line, .. } => assert_eq!(line, 2),

@@ -10,10 +10,19 @@
 //! guidance (small integer ids, contiguous adjacency, no per-node
 //! allocations).
 //!
+//! Edge weights live behind a compact representation
+//! ([`EdgeWeights`]): weighted-cascade and constant-probability graphs
+//! derive every probability from the CSR structure and allocate **zero**
+//! per-edge weight bytes; consumers branch on the structural
+//! [`WeightClass`] instead of scanning lists for uniformity.
+//!
 //! Modules:
-//! * [`graph`] — the [`Graph`] type and CSR accessors.
+//! * [`graph`] — the [`Graph`] type, CSR accessors, and the
+//!   [`ArcProbs`] per-node probability views.
 //! * [`builder`] — [`GraphBuilder`] plus edge-probability [`Weighting`]
 //!   schemes (weighted cascade `1/d_in(v)`, constant, trivalency, uniform).
+//! * [`snapshot`] — the versioned binary snapshot format (magic, version,
+//!   checksum, bulk little-endian CSR sections) with typed load errors.
 //! * [`traversal`] — BFS/DFS reachability, weakly connected components,
 //!   Tarjan SCC, and subgraph extraction (used to take the largest SCC of
 //!   the Flixster stand-in and BFS prefixes for the scalability test).
@@ -23,11 +32,17 @@
 pub mod builder;
 pub mod graph;
 pub mod io;
+pub mod snapshot;
 pub mod stats;
 pub mod traversal;
 
 pub use builder::{GraphBuilder, Weighting};
-pub use graph::{Graph, NodeId};
+pub use graph::{
+    ArcProbs, EdgeWeights, Graph, GraphError, MemoryFootprint, NodeId, WeightClass, WeightSpec,
+};
+pub use snapshot::{
+    load_snapshot, read_snapshot, read_snapshot_bytes, save_snapshot, write_snapshot, SnapshotError,
+};
 pub use stats::GraphStats;
 pub use traversal::{
     bfs_prefix_subgraph, induced_subgraph, largest_scc, reachable_from,

@@ -1,8 +1,12 @@
-//! Network statistics as reported in Table 2 of the paper.
+//! Network statistics as reported in Table 2 of the paper, extended
+//! with the storage-level numbers the compressed weight representations
+//! are judged by (memory footprint per CSR section, bytes/edge, and a
+//! log-binned degree histogram).
 
-use crate::graph::Graph;
+use crate::graph::{Graph, MemoryFootprint, WeightClass};
 
-/// Summary statistics of a network (the columns of Table 2).
+/// Summary statistics of a network (the columns of Table 2, plus the
+/// storage breakdown).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphStats {
     /// `|V|`.
@@ -20,6 +24,51 @@ pub struct GraphStats {
     /// Fraction of arcs whose reverse arc also exists (1.0 for networks
     /// built as undirected).
     pub reciprocity: f64,
+    /// Structural class of the weight storage.
+    pub weight_class: WeightClass,
+    /// Per-section heap bytes; `footprint.weights` is 0 for
+    /// weighted-cascade graphs and 4 for constant graphs.
+    pub footprint: MemoryFootprint,
+    /// Log-binned **out**-degree histogram: `out_degree_histogram[0]`
+    /// counts degree-0 nodes, bin `i ≥ 1` counts degrees in
+    /// `[2^(i−1), 2^i)`. Trailing empty bins are trimmed.
+    pub out_degree_histogram: Vec<u64>,
+    /// Log-binned **in**-degree histogram, same binning.
+    pub in_degree_histogram: Vec<u64>,
+}
+
+/// Log-bin index of a degree: 0 for degree 0, else `⌊log2 d⌋ + 1`.
+fn log_bin(d: usize) -> usize {
+    if d == 0 {
+        0
+    } else {
+        (usize::BITS - d.leading_zeros()) as usize
+    }
+}
+
+fn trim(mut bins: Vec<u64>) -> Vec<u64> {
+    while bins.last() == Some(&0) {
+        bins.pop();
+    }
+    bins
+}
+
+/// Renders a log-binned histogram as `0:|a| 1:|b| 2-3:|c| …` labels.
+pub fn format_log_histogram(bins: &[u64]) -> String {
+    let mut parts = Vec::with_capacity(bins.len());
+    for (i, &count) in bins.iter().enumerate() {
+        let label = match i {
+            0 => "0".to_string(),
+            1 => "1".to_string(),
+            _ => {
+                let lo = 1usize << (i - 1);
+                let hi = (1usize << i) - 1;
+                format!("{lo}-{hi}")
+            }
+        };
+        parts.push(format!("{label}:{count}"));
+    }
+    parts.join(" ")
 }
 
 impl GraphStats {
@@ -28,9 +77,15 @@ impl GraphStats {
         let n = g.num_nodes();
         let mut max_out = 0usize;
         let mut max_in = 0usize;
+        let mut out_hist = vec![0u64; log_bin(g.num_edges()) + 1];
+        let mut in_hist = vec![0u64; log_bin(g.num_edges()) + 1];
         for v in 0..n {
-            max_out = max_out.max(g.out_degree(v));
-            max_in = max_in.max(g.in_degree(v));
+            let dout = g.out_degree(v);
+            let din = g.in_degree(v);
+            max_out = max_out.max(dout);
+            max_in = max_in.max(din);
+            out_hist[log_bin(dout)] += 1;
+            in_hist[log_bin(din)] += 1;
         }
         // Reciprocity via sorted neighbor probes.
         let mut recip = 0usize;
@@ -49,6 +104,24 @@ impl GraphStats {
             max_out_degree: max_out,
             max_in_degree: max_in,
             reciprocity: if m == 0 { 0.0 } else { recip as f64 / m as f64 },
+            weight_class: g.weight_class(),
+            footprint: g.memory_footprint(),
+            out_degree_histogram: trim(out_hist),
+            in_degree_histogram: trim(in_hist),
+        }
+    }
+
+    /// Total heap bytes of the graph.
+    pub fn total_bytes(&self) -> usize {
+        self.footprint.total()
+    }
+
+    /// Heap bytes per directed edge (offset arrays amortized in).
+    pub fn bytes_per_edge(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.footprint.total() as f64 / self.num_edges as f64
         }
     }
 }
@@ -57,13 +130,18 @@ impl std::fmt::Display for GraphStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} m={} avg_deg={:.2} max_out={} max_in={} reciprocity={:.2}",
+            "n={} m={} avg_deg={:.2} max_out={} max_in={} reciprocity={:.2} \
+             weights={} bytes={} ({:.1}/edge) out_deg_hist=[{}]",
             self.num_nodes,
             self.num_edges,
             self.avg_degree,
             self.max_out_degree,
             self.max_in_degree,
-            self.reciprocity
+            self.reciprocity,
+            self.weight_class.token(),
+            self.total_bytes(),
+            self.bytes_per_edge(),
+            format_log_histogram(&self.out_degree_histogram),
         )
     }
 }
@@ -71,6 +149,7 @@ impl std::fmt::Display for GraphStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::WeightSpec;
 
     #[test]
     fn stats_on_star() {
@@ -83,6 +162,11 @@ mod tests {
         assert_eq!(s.max_in_degree, 1);
         assert_eq!(s.reciprocity, 0.0);
         assert!((s.avg_degree - 0.75).abs() < 1e-12);
+        assert_eq!(s.weight_class, WeightClass::PerEdge);
+        // Out-degrees: one node at 3 (bin 2), three at 0 (bin 0).
+        assert_eq!(s.out_degree_histogram, vec![3, 0, 1]);
+        // In-degrees: three nodes at 1 (bin 1), one at 0.
+        assert_eq!(s.in_degree_histogram, vec![1, 3]);
     }
 
     #[test]
@@ -93,11 +177,46 @@ mod tests {
     }
 
     #[test]
+    fn footprint_shows_compression_win() {
+        let arcs = vec![(0u32, 1u32), (1, 2), (2, 0), (0, 2)];
+        let wc = Graph::try_from_arcs(3, &arcs, WeightSpec::InDegree).unwrap();
+        let dense = {
+            let edges: Vec<_> = wc.edges().collect();
+            Graph::from_edges(3, &edges)
+        };
+        let s_wc = GraphStats::compute(&wc);
+        let s_dense = GraphStats::compute(&dense);
+        assert_eq!(s_wc.footprint.weights, 0);
+        assert_eq!(s_dense.footprint.weights, 8 * arcs.len());
+        assert!(s_wc.bytes_per_edge() < s_dense.bytes_per_edge());
+        assert_eq!(
+            s_dense.total_bytes() - s_wc.total_bytes(),
+            8 * arcs.len(),
+            "compact weighted cascade saves exactly 8 bytes/edge"
+        );
+    }
+
+    #[test]
+    fn log_bins_and_formatting() {
+        assert_eq!(log_bin(0), 0);
+        assert_eq!(log_bin(1), 1);
+        assert_eq!(log_bin(2), 2);
+        assert_eq!(log_bin(3), 2);
+        assert_eq!(log_bin(4), 3);
+        assert_eq!(log_bin(7), 3);
+        assert_eq!(log_bin(8), 4);
+        let text = format_log_histogram(&[2, 1, 0, 5]);
+        assert_eq!(text, "0:2 1:1 2-3:0 4-7:5");
+    }
+
+    #[test]
     fn display_contains_fields() {
         let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
         let text = GraphStats::compute(&g).to_string();
         assert!(text.contains("n=2"));
         assert!(text.contains("m=1"));
+        assert!(text.contains("weights=per-edge"));
+        assert!(text.contains("bytes="));
     }
 
     #[test]
@@ -106,5 +225,7 @@ mod tests {
         let s = GraphStats::compute(&g);
         assert_eq!(s.num_nodes, 0);
         assert_eq!(s.reciprocity, 0.0);
+        assert_eq!(s.bytes_per_edge(), 0.0);
+        assert!(s.out_degree_histogram.is_empty());
     }
 }

@@ -131,7 +131,11 @@ pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
     let mut edges = Vec::new();
     for &old_u in nodes {
         let new_u = remap[old_u as usize];
-        for (&old_v, &p) in g.out_neighbors(old_u).iter().zip(g.out_probs(old_u)) {
+        for (&old_v, p) in g
+            .out_neighbors(old_u)
+            .iter()
+            .zip(g.out_arc_probs(old_u).iter())
+        {
             let new_v = remap[old_v as usize];
             if new_v != u32::MAX {
                 edges.push((new_u, new_v, p));

@@ -1,0 +1,132 @@
+//! Property suite for the binary snapshot format: exact round-trips for
+//! all three weight representations on random graphs, and typed errors
+//! (never panics) for corrupted, truncated, or wrong-version bytes.
+
+use proptest::prelude::*;
+use uic_graph::{
+    read_snapshot, write_snapshot, Graph, NodeId, SnapshotError, WeightClass, WeightSpec,
+};
+
+/// Builds the same random topology under each representation (per-edge
+/// probs drawn independently; compact representations derive theirs).
+fn graphs(n: u32, raw_edges: &[(u32, u32, f32)], constant: f32) -> [Graph; 3] {
+    let edges: Vec<(NodeId, NodeId, f32)> = raw_edges
+        .iter()
+        .map(|&(u, v, p)| (u % n, v % n, p))
+        .collect();
+    let arcs: Vec<(NodeId, NodeId)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+    [
+        Graph::from_edges(n, &edges),
+        Graph::try_from_arcs(n, &arcs, WeightSpec::InDegree).expect("valid arcs"),
+        Graph::try_from_arcs(n, &arcs, WeightSpec::Constant(constant)).expect("valid constant"),
+    ]
+}
+
+fn snapshot_bytes(g: &Graph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_snapshot(g, &mut buf).expect("write to Vec cannot fail");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// `Graph` → bytes → `Graph` is the identity — offsets, targets,
+    /// edge ids, weight representation, and every probability — for all
+    /// three representations.
+    #[test]
+    fn roundtrip_is_exact_for_all_representations(
+        n in 1u32..24,
+        raw_edges in proptest::collection::vec((0u32..64, 0u32..64, 0f32..=1.0), 0..48),
+        constant in 0f32..=1.0,
+    ) {
+        for g in graphs(n, &raw_edges, constant) {
+            let back = read_snapshot(&snapshot_bytes(&g)[..]).expect("roundtrip");
+            // Graph implements PartialEq over all CSR sections + weights.
+            prop_assert_eq!(&back, &g);
+            prop_assert_eq!(back.weight_class(), g.weight_class());
+            prop_assert_eq!(back.memory_footprint(), g.memory_footprint());
+            for v in 0..n {
+                prop_assert_eq!(back.in_edge_ids(v), g.in_edge_ids(v));
+                let a: Vec<f32> = back.out_arc_probs(v).iter().collect();
+                let b: Vec<f32> = g.out_arc_probs(v).iter().collect();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// Any single corrupted byte yields a typed error, never a panic and
+    /// never a silently different graph.
+    #[test]
+    fn corrupted_bytes_error_out(
+        n in 1u32..12,
+        raw_edges in proptest::collection::vec((0u32..32, 0u32..32, 0f32..=1.0), 1..24),
+        at_raw in 0usize..4096,
+        flip in 1u8..=255,
+    ) {
+        let g = graphs(n, &raw_edges, 0.5)[0].clone();
+        let mut buf = snapshot_bytes(&g);
+        let at = at_raw % buf.len();
+        buf[at] ^= flip;
+        match read_snapshot(&buf[..]) {
+            Err(_) => {}
+            // FNV-1a detects all single-byte flips; reaching Ok would
+            // mean the checksum no longer covers this byte.
+            Ok(_) => prop_assert!(false, "flip at {} of {} went unnoticed", at, buf.len()),
+        }
+    }
+
+    /// Every truncation point yields `Truncated`/`BadMagic`, never a
+    /// panic or an allocation blow-up.
+    #[test]
+    fn truncated_bytes_error_out(
+        n in 1u32..12,
+        raw_edges in proptest::collection::vec((0u32..32, 0u32..32, 0f32..=1.0), 0..24),
+        cut_raw in 0usize..4096,
+    ) {
+        let g = graphs(n, &raw_edges, 0.5)[1].clone();
+        let buf = snapshot_bytes(&g);
+        let cut = cut_raw % buf.len();
+        match read_snapshot(&buf[..cut]) {
+            Err(SnapshotError::Truncated { .. }) | Err(SnapshotError::BadMagic) => {}
+            Err(other) => prop_assert!(false, "unexpected error {}", other),
+            Ok(_) => prop_assert!(false, "truncation at {cut} went unnoticed"),
+        }
+    }
+
+    /// A declared version other than the current one is rejected with
+    /// `UnsupportedVersion` regardless of payload.
+    #[test]
+    fn foreign_versions_are_rejected(version in 2u32..1000) {
+        let g = graphs(3, &[(0, 1, 0.5)], 0.5)[2].clone();
+        let mut buf = snapshot_bytes(&g);
+        buf[8..12].copy_from_slice(&version.to_le_bytes());
+        match read_snapshot(&buf[..]) {
+            Err(SnapshotError::UnsupportedVersion(v)) => prop_assert_eq!(v, version),
+            other => prop_assert!(false, "expected UnsupportedVersion, got {:?}", other.is_ok()),
+        }
+    }
+}
+
+#[test]
+fn weight_classes_survive_the_roundtrip() {
+    let [pe, wc, cp] = graphs(6, &[(0, 1, 0.25), (1, 2, 0.75), (2, 0, 0.5)], 0.125);
+    assert_eq!(
+        read_snapshot(&snapshot_bytes(&pe)[..])
+            .unwrap()
+            .weight_class(),
+        WeightClass::PerEdge
+    );
+    assert_eq!(
+        read_snapshot(&snapshot_bytes(&wc)[..])
+            .unwrap()
+            .weight_class(),
+        WeightClass::InDegree
+    );
+    assert_eq!(
+        read_snapshot(&snapshot_bytes(&cp)[..])
+            .unwrap()
+            .weight_class(),
+        WeightClass::Constant(0.125)
+    );
+}

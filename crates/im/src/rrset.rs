@@ -35,7 +35,7 @@
 //! the [`RrSampler`] trait instead of materializing nested vectors.
 
 use crossbeam::thread;
-use uic_graph::{Graph, NodeId};
+use uic_graph::{ArcProbs, Graph, NodeId};
 use uic_util::{parallelism, split_seed, UicRng, VisitTags};
 
 /// Which diffusion model the sampler follows.
@@ -128,11 +128,25 @@ impl RrSampler for StandardRrSampler {
         let mut uniform = vec![(0.0f32, 0.0f64); n];
         if self.model == DiffusionModel::IC {
             for (v, slot) in uniform.iter_mut().enumerate() {
-                let probs = g.in_probs(v as NodeId);
-                let mut p = match probs.first() {
-                    Some(&first) if probs.iter().all(|&x| x == first) => first,
-                    Some(_) => f32::NAN,
-                    None => 0.0,
+                let probs = g.in_arc_probs(v as NodeId);
+                // Branch on the weight representation: compact storage
+                // (weighted-cascade, constant) promises uniform in-lists
+                // structurally, so no scan happens at all; only explicit
+                // per-edge storage falls back to a value scan (real
+                // datasets are commonly uniform per node even without
+                // the structural guarantee).
+                let mut p = if probs.is_empty() {
+                    0.0
+                } else if let Some(p) = probs.uniform_prob() {
+                    p
+                } else if let ArcProbs::Dense(ps) = probs {
+                    if ps.iter().all(|&x| x == ps[0]) {
+                        ps[0]
+                    } else {
+                        f32::NAN
+                    }
+                } else {
+                    f32::NAN
                 };
                 let mut lg = 0.0f64;
                 if p > 0.0 && p < 1.0 {
@@ -196,9 +210,9 @@ impl RrSampler for StandardRrSampler {
             if p.is_nan() {
                 // Non-uniform in-list: per-edge coins (flipped before the
                 // tag lookup, so dead edges never touch the stamp array).
-                let probs = g.in_probs(v);
+                let probs = g.in_arc_probs(v);
                 for (i, &u) in srcs.iter().enumerate() {
-                    if rng.coin(probs[i] as f64) && tags.mark(u as usize) {
+                    if rng.coin(probs.get(i) as f64) && tags.mark(u as usize) {
                         arena.push(u);
                     }
                 }
@@ -256,12 +270,12 @@ pub fn sample_rr_into(
         let v = arena[head];
         head += 1;
         let srcs = g.in_neighbors(v);
-        let probs = g.in_probs(v);
+        let probs = g.in_arc_probs(v);
         *width += srcs.len() as u64;
         match model {
             DiffusionModel::IC => {
                 for (i, &u) in srcs.iter().enumerate() {
-                    if !tags.is_marked(u as usize) && rng.coin(probs[i] as f64) {
+                    if !tags.is_marked(u as usize) && rng.coin(probs.get(i) as f64) {
                         tags.mark(u as usize);
                         arena.push(u);
                     }
@@ -273,7 +287,7 @@ pub fn sample_rr_into(
                 let x = rng.next_f64();
                 let mut acc = 0.0f64;
                 for (i, &u) in srcs.iter().enumerate() {
-                    acc += probs[i] as f64;
+                    acc += probs.get(i) as f64;
                     if x < acc {
                         if !tags.is_marked(u as usize) {
                             tags.mark(u as usize);

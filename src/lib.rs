@@ -8,7 +8,7 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`graph`] | CSR influence graphs, traversal, SCC, stats, I/O |
+//! | [`graph`] | CSR influence graphs with compressed weight storage, traversal, SCC, stats, binary snapshots, I/O |
 //! | [`items`] | itemsets, prices, supermodular valuations, noise, utility, adoption oracle, block accounting, GAP conversion |
 //! | [`diffusion`] | IC / LT / UIC / Com-IC simulation, possible worlds, welfare estimation, [`SolveReport`](diffusion::SolveReport) |
 //! | [`im`] | RR sets, NodeSelection, IMM, TIM⁺, SSA, OPIM-C, SKIM, **PRIMA**, CELF greedy |

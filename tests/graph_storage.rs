@@ -1,0 +1,150 @@
+//! Cross-representation equivalence: the compressed weight storages
+//! (`InDegree`, `Constant`) are drop-in replacements for explicit
+//! per-edge arrays — identical probabilities and **bit-identical**
+//! simulator/solver outputs under fixed seeds — while allocating zero
+//! per-edge weight bytes.
+
+use uic::diffusion::{simulate_ic, UicSimulator, WelfareEstimator};
+use uic::graph::{Graph, WeightClass, WeightSpec, Weighting};
+use uic::im::{node_selection, DiffusionModel, RrCollection};
+use uic::items::UtilityTable;
+use uic::util::UicRng;
+
+/// A weighted-cascade stand-in in its compact representation.
+fn wc_graph() -> Graph {
+    uic::datasets::generators::preferential_attachment(
+        uic::datasets::PaOptions {
+            n: 800,
+            edges_per_node: 5,
+            ..Default::default()
+        },
+        11,
+    )
+}
+
+/// The same graph under compact and per-edge storage. Both are built
+/// from the **same arc list in the same order** (CSR slot assignment is
+/// order-dependent), so every array except the weights coincides.
+fn wc_pair() -> (Graph, Graph) {
+    let g = wc_graph();
+    let edges: Vec<_> = g.edges().collect();
+    let arcs: Vec<_> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+    let compact = Graph::try_from_arcs(g.num_nodes(), &arcs, WeightSpec::InDegree).unwrap();
+    let dense = Graph::from_edges(g.num_nodes(), &edges);
+    (compact, dense)
+}
+
+/// The same graph with its probabilities materialized per edge
+/// (valid only for graphs whose edge order equals `edges()` order —
+/// anything built through `reweighted_as` or `from_edges` qualifies).
+fn per_edge_copy(g: &Graph) -> Graph {
+    let edges: Vec<_> = g.edges().collect();
+    Graph::from_edges(g.num_nodes(), &edges)
+}
+
+#[test]
+fn generators_use_compact_storage_with_zero_weight_bytes() {
+    let g = wc_graph();
+    assert_eq!(g.weight_class(), WeightClass::InDegree);
+    assert_eq!(g.memory_footprint().weights, 0);
+    let (compact, dense) = wc_pair();
+    assert_eq!(dense.memory_footprint().weights, 8 * g.num_edges());
+    // Every probability coincides bitwise.
+    let a: Vec<_> = compact.edges().collect();
+    let b: Vec<_> = dense.edges().collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn uic_simulator_outputs_are_bit_identical_across_representations() {
+    let (compact, dense) = wc_pair();
+    let table = UtilityTable::from_values(2, vec![0.0, 0.4, -0.3, 0.9]);
+    let mut alloc = uic::diffusion::Allocation::new();
+    for v in [0u32, 3, 17, 101, 400] {
+        alloc.assign(v % compact.num_nodes(), 0);
+        alloc.assign((v * 7) % compact.num_nodes(), 1);
+    }
+    let mut sim_c = UicSimulator::new(&compact);
+    let mut sim_d = UicSimulator::new(&dense);
+    for seed in 0..50u64 {
+        let out_c = sim_c.run(&compact, &alloc, &table, &mut UicRng::new(seed));
+        let out_d = sim_d.run(&dense, &alloc, &table, &mut UicRng::new(seed));
+        assert_eq!(out_c.adoptions, out_d.adoptions, "seed {seed}");
+        assert_eq!(out_c.desires, out_d.desires, "seed {seed}");
+        assert_eq!(out_c.steps, out_d.steps, "seed {seed}");
+    }
+}
+
+#[test]
+fn ic_cascades_are_bit_identical_across_representations() {
+    let (compact, dense) = wc_pair();
+    for seed in 0..100u64 {
+        let a = simulate_ic(&compact, &[0, 5], &mut UicRng::new(seed));
+        let b = simulate_ic(&dense, &[0, 5], &mut UicRng::new(seed));
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
+
+#[test]
+fn node_selection_is_bit_identical_across_representations() {
+    let (compact, dense) = wc_pair();
+    for model in [DiffusionModel::IC, DiffusionModel::LT] {
+        let mut coll_c = RrCollection::new(&compact, model, 42);
+        let mut coll_d = RrCollection::new(&dense, model, 42);
+        coll_c.extend_to(&compact, 5_000);
+        coll_d.extend_to(&dense, 5_000);
+        assert_eq!(coll_c, coll_d, "{model:?}: collections must coincide");
+        assert_eq!(coll_c.total_width(), coll_d.total_width());
+        let sel_c = node_selection(&mut coll_c, 20);
+        let sel_d = node_selection(&mut coll_d, 20);
+        assert_eq!(sel_c.seeds, sel_d.seeds, "{model:?}");
+        assert_eq!(sel_c.covered, sel_d.covered, "{model:?}");
+    }
+}
+
+#[test]
+fn constant_representation_matches_its_per_edge_copy() {
+    let topo = wc_graph();
+    let compact = topo.reweighted_as(Weighting::Constant(0.05), 0);
+    assert_eq!(compact.weight_class(), WeightClass::Constant(0.05));
+    let dense = per_edge_copy(&compact);
+    let mut coll_c = RrCollection::new(&compact, DiffusionModel::IC, 7);
+    let mut coll_d = RrCollection::new(&dense, DiffusionModel::IC, 7);
+    coll_c.extend_to(&compact, 3_000);
+    coll_d.extend_to(&dense, 3_000);
+    assert_eq!(coll_c, coll_d);
+    let sel_c = node_selection(&mut coll_c, 10);
+    let sel_d = node_selection(&mut coll_d, 10);
+    assert_eq!(sel_c.seeds, sel_d.seeds);
+    assert_eq!(sel_c.covered, sel_d.covered);
+}
+
+#[test]
+fn welfare_estimates_are_bit_identical_across_representations() {
+    let (compact, dense) = wc_pair();
+    let model = uic::datasets::TwoItemConfig::new(1).model();
+    let mut alloc = uic::diffusion::Allocation::new();
+    for v in 0..10u32 {
+        alloc.assign(v, v % 2);
+    }
+    let a = WelfareEstimator::new(&compact, &model, 200, 9).estimate(&alloc);
+    let b = WelfareEstimator::new(&dense, &model, 200, 9).estimate(&alloc);
+    assert_eq!(a, b, "welfare estimator must not see the representation");
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_solver_outputs() {
+    let g = wc_graph();
+    let mut buf = Vec::new();
+    uic::graph::write_snapshot(&g, &mut buf).unwrap();
+    let loaded = uic::graph::read_snapshot(&buf[..]).unwrap();
+    assert_eq!(loaded, g);
+    let mut coll_a = RrCollection::new(&g, DiffusionModel::IC, 3);
+    let mut coll_b = RrCollection::new(&loaded, DiffusionModel::IC, 3);
+    coll_a.extend_to(&g, 2_000);
+    coll_b.extend_to(&loaded, 2_000);
+    let sel_a = node_selection(&mut coll_a, 10);
+    let sel_b = node_selection(&mut coll_b, 10);
+    assert_eq!(sel_a.seeds, sel_b.seeds);
+    assert_eq!(sel_a.covered, sel_b.covered);
+}
