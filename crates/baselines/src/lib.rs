@@ -54,6 +54,6 @@ pub use heuristics::{degree_top, pagerank_top};
 #[allow(deprecated)]
 pub use item_disj::item_disj;
 #[allow(deprecated)]
-pub use mc_greedy::mc_greedy_welfare;
+pub use mc_greedy::{mc_greedy_welfare, mc_greedy_welfare_for};
 #[allow(deprecated)]
 pub use rr_sim::{rr_cim, rr_sim_plus};

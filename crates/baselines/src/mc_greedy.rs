@@ -25,8 +25,11 @@
 //! shared estimate never decreases along the greedy path, so the loop
 //! runs until the budgets are exhausted.
 
+use std::sync::Arc;
 use std::time::Instant;
-use uic_diffusion::{Allocation, SolveReport, WelfareEstimator};
+use uic_diffusion::{
+    default_objective, Allocation, ObjectiveError, SolveReport, WelfareEstimator, WelfareObjective,
+};
 use uic_graph::{Graph, NodeId};
 use uic_items::UtilityModel;
 
@@ -48,14 +51,44 @@ pub fn mc_greedy_welfare(
     sims: u32,
     seed: u64,
 ) -> SolveReport {
+    mc_greedy_welfare_for(
+        g,
+        model,
+        budgets,
+        candidates,
+        sims,
+        seed,
+        default_objective(),
+    )
+    .expect("the utilitarian default validates against any graph")
+}
+
+/// [`mc_greedy_welfare`] under an arbitrary [`WelfareObjective`].
+///
+/// Because every round re-estimates full allocations by simulation, the
+/// greedy needs **no** structural assumption on the objective — this is
+/// the solver of last resort for non-additive objectives (maximin, CES,
+/// per-community) that the RIS machinery refuses. The only failure mode
+/// is an objective that does not fit the graph (community labeling of
+/// the wrong size).
+pub fn mc_greedy_welfare_for(
+    g: &Graph,
+    model: &UtilityModel,
+    budgets: &[u32],
+    candidates: &[NodeId],
+    sims: u32,
+    seed: u64,
+    objective: Arc<dyn WelfareObjective>,
+) -> Result<SolveReport, ObjectiveError> {
     assert_eq!(
         budgets.len() as u32,
         model.num_items(),
         "budget arity mismatch"
     );
     assert!(!candidates.is_empty(), "need a non-empty candidate pool");
+    objective.validate_for(g.num_nodes())?;
     let start = Instant::now();
-    let estimator = WelfareEstimator::new(g, model, sims, seed);
+    let estimator = WelfareEstimator::new(g, model, sims, seed).with_objective(objective);
     let mut allocation = Allocation::new();
     let mut remaining: Vec<u32> = budgets.to_vec();
     loop {
@@ -86,7 +119,7 @@ pub fn mc_greedy_welfare(
             break;
         }
     }
-    SolveReport::new("mc-greedy", allocation).with_elapsed_since(start)
+    Ok(SolveReport::new("mc-greedy", allocation).with_elapsed_since(start))
 }
 
 #[cfg(test)]
@@ -203,5 +236,41 @@ mod tests {
     fn arity_mismatch_rejected() {
         let g = path3();
         mc_greedy_welfare(&g, &complementary_model(), &[1], &[0], 10, 1);
+    }
+
+    #[test]
+    fn objective_variant_defaults_to_the_deprecated_entry_point() {
+        use uic_diffusion::{default_objective, Ces};
+        let g = path3();
+        let model = complementary_model();
+        let plain = mc_greedy_welfare(&g, &model, &[1, 1], &[0, 1, 2], 150, 9);
+        let gated =
+            mc_greedy_welfare_for(&g, &model, &[1, 1], &[0, 1, 2], 150, 9, default_objective())
+                .unwrap();
+        assert_eq!(plain.allocation, gated.allocation);
+        // A non-additive objective is perfectly fine here.
+        let ces = mc_greedy_welfare_for(
+            &g,
+            &model,
+            &[1, 1],
+            &[0, 1, 2],
+            150,
+            9,
+            Arc::new(Ces::new(0.5).unwrap()),
+        )
+        .unwrap();
+        assert!(ces.allocation.respects_budgets(&[1, 1]));
+    }
+
+    #[test]
+    fn mismatched_labeling_is_a_typed_error() {
+        use uic_diffusion::{ObjectiveError, PerCommunity};
+        use uic_graph::CommunityLabels;
+        let g = path3();
+        let model = complementary_model();
+        let labels = Arc::new(CommunityLabels::contiguous(7, 2)); // wrong n
+        let obj = Arc::new(PerCommunity::new(labels, 0.5).unwrap());
+        let err = mc_greedy_welfare_for(&g, &model, &[1, 1], &[0, 1, 2], 50, 9, obj).unwrap_err();
+        assert!(matches!(err, ObjectiveError::LabelingMismatch { .. }));
     }
 }

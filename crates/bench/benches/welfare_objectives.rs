@@ -1,0 +1,69 @@
+//! Welfare-objective estimator overhead (BENCH_welfare.json).
+//!
+//! The pluggable-objective refactor routes every Monte-Carlo welfare
+//! sample through a `WelfareObjective` aggregation instead of the
+//! hard-coded utility sum. This bench guards the refactor's acceptance
+//! bar — the utilitarian path must stay within ~5% of the pre-refactor
+//! estimator — and records what the inequality-averse objectives cost
+//! on top (they walk the same outcomes, so the delta is aggregation
+//! only, not simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use uic_datasets::{community_partition, erdos_renyi};
+use uic_diffusion::{Allocation, Ces, Maximin, PerCommunity, WelfareEstimator, WelfareObjective};
+use uic_items::{NoiseModel, Price, TableValuation, UtilityModel};
+
+fn model() -> UtilityModel {
+    UtilityModel::new(
+        Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 3.0, 8.0])),
+        Price::additive(vec![3.0, 4.0]),
+        NoiseModel::none(2),
+    )
+}
+
+fn seeds_alloc() -> Allocation {
+    let seeds: Vec<u32> = (0..20).collect();
+    Allocation::from_item_seeds(&[seeds.clone(), seeds])
+}
+
+fn bench_objective_estimators(c: &mut Criterion) {
+    let g = erdos_renyi(10_000, 50_000, 7);
+    let m = model();
+    let alloc = seeds_alloc();
+    let mut group = c.benchmark_group("welfare_objectives_10k");
+    group.sample_size(10);
+    group.bench_function("utilitarian_200_sims", |b| {
+        b.iter(|| {
+            WelfareEstimator::new(&g, &m, 200, 11)
+                .with_threads(1)
+                .estimate(&alloc)
+        })
+    });
+    let labels = Arc::new(community_partition(&g, 8, 3));
+    let swapped: [(&str, Arc<dyn WelfareObjective>); 3] = [
+        ("maximin_200_sims", Arc::new(Maximin)),
+        (
+            "ces_a05_200_sims",
+            Arc::new(Ces::new(0.5).expect("0.5 is a valid exponent")),
+        ),
+        (
+            "per_community_8_200_sims",
+            Arc::new(PerCommunity::new(labels, 0.5).expect("labels cover the graph")),
+        ),
+    ];
+    for (name, objective) in swapped {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                WelfareEstimator::new(&g, &m, 200, 11)
+                    .with_threads(1)
+                    .with_objective(objective.clone())
+                    .estimate(&alloc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_objective_estimators);
+criterion_main!(benches);

@@ -24,10 +24,14 @@
 //!   string-keyed [`solver::registry`], typed per-algorithm parameter
 //!   structs with config-text serialization, and the [`WelMax`] builder
 //!   for assembling instances.
+//! * [`objective`] — [`ObjectiveSpec`]: the `objective=` key of the spec
+//!   text format, resolving to the pluggable welfare objectives of
+//!   `uic-diffusion` (utilitarian / maximin / CES / per-community).
 
 pub mod accounting;
 pub mod bundle_grd;
 pub mod exact;
+pub mod objective;
 pub mod problem;
 pub mod solver;
 
@@ -36,6 +40,7 @@ pub use accounting::{greedy_welfare_decomposition, upper_bound_welfare};
 pub use bundle_grd::bundle_grd;
 pub use bundle_grd::BundleGrdResult;
 pub use exact::solve_welmax_bruteforce;
+pub use objective::{ObjectiveSpec, PER_COMMUNITY_PARTITION_SEED};
 pub use problem::{InstanceError, WelMax, WelMaxInstance};
 pub use solver::{registry, Allocator, RegistryEntry, RegistryError, SolveCtx, Unsupported};
 // The unified report type lives in uic-diffusion (below every algorithm

@@ -1,0 +1,260 @@
+//! The `objective=` registry syntax: typed welfare-objective parameters
+//! for the config text format.
+//!
+//! [`ObjectiveSpec`] is the serializable counterpart of
+//! [`uic_diffusion::WelfareObjective`]: it carries the objective's typed
+//! parameters through [`uic_datasets::SpecMap`] text
+//! (`objective=ces alpha=0.5`, `objective=per-community communities=4
+//! alpha=0.5`, …) and resolves to a live objective against a concrete
+//! graph. The resolution is what turns `per-community` into an actual
+//! node → community labeling, via the deterministic multi-source-BFS
+//! partitioner in `uic-datasets` (seeded with
+//! [`PER_COMMUNITY_PARTITION_SEED`], so a spec line pins the labeling
+//! byte-for-byte). Programmatic callers with their own labeling bypass
+//! specs entirely and hand an objective to
+//! [`WelMax::objective`](crate::WelMax::objective).
+
+use std::fmt;
+use std::sync::Arc;
+use uic_datasets::{community_partition, SpecError, SpecMap};
+use uic_diffusion::{Ces, Maximin, ObjectiveError, PerCommunity, Utilitarian, WelfareObjective};
+use uic_graph::Graph;
+
+/// Fixed seed of the multi-source-BFS partition behind
+/// `objective=per-community` specs: the labeling must be a pure function
+/// of the spec text and the graph, never of run state.
+pub const PER_COMMUNITY_PARTITION_SEED: u64 = 0xC0_77;
+
+/// Typed parameters of a welfare objective, as carried by the
+/// `objective=` key of the spec text format.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ObjectiveSpec {
+    /// `objective=utilitarian` — the paper's sum objective (the default).
+    #[default]
+    Utilitarian,
+    /// `objective=maximin` — the egalitarian floor `min_v U(A(v))`.
+    Maximin,
+    /// `objective=ces alpha=…` — the isoelastic family `Σ_v U(A(v))^α`
+    /// (`alpha` defaults to 0.5).
+    Ces {
+        /// CES exponent in `(0, 1]`.
+        alpha: f64,
+    },
+    /// `objective=per-community communities=… alpha=…` — group-level CES
+    /// over a deterministic BFS partition (`communities` defaults to 4,
+    /// `alpha` to 0.5).
+    PerCommunity {
+        /// Number of BFS-partition communities (≥ 1, capped at `n`).
+        communities: u32,
+        /// CES exponent in `(0, 1]` applied to community means.
+        alpha: f64,
+    },
+}
+
+impl ObjectiveSpec {
+    /// The `objective=` value this spec serializes to.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ObjectiveSpec::Utilitarian => "utilitarian",
+            ObjectiveSpec::Maximin => "maximin",
+            ObjectiveSpec::Ces { .. } => "ces",
+            ObjectiveSpec::PerCommunity { .. } => "per-community",
+        }
+    }
+
+    /// Reads the objective keys (`objective`, `alpha`, `communities`)
+    /// from a spec map. `Ok(None)` when no `objective=` key is present
+    /// (callers fall back to the utilitarian default).
+    pub fn from_params(params: &SpecMap) -> Result<Option<ObjectiveSpec>, SpecError> {
+        let Some(name) = params.get("objective") else {
+            return Ok(None);
+        };
+        let spec = match name {
+            "utilitarian" => ObjectiveSpec::Utilitarian,
+            "maximin" => ObjectiveSpec::Maximin,
+            "ces" => ObjectiveSpec::Ces {
+                alpha: read_alpha(params)?,
+            },
+            "per-community" => ObjectiveSpec::PerCommunity {
+                communities: match params.get_u32("communities")?.unwrap_or(4) {
+                    0 => {
+                        return Err(SpecError::BadValue {
+                            key: "communities".to_string(),
+                            value: "0".to_string(),
+                            expected: "a community count ≥ 1",
+                        })
+                    }
+                    k => k,
+                },
+                alpha: read_alpha(params)?,
+            },
+            other => {
+                return Err(SpecError::BadValue {
+                    key: "objective".to_string(),
+                    value: other.to_string(),
+                    expected: "utilitarian|maximin|ces|per-community",
+                })
+            }
+        };
+        Ok(Some(spec))
+    }
+
+    /// Serializes the objective keys (explicit values, like the solver
+    /// parameter structs, so spec lines are self-documenting).
+    pub fn to_params(&self) -> SpecMap {
+        let m = SpecMap::new().with("objective", self.key());
+        match *self {
+            ObjectiveSpec::Utilitarian | ObjectiveSpec::Maximin => m,
+            ObjectiveSpec::Ces { alpha } => m.with("alpha", alpha),
+            ObjectiveSpec::PerCommunity { communities, alpha } => {
+                m.with("communities", communities).with("alpha", alpha)
+            }
+        }
+    }
+
+    /// Resolves to a live objective against a concrete graph
+    /// (`per-community` draws its labeling here, deterministically).
+    pub fn resolve(&self, g: &Graph) -> Result<Arc<dyn WelfareObjective>, ObjectiveError> {
+        Ok(match *self {
+            ObjectiveSpec::Utilitarian => Arc::new(Utilitarian),
+            ObjectiveSpec::Maximin => Arc::new(Maximin),
+            ObjectiveSpec::Ces { alpha } => Arc::new(Ces::new(alpha)?),
+            ObjectiveSpec::PerCommunity { communities, alpha } => {
+                let labels =
+                    community_partition(g, communities.max(1), PER_COMMUNITY_PARTITION_SEED);
+                Arc::new(PerCommunity::new(Arc::new(labels), alpha)?)
+            }
+        })
+    }
+}
+
+impl fmt::Display for ObjectiveSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_params())
+    }
+}
+
+fn read_alpha(params: &SpecMap) -> Result<f64, SpecError> {
+    let alpha = params.get_f64("alpha")?.unwrap_or(0.5);
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(SpecError::BadValue {
+            key: "alpha".to_string(),
+            value: alpha.to_string(),
+            expected: "a CES exponent in (0, 1]",
+        });
+    }
+    Ok(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_objective_and_round_trips() {
+        let cases = [
+            ("objective=utilitarian", ObjectiveSpec::Utilitarian),
+            ("objective=maximin", ObjectiveSpec::Maximin),
+            (
+                "objective=ces alpha=0.25",
+                ObjectiveSpec::Ces { alpha: 0.25 },
+            ),
+            (
+                "objective=per-community communities=3 alpha=0.5",
+                ObjectiveSpec::PerCommunity {
+                    communities: 3,
+                    alpha: 0.5,
+                },
+            ),
+        ];
+        for (text, want) in cases {
+            let parsed = ObjectiveSpec::from_params(&SpecMap::parse(text).unwrap())
+                .unwrap()
+                .unwrap();
+            assert_eq!(parsed, want, "{text}");
+            // to_params → from_params is the identity.
+            let reparsed = ObjectiveSpec::from_params(&parsed.to_params())
+                .unwrap()
+                .unwrap();
+            assert_eq!(reparsed, parsed, "{text}");
+        }
+    }
+
+    #[test]
+    fn absent_objective_key_is_none_and_defaults_apply() {
+        assert_eq!(
+            ObjectiveSpec::from_params(&SpecMap::parse("eps=0.3").unwrap()).unwrap(),
+            None
+        );
+        assert_eq!(ObjectiveSpec::default(), ObjectiveSpec::Utilitarian);
+        // ces/per-community defaults are documented values.
+        assert_eq!(
+            ObjectiveSpec::from_params(&SpecMap::parse("objective=ces").unwrap())
+                .unwrap()
+                .unwrap(),
+            ObjectiveSpec::Ces { alpha: 0.5 }
+        );
+        assert_eq!(
+            ObjectiveSpec::from_params(&SpecMap::parse("objective=per-community").unwrap())
+                .unwrap()
+                .unwrap(),
+            ObjectiveSpec::PerCommunity {
+                communities: 4,
+                alpha: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_values_are_typed_spec_errors() {
+        for text in [
+            "objective=nash",
+            "objective=ces alpha=0",
+            "objective=ces alpha=1.5",
+            "objective=ces alpha=nan",
+            "objective=per-community communities=0",
+        ] {
+            let err = ObjectiveSpec::from_params(&SpecMap::parse(text).unwrap()).unwrap_err();
+            assert!(matches!(err, SpecError::BadValue { .. }), "{text}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn resolve_builds_live_objectives() {
+        let g = Graph::from_edges(6, &[(0, 1, 0.5), (1, 2, 0.5), (3, 4, 0.5)]);
+        assert_eq!(
+            ObjectiveSpec::Utilitarian.resolve(&g).unwrap().key(),
+            "utilitarian"
+        );
+        assert_eq!(ObjectiveSpec::Maximin.resolve(&g).unwrap().key(), "maximin");
+        assert_eq!(
+            ObjectiveSpec::Ces { alpha: 0.5 }.resolve(&g).unwrap().key(),
+            "ces"
+        );
+        let pc = ObjectiveSpec::PerCommunity {
+            communities: 2,
+            alpha: 0.5,
+        }
+        .resolve(&g)
+        .unwrap();
+        assert_eq!(pc.key(), "per-community");
+        assert!(pc.validate_for(6).is_ok(), "labeling must cover the graph");
+        // Resolution is deterministic: same spec + graph → same labeling.
+        let again = ObjectiveSpec::PerCommunity {
+            communities: 2,
+            alpha: 0.5,
+        }
+        .resolve(&g)
+        .unwrap();
+        assert!(again.validate_for(6).is_ok());
+    }
+
+    #[test]
+    fn display_is_the_spec_fragment() {
+        assert_eq!(
+            ObjectiveSpec::Ces { alpha: 0.25 }.to_string(),
+            "objective=ces alpha=0.25"
+        );
+        assert_eq!(ObjectiveSpec::Maximin.to_string(), "objective=maximin");
+    }
+}

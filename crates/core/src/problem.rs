@@ -1,11 +1,15 @@
 //! The WelMax problem instance (Problem 1 of the paper).
 
+use crate::objective::ObjectiveSpec;
 use std::fmt;
+use std::sync::Arc;
+use uic_diffusion::{default_objective, ObjectiveError, WelfareObjective};
 use uic_graph::Graph;
 use uic_items::UtilityModel;
 
 /// Why a WelMax instance could not be assembled.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum InstanceError {
     /// `budgets.len()` disagrees with the model's item count.
     ArityMismatch {
@@ -36,6 +40,20 @@ pub enum InstanceError {
     MissingModel,
     /// The builder was finalized without a budget vector.
     MissingBudgets,
+    /// The welfare objective does not fit the instance (the carried
+    /// message is the underlying [`uic_diffusion::ObjectiveError`]).
+    BadObjective {
+        /// Why the objective was rejected.
+        reason: String,
+    },
+}
+
+impl From<ObjectiveError> for InstanceError {
+    fn from(e: ObjectiveError) -> Self {
+        InstanceError::BadObjective {
+            reason: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for InstanceError {
@@ -61,6 +79,9 @@ impl fmt::Display for InstanceError {
             ),
             InstanceError::MissingModel => write!(f, "builder needs a utility model"),
             InstanceError::MissingBudgets => write!(f, "builder needs a budget vector"),
+            InstanceError::BadObjective { ref reason } => {
+                write!(f, "objective does not fit the instance: {reason}")
+            }
         }
     }
 }
@@ -85,6 +106,7 @@ pub struct WelMaxInstance<'a> {
     graph: &'a Graph,
     model: UtilityModel,
     budgets: Vec<u32>,
+    objective: Arc<dyn WelfareObjective>,
 }
 
 impl<'a> WelMaxInstance<'a> {
@@ -148,7 +170,24 @@ impl<'a> WelMaxInstance<'a> {
             graph,
             model,
             budgets,
+            objective: default_objective(),
         })
+    }
+
+    /// Replaces the welfare objective (default: utilitarian), validating
+    /// it against the graph (community labelings must cover every node).
+    pub fn with_objective(
+        mut self,
+        objective: Arc<dyn WelfareObjective>,
+    ) -> Result<Self, InstanceError> {
+        objective.validate_for(self.graph.num_nodes())?;
+        self.objective = objective;
+        Ok(self)
+    }
+
+    /// The welfare objective solvers optimize and score under.
+    pub fn objective(&self) -> &Arc<dyn WelfareObjective> {
+        &self.objective
     }
 
     /// The social network.
@@ -210,6 +249,13 @@ pub struct WelMax<'a> {
     model: Option<UtilityModel>,
     budgets: Option<Vec<u32>>,
     any_order: bool,
+    objective: Option<ObjectiveChoice>,
+}
+
+/// How the builder was told about the objective (last call wins).
+enum ObjectiveChoice {
+    Direct(Arc<dyn WelfareObjective>),
+    Spec(ObjectiveSpec),
 }
 
 impl<'a> WelMax<'a> {
@@ -220,6 +266,7 @@ impl<'a> WelMax<'a> {
             model: None,
             budgets: None,
             any_order: false,
+            objective: None,
         }
     }
 
@@ -242,14 +289,58 @@ impl<'a> WelMax<'a> {
         self
     }
 
+    /// Sets the welfare objective (default: utilitarian). Overrides any
+    /// earlier [`Self::objective`] / [`Self::objective_spec`] call.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use uic_core::WelMax;
+    /// use uic_diffusion::Maximin;
+    /// # use uic_graph::Graph;
+    /// # use uic_items::{NoiseModel, Price, TableValuation, UtilityModel};
+    /// # let g = Graph::from_edges(4, &[(0, 1, 0.5)]);
+    /// # let model = UtilityModel::new(
+    /// #     Arc::new(TableValuation::from_table(1, vec![0.0, 2.0])),
+    /// #     Price::additive(vec![1.0]),
+    /// #     NoiseModel::none(1),
+    /// # );
+    /// let inst = WelMax::on(&g)
+    ///     .model(model)
+    ///     .budgets([2u32])
+    ///     .objective(Arc::new(Maximin))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(inst.objective().key(), "maximin");
+    /// ```
+    pub fn objective(mut self, objective: Arc<dyn WelfareObjective>) -> Self {
+        self.objective = Some(ObjectiveChoice::Direct(objective));
+        self
+    }
+
+    /// Sets the welfare objective from a typed [`ObjectiveSpec`] (the
+    /// `objective=` registry syntax); resolved against the graph at
+    /// [`Self::build`] time. Overrides any earlier objective call.
+    pub fn objective_spec(mut self, spec: ObjectiveSpec) -> Self {
+        self.objective = Some(ObjectiveChoice::Spec(spec));
+        self
+    }
+
     /// Finalizes the instance.
     pub fn build(self) -> Result<WelMaxInstance<'a>, InstanceError> {
         let model = self.model.ok_or(InstanceError::MissingModel)?;
         let budgets = self.budgets.ok_or(InstanceError::MissingBudgets)?;
-        if self.any_order {
-            WelMaxInstance::try_new_any_order(self.graph, model, budgets)
+        let inst = if self.any_order {
+            WelMaxInstance::try_new_any_order(self.graph, model, budgets)?
         } else {
-            WelMaxInstance::try_new(self.graph, model, budgets)
+            WelMaxInstance::try_new(self.graph, model, budgets)?
+        };
+        match self.objective {
+            None => Ok(inst),
+            Some(ObjectiveChoice::Direct(obj)) => inst.with_objective(obj),
+            Some(ObjectiveChoice::Spec(spec)) => {
+                let obj = spec.resolve(inst.graph())?;
+                inst.with_objective(obj)
+            }
         }
     }
 }

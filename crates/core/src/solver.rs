@@ -21,15 +21,26 @@
 //! entry; adding a workload means adding an entry, not a new `match` arm.
 //! The deprecated free functions (`bundle_grd`, `uic_baselines::*`)
 //! remain as the engines these impls wrap.
+//!
+//! Instances carry a pluggable welfare objective (utilitarian unless
+//! [`crate::WelMax::objective`] says otherwise): [`Allocator::solve`]
+//! scores every report under the instance's objective, the RIS solvers
+//! whose `(1 − 1/e − ε)` machinery needs a sum-decomposable objective
+//! (bundle-grd, item-disj, bundle-disj, rr-sim+, rr-cim) refuse
+//! non-additive ones through [`Allocator::supports`], and spec lines
+//! select objectives with the same `key=value` syntax —
+//! `"mc-greedy objective=ces alpha=0.5"` via
+//! [`<dyn Allocator>::parse_with_objective`](trait.Allocator.html#method.parse_with_objective).
 
 #![allow(deprecated)] // the registry is the supported facade over the deprecated free-function engines
 
+use crate::objective::ObjectiveSpec;
 use crate::problem::WelMaxInstance;
 use std::fmt;
 use std::time::Instant;
 use uic_baselines as baselines;
 use uic_datasets::{SolverSpec, SpecError, SpecMap};
-use uic_diffusion::{SolveReport, WelfareEstimator};
+use uic_diffusion::{ObjectiveError, SolveReport, WelfareEstimator};
 use uic_graph::NodeId;
 use uic_im::DiffusionModel;
 use uic_items::{GapParams, ItemSet};
@@ -140,7 +151,8 @@ pub trait Allocator {
 
     /// Runs the algorithm and completes the report: stamps the seed and
     /// per-item budget usage, and (when `ctx.sims > 0`) attaches welfare
-    /// statistics estimated on the instance's own utility model.
+    /// statistics estimated on the instance's own utility model, under
+    /// the instance's welfare objective.
     ///
     /// `elapsed` in the report covers the algorithm only — scoring time
     /// is excluded, exactly as the paper's running-time figures demand.
@@ -156,7 +168,8 @@ pub trait Allocator {
         report.budgets_used = report.allocation.budgets_used(inst.num_items());
         if ctx.sims > 0 {
             let mut est =
-                WelfareEstimator::new(inst.graph(), inst.model(), ctx.sims, ctx.welfare_seed);
+                WelfareEstimator::new(inst.graph(), inst.model(), ctx.sims, ctx.welfare_seed)
+                    .with_objective(inst.objective().clone());
             if let Some(t) = ctx.threads {
                 est = est.with_threads(t);
             }
@@ -187,6 +200,26 @@ fn model_str(model: DiffusionModel) -> &'static str {
     match model {
         DiffusionModel::IC => "ic",
         DiffusionModel::LT => "lt",
+    }
+}
+
+/// Gate shared by the RIS/guarantee solvers: their submodularity
+/// arguments decompose welfare as a sum over nodes, so any objective
+/// that is not additive voids the machinery — refuse rather than return
+/// an allocation the guarantee does not cover.
+fn requires_additive(name: &'static str, inst: &WelMaxInstance) -> Result<(), Unsupported> {
+    let objective = inst.objective();
+    if objective.is_additive() {
+        Ok(())
+    } else {
+        Err(Unsupported {
+            algorithm: name,
+            reason: ObjectiveError::NonAdditive {
+                objective: objective.key().to_string(),
+                algorithm: name.to_string(),
+            }
+            .to_string(),
+        })
     }
 }
 
@@ -246,6 +279,10 @@ impl Allocator for BundleGrd {
             name: self.name().to_string(),
             params: self.to_spec(),
         }
+    }
+
+    fn supports(&self, inst: &WelMaxInstance) -> Result<(), Unsupported> {
+        requires_additive(self.name(), inst)
     }
 
     fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
@@ -324,6 +361,10 @@ impl Allocator for ItemDisj {
         }
     }
 
+    fn supports(&self, inst: &WelMaxInstance) -> Result<(), Unsupported> {
+        requires_additive(self.name(), inst)
+    }
+
     fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
         baselines::item_disj(
             inst.graph(),
@@ -389,6 +430,10 @@ impl Allocator for BundleDisj {
             name: self.name().to_string(),
             params: self.to_spec(),
         }
+    }
+
+    fn supports(&self, inst: &WelMaxInstance) -> Result<(), Unsupported> {
+        requires_additive(self.name(), inst)
     }
 
     fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
@@ -465,7 +510,8 @@ impl Allocator for RrSimPlus {
     }
 
     fn supports(&self, inst: &WelMaxInstance) -> Result<(), Unsupported> {
-        needs_two_items(self.name(), inst)
+        needs_two_items(self.name(), inst)?;
+        requires_additive(self.name(), inst)
     }
 
     fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
@@ -529,7 +575,8 @@ impl Allocator for RrCim {
     }
 
     fn supports(&self, inst: &WelMaxInstance) -> Result<(), Unsupported> {
-        needs_two_items(self.name(), inst)
+        needs_two_items(self.name(), inst)?;
+        requires_additive(self.name(), inst)
     }
 
     fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
@@ -623,7 +670,10 @@ impl Allocator for Bdhs {
 /// **MC pair-greedy**: direct greedy on the Monte-Carlo welfare estimate
 /// over `(node, item)` pairs — the guarantee-free, expensive strawman.
 /// Candidates are all nodes when the graph is small, else the top
-/// `pool` nodes by out-degree. Registry key `"mc-greedy"`.
+/// `pool` nodes by out-degree. Greedy gains are measured under the
+/// instance's welfare objective, so this is the reference optimizer for
+/// the non-additive (maximin / CES / per-community) objectives the RIS
+/// solvers refuse. Registry key `"mc-greedy"`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct McGreedy {
     /// Monte-Carlo samples per candidate evaluation.
@@ -678,14 +728,16 @@ impl Allocator for McGreedy {
             candidates.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(v)), v));
             candidates.truncate(self.pool as usize);
         }
-        baselines::mc_greedy_welfare(
+        baselines::mc_greedy_welfare_for(
             g,
             inst.model(),
             inst.budgets(),
             &candidates,
             self.sims,
             ctx.seed,
+            inst.objective().clone(),
         )
+        .expect("the instance validated its objective on construction")
     }
 }
 
@@ -948,6 +1000,51 @@ impl dyn Allocator {
     pub fn parse(text: &str) -> Result<Box<dyn Allocator>, RegistryError> {
         <dyn Allocator>::from_spec(&SolverSpec::parse(text)?)
     }
+
+    /// Like [`<dyn Allocator>::from_spec`](trait.Allocator.html#method.from_spec),
+    /// but also reads the welfare-objective keys (`objective`, and its
+    /// `alpha`/`communities` parameters where the objective defines
+    /// them) from the same spec line. Absent an `objective=` key the
+    /// returned spec is [`ObjectiveSpec::Utilitarian`].
+    ///
+    /// Strictness carries over: a key neither the algorithm nor the
+    /// *parsed* objective serializes is an [`RegistryError::UnknownKey`]
+    /// — so `degree-top objective=maximin alpha=0.5` is rejected
+    /// (maximin takes no `alpha`) rather than silently dropping a knob.
+    pub fn from_spec_with_objective(
+        spec: &SolverSpec,
+    ) -> Result<(Box<dyn Allocator>, ObjectiveSpec), RegistryError> {
+        let built = registry()
+            .iter()
+            .find(|e| e.name == spec.name)
+            .ok_or_else(|| RegistryError::UnknownAlgorithm(spec.name.clone()))?
+            .build(&spec.params)
+            .map_err(RegistryError::from)?;
+        let objective = ObjectiveSpec::from_params(&spec.params)?.unwrap_or_default();
+        let known = built.spec();
+        let objective_keys = objective.to_params();
+        if let Some(bad) = spec
+            .params
+            .keys()
+            .find(|k| known.params.get(k).is_none() && objective_keys.get(k).is_none())
+        {
+            return Err(RegistryError::UnknownKey {
+                algorithm: spec.name.clone(),
+                key: bad.to_string(),
+            });
+        }
+        Ok((built, objective))
+    }
+
+    /// Parses a config text line that may carry objective keys —
+    /// `"mc-greedy objective=ces alpha=0.5"` — into the allocator and
+    /// the objective spec to build the instance with (via
+    /// [`crate::WelMax::objective_spec`]).
+    pub fn parse_with_objective(
+        text: &str,
+    ) -> Result<(Box<dyn Allocator>, ObjectiveSpec), RegistryError> {
+        <dyn Allocator>::from_spec_with_objective(&SolverSpec::parse(text)?)
+    }
 }
 
 #[cfg(test)]
@@ -1144,6 +1241,149 @@ mod tests {
         let report = Bdhs.solve(&inst, &SolveCtx::new(1).with_sims(10));
         assert!(report.allocation.is_empty());
         assert_eq!(report.welfare_mean(), 0.0);
+    }
+
+    #[test]
+    fn non_additive_objectives_gate_the_ris_solvers() {
+        let g = hub_graph();
+        let inst = WelMax::on(&g)
+            .model(two_item_model())
+            .budgets([3u32, 2])
+            .objective(Arc::new(uic_diffusion::Maximin))
+            .build()
+            .unwrap();
+        let ctx = SolveCtx::new(7).with_sims(30);
+        let gated = [
+            "bundle-grd",
+            "item-disj",
+            "bundle-disj",
+            "rr-sim+",
+            "rr-cim",
+        ];
+        for name in gated {
+            let err = <dyn Allocator>::by_name(name)
+                .unwrap()
+                .supports(&inst)
+                .unwrap_err();
+            assert_eq!(err.algorithm, name);
+            assert!(err.reason.contains("additive"), "{name}: {}", err.reason);
+        }
+        // The simulation-based / objective-independent solvers still run,
+        // scored under the instance's (maximin) objective.
+        for name in ["mc-greedy", "bdhs", "degree-top", "pagerank-top"] {
+            let report = <dyn Allocator>::by_name(name).unwrap().solve(&inst, &ctx);
+            assert!(report.welfare_mean().is_finite(), "{name}");
+            assert!(report.allocation.respects_budgets(inst.budgets()), "{name}");
+        }
+    }
+
+    #[test]
+    fn solve_scores_under_the_instance_objective() {
+        let g = hub_graph();
+        let model = two_item_model();
+        let ces: Arc<dyn uic_diffusion::WelfareObjective> =
+            Arc::new(uic_diffusion::Ces::new(0.5).unwrap());
+        let inst = WelMax::on(&g)
+            .model(model.clone())
+            .budgets([3u32, 2])
+            .objective(ces.clone())
+            .build()
+            .unwrap();
+        let ctx = SolveCtx::new(11).with_sims(200);
+        let report = <dyn Allocator>::by_name("degree-top")
+            .unwrap()
+            .solve(&inst, &ctx);
+        let direct = WelfareEstimator::new(&g, &model, 200, ctx.welfare_seed)
+            .with_objective(ces)
+            .estimate_stats(&report.allocation);
+        assert_eq!(report.welfare_stats(), &direct);
+        // An explicit utilitarian objective is bit-identical to the
+        // default path (the refactor's compatibility contract).
+        let plain = WelMax::on(&g)
+            .model(model.clone())
+            .budgets([3u32, 2])
+            .build()
+            .unwrap();
+        let explicit = WelMax::on(&g)
+            .model(model)
+            .budgets([3u32, 2])
+            .objective_spec(ObjectiveSpec::Utilitarian)
+            .build()
+            .unwrap();
+        let a = <dyn Allocator>::by_name("bundle-grd")
+            .unwrap()
+            .solve(&plain, &ctx);
+        let b = <dyn Allocator>::by_name("bundle-grd")
+            .unwrap()
+            .solve(&explicit, &ctx);
+        assert_eq!(a.allocation, b.allocation);
+        assert_eq!(a.welfare, b.welfare);
+    }
+
+    #[test]
+    fn objective_specs_ride_the_registry_text_format() {
+        let (solver, obj) =
+            <dyn Allocator>::parse_with_objective("mc-greedy sims=50 objective=ces alpha=0.25")
+                .unwrap();
+        assert_eq!(solver.name(), "mc-greedy");
+        assert_eq!(obj, ObjectiveSpec::Ces { alpha: 0.25 });
+        // No objective key → utilitarian default, solver keys intact.
+        let (solver, obj) = <dyn Allocator>::parse_with_objective("bundle-grd eps=0.3").unwrap();
+        assert_eq!(solver.spec().params.get("eps"), Some("0.3"));
+        assert_eq!(obj, ObjectiveSpec::Utilitarian);
+        // Strict: maximin defines no alpha, so the stray key is caught.
+        assert_eq!(
+            <dyn Allocator>::parse_with_objective("degree-top objective=maximin alpha=0.5").err(),
+            Some(RegistryError::UnknownKey {
+                algorithm: "degree-top".to_string(),
+                key: "alpha".to_string(),
+            })
+        );
+        // The objective-blind path stays strict about objective keys too.
+        assert_eq!(
+            <dyn Allocator>::parse("degree-top objective=maximin").err(),
+            Some(RegistryError::UnknownKey {
+                algorithm: "degree-top".to_string(),
+                key: "objective".to_string(),
+            })
+        );
+        // Malformed objective values are typed spec errors.
+        assert!(matches!(
+            <dyn Allocator>::parse_with_objective("mc-greedy objective=ces alpha=7"),
+            Err(RegistryError::Spec(SpecError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn every_objective_is_selectable_end_to_end() {
+        let g = hub_graph();
+        let ctx = SolveCtx::new(3).with_sims(40);
+        for spec in [
+            ObjectiveSpec::Utilitarian,
+            ObjectiveSpec::Maximin,
+            ObjectiveSpec::Ces { alpha: 0.5 },
+            ObjectiveSpec::PerCommunity {
+                communities: 3,
+                alpha: 0.5,
+            },
+        ] {
+            let inst = WelMax::on(&g)
+                .model(two_item_model())
+                .budgets([3u32, 2])
+                .objective_spec(spec)
+                .build()
+                .unwrap();
+            assert_eq!(inst.objective().key(), spec.key());
+            let report = <dyn Allocator>::by_name("mc-greedy")
+                .unwrap()
+                .solve(&inst, &ctx);
+            assert!(report.welfare_mean().is_finite(), "{}", spec.key());
+            assert!(
+                report.allocation.respects_budgets(inst.budgets()),
+                "{}",
+                spec.key()
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   laptop scale, with the substitution rationale in DESIGN.md. Each is
 //!   deterministic given its seed and carries the paper's default
 //!   weighted-cascade probabilities `1/d_in(v)`.
+//! * [`communities`] — deterministic multi-source-BFS community
+//!   partitioning, the node → community labeling behind the
+//!   per-community welfare objective.
 //! * [`configs`] — the utility/budget configurations of Table 3
 //!   (two-item Configs 1–4) and Table 4 (multi-item Configs 5–8),
 //!   including the level-wise random supermodular generator and budget
@@ -29,6 +32,7 @@
 
 pub mod auction;
 pub mod cache;
+pub mod communities;
 pub mod configs;
 pub mod generators;
 pub mod networks;
@@ -36,6 +40,7 @@ pub mod real_params;
 pub mod spec;
 
 pub use cache::{CacheKey, SnapshotCache, CACHE_ENV_VAR};
+pub use communities::community_partition;
 pub use configs::{budget_splits, Config, TwoItemConfig};
 pub use generators::{erdos_renyi, preferential_attachment, watts_strogatz, PaOptions};
 pub use networks::{named_network, network_degree_table, network_stats_table, NamedNetwork};

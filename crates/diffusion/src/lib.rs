@@ -23,6 +23,9 @@
 //! * [`uic`] — the paper's multi-item **utility-driven IC** diffusion
 //!   (Fig. 1): desire/adoption sets, one-shot edge tests, per-noise-world
 //!   adoption oracle. A thin API layer over [`engine`].
+//! * [`objective`] — pluggable [`WelfareObjective`] aggregations
+//!   (utilitarian, maximin, CES, per-community) applied per possible
+//!   world; the utilitarian default reproduces the paper bit-for-bit.
 //! * [`welfare`] — Monte-Carlo social-welfare estimation
 //!   `ρ(𝒮) = E_{W^N} E_{W^E} [ Σ_v U(A_v) ]`, parallelized with
 //!   deterministic seed splitting; plus exact tiny-instance welfare.
@@ -38,6 +41,7 @@ pub mod comic;
 pub mod engine;
 pub mod ic;
 pub mod lt;
+pub mod objective;
 pub mod personalized;
 pub mod report;
 pub mod triggering;
@@ -50,6 +54,9 @@ pub use comic::{ComicOutcome, ComicSimulator};
 pub use engine::{CascadeState, EdgeOracle, LazyCoins, WorldOracle};
 pub use ic::{exact_spread, simulate_ic, spread_mc};
 pub use lt::simulate_lt;
+pub use objective::{
+    default_objective, Ces, Maximin, ObjectiveError, PerCommunity, Utilitarian, WelfareObjective,
+};
 pub use personalized::{
     personalized_welfare_mc, simulate_uic_personalized, PersonalizedOutcome, PersonalizedSimulator,
 };
@@ -59,5 +66,5 @@ pub use triggering::{
     UniformSubsetTriggering,
 };
 pub use uic::{simulate_uic, simulate_uic_in_world, UicOutcome, UicSimulator};
-pub use welfare::{exact_welfare_given_noise, WelfareEstimator};
+pub use welfare::{exact_welfare_given_noise, exact_welfare_given_noise_for, WelfareEstimator};
 pub use worlds::{enumerate_edge_worlds, LiveEdgeWorld};

@@ -1,0 +1,414 @@
+//! Pluggable welfare objectives.
+//!
+//! The paper optimizes one objective — the **sum** of user utilities
+//! (§3.3) — and that choice used to be hard-coded in every layer that
+//! touched welfare. [`WelfareObjective`] makes the aggregation a
+//! first-class parameter: an objective maps one diffusion outcome (one
+//! possible world) to a scalar welfare, and the Monte-Carlo estimator
+//! averages those per-world scalars, i.e. every objective is evaluated
+//! as **E[f(utilities)]**, never `f(E[utilities])`.
+//!
+//! Four objectives ship:
+//!
+//! * [`Utilitarian`] — `Σ_v U(A(v))`, the paper's objective and the
+//!   default everywhere. Delegates to [`UicOutcome::welfare`] so the
+//!   refactored pipeline is bit-identical to the pre-refactor one.
+//! * [`Maximin`] — `min_v U(A(v))` over **all** nodes (a node that
+//!   adopted nothing has utility 0), Rawls' egalitarian floor.
+//! * [`Ces`] — `Σ_v U(A(v))^α` for `α ∈ (0, 1]`, the isoelastic /
+//!   constant-elasticity family of Rahmattalabi et al. ("Fair Influence
+//!   Maximization: A Welfare Optimization Approach"): `α = 1` is
+//!   utilitarian, `α → 0` orders allocations like the Nash
+//!   (proportional-fairness) product.
+//! * [`PerCommunity`] — `Σ_c n_c · mean_{v ∈ c}(U(A(v)))^α` over a
+//!   [`CommunityLabels`] partition: inequality aversion applied
+//!   *between* groups while staying utilitarian *within* each group.
+//!
+//! Only the utilitarian sum decomposes over nodes, which is what RR-set
+//! coverage counting and the bundleGRD guarantee rely on; solvers that
+//! need that structure check [`WelfareObjective::is_additive`] and
+//! refuse non-additive objectives with a typed error instead of
+//! returning silently wrong answers.
+
+use crate::uic::UicOutcome;
+use std::fmt;
+use std::sync::Arc;
+use uic_graph::CommunityLabels;
+use uic_items::UtilityTable;
+
+/// Why an objective could not be built or applied.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ObjectiveError {
+    /// A CES exponent outside `(0, 1]` (or NaN).
+    InvalidAlpha {
+        /// The offending exponent.
+        alpha: f64,
+    },
+    /// A community labeling that does not cover the instance's node set.
+    LabelingMismatch {
+        /// Nodes the labeling covers.
+        labeled: u32,
+        /// Nodes the instance has.
+        nodes: u32,
+    },
+    /// An algorithm that needs a sum-decomposable objective was handed a
+    /// non-additive one.
+    NonAdditive {
+        /// The objective's registry key.
+        objective: String,
+        /// What required additivity.
+        algorithm: String,
+    },
+}
+
+impl fmt::Display for ObjectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectiveError::InvalidAlpha { alpha } => {
+                write!(f, "CES exponent alpha={alpha} must lie in (0, 1]")
+            }
+            ObjectiveError::LabelingMismatch { labeled, nodes } => write!(
+                f,
+                "community labeling covers {labeled} nodes but the instance has {nodes}"
+            ),
+            ObjectiveError::NonAdditive {
+                objective,
+                algorithm,
+            } => write!(
+                f,
+                "{algorithm} requires an additive (sum-decomposable) objective, \
+                 but `{objective}` is not; use objective=utilitarian or a \
+                 simulation-based solver (mc-greedy, bdhs, degree-top, pagerank-top)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ObjectiveError {}
+
+/// Aggregates one diffusion outcome into a scalar welfare.
+///
+/// Implementations must be pure functions of the outcome (no interior
+/// state, no randomness): the estimator calls [`Self::welfare`] once per
+/// Monte-Carlo sample from many threads and requires bit-identical
+/// results regardless of evaluation order.
+pub trait WelfareObjective: Send + Sync {
+    /// Registry key (`"utilitarian"`, `"maximin"`, `"ces"`,
+    /// `"per-community"`) used in `SolverSpec` text and reports.
+    fn key(&self) -> &'static str;
+
+    /// Welfare of one realized world. `num_nodes` is the instance's node
+    /// count — needed because nodes that adopted nothing do not appear
+    /// in `outcome.adoptions` yet still count (with utility 0) for
+    /// non-additive aggregations.
+    fn welfare(&self, outcome: &UicOutcome, table: &UtilityTable, num_nodes: u32) -> f64;
+
+    /// Whether the objective decomposes as a sum of per-node terms.
+    ///
+    /// RR-set coverage counting ([`node_selection`](https://docs.rs) /
+    /// PRIMA) and the bundleGRD approximation guarantee are only sound
+    /// for additive objectives; solvers gate on this.
+    fn is_additive(&self) -> bool {
+        false
+    }
+
+    /// Greedy gain of moving from welfare `before` to welfare `after`.
+    /// The default difference is correct for every objective evaluated
+    /// via simulation; it exists as a hook so future smoothed objectives
+    /// can reshape gains without touching the solvers.
+    fn marginal_gain(&self, before: f64, after: f64) -> f64 {
+        after - before
+    }
+
+    /// Checks the objective against an instance's node count (the
+    /// per-community labeling must cover every node). Additive scalar
+    /// objectives accept any size.
+    fn validate_for(&self, num_nodes: u32) -> Result<(), ObjectiveError> {
+        let _ = num_nodes;
+        Ok(())
+    }
+}
+
+/// The default objective everywhere an objective is not given.
+pub fn default_objective() -> Arc<dyn WelfareObjective> {
+    Arc::new(Utilitarian)
+}
+
+/// `Σ_v U(A(v))` — the paper's objective (§3.3) and the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Utilitarian;
+
+impl WelfareObjective for Utilitarian {
+    fn key(&self) -> &'static str {
+        "utilitarian"
+    }
+
+    fn welfare(&self, outcome: &UicOutcome, table: &UtilityTable, _num_nodes: u32) -> f64 {
+        // Delegate to the pre-refactor sum so the default path is
+        // bit-identical, not merely equal (pinned in the test suites).
+        outcome.welfare(table)
+    }
+
+    fn is_additive(&self) -> bool {
+        true
+    }
+}
+
+/// `min_v U(A(v))` over all nodes — the egalitarian floor.
+///
+/// Under the UIC adoption rule (`U(T) ≥ 0` is required to adopt) every
+/// adopter's utility is non-negative, so the minimum is 0 whenever any
+/// node adopts nothing; the objective only discriminates between
+/// allocations once coverage is (near-)total, which is exactly its role
+/// in the price-of-fairness experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Maximin;
+
+impl WelfareObjective for Maximin {
+    fn key(&self) -> &'static str {
+        "maximin"
+    }
+
+    fn welfare(&self, outcome: &UicOutcome, table: &UtilityTable, num_nodes: u32) -> f64 {
+        if num_nodes == 0 {
+            return 0.0;
+        }
+        let mut min = if (outcome.adoptions.len() as u32) < num_nodes {
+            // Some node adopted nothing: its utility is 0.
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        for &(_, a) in &outcome.adoptions {
+            let u = table.utility(a);
+            if u < min {
+                min = u;
+            }
+        }
+        min
+    }
+}
+
+/// `Σ_v U(A(v))^α`, `α ∈ (0, 1]` — the isoelastic (CES) family.
+///
+/// `α = 1` recovers the utilitarian sum (up to `powf` rounding; the
+/// bit-exact default is [`Utilitarian`]); smaller `α` is more
+/// inequality-averse, and as `α → 0` the induced *ordering* approaches
+/// the Nash product's. Non-adopters contribute `0^α = 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ces {
+    alpha: f64,
+}
+
+impl Ces {
+    /// A CES objective with exponent `alpha ∈ (0, 1]`.
+    pub fn new(alpha: f64) -> Result<Ces, ObjectiveError> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(ObjectiveError::InvalidAlpha { alpha });
+        }
+        Ok(Ces { alpha })
+    }
+
+    /// The exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl WelfareObjective for Ces {
+    fn key(&self) -> &'static str {
+        "ces"
+    }
+
+    fn welfare(&self, outcome: &UicOutcome, table: &UtilityTable, _num_nodes: u32) -> f64 {
+        outcome
+            .adoptions
+            .iter()
+            // Adoption requires U(T) ≥ 0; the clamp guards powf against
+            // NaN if a future valuation relaxes that invariant.
+            .map(|&(_, a)| table.utility(a).max(0.0).powf(self.alpha))
+            .sum()
+    }
+}
+
+/// `Σ_c n_c · (mean utility in community c)^α` — group-level CES.
+///
+/// Utilitarian within each community (the mean), inequality-averse
+/// across communities (the `α`-power weighted by group size). With one
+/// community and `α = 1` this equals the utilitarian sum.
+#[derive(Debug, Clone)]
+pub struct PerCommunity {
+    labels: Arc<CommunityLabels>,
+    alpha: f64,
+}
+
+impl PerCommunity {
+    /// Group-CES over `labels` with exponent `alpha ∈ (0, 1]`.
+    pub fn new(labels: Arc<CommunityLabels>, alpha: f64) -> Result<PerCommunity, ObjectiveError> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(ObjectiveError::InvalidAlpha { alpha });
+        }
+        Ok(PerCommunity { labels, alpha })
+    }
+
+    /// The node → community assignment.
+    pub fn labels(&self) -> &CommunityLabels {
+        &self.labels
+    }
+
+    /// The exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl WelfareObjective for PerCommunity {
+    fn key(&self) -> &'static str {
+        "per-community"
+    }
+
+    fn welfare(&self, outcome: &UicOutcome, table: &UtilityTable, num_nodes: u32) -> f64 {
+        debug_assert_eq!(self.labels.num_nodes(), num_nodes, "unvalidated labeling");
+        let k = self.labels.num_communities() as usize;
+        let mut sums = vec![0.0f64; k];
+        for &(v, a) in &outcome.adoptions {
+            sums[self.labels.label_of(v) as usize] += table.utility(a).max(0.0);
+        }
+        let sizes = self.labels.sizes();
+        let mut total = 0.0;
+        for (c, &sum) in sums.iter().enumerate() {
+            let n_c = sizes[c] as f64;
+            if n_c > 0.0 {
+                total += n_c * (sum / n_c).powf(self.alpha);
+            }
+        }
+        total
+    }
+
+    fn validate_for(&self, num_nodes: u32) -> Result<(), ObjectiveError> {
+        if self.labels.num_nodes() != num_nodes {
+            return Err(ObjectiveError::LabelingMismatch {
+                labeled: self.labels.num_nodes(),
+                nodes: num_nodes,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uic_items::ItemSet;
+    use uic_items::{NoiseModel, Price, TableValuation, UtilityModel};
+
+    fn table() -> UtilityTable {
+        // U({}) = 0, U({0}) = 1, U({1}) = 2, U({0,1}) = 6.
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, 1.0, 2.0, 6.0])),
+            Price::additive(vec![0.0, 0.0]),
+            NoiseModel::none(2),
+        )
+        .deterministic_table()
+    }
+
+    fn outcome(adoptions: &[(u32, ItemSet)]) -> UicOutcome {
+        UicOutcome {
+            adoptions: adoptions.to_vec(),
+            desires: Vec::new(),
+            steps: 1,
+        }
+    }
+
+    fn both() -> ItemSet {
+        ItemSet::singleton(0).with(1)
+    }
+
+    #[test]
+    fn utilitarian_matches_outcome_welfare_bitwise() {
+        let t = table();
+        let o = outcome(&[(0, ItemSet::singleton(0)), (2, both())]);
+        assert_eq!(Utilitarian.welfare(&o, &t, 5), o.welfare(&t));
+        assert_eq!(Utilitarian.welfare(&o, &t, 5), 7.0);
+        assert!(Utilitarian.is_additive());
+    }
+
+    #[test]
+    fn maximin_is_zero_with_any_non_adopter_and_min_otherwise() {
+        let t = table();
+        let partial = outcome(&[(0, both())]);
+        assert_eq!(Maximin.welfare(&partial, &t, 3), 0.0);
+        let full = outcome(&[
+            (0, ItemSet::singleton(0)),
+            (1, ItemSet::singleton(1)),
+            (2, both()),
+        ]);
+        assert_eq!(Maximin.welfare(&full, &t, 3), 1.0);
+        assert_eq!(Maximin.welfare(&outcome(&[]), &t, 0), 0.0);
+        assert!(!Maximin.is_additive());
+    }
+
+    #[test]
+    fn ces_validates_alpha_and_sums_powers() {
+        assert!(matches!(
+            Ces::new(0.0),
+            Err(ObjectiveError::InvalidAlpha { .. })
+        ));
+        assert!(Ces::new(1.5).is_err());
+        assert!(Ces::new(f64::NAN).is_err());
+        let half = Ces::new(0.5).unwrap();
+        let t = table();
+        let o = outcome(&[(0, ItemSet::singleton(1)), (1, both())]);
+        // sqrt(2) + sqrt(6)
+        let want = 2f64.sqrt() + 6f64.sqrt();
+        assert!((half.welfare(&o, &t, 4) - want).abs() < 1e-12);
+        let one = Ces::new(1.0).unwrap();
+        assert!((one.welfare(&o, &t, 4) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_community_aggregates_group_means() {
+        let labels = Arc::new(CommunityLabels::new(vec![0, 0, 1, 1]));
+        let obj = PerCommunity::new(labels, 0.5).unwrap();
+        let t = table();
+        // Community 0: utilities {1, 0} → mean 0.5; community 1: {6, 2}
+        // → mean 4. Welfare = 2·sqrt(0.5) + 2·sqrt(4).
+        let o = outcome(&[
+            (0, ItemSet::singleton(0)),
+            (2, both()),
+            (3, ItemSet::singleton(1)),
+        ]);
+        let want = 2.0 * 0.5f64.sqrt() + 2.0 * 4f64.sqrt();
+        assert!((obj.welfare(&o, &t, 4) - want).abs() < 1e-12);
+        // α = 1 and one community collapses to the utilitarian sum.
+        let whole = PerCommunity::new(Arc::new(CommunityLabels::contiguous(4, 1)), 1.0).unwrap();
+        assert!((whole.welfare(&o, &t, 4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_community_validation_catches_mismatch() {
+        let obj = PerCommunity::new(Arc::new(CommunityLabels::contiguous(4, 2)), 0.5).unwrap();
+        assert!(obj.validate_for(4).is_ok());
+        assert_eq!(
+            obj.validate_for(6),
+            Err(ObjectiveError::LabelingMismatch {
+                labeled: 4,
+                nodes: 6
+            })
+        );
+        assert!(Utilitarian.validate_for(1_000_000).is_ok());
+    }
+
+    #[test]
+    fn errors_display_and_implement_error() {
+        let e: Box<dyn std::error::Error> = Box::new(ObjectiveError::NonAdditive {
+            objective: "maximin".into(),
+            algorithm: "bundle-grd".into(),
+        });
+        assert!(e.to_string().contains("additive"));
+        assert!(ObjectiveError::InvalidAlpha { alpha: 2.0 }
+            .to_string()
+            .contains("(0, 1]"));
+    }
+}

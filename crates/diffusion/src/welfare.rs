@@ -5,12 +5,39 @@
 //! per simulation — the outer/inner expectations commute (§4.1.1), so one
 //! joint sample per iteration is unbiased. Every algorithm in the
 //! experiments is scored by this same estimator for fairness.
+//!
+//! The per-world aggregation is pluggable: [`WelfareEstimator::with_objective`]
+//! swaps the utilitarian sum for any [`WelfareObjective`]
+//! (maximin, CES, per-community). The objective is applied to each
+//! sampled world and the results are averaged, so every objective is
+//! estimated as `E[f(utilities)]` — the expectation of the welfare, not
+//! the welfare of the expectation.
+//!
+//! # Determinism contract
+//!
+//! An estimate is a *pure function* of `(graph, model, allocation, sims,
+//! seed, objective)`:
+//!
+//! * Sample `s` always draws from its own RNG stream
+//!   `split_seed(seed, s)`, independent of which worker runs it.
+//! * The reduction accumulates fixed 64-sample blocks sequentially and
+//!   merges the blocks in block order; threads only decide *who*
+//!   computes a block, never the boundaries or merge order.
+//!
+//! Consequently the result is **bit-identical across thread counts**
+//! (1, 2, 8, or the automatic sizing) and across runs with the same
+//! seed. [`WelfareEstimator::with_threads`] changes scheduling, never a
+//! bit of the output. This holds for every shipped objective and is
+//! asserted by the in-crate tests and the `objective_props` proptest
+//! suite.
 
 use crate::allocation::Allocation;
 use crate::ic::num_threads;
+use crate::objective::{default_objective, WelfareObjective};
 use crate::uic::UicSimulator;
 use crate::worlds::enumerate_edge_worlds;
 use crossbeam::thread;
+use std::sync::Arc;
 use uic_graph::Graph;
 use uic_items::{UtilityModel, UtilityTable};
 use uic_util::{split_seed, OnlineStats, UicRng};
@@ -24,6 +51,8 @@ pub struct WelfareEstimator<'a> {
     seed: u64,
     /// Worker-thread override; `None` sizes by hardware and sample count.
     threads: Option<usize>,
+    /// Per-world aggregation; the utilitarian sum unless overridden.
+    objective: Arc<dyn WelfareObjective>,
 }
 
 impl<'a> WelfareEstimator<'a> {
@@ -36,7 +65,42 @@ impl<'a> WelfareEstimator<'a> {
             sims,
             seed,
             threads: None,
+            objective: default_objective(),
         }
+    }
+
+    /// Swaps the per-world aggregation (default: [`crate::Utilitarian`]).
+    ///
+    /// The objective must already be validated against this graph
+    /// (panics on e.g. a community labeling sized for a different node
+    /// count — solvers validate through `WelMaxInstance`).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use uic_diffusion::{Allocation, Ces, WelfareEstimator};
+    /// use uic_graph::Graph;
+    /// use uic_items::{NoiseModel, Price, TableValuation, UtilityModel};
+    ///
+    /// let g = Graph::from_edges(3, &[(0, 1, 0.5), (1, 2, 0.5)]);
+    /// let model = UtilityModel::new(
+    ///     Arc::new(TableValuation::from_table(1, vec![0.0, 2.0])),
+    ///     Price::additive(vec![1.0]),
+    ///     NoiseModel::none(1),
+    /// );
+    /// let mut alloc = Allocation::new();
+    /// alloc.assign(0, 0);
+    /// let fair = WelfareEstimator::new(&g, &model, 400, 7)
+    ///     .with_objective(Arc::new(Ces::new(0.5)?))
+    ///     .estimate(&alloc);
+    /// assert!(fair.is_finite());
+    /// # Ok::<(), uic_diffusion::ObjectiveError>(())
+    /// ```
+    pub fn with_objective(mut self, objective: Arc<dyn WelfareObjective>) -> Self {
+        objective
+            .validate_for(self.graph.num_nodes())
+            .expect("objective does not fit this graph");
+        self.objective = objective;
+        self
     }
 
     /// Pins the worker-thread count (normally sized automatically).
@@ -52,6 +116,36 @@ impl<'a> WelfareEstimator<'a> {
     }
 
     /// Estimated expected social welfare `ρ(𝒮)`.
+    ///
+    /// Solvers score through this estimator automatically; to re-score
+    /// an allocation yourself, build the instance with the `WelMax`
+    /// builder and point an estimator at its graph and model:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use uic_core::{Allocator, SolveCtx, WelMax};
+    /// use uic_diffusion::WelfareEstimator;
+    /// use uic_graph::Graph;
+    /// use uic_items::{NoiseModel, Price, TableValuation, UtilityModel};
+    ///
+    /// let g = Graph::from_edges(4, &[(0, 1, 0.6), (1, 2, 0.6), (2, 3, 0.6)]);
+    /// let model = UtilityModel::new(
+    ///     Arc::new(TableValuation::from_table(2, vec![0.0, 3.0, 4.0, 9.0])),
+    ///     Price::additive(vec![3.5, 4.5]),
+    ///     NoiseModel::none(2),
+    /// );
+    /// let inst = WelMax::on(&g).model(model).budgets([1u32, 1]).build()?;
+    ///
+    /// let solver = <dyn Allocator>::by_name("degree-top").unwrap();
+    /// let report = solver.solve(&inst, &SolveCtx::new(42).with_sims(300));
+    ///
+    /// // Independent re-score of the winning allocation (same estimator
+    /// // type the solver used, different seed):
+    /// let w = WelfareEstimator::new(inst.graph(), inst.model(), 500, 7)
+    ///     .estimate(&report.allocation);
+    /// assert!(w >= 0.0);
+    /// # Ok::<(), uic_core::InstanceError>(())
+    /// ```
     pub fn estimate(&self, allocation: &Allocation) -> f64 {
         self.estimate_stats(allocation).mean()
     }
@@ -116,16 +210,22 @@ impl<'a> WelfareEstimator<'a> {
         let graph = self.graph;
         let model = self.model;
         let seed = self.seed;
+        let objective: &dyn WelfareObjective = self.objective.as_ref();
+        let num_nodes = graph.num_nodes();
         let run_block = |sim: &mut UicSimulator, lo: u32, hi: u32| -> OnlineStats {
             let mut stats = OnlineStats::new();
             for s in lo..hi {
                 let mut rng = UicRng::new(split_seed(seed, s as u64));
                 let outcome_welfare = match &shared_table {
-                    Some(table) => sim.run(graph, allocation, table, &mut rng).welfare(table),
+                    Some(table) => {
+                        let outcome = sim.run(graph, allocation, table, &mut rng);
+                        objective.welfare(&outcome, table, num_nodes)
+                    }
                     None => {
                         let world = model.sample_noise(&mut rng);
                         let table = model.table_for(&world);
-                        sim.run(graph, allocation, &table, &mut rng).welfare(&table)
+                        let outcome = sim.run(graph, allocation, &table, &mut rng);
+                        objective.welfare(&outcome, &table, num_nodes)
                     }
                 };
                 stats.push(outcome_welfare);
@@ -214,10 +314,25 @@ impl<'a> WelfareEstimator<'a> {
 /// Exact expected welfare **for a fixed noise world** by enumerating all
 /// live-edge worlds (`ρ_{W^N}(𝒮)` of §4.2.2; ≤ 20 edges).
 pub fn exact_welfare_given_noise(g: &Graph, allocation: &Allocation, table: &UtilityTable) -> f64 {
+    exact_welfare_given_noise_for(g, allocation, table, &crate::objective::Utilitarian)
+}
+
+/// [`exact_welfare_given_noise`] under an arbitrary objective: the exact
+/// expectation `Σ_W P(W) · f(utilities in W)` over all live-edge worlds.
+pub fn exact_welfare_given_noise_for(
+    g: &Graph,
+    allocation: &Allocation,
+    table: &UtilityTable,
+    objective: &dyn WelfareObjective,
+) -> f64 {
     let mut sim = UicSimulator::new(g);
+    let n = g.num_nodes();
     enumerate_edge_worlds(g)
         .iter()
-        .map(|(world, p)| p * sim.run_in_world(g, allocation, table, world).welfare(table))
+        .map(|(world, p)| {
+            let outcome = sim.run_in_world(g, allocation, table, world);
+            p * objective.welfare(&outcome, table, n)
+        })
         .sum()
 }
 

@@ -1,0 +1,326 @@
+//! Property suite for the pluggable welfare objectives (PR 6):
+//!
+//! 1. With the **utilitarian default** the refactored estimator is
+//!    bit-identical to the pre-refactor implementation — re-implemented
+//!    here verbatim (64-sample blocks over `split_seed` streams, each
+//!    world aggregated by `outcome.welfare(table)`) — on random
+//!    instances, through both the shared-table and the noisy path.
+//! 2. On small exactly-enumerable instances, **CES approaches the
+//!    utilitarian sum as α → 1**, and at the α → 0 end the CES ordering
+//!    of full-coverage vs partial-coverage allocations agrees with
+//!    **maximin** (everyone-counts beats a larger but exclusive sum).
+//! 3. Every shipped objective is **bit-identical across 1/2/8 worker
+//!    threads** — the determinism contract of `uic_diffusion::welfare`.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use uic_diffusion::{
+    exact_welfare_given_noise_for, Allocation, Ces, Maximin, PerCommunity, UicSimulator,
+    Utilitarian, WelfareEstimator, WelfareObjective,
+};
+use uic_graph::{CommunityLabels, Graph};
+use uic_items::{NoiseModel, Price, TableValuation, UtilityModel};
+use uic_util::{split_seed, OnlineStats, UicRng};
+
+// ---------------------------------------------------------------------
+// Reference implementation: the pre-refactor utilitarian estimator.
+// ---------------------------------------------------------------------
+
+/// The historical `estimate_stats`: fixed 64-sample blocks accumulated
+/// sequentially and merged in block order, each sample drawing from its
+/// own `split_seed(seed, s)` stream and aggregating with the hardcoded
+/// utilitarian sum `outcome.welfare(table)`.
+fn reference_estimate_stats(
+    g: &Graph,
+    model: &UtilityModel,
+    allocation: &Allocation,
+    sims: u32,
+    seed: u64,
+) -> OnlineStats {
+    const BLOCK: u32 = 64;
+    let shared_table = if model.noise().is_none() {
+        Some(model.deterministic_table())
+    } else {
+        None
+    };
+    let mut sim = UicSimulator::new(g);
+    let mut partials: Vec<OnlineStats> = Vec::new();
+    let mut lo = 0u32;
+    while lo < sims {
+        let hi = (lo + BLOCK).min(sims);
+        let mut stats = OnlineStats::new();
+        for s in lo..hi {
+            let mut rng = UicRng::new(split_seed(seed, s as u64));
+            let w = match &shared_table {
+                Some(table) => sim.run(g, allocation, table, &mut rng).welfare(table),
+                None => {
+                    let world = model.sample_noise(&mut rng);
+                    let table = model.table_for(&world);
+                    sim.run(g, allocation, &table, &mut rng).welfare(&table)
+                }
+            };
+            stats.push(w);
+        }
+        partials.push(stats);
+        lo = hi;
+    }
+    let mut total = OnlineStats::new();
+    for p in &partials {
+        total.merge(p);
+    }
+    total
+}
+
+// ---------------------------------------------------------------------
+// Instance generators.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RandomInstance {
+    n: u32,
+    edges: Vec<(u32, u32, f32)>,
+    // Two-item valuation table: [0, a, b, c].
+    values: [f64; 3],
+    prices: [f64; 2],
+    noisy: bool,
+    assignments: Vec<(u32, u8)>,
+    sims: u32,
+    seed: u64,
+}
+
+impl RandomInstance {
+    fn graph(&self) -> Graph {
+        let mut dedup: Vec<(u32, u32, f32)> = Vec::new();
+        for &(u, v, p) in &self.edges {
+            let (u, v) = (u % self.n, v % self.n);
+            if u != v && !dedup.iter().any(|&(a, b, _)| (a, b) == (u, v)) {
+                dedup.push((u, v, p));
+            }
+        }
+        Graph::from_edges(self.n, &dedup)
+    }
+
+    fn model(&self) -> UtilityModel {
+        let [a, b, c] = self.values;
+        let noise = if self.noisy {
+            NoiseModel::iid_gaussian_var(2, 0.5)
+        } else {
+            NoiseModel::none(2)
+        };
+        UtilityModel::new(
+            Arc::new(TableValuation::from_table(2, vec![0.0, a, b, c])),
+            Price::additive(self.prices.to_vec()),
+            noise,
+        )
+    }
+
+    fn allocation(&self) -> Allocation {
+        let mut alloc = Allocation::new();
+        for &(v, item) in &self.assignments {
+            alloc.assign(v % self.n, (item % 2) as u32);
+        }
+        alloc
+    }
+}
+
+fn arb_instance() -> impl Strategy<Value = RandomInstance> {
+    // Node indices are drawn from the maximum range and folded into
+    // `0..n` inside the accessors, sidestepping dependent generation.
+    (
+        (
+            3u32..10,
+            proptest::collection::vec((0u32..10, 0u32..10, 0.1f32..0.9), 0..20),
+            (0.5f64..4.0, 0.5f64..4.0, 1.0f64..8.0),
+        ),
+        (
+            (0.2f64..2.0, 0.2f64..2.0),
+            0u8..2,
+            proptest::collection::vec((0u32..10, 0u8..2), 1..6),
+        ),
+        (1u32..200, 0u64..u64::MAX),
+    )
+        .prop_map(
+            |((n, edges, (a, b, c)), ((p0, p1), noisy, assignments), (sims, seed))| {
+                RandomInstance {
+                    n,
+                    edges,
+                    values: [a, b, c],
+                    prices: [p0, p1],
+                    noisy: noisy == 1,
+                    assignments,
+                    sims,
+                    seed,
+                }
+            },
+        )
+}
+
+// ---------------------------------------------------------------------
+// 1. Utilitarian default is bit-identical to the pre-refactor estimator.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn utilitarian_matches_pre_refactor_bit_for_bit(inst in arb_instance()) {
+        let g = inst.graph();
+        let model = inst.model();
+        let alloc = inst.allocation();
+        let reference = reference_estimate_stats(&g, &model, &alloc, inst.sims, inst.seed);
+        // Default construction (implicit Utilitarian) and an explicit
+        // Utilitarian must both reproduce the historical bits.
+        let plain = WelfareEstimator::new(&g, &model, inst.sims, inst.seed)
+            .with_threads(1)
+            .estimate_stats(&alloc);
+        let explicit = WelfareEstimator::new(&g, &model, inst.sims, inst.seed)
+            .with_threads(1)
+            .with_objective(Arc::new(Utilitarian))
+            .estimate_stats(&alloc);
+        prop_assert_eq!(plain.count(), reference.count());
+        prop_assert_eq!(plain.mean().to_bits(), reference.mean().to_bits());
+        prop_assert_eq!(
+            plain.ci95_halfwidth().to_bits(),
+            reference.ci95_halfwidth().to_bits()
+        );
+        prop_assert_eq!(explicit.mean().to_bits(), reference.mean().to_bits());
+    }
+
+    // -----------------------------------------------------------------
+    // 3. Thread-count bit-identity for every shipped objective.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn all_objectives_are_thread_count_invariant(inst in arb_instance()) {
+        let g = inst.graph();
+        let model = inst.model();
+        let alloc = inst.allocation();
+        let labels = Arc::new(CommunityLabels::contiguous(g.num_nodes(), 3));
+        let objectives: Vec<Arc<dyn WelfareObjective>> = vec![
+            Arc::new(Utilitarian),
+            Arc::new(Maximin),
+            Arc::new(Ces::new(0.5).unwrap()),
+            Arc::new(PerCommunity::new(labels, 0.5).unwrap()),
+        ];
+        for objective in objectives {
+            let key = objective.key();
+            let reference = WelfareEstimator::new(&g, &model, inst.sims, inst.seed)
+                .with_threads(1)
+                .with_objective(objective.clone())
+                .estimate_stats(&alloc);
+            for threads in [2usize, 8] {
+                let got = WelfareEstimator::new(&g, &model, inst.sims, inst.seed)
+                    .with_threads(threads)
+                    .with_objective(objective.clone())
+                    .estimate_stats(&alloc);
+                prop_assert_eq!(got.count(), reference.count(), "{} x{}", key, threads);
+                prop_assert_eq!(
+                    got.mean().to_bits(),
+                    reference.mean().to_bits(),
+                    "{} x{}",
+                    key,
+                    threads
+                );
+                prop_assert_eq!(
+                    got.ci95_halfwidth().to_bits(),
+                    reference.ci95_halfwidth().to_bits(),
+                    "{} x{}",
+                    key,
+                    threads
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. CES interpolates between utilitarian (α → 1) and maximin-style
+//    coverage preference (α → 0), checked on exact instances.
+// ---------------------------------------------------------------------
+
+/// Edge-free instance: `full` gives every one of `n` nodes a small
+/// single-item utility; `partial` gives `n − 1` nodes the big bundle.
+/// The utilitarian sum prefers `partial`, maximin prefers `full`.
+fn coverage_instance(
+    n: u32,
+    small: f64,
+    big: f64,
+) -> (Graph, UtilityModel, Allocation, Allocation) {
+    let g = Graph::from_edges(n, &[]);
+    // Utilities with zero prices: U({0}) = small, U({0,1}) = big.
+    let model = UtilityModel::new(
+        Arc::new(TableValuation::from_table(2, vec![0.0, small, small, big])),
+        Price::additive(vec![0.0, 0.0]),
+        NoiseModel::none(2),
+    );
+    let mut full = Allocation::new();
+    for v in 0..n {
+        full.assign(v, 0);
+    }
+    let mut partial = Allocation::new();
+    for v in 0..n - 1 {
+        partial.assign(v, 0);
+        partial.assign(v, 1);
+    }
+    (g, model, full, partial)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ces_approaches_utilitarian_as_alpha_to_one(
+        n in 3u32..8,
+        small in 0.1f64..1.0,
+        big in 2.0f64..10.0,
+    ) {
+        let (g, model, full, partial) = coverage_instance(n, small, big);
+        let table = model.deterministic_table();
+        for alloc in [&full, &partial] {
+            let util = exact_welfare_given_noise_for(&g, alloc, &table, &Utilitarian);
+            let ces = exact_welfare_given_noise_for(
+                &g,
+                alloc,
+                &table,
+                &Ces::new(1.0 - 1e-9).unwrap(),
+            );
+            prop_assert!(
+                (ces - util).abs() <= 1e-6 * util.abs().max(1.0),
+                "alpha→1: ces {} vs utilitarian {}",
+                ces,
+                util
+            );
+        }
+    }
+
+    #[test]
+    fn small_alpha_ces_orders_like_maximin(
+        n in 3u32..8,
+        small in 0.1f64..1.0,
+        big in 2.0f64..10.0,
+    ) {
+        let (g, model, full, partial) = coverage_instance(n, small, big);
+        let table = model.deterministic_table();
+        // Maximin: full coverage wins outright (partial leaves a node at 0).
+        let mm_full = exact_welfare_given_noise_for(&g, &full, &table, &Maximin);
+        let mm_partial = exact_welfare_given_noise_for(&g, &partial, &table, &Maximin);
+        prop_assert!(mm_full > mm_partial, "maximin {} vs {}", mm_full, mm_partial);
+        prop_assert_eq!(mm_partial.to_bits(), 0f64.to_bits());
+        // The utilitarian sum disagrees: the big-bundle allocation wins.
+        let u_full = exact_welfare_given_noise_for(&g, &full, &table, &Utilitarian);
+        let u_partial = exact_welfare_given_noise_for(&g, &partial, &table, &Utilitarian);
+        prop_assert!(u_partial > u_full, "utilitarian {} vs {}", u_partial, u_full);
+        // At the α → 0 end, CES sides with maximin: n·smallᵅ > (n−1)·bigᵅ
+        // once α is small enough that per-node presence dominates size.
+        let ces = Ces::new(1e-3).unwrap();
+        let c_full = exact_welfare_given_noise_for(&g, &full, &table, &ces);
+        let c_partial = exact_welfare_given_noise_for(&g, &partial, &table, &ces);
+        prop_assert!(
+            c_full > c_partial,
+            "alpha→0 CES {} vs {} (n={})",
+            c_full,
+            c_partial,
+            n
+        );
+    }
+}

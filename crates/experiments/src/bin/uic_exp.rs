@@ -6,14 +6,14 @@
 //!
 //! artifacts: table2 table3 table4 table5 table6
 //!            fig4 fig5 fig6 fig7 fig8a fig8bc fig8d fig9abc fig9d
-//!            all
+//!            fairness all
 //! ```
 //!
 //! Every run is deterministic given `--seed`. `--csv DIR` additionally
 //! writes one CSV per table for plotting.
 
 use std::io::Write;
-use uic_experiments::{common::ExpOptions, fig4, fig56, fig7, fig8, fig9, tables};
+use uic_experiments::{common::ExpOptions, fairness, fig4, fig56, fig7, fig8, fig9, tables};
 use uic_util::Table;
 
 struct Args {
@@ -49,7 +49,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: uic-exp <table2|table3|table4|table5|table6|fig4|fig5|fig6|fig7|fig8a|fig8bc|fig8d|fig9abc|fig9d|ablations|all> \
+    "usage: uic-exp <table2|table3|table4|table5|table6|fig4|fig5|fig6|fig7|fig8a|fig8bc|fig8d|fig9abc|fig9d|fairness|ablations|all> \
      [--scale F] [--sims N] [--eps F] [--ell F] [--seed N] [--csv DIR]"
         .to_string()
 }
@@ -105,6 +105,7 @@ fn run(artifact: &str, opts: &ExpOptions, csv_dir: &Option<String>) -> Result<()
         "fig8d" => emit(&[fig8::fig8d(opts)], csv_dir),
         "fig9abc" => emit(&fig9::fig9abc(opts), csv_dir),
         "fig9d" => emit(&[fig9::fig9d(opts)], csv_dir),
+        "fairness" => emit(&fairness::fairness(opts), csv_dir),
         "ablations" => emit(&uic_experiments::ablations::ablations(opts), csv_dir),
         "all" => {
             for a in [
@@ -121,6 +122,7 @@ fn run(artifact: &str, opts: &ExpOptions, csv_dir: &Option<String>) -> Result<()
                 "fig8d",
                 "fig9abc",
                 "fig9d",
+                "fairness",
                 "ablations",
             ] {
                 eprintln!(">>> {a}");

@@ -1,0 +1,193 @@
+//! **Price of fairness** (new in PR 6, beyond the paper's figures):
+//! what does optimizing a fairness-leaning CES objective cost in total
+//! (utilitarian) welfare, and what does it buy in CES welfare?
+//!
+//! For each network and each CES exponent α the experiment produces two
+//! allocations —
+//!
+//! * the *utilitarian optimum* proxy: bundleGRD on the plain instance
+//!   (the paper's algorithm, guarantee intact), and
+//! * the *CES optimum* proxy: MC pair-greedy on the same instance with
+//!   `objective=ces alpha=α` (the RIS solvers refuse non-additive
+//!   objectives, so the direct greedy is the honest reference optimizer
+//!   here),
+//!
+//! — then scores **both allocations under both objectives** with the
+//! shared estimator stream. The *price of fairness* is the relative
+//! utilitarian welfare given up by the CES-optimal allocation,
+//! `PoF = 1 − W_util(ces-opt) / W_util(util-opt)`, and the *CES gain*
+//! column shows what that price purchased,
+//! `W_ces(ces-opt) / W_ces(util-opt)`. As α → 1 CES approaches the
+//! utilitarian sum, so both ratios drift toward 1.
+
+use crate::common::{fmt, network, ExpOptions};
+use uic_core::{ObjectiveSpec, WelMax};
+use uic_datasets::{NamedNetwork, SpecMap, TwoItemConfig};
+use uic_diffusion::{Allocation, WelfareEstimator, WelfareObjective};
+use uic_graph::Graph;
+use uic_items::UtilityModel;
+use uic_util::Table;
+
+/// CES exponents swept per network (α = 1 is the sanity anchor where
+/// CES coincides with the utilitarian sum up to the `x^1` rounding).
+pub const ALPHAS: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// Per-item budget of both allocations.
+const BUDGET: u32 = 3;
+
+/// The two Table-2 stand-ins the curves are reported on.
+pub const NETWORKS: [NamedNetwork; 2] = [NamedNetwork::Flixster, NamedNetwork::DoubanBook];
+
+fn score_under(
+    g: &Graph,
+    model: &UtilityModel,
+    allocation: &Allocation,
+    objective: std::sync::Arc<dyn WelfareObjective>,
+    opts: &ExpOptions,
+) -> f64 {
+    let ctx = opts.solve_ctx();
+    let mut est =
+        WelfareEstimator::new(g, model, ctx.sims, ctx.welfare_seed).with_objective(objective);
+    if let Some(t) = ctx.threads {
+        est = est.with_threads(t);
+    }
+    est.estimate(allocation)
+}
+
+/// The price-of-fairness table for one network.
+pub fn fairness_for(which: NamedNetwork, opts: &ExpOptions) -> Table {
+    let g = network(which, opts);
+    let model = TwoItemConfig::new(1).model();
+    let budgets = [BUDGET, BUDGET];
+    let ctx = opts.solve_ctx();
+
+    // Utilitarian-optimal proxy: the paper's bundleGRD, default objective.
+    let plain = WelMax::on(&g)
+        .model(model.clone())
+        .budgets(budgets)
+        .build()
+        .expect("fairness WelMax instance");
+    let util_opt = uic_core::registry()
+        .iter()
+        .find(|e| e.name == "bundle-grd")
+        .expect("bundle-grd is registered")
+        .build(&opts.solver_params())
+        .expect("ExpOptions produce valid solver params")
+        .solve(&plain, &ctx.with_sims(0))
+        .allocation;
+
+    // The greedy re-evaluates welfare per candidate pair; keep its inner
+    // sims below the scoring budget so the sweep stays tractable.
+    let greedy_params = SpecMap::new()
+        .with("sims", (opts.sims / 2).max(30))
+        .with("pool", 128u32);
+    let mc_greedy = uic_core::registry()
+        .iter()
+        .find(|e| e.name == "mc-greedy")
+        .expect("mc-greedy is registered");
+
+    let mut t = Table::new(
+        format!(
+            "Price of fairness — {} (b = [{BUDGET}, {BUDGET}])",
+            which.name()
+        ),
+        &[
+            "alpha",
+            "W_util(util-opt)",
+            "W_util(ces-opt)",
+            "W_ces(util-opt)",
+            "W_ces(ces-opt)",
+            "PoF",
+            "CES gain",
+        ],
+    );
+    for alpha in ALPHAS {
+        let spec = ObjectiveSpec::Ces { alpha };
+        let ces = spec.resolve(&g).expect("alpha is in (0, 1]");
+        let inst = WelMax::on(&g)
+            .model(model.clone())
+            .budgets(budgets)
+            .objective_spec(spec)
+            .build()
+            .expect("fairness WelMax instance");
+        let ces_opt = mc_greedy
+            .build(&greedy_params)
+            .expect("greedy params are valid")
+            .solve(&inst, &ctx.with_sims(0))
+            .allocation;
+
+        let util_of_util = score_under(
+            &g,
+            &model,
+            &util_opt,
+            uic_diffusion::default_objective(),
+            opts,
+        );
+        let util_of_ces = score_under(
+            &g,
+            &model,
+            &ces_opt,
+            uic_diffusion::default_objective(),
+            opts,
+        );
+        let ces_of_util = score_under(&g, &model, &util_opt, ces.clone(), opts);
+        let ces_of_ces = score_under(&g, &model, &ces_opt, ces, opts);
+        let pof = if util_of_util > 0.0 {
+            1.0 - util_of_ces / util_of_util
+        } else {
+            0.0
+        };
+        let gain = if ces_of_util > 0.0 {
+            ces_of_ces / ces_of_util
+        } else {
+            1.0
+        };
+        t.push_row(vec![
+            format!("{alpha}"),
+            fmt(util_of_util),
+            fmt(util_of_ces),
+            fmt(ces_of_util),
+            fmt(ces_of_ces),
+            fmt(pof),
+            fmt(gain),
+        ]);
+    }
+    t
+}
+
+/// Price-of-fairness curves on the two smallest Table-2 stand-ins.
+pub fn fairness(opts: &ExpOptions) -> Vec<Table> {
+    NETWORKS.iter().map(|&w| fairness_for(w, opts)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fairness_table_shape_and_sanity() {
+        let opts = ExpOptions::smoke();
+        let t = fairness_for(NamedNetwork::Flixster, &opts);
+        assert_eq!(t.len(), ALPHAS.len());
+        let pof = t.column_f64("PoF").unwrap();
+        let gain = t.column_f64("CES gain").unwrap();
+        for (p, g) in pof.iter().zip(&gain) {
+            assert!(p.is_finite() && g.is_finite());
+            // PoF is a relative sacrifice: bounded by 1 above; tiny
+            // negatives happen when greedy noses ahead of bundleGRD.
+            assert!(*p <= 1.0 + 1e-9, "PoF {p}");
+            assert!(*g >= 0.0, "gain {g}");
+        }
+        // α = 1: CES coincides with the utilitarian sum, so scoring any
+        // fixed allocation under either objective agrees closely.
+        let w_util = t.column_f64("W_util(util-opt)").unwrap();
+        let w_ces = t.column_f64("W_ces(util-opt)").unwrap();
+        let last = ALPHAS.len() - 1;
+        assert!(
+            (w_util[last] - w_ces[last]).abs() <= 1e-6 * w_util[last].abs().max(1.0),
+            "α=1 mismatch: {} vs {}",
+            w_util[last],
+            w_ces[last]
+        );
+    }
+}

@@ -9,9 +9,14 @@
 //! All experiments accept [`ExpOptions`] so the same code path serves
 //! quick smoke runs (`scale ≈ 0.01`), the default laptop reproduction,
 //! and the criterion benches in `uic-bench`.
+//!
+//! Beyond the paper's artifacts, [`fairness`] reports price-of-fairness
+//! curves for the pluggable welfare objectives (utilitarian-optimal vs
+//! CES-optimal allocations, each scored under both objectives).
 
 pub mod ablations;
 pub mod common;
+pub mod fairness;
 pub mod fig4;
 pub mod fig56;
 pub mod fig7;

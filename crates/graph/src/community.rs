@@ -1,0 +1,189 @@
+//! Node → community labelings.
+//!
+//! Fairness-aware welfare objectives (Rahmattalabi et al., "Fair
+//! Influence Maximization: A Welfare Optimization Approach") aggregate
+//! utility per *group* rather than per node. [`CommunityLabels`] is the
+//! graph-side carrier of that structure: a dense `u32` label per node,
+//! with the community count tracked explicitly so empty trailing
+//! communities are representable. Partitioning heuristics that need the
+//! edge structure live in `uic-datasets` (the graph crate stays purely
+//! structural); this module only validates and serves labelings.
+
+use std::fmt;
+
+/// Why a community labeling was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CommunityError {
+    /// A node's label is not below the declared community count.
+    LabelOutOfRange {
+        /// The offending node.
+        node: u32,
+        /// Its label.
+        label: u32,
+        /// The declared community count.
+        communities: u32,
+    },
+    /// The labeling declared zero communities over a non-empty node set.
+    NoCommunities,
+}
+
+impl fmt::Display for CommunityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CommunityError::LabelOutOfRange {
+                node,
+                label,
+                communities,
+            } => write!(
+                f,
+                "node {node} has label {label}, outside the {communities} declared communities"
+            ),
+            CommunityError::NoCommunities => {
+                write!(f, "a non-empty labeling needs at least one community")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommunityError {}
+
+/// A dense node → community assignment (`labels[v]` is `v`'s community).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunityLabels {
+    labels: Vec<u32>,
+    num_communities: u32,
+}
+
+impl CommunityLabels {
+    /// Wraps a label vector; the community count is `max(label) + 1`.
+    pub fn new(labels: Vec<u32>) -> CommunityLabels {
+        let num_communities = labels.iter().max().map_or(0, |&m| m + 1);
+        CommunityLabels {
+            labels,
+            num_communities,
+        }
+    }
+
+    /// Wraps a label vector with an explicit community count (allows
+    /// empty communities); every label must be `< communities`.
+    pub fn try_with_communities(
+        labels: Vec<u32>,
+        communities: u32,
+    ) -> Result<CommunityLabels, CommunityError> {
+        if communities == 0 && !labels.is_empty() {
+            return Err(CommunityError::NoCommunities);
+        }
+        if let Some(node) = labels.iter().position(|&l| l >= communities) {
+            return Err(CommunityError::LabelOutOfRange {
+                node: node as u32,
+                label: labels[node],
+                communities,
+            });
+        }
+        Ok(CommunityLabels {
+            labels,
+            num_communities: communities,
+        })
+    }
+
+    /// `n` nodes in `k` equal contiguous id-range blocks (the last block
+    /// absorbs the remainder) — the deterministic default labeling.
+    pub fn contiguous(n: u32, k: u32) -> CommunityLabels {
+        assert!(k > 0, "need at least one community");
+        let k = k.min(n.max(1));
+        let per = (n / k).max(1);
+        let labels = (0..n).map(|v| (v / per).min(k - 1)).collect();
+        CommunityLabels {
+            labels,
+            num_communities: k,
+        }
+    }
+
+    /// Community of node `v`.
+    pub fn label_of(&self, v: u32) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// Number of labeled nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.labels.len() as u32
+    }
+
+    /// Number of communities (≥ `max(label) + 1`; empty ones count).
+    pub fn num_communities(&self) -> u32 {
+        self.num_communities
+    }
+
+    /// The raw label slice, indexed by node id.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Node count per community, indexed by label.
+    pub fn sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![0u32; self.num_communities as usize];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_infers_community_count() {
+        let c = CommunityLabels::new(vec![0, 2, 1, 2]);
+        assert_eq!(c.num_communities(), 3);
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.label_of(1), 2);
+        assert_eq!(c.sizes(), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn explicit_count_allows_empty_communities() {
+        let c = CommunityLabels::try_with_communities(vec![0, 0, 1], 5).unwrap();
+        assert_eq!(c.num_communities(), 5);
+        assert_eq!(c.sizes(), vec![2, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_range_label_is_a_typed_error() {
+        let err = CommunityLabels::try_with_communities(vec![0, 3], 2).unwrap_err();
+        assert_eq!(
+            err,
+            CommunityError::LabelOutOfRange {
+                node: 1,
+                label: 3,
+                communities: 2
+            }
+        );
+        assert!(err.to_string().contains("outside"));
+        assert_eq!(
+            CommunityLabels::try_with_communities(vec![0], 0).unwrap_err(),
+            CommunityError::NoCommunities
+        );
+    }
+
+    #[test]
+    fn contiguous_blocks_cover_all_nodes() {
+        let c = CommunityLabels::contiguous(10, 3);
+        assert_eq!(c.num_communities(), 3);
+        assert_eq!(c.labels(), &[0, 0, 0, 1, 1, 1, 2, 2, 2, 2]);
+        // More communities than nodes: one node per community.
+        let tiny = CommunityLabels::contiguous(2, 8);
+        assert_eq!(tiny.num_communities(), 2);
+        assert_eq!(tiny.labels(), &[0, 1]);
+    }
+
+    #[test]
+    fn empty_labeling_is_fine() {
+        let c = CommunityLabels::new(Vec::new());
+        assert_eq!(c.num_communities(), 0);
+        assert_eq!(c.num_nodes(), 0);
+        assert!(CommunityLabels::try_with_communities(Vec::new(), 0).is_ok());
+    }
+}

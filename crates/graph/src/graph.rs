@@ -11,6 +11,7 @@ pub type NodeId = u32;
 /// as thin wrappers; services loading untrusted edge lists go through the
 /// `try_*` variants and surface these instead of aborting.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum GraphError {
     /// An endpoint does not fit in the declared node count.
     NodeOutOfRange {

@@ -26,10 +26,13 @@
 //! * [`traversal`] — BFS/DFS reachability, weakly connected components,
 //!   Tarjan SCC, and subgraph extraction (used to take the largest SCC of
 //!   the Flixster stand-in and BFS prefixes for the scalability test).
+//! * [`community`] — node → community labelings ([`CommunityLabels`]),
+//!   the graph-side carrier for fairness-aware welfare objectives.
 //! * [`io`] — plain-text edge-list reader/writer.
 //! * [`stats`] — the degree statistics reported in Table 2.
 
 pub mod builder;
+pub mod community;
 pub mod graph;
 pub mod io;
 pub mod snapshot;
@@ -37,6 +40,7 @@ pub mod stats;
 pub mod traversal;
 
 pub use builder::{GraphBuilder, Weighting};
+pub use community::{CommunityError, CommunityLabels};
 pub use graph::{
     ArcProbs, EdgeWeights, Graph, GraphError, MemoryFootprint, NodeId, WeightClass, WeightSpec,
 };

@@ -14,6 +14,7 @@
 //! appended since the previous round are merged in.
 
 use crate::rrset::RrCollection;
+use uic_diffusion::{ObjectiveError, WelfareObjective};
 use uic_graph::NodeId;
 
 /// Result of a greedy max-coverage run.
@@ -104,6 +105,28 @@ pub fn node_selection(coll: &mut RrCollection, k: u32) -> NodeSelectionResult {
         covered: covered_cum,
         num_sets,
     }
+}
+
+/// Objective-aware [`node_selection`].
+///
+/// RR-set coverage counting estimates `Σ_v σ_v` — it is only an unbiased
+/// proxy for objectives that decompose as a **sum of per-node terms**
+/// ([`WelfareObjective::is_additive`]). For additive objectives this is
+/// exactly [`node_selection`]; for any other objective it refuses with
+/// [`ObjectiveError::NonAdditive`] rather than silently optimizing the
+/// wrong quantity (use a simulation-based solver instead).
+pub fn node_selection_for(
+    coll: &mut RrCollection,
+    k: u32,
+    objective: &dyn WelfareObjective,
+) -> Result<NodeSelectionResult, ObjectiveError> {
+    if !objective.is_additive() {
+        return Err(ObjectiveError::NonAdditive {
+            objective: objective.key().to_string(),
+            algorithm: "RR-set NodeSelection".to_string(),
+        });
+    }
+    Ok(node_selection(coll, k))
 }
 
 #[cfg(test)]
@@ -225,6 +248,18 @@ mod tests {
         fresh.extend_to(&g, 2_000);
         let oneshot = node_selection(&mut fresh, 2);
         assert_eq!(after_growth, oneshot);
+    }
+
+    #[test]
+    fn objective_gate_accepts_additive_and_rejects_the_rest() {
+        use uic_diffusion::{Maximin, Utilitarian};
+        let mut coll = collection_from_sets(3, vec![vec![0], vec![0, 1], vec![2]]);
+        let gated = node_selection_for(&mut coll, 2, &Utilitarian).unwrap();
+        let plain = node_selection(&mut coll, 2);
+        assert_eq!(gated, plain);
+        let err = node_selection_for(&mut coll, 2, &Maximin).unwrap_err();
+        assert!(matches!(err, ObjectiveError::NonAdditive { .. }));
+        assert!(err.to_string().contains("maximin"));
     }
 
     #[test]

@@ -74,16 +74,17 @@ pub mod prelude {
         bdhs_concave_welfare, bdhs_step_welfare, bdhs_step_welfare_exact, best_bundle, pagerank,
     };
     pub use uic_core::{
-        registry, solve_welmax_bruteforce, Allocator, InstanceError, SolveCtx, SolveReport, WelMax,
-        WelMaxInstance,
+        registry, solve_welmax_bruteforce, Allocator, InstanceError, ObjectiveSpec, SolveCtx,
+        SolveReport, WelMax, WelMaxInstance,
     };
-    pub use uic_datasets::{SolverSpec, SpecMap};
+    pub use uic_datasets::{community_partition, SolverSpec, SpecMap};
     pub use uic_diffusion::{
         simulate_ic, simulate_triggering, simulate_uic, spread_mc, spread_triggering_mc,
-        Allocation, IcTriggering, LtTriggering, TriggeringSampler, UniformSubsetTriggering,
-        WelfareEstimator,
+        Allocation, Ces, IcTriggering, LtTriggering, Maximin, ObjectiveError, PerCommunity,
+        TriggeringSampler, UniformSubsetTriggering, Utilitarian, WelfareEstimator,
+        WelfareObjective,
     };
-    pub use uic_graph::{Graph, GraphBuilder, GraphStats, NodeId, Weighting};
+    pub use uic_graph::{CommunityLabels, Graph, GraphBuilder, GraphStats, NodeId, Weighting};
     pub use uic_im::{imm, opim_c, prima, skim, ssa, tim_plus, DiffusionModel, SkimOptions};
     pub use uic_items::{
         AdditiveValuation, AdoptionOracle, ConeValuation, CoverageValuation, GapParams,
