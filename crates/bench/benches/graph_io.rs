@@ -20,7 +20,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use uic_datasets::{generators::preferential_attachment, named_network, NamedNetwork, PaOptions};
-use uic_graph::{load_snapshot, save_snapshot, Graph};
+use uic_graph::{load_snapshot, load_snapshot_owned, save_snapshot, Graph};
 
 fn pa_graph(n: u32, edges_per_node: u32) -> Graph {
     preferential_attachment(
@@ -67,8 +67,17 @@ fn bench(c: &mut Criterion) {
                 BatchSize::PerIteration,
             )
         });
-        // Guard: the loaded graph is the built graph, exactly.
+        group.bench_function("load-owned", |b| {
+            b.iter_batched(
+                || (),
+                |_| load_snapshot_owned(&path).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        // Guard: the loaded graph is the built graph, exactly — through
+        // both the zero-copy and the owned decode path.
         assert_eq!(load_snapshot(&path).unwrap(), g, "{label}: load != build");
+        assert_eq!(load_snapshot_owned(&path).unwrap(), g, "{label}: owned");
         std::fs::remove_file(&path).ok();
         group.finish();
     }

@@ -1,0 +1,99 @@
+//! Multicore scale-out bench: the three parallel pipelines at pinned
+//! worker counts (1/2/4/8) on the two 1M-node stand-ins.
+//!
+//! * `rr-gen`  — `RrCollection::extend_to(θ)`: per-thread sampling into
+//!   local arenas plus the parallel disjoint-range merge.
+//! * `select`  — `node_selection` on a pre-generated, un-indexed
+//!   collection: the node-range-partitioned parallel inverted-index
+//!   build followed by lazy-greedy max-coverage.
+//! * `welfare` — the Monte-Carlo welfare reducer with static contiguous
+//!   block chunking over cache-padded partials.
+//!
+//! All three are bit-identical across thread counts (the arena_equiv /
+//! objective_props / graph_storage suites pin this), so the thread knob
+//! changes wall-clock only. Headline numbers are recorded in
+//! `BENCH_scaling.json`; run on a multicore machine to see the curves —
+//! on a 1-core container every t > 1 row degenerates to ~t1 plus
+//! scheduling overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use uic_datasets::{
+    generators::preferential_attachment, named_network, NamedNetwork, PaOptions, TwoItemConfig,
+};
+use uic_diffusion::{Allocation, WelfareEstimator};
+use uic_graph::Graph;
+use uic_im::{node_selection, DiffusionModel, RrCollection};
+
+fn pa_graph(n: u32) -> Graph {
+    preferential_attachment(
+        PaOptions {
+            n,
+            edges_per_node: 10,
+            uniform_mix: 0.15,
+            undirected: false,
+            reciprocity: 0.05,
+        },
+        42,
+    )
+}
+
+type BuildFn = Box<dyn Fn() -> Graph>;
+
+fn bench(c: &mut Criterion) {
+    let threads = [1usize, 2, 4, 8];
+    let theta = 200_000usize;
+    let k = 50u32;
+    let sims = 512u32;
+    let model = TwoItemConfig::new(1).model();
+    let configs: [(&str, BuildFn); 2] = [
+        ("1M-PA", Box::new(|| pa_graph(1_000_000))),
+        (
+            "orkut-1M",
+            Box::new(|| named_network(NamedNetwork::Orkut, 10.0, 42)),
+        ),
+    ];
+    for (label, build) in configs {
+        let g = build();
+        let mut alloc = Allocation::new();
+        for v in 0..50u32 {
+            alloc.assign((v * 19_997) % g.num_nodes(), v % 2);
+        }
+        let mut group = c.benchmark_group(format!("scaling/{label}"));
+        group.sample_size(2);
+        for &t in &threads {
+            group.bench_function(format!("rr-gen/t{t}"), |b| {
+                b.iter(|| {
+                    let mut coll = RrCollection::new(&g, DiffusionModel::IC, 42).with_threads(t);
+                    coll.extend_to(&g, theta);
+                    coll.total_entries()
+                })
+            });
+            // Selection on a pre-generated collection: each sample pays
+            // the (parallel) index build plus the greedy sweep, never
+            // the sampling above.
+            let mut base = RrCollection::new(&g, DiffusionModel::IC, 42).with_threads(t);
+            base.extend_to(&g, theta);
+            group.bench_function(format!("select/t{t}"), |b| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut coll| {
+                        let sel = node_selection(&mut coll, k);
+                        sel.covered.last().copied()
+                    },
+                    BatchSize::PerIteration,
+                )
+            });
+            group.bench_function(format!("welfare/t{t}"), |b| {
+                b.iter(|| {
+                    WelfareEstimator::new(&g, &model, sims, 9)
+                        .with_threads(t)
+                        .estimate(&alloc)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,7 +19,7 @@
 
 use crate::networks::NamedNetwork;
 use std::path::{Path, PathBuf};
-use uic_graph::{load_snapshot, write_snapshot, Graph};
+use uic_graph::{load_snapshot, snapshot_version, write_snapshot, Graph};
 
 /// Environment variable that opts experiment runs into the cache; its
 /// value is the cache directory.
@@ -146,8 +146,19 @@ impl SnapshotCache {
     /// Loads the entry for `key`, or `None` when absent or unreadable
     /// (corrupt / truncated / foreign-version snapshots are treated as
     /// misses, never errors).
+    ///
+    /// Entries still in the legacy v1 layout load through the streaming
+    /// fallback and are transparently rewritten in the current aligned
+    /// format, so every later load of the same entry takes the
+    /// zero-copy path. A failed rewrite is non-fatal: the loaded graph
+    /// is returned either way and the old entry keeps working.
     pub fn load(&self, key: &CacheKey) -> Option<Graph> {
-        load_snapshot(self.path_for(key)).ok()
+        let path = self.path_for(key);
+        let g = load_snapshot(&path).ok()?;
+        if snapshot_version(&path).ok() == Some(uic_graph::snapshot::LEGACY_FORMAT_VERSION) {
+            self.store(key, &g).ok();
+        }
+        Some(g)
     }
 
     /// Stores `g` under `key` via temp-file + atomic rename.
@@ -273,6 +284,31 @@ mod tests {
         let rebuilt = cache.get_or_build(&key, || g.clone());
         assert_eq!(rebuilt, g);
         assert_eq!(cache.load(&key).as_ref(), Some(&g), "entry repaired");
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn legacy_entries_are_upgraded_in_place_on_load() {
+        let cache = scratch_cache("upgrade");
+        let key = CacheKey::new("t/upgrade", 1.0, 3, "as-given");
+        let g = uic_graph::Graph::from_edges(4, &[(0, 1, 0.5), (1, 2, 0.25), (2, 3, 0.75)]);
+        // Plant a v1-format entry, as a cache populated by an older
+        // build would hold.
+        let path = cache.path_for(&key);
+        let file = std::fs::File::create(&path).unwrap();
+        uic_graph::write_snapshot_v1(&g, file).unwrap();
+        assert_eq!(
+            uic_graph::snapshot_version(&path).unwrap(),
+            uic_graph::snapshot::LEGACY_FORMAT_VERSION
+        );
+        // Loading serves the graph AND rewrites the entry aligned.
+        assert_eq!(cache.load(&key).as_ref(), Some(&g));
+        assert_eq!(
+            uic_graph::snapshot_version(&path).unwrap(),
+            uic_graph::snapshot::FORMAT_VERSION,
+            "entry must be rewritten in the current format"
+        );
+        assert_eq!(cache.load(&key).as_ref(), Some(&g), "upgraded entry loads");
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 

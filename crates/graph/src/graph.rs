@@ -1,5 +1,7 @@
 //! The CSR [`Graph`] type and its compressed weight storage.
 
+use crate::storage::SectionStorage;
+
 /// Node identifier. `u32` keeps adjacency arrays half the size of `usize`
 /// and comfortably addresses the multi-million-node stand-in networks.
 pub type NodeId = u32;
@@ -71,9 +73,9 @@ pub enum EdgeWeights {
     /// to the in-CSR) so either side reads without a search.
     PerEdge {
         /// Probabilities parallel to the forward CSR targets.
-        out_p: Box<[f32]>,
+        out_p: SectionStorage<f32>,
         /// Probabilities parallel to the reverse CSR sources.
-        in_p: Box<[f32]>,
+        in_p: SectionStorage<f32>,
     },
     /// Weighted cascade: `p(u,v) = 1 / max(d_in(v), 1)`, computed from
     /// the reverse CSR offsets. Zero weight bytes.
@@ -269,15 +271,17 @@ impl std::fmt::Display for MemoryFootprint {
 pub struct Graph {
     n: u32,
     // Forward CSR: out-edges of u are targets[out_off[u]..out_off[u+1]].
-    out_off: Box<[usize]>,
-    out_to: Box<[NodeId]>,
+    // Sections are owned boxes for built graphs, or borrowed views over
+    // one shared snapshot buffer for zero-copy loads (see `storage.rs`).
+    out_off: SectionStorage<usize>,
+    out_to: SectionStorage<NodeId>,
     // Reverse CSR: in-edges of v are sources[in_off[v]..in_off[v+1]].
-    in_off: Box<[usize]>,
-    in_from: Box<[NodeId]>,
+    in_off: SectionStorage<usize>,
+    in_from: SectionStorage<NodeId>,
     // For each reverse slot, the global out-edge id of the same physical
     // edge — lets reverse walks share per-edge coin caches with forward
     // simulations (needed by the RR-CIM baseline's two-pass sampling).
-    in_eid: Box<[u32]>,
+    in_eid: SectionStorage<u32>,
     weights: EdgeWeights,
 }
 
@@ -394,8 +398,8 @@ impl Graph {
                     in_p[in_slot_of_input[idx] as usize] = p;
                 }
                 EdgeWeights::PerEdge {
-                    out_p: out_p.into_boxed_slice(),
-                    in_p: in_p.into_boxed_slice(),
+                    out_p: out_p.into(),
+                    in_p: in_p.into(),
                 }
             }
             WeightSpec::InDegree => EdgeWeights::InDegree,
@@ -403,11 +407,11 @@ impl Graph {
         };
         Ok(Graph {
             n,
-            out_off: out_off.into_boxed_slice(),
-            out_to: out_to.into_boxed_slice(),
-            in_off: in_off.into_boxed_slice(),
-            in_from: in_from.into_boxed_slice(),
-            in_eid: in_eid.into_boxed_slice(),
+            out_off: out_off.into(),
+            out_to: out_to.into(),
+            in_off: in_off.into(),
+            in_from: in_from.into(),
+            in_eid: in_eid.into(),
             weights,
         })
     }
@@ -427,6 +431,30 @@ impl Graph {
         in_eid: Vec<u32>,
         weights: EdgeWeights,
     ) -> Self {
+        Self::from_validated_sections(
+            n,
+            out_off.into(),
+            out_to.into(),
+            in_off.into(),
+            in_from.into(),
+            in_eid.into(),
+            weights,
+        )
+    }
+
+    /// [`Graph::from_validated_raw_csr`] over pre-built section storage —
+    /// the zero-copy snapshot loader hands in borrowed views over the
+    /// mapped buffer here (its fused verify pass has already established
+    /// the invariants; they stay spelled out as debug assertions).
+    pub(crate) fn from_validated_sections(
+        n: u32,
+        out_off: SectionStorage<usize>,
+        out_to: SectionStorage<NodeId>,
+        in_off: SectionStorage<usize>,
+        in_from: SectionStorage<NodeId>,
+        in_eid: SectionStorage<u32>,
+        weights: EdgeWeights,
+    ) -> Self {
         let nu = n as usize;
         let m = out_to.len();
         debug_assert_eq!(out_off.len(), nu + 1);
@@ -436,27 +464,43 @@ impl Graph {
         debug_assert!([&out_off, &in_off]
             .iter()
             .all(|w| w[0] == 0 && w[nu] == m && w.windows(2).all(|p| p[0] <= p[1])));
-        debug_assert!(!out_to.iter().chain(&in_from).any(|&v| v >= n));
+        debug_assert!(!out_to.iter().chain(&in_from[..]).any(|&v| v >= n));
         debug_assert!(!in_eid.iter().any(|&e| e as usize >= m));
         Graph {
             n,
-            out_off: out_off.into_boxed_slice(),
-            out_to: out_to.into_boxed_slice(),
-            in_off: in_off.into_boxed_slice(),
-            in_from: in_from.into_boxed_slice(),
-            in_eid: in_eid.into_boxed_slice(),
+            out_off,
+            out_to,
+            in_off,
+            in_from,
+            in_eid,
             weights,
         }
+    }
+
+    /// True when every CSR section (and any per-edge weight array) is a
+    /// borrowed view into a shared snapshot buffer — i.e. the graph came
+    /// through the zero-copy load path.
+    pub fn is_zero_copy(&self) -> bool {
+        let weights_borrowed = match &self.weights {
+            EdgeWeights::PerEdge { out_p, in_p } => out_p.is_borrowed() && in_p.is_borrowed(),
+            EdgeWeights::InDegree | EdgeWeights::Constant(_) => true,
+        };
+        self.out_off.is_borrowed()
+            && self.out_to.is_borrowed()
+            && self.in_off.is_borrowed()
+            && self.in_from.is_borrowed()
+            && self.in_eid.is_borrowed()
+            && weights_borrowed
     }
 
     /// The raw CSR sections, in snapshot order (see `snapshot.rs`).
     pub(crate) fn raw_csr(&self) -> RawCsr<'_> {
         (
-            &self.out_off,
-            &self.out_to,
-            &self.in_off,
-            &self.in_from,
-            &self.in_eid,
+            &self.out_off[..],
+            &self.out_to[..],
+            &self.in_off[..],
+            &self.in_from[..],
+            &self.in_eid[..],
             &self.weights,
         )
     }
@@ -671,8 +715,8 @@ impl Graph {
                     .map(|&v| self.recip_in_degree(v))
                     .collect();
                 EdgeWeights::PerEdge {
-                    out_p: out_p.into_boxed_slice(),
-                    in_p: in_p.into_boxed_slice(),
+                    out_p: out_p.into(),
+                    in_p: in_p.into(),
                 }
             }
         };
@@ -682,7 +726,7 @@ impl Graph {
             out_to: self.in_from.clone(),
             in_off: self.out_off.clone(),
             in_from: self.out_to.clone(),
-            in_eid: in_eid.into_boxed_slice(),
+            in_eid: in_eid.into(),
             weights,
         }
     }

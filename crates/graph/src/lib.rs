@@ -23,6 +23,11 @@
 //!   schemes (weighted cascade `1/d_in(v)`, constant, trivalency, uniform).
 //! * [`snapshot`] — the versioned binary snapshot format (magic, version,
 //!   checksum, bulk little-endian CSR sections) with typed load errors.
+//!   Format v2 pads sections to alignment boundaries so files load
+//!   **zero-copy**: checksum-verify, then pointer-cast section views
+//!   over one mapped (or owned, aligned) buffer.
+//! * [`storage`] — [`SectionStorage`], the owned-or-borrowed section
+//!   representation behind every CSR array.
 //! * [`traversal`] — BFS/DFS reachability, weakly connected components,
 //!   Tarjan SCC, and subgraph extraction (used to take the largest SCC of
 //!   the Flixster stand-in and BFS prefixes for the scalability test).
@@ -37,6 +42,7 @@ pub mod graph;
 pub mod io;
 pub mod snapshot;
 pub mod stats;
+pub mod storage;
 pub mod traversal;
 
 pub use builder::{GraphBuilder, Weighting};
@@ -45,9 +51,11 @@ pub use graph::{
     ArcProbs, EdgeWeights, Graph, GraphError, MemoryFootprint, NodeId, WeightClass, WeightSpec,
 };
 pub use snapshot::{
-    load_snapshot, read_snapshot, read_snapshot_bytes, save_snapshot, write_snapshot, SnapshotError,
+    load_snapshot, load_snapshot_owned, read_snapshot, read_snapshot_bytes, save_snapshot,
+    snapshot_version, write_snapshot, write_snapshot_v1, SnapshotError,
 };
 pub use stats::GraphStats;
+pub use storage::{SectionElem, SectionStorage};
 pub use traversal::{
     bfs_prefix_subgraph, induced_subgraph, largest_scc, reachable_from,
     strongly_connected_components, weakly_connected_components,

@@ -1,0 +1,429 @@
+//! Section storage for CSR arrays: owned heap slices or borrowed views
+//! over one shared snapshot buffer.
+//!
+//! Graphs built in memory own their sections as `Box<[T]>`, exactly as
+//! before. Graphs loaded from an aligned (format v2) snapshot instead
+//! borrow their sections straight out of the single backing buffer the
+//! file was mapped (or read) into — the load performs **zero per-section
+//! copies**; every section is a pointer + length into the buffer, kept
+//! alive by an [`Arc`]. [`SectionStorage`] is the small-cow abstraction
+//! that makes the two representations indistinguishable to every
+//! accessor: it derefs to `&[T]`, compares by content, and clones
+//! cheaply (an `Arc` bump) in the borrowed case.
+//!
+//! Only plain-old-data element types can be viewed out of raw bytes;
+//! the sealed [`SectionElem`] trait whitelists exactly the four section
+//! element types of the snapshot format (`u32`, `u64`, `f32`, and —
+//! on 64-bit targets, where it is layout-identical to `u64` — `usize`).
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+mod sealed {
+    /// Marker for types where every bit pattern is a valid value and the
+    /// layout is fixed — the precondition for casting byte buffers into
+    /// typed slices.
+    pub trait Pod {}
+    impl Pod for u32 {}
+    impl Pod for u64 {}
+    impl Pod for f32 {}
+    impl Pod for usize {}
+}
+
+/// Element types a [`SectionStorage`] can hold. Sealed: the borrowed
+/// representation reinterprets raw snapshot bytes, which is only sound
+/// for the fixed set of plain-old-data types the format defines.
+pub trait SectionElem: sealed::Pod + Copy + Send + Sync + 'static {}
+impl SectionElem for u32 {}
+impl SectionElem for u64 {}
+impl SectionElem for f32 {}
+impl SectionElem for usize {}
+
+/// The single backing buffer of a zero-copy snapshot load: either a
+/// private read-only memory mapping of the file or an owned, 8-byte-
+/// aligned copy of its bytes (`Vec<u64>`-backed). Immutable after
+/// construction; sections alias into it behind an [`Arc`].
+pub(crate) struct SnapshotBuf(BufImpl);
+
+enum BufImpl {
+    /// 8-byte-aligned owned bytes; `len` is the byte length (the last
+    /// word may be partially used).
+    Owned { words: Box<[u64]>, len: usize },
+    /// A read-only `mmap` of the whole file (page-aligned, so any
+    /// section offset that is 8-byte aligned in the file is 8-byte
+    /// aligned in memory). Unmapped on drop.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped { ptr: *mut u8, len: usize },
+}
+
+// SAFETY: the buffer is immutable after construction — `Owned` is plain
+// heap memory, `Mapped` is a MAP_PRIVATE read-only mapping no other
+// handle mutates — so shared references can cross threads freely.
+unsafe impl Send for SnapshotBuf {}
+unsafe impl Sync for SnapshotBuf {}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    //! Minimal raw bindings for mapping a file read-only (the workspace
+    //! links no libc crate; these are the two syscall wrappers every
+    //! unix libc exports with this exact ABI).
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    /// Prefault the whole mapping in one syscall instead of taking a
+    /// demand page fault per 4 KB during the verify pass (Linux only;
+    /// the value is the same on every Linux architecture).
+    #[cfg(target_os = "linux")]
+    pub const MAP_POPULATE: c_int = 0x8000;
+    #[cfg(not(target_os = "linux"))]
+    pub const MAP_POPULATE: c_int = 0;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    pub fn map_failed(p: *mut c_void) -> bool {
+        p as isize == -1
+    }
+}
+
+impl SnapshotBuf {
+    /// Copies `bytes` into a fresh 8-byte-aligned owned buffer.
+    pub(crate) fn from_bytes(bytes: &[u8]) -> SnapshotBuf {
+        let words = vec![0u64; bytes.len().div_ceil(8)].into_boxed_slice();
+        let mut buf = SnapshotBuf(BufImpl::Owned {
+            words,
+            len: bytes.len(),
+        });
+        if let BufImpl::Owned { words, .. } = &mut buf.0 {
+            // SAFETY: `words` holds ≥ bytes.len() writable bytes.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    bytes.as_ptr(),
+                    words.as_mut_ptr().cast::<u8>(),
+                    bytes.len(),
+                );
+            }
+        }
+        buf
+    }
+
+    /// Reads a whole file into an 8-byte-aligned owned buffer.
+    pub(crate) fn read_file(file: &mut std::fs::File) -> std::io::Result<SnapshotBuf> {
+        use std::io::Read;
+        let expect = file.metadata().map(|m| m.len() as usize).unwrap_or(0);
+        let mut bytes = Vec::with_capacity(expect.min(1 << 34));
+        file.read_to_end(&mut bytes)?;
+        Ok(SnapshotBuf::from_bytes(&bytes))
+    }
+
+    /// Maps a whole file read-only. Returns `Ok(None)` when the mapping
+    /// is not available (empty file, or the kernel refuses) so callers
+    /// can fall back to [`SnapshotBuf::read_file`].
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    pub(crate) fn map_file(file: &std::fs::File) -> std::io::Result<Option<SnapshotBuf>> {
+        use std::os::fd::AsRawFd;
+        let len = file.metadata()?.len();
+        if len == 0 || len > usize::MAX as u64 {
+            return Ok(None);
+        }
+        let len = len as usize;
+        // SAFETY: a fresh private read-only mapping of `len` bytes of an
+        // open fd; the kernel validates the request and we check for
+        // MAP_FAILED. The mapping outlives no access: it is unmapped
+        // only in `Drop`.
+        let mut ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE | sys::MAP_POPULATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if sys::map_failed(ptr) && sys::MAP_POPULATE != 0 {
+            // Prefaulting can fail under memory pressure where plain
+            // demand paging would still succeed — retry without it.
+            ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+        }
+        if sys::map_failed(ptr) {
+            return Ok(None);
+        }
+        Ok(Some(SnapshotBuf(BufImpl::Mapped {
+            ptr: ptr.cast(),
+            len,
+        })))
+    }
+
+    /// The buffer contents.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match &self.0 {
+            BufImpl::Owned { words, len } => {
+                // SAFETY: `words` holds ≥ `len` initialized bytes.
+                unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), *len) }
+            }
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            BufImpl::Mapped { ptr, len } => {
+                // SAFETY: the mapping covers `len` readable bytes and
+                // lives until drop.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+        }
+    }
+
+    /// True when the buffer is a file mapping rather than owned memory.
+    pub(crate) fn is_mapped(&self) -> bool {
+        match self.0 {
+            BufImpl::Owned { .. } => false,
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            BufImpl::Mapped { .. } => true,
+        }
+    }
+}
+
+impl Drop for SnapshotBuf {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let BufImpl::Mapped { ptr, len } = self.0 {
+            // SAFETY: exactly the pointer/length pair mmap returned.
+            unsafe {
+                sys::munmap(ptr.cast(), len);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SnapshotBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotBuf")
+            .field("len", &self.bytes().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// One CSR section: an owned boxed slice or a borrowed view into a
+/// shared `SnapshotBuf`. Derefs to `&[T]`; equality and `Debug` go
+/// through the slice, so the two representations are observationally
+/// identical everywhere except [`SectionStorage::is_borrowed`].
+pub struct SectionStorage<T: SectionElem> {
+    repr: Repr<T>,
+}
+
+enum Repr<T: SectionElem> {
+    Owned(Box<[T]>),
+    View {
+        /// Keeps the backing buffer alive; never read through.
+        _buf: Arc<SnapshotBuf>,
+        ptr: *const T,
+        len: usize,
+    },
+}
+
+// SAFETY: `View` aliases an immutable, `Send + Sync` buffer whose
+// lifetime the held `Arc` guarantees; `Owned` is an ordinary box. `T`
+// itself is `Send + Sync` (supertrait of `SectionElem`).
+unsafe impl<T: SectionElem> Send for SectionStorage<T> {}
+unsafe impl<T: SectionElem> Sync for SectionStorage<T> {}
+
+impl<T: SectionElem> SectionStorage<T> {
+    /// Borrows `len` elements starting `byte_off` bytes into `buf`.
+    ///
+    /// Panics (programmer error, not input data: the snapshot header
+    /// validator has already checked every offset) if the range exceeds
+    /// the buffer or the start is not aligned for `T`.
+    pub(crate) fn view(buf: &Arc<SnapshotBuf>, byte_off: usize, len: usize) -> SectionStorage<T> {
+        let bytes = buf.bytes();
+        let size = std::mem::size_of::<T>();
+        let end = byte_off
+            .checked_add(len.checked_mul(size).expect("section size overflow"))
+            .expect("section range overflow");
+        assert!(end <= bytes.len(), "section view beyond buffer");
+        let ptr = bytes[byte_off..].as_ptr().cast::<T>();
+        assert_eq!(
+            ptr as usize % std::mem::align_of::<T>(),
+            0,
+            "section view misaligned"
+        );
+        SectionStorage {
+            repr: Repr::View {
+                _buf: Arc::clone(buf),
+                ptr,
+                len,
+            },
+        }
+    }
+
+    /// True for the borrowed (zero-copy) representation.
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.repr, Repr::View { .. })
+    }
+
+    /// The section contents.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Owned(b) => b,
+            Repr::View { ptr, len, .. } => {
+                // SAFETY: `view` checked bounds and alignment against
+                // the backing buffer, which `_buf` keeps alive and
+                // immutable; `T` is plain old data (sealed), so any bit
+                // pattern the buffer holds is a valid value.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+        }
+    }
+}
+
+impl<T: SectionElem> Deref for SectionStorage<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: SectionElem> From<Vec<T>> for SectionStorage<T> {
+    fn from(v: Vec<T>) -> Self {
+        SectionStorage {
+            repr: Repr::Owned(v.into_boxed_slice()),
+        }
+    }
+}
+
+impl<T: SectionElem> From<Box<[T]>> for SectionStorage<T> {
+    fn from(b: Box<[T]>) -> Self {
+        SectionStorage {
+            repr: Repr::Owned(b),
+        }
+    }
+}
+
+impl<T: SectionElem> Clone for SectionStorage<T> {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            Repr::Owned(b) => SectionStorage {
+                repr: Repr::Owned(b.clone()),
+            },
+            Repr::View { _buf, ptr, len } => SectionStorage {
+                repr: Repr::View {
+                    _buf: Arc::clone(_buf),
+                    ptr: *ptr,
+                    len: *len,
+                },
+            },
+        }
+    }
+}
+
+impl<T: SectionElem + PartialEq> PartialEq for SectionStorage<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: SectionElem + fmt::Debug> fmt::Debug for SectionStorage<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_borrowed() {
+            write!(f, "view:")?;
+        }
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: SectionElem> Default for SectionStorage<T> {
+    fn default() -> Self {
+        SectionStorage {
+            repr: Repr::Owned(Box::new([])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_roundtrip_and_equality() {
+        let a: SectionStorage<u32> = vec![1, 2, 3].into();
+        let b: SectionStorage<u32> = vec![1u32, 2, 3].into_boxed_slice().into();
+        assert_eq!(a, b);
+        assert_eq!(&a[..], &[1, 2, 3]);
+        assert!(!a.is_borrowed());
+        assert_eq!(a.clone(), a);
+        assert_eq!(SectionStorage::<f32>::default().len(), 0);
+    }
+
+    #[test]
+    fn views_alias_the_buffer_and_compare_by_content() {
+        // 16 bytes: four u32 words in native order (the view casts, it
+        // does not decode — construction is byte-order-agnostic here).
+        let vals = [7u32, 9, u32::MAX, 0];
+        let mut bytes = Vec::new();
+        for v in vals {
+            bytes.extend_from_slice(&v.to_ne_bytes());
+        }
+        let buf = Arc::new(SnapshotBuf::from_bytes(&bytes));
+        let s: SectionStorage<u32> = SectionStorage::view(&buf, 0, 4);
+        assert!(s.is_borrowed());
+        assert_eq!(&s[..], &vals);
+        let owned: SectionStorage<u32> = vals.to_vec().into();
+        assert_eq!(s, owned, "representation is invisible to equality");
+        let tail: SectionStorage<u32> = SectionStorage::view(&buf, 8, 2);
+        assert_eq!(&tail[..], &vals[2..]);
+        // The clone shares the buffer (drop order exercises the Arc).
+        let c = s.clone();
+        drop(s);
+        assert_eq!(&c[..], &vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond buffer")]
+    fn view_bounds_are_checked() {
+        let buf = Arc::new(SnapshotBuf::from_bytes(&[0u8; 8]));
+        let _ = SectionStorage::<u64>::view(&buf, 8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn view_alignment_is_checked() {
+        let buf = Arc::new(SnapshotBuf::from_bytes(&[0u8; 16]));
+        let _ = SectionStorage::<u64>::view(&buf, 4, 1);
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[test]
+    fn mapped_buffer_reads_file_contents() {
+        let dir = std::env::temp_dir().join("uic-storage-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("buf.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096 + 13).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let mapped = SnapshotBuf::map_file(&file).unwrap().expect("mmap works");
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped.bytes(), &payload[..]);
+        drop(mapped); // munmap
+        std::fs::remove_file(&path).ok();
+    }
+}

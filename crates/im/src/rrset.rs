@@ -546,13 +546,52 @@ impl RrCollection {
                     .collect::<Vec<_>>()
             })
             .expect("crossbeam scope failed");
-            self.data
-                .reserve(results.iter().map(|(d, _, _)| d.len()).sum());
-            for (data, ends, width) in results {
-                let base = self.data.len();
-                self.data.extend_from_slice(&data);
+            // Merge in parallel: every chunk gets a pre-reserved disjoint
+            // output range (chunk t starts at the sum of the lengths of
+            // chunks 0..t), so the copies proceed concurrently and land
+            // bit-identically to a serial chunk-order append — the merge
+            // no longer serializes behind one `extend_from_slice` chain.
+            let base0 = self.data.len();
+            let total: usize = results.iter().map(|(d, _, _)| d.len()).sum();
+            self.data.reserve(total);
+            let mut bases = Vec::with_capacity(results.len());
+            {
+                let mut acc = base0;
+                for (d, _, _) in &results {
+                    bases.push(acc);
+                    acc += d.len();
+                }
+            }
+            let mut rest = &mut self.data.spare_capacity_mut()[..total];
+            thread::scope(|scope| {
+                for (d, _, _) in &results {
+                    let (mine, tail) = std::mem::take(&mut rest).split_at_mut(d.len());
+                    rest = tail;
+                    if d.is_empty() {
+                        continue;
+                    }
+                    scope.spawn(move |_| {
+                        // SAFETY: `mine` is this chunk's private slice of
+                        // the reserved tail — disjoint from every other
+                        // chunk's by construction — and `d.len() == mine.len()`.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                d.as_ptr(),
+                                mine.as_mut_ptr().cast::<NodeId>(),
+                                d.len(),
+                            );
+                        }
+                    });
+                }
+            })
+            .expect("crossbeam scope failed");
+            // SAFETY: the scope joined every copy worker (a worker panic
+            // propagates above), so all `total` reserved slots are
+            // initialized.
+            unsafe { self.data.set_len(base0 + total) };
+            for ((_, ends, width), base) in results.iter().zip(&bases) {
                 self.offsets.extend(ends.iter().map(|&e| base + e));
-                self.total_width += width;
+                self.total_width += *width;
             }
         }
         self.generated += need as u64;
@@ -565,6 +604,14 @@ impl RrCollection {
     /// doubling growth schedule the total indexing work is linear in the
     /// final arena size — and repeated selections or spread estimates on
     /// an unchanged collection pay nothing.
+    ///
+    /// The merge is parallelized by **node-range partitioning**: nodes
+    /// are split into contiguous ranges balanced by per-range id volume;
+    /// because each range's id runs are contiguous in the CSR `ids`
+    /// array, every worker owns a disjoint `ids` slice (plain
+    /// `split_at_mut`, no atomics) and fills it by scanning the new sets
+    /// in id order, keeping only members in its range. The index is
+    /// therefore bit-identical across thread counts.
     pub(crate) fn ensure_index(&mut self) {
         let n = self.num_nodes as usize;
         if self.index.start.len() != n + 1 {
@@ -576,32 +623,110 @@ impl RrCollection {
         }
         assert!(len <= u32::MAX as usize, "set ids exceed u32 range");
         let first_new = self.index.sets_indexed;
-        // Per-node entry counts of the un-indexed suffix.
-        let mut add = vec![0usize; n];
-        for &v in &self.data[self.offsets[first_new]..] {
-            add[v as usize] += 1;
-        }
         let old_start = std::mem::take(&mut self.index.start);
         let old_ids = std::mem::take(&mut self.index.ids);
+        let suffix = &self.data[self.offsets[first_new]..];
+        let threads = self
+            .threads
+            .unwrap_or_else(|| parallelism(suffix.len() + n, 1 << 14));
+
+        // Per-node entry counts of the un-indexed suffix. Parallel
+        // counting uses the same node-range trick: each worker scans the
+        // whole suffix but counts only its contiguous slice of `add`.
+        let mut add = vec![0usize; n];
+        if threads <= 1 {
+            for &v in suffix {
+                add[v as usize] += 1;
+            }
+        } else {
+            let chunk = n.div_ceil(threads);
+            thread::scope(|scope| {
+                for (t, counts) in add.chunks_mut(chunk).enumerate() {
+                    let lo = t * chunk;
+                    scope.spawn(move |_| {
+                        let hi = lo + counts.len();
+                        for &v in suffix {
+                            let v = v as usize;
+                            if (lo..hi).contains(&v) {
+                                counts[v - lo] += 1;
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("crossbeam scope failed");
+        }
+
         let mut start = vec![0usize; n + 1];
         for v in 0..n {
             start[v + 1] = start[v] + (old_start[v + 1] - old_start[v]) + add[v];
         }
         let mut ids = vec![0u32; start[n]];
-        // Block-copy each node's existing run, leaving its cursor at the
-        // append position for the new ids.
-        let mut cursor = vec![0usize; n];
-        for v in 0..n {
-            let old = &old_ids[old_start[v]..old_start[v + 1]];
-            ids[start[v]..start[v] + old.len()].copy_from_slice(old);
-            cursor[v] = start[v] + old.len();
-        }
-        for rid in first_new..len {
-            for &v in self.get(rid) {
-                ids[cursor[v as usize]] = rid as u32;
-                cursor[v as usize] += 1;
+
+        if threads <= 1 {
+            // Block-copy each node's existing run, leaving its cursor at
+            // the append position for the new ids.
+            let mut cursor = vec![0usize; n];
+            for v in 0..n {
+                let old = &old_ids[old_start[v]..old_start[v + 1]];
+                ids[start[v]..start[v] + old.len()].copy_from_slice(old);
+                cursor[v] = start[v] + old.len();
             }
+            for rid in first_new..len {
+                for &v in self.get(rid) {
+                    ids[cursor[v as usize]] = rid as u32;
+                    cursor[v as usize] += 1;
+                }
+            }
+        } else {
+            // Node-range boundaries balanced by id volume: range t ends
+            // at the first node whose cumulative id count reaches
+            // `(t + 1)/threads` of the total.
+            let total = start[n];
+            let mut bounds = Vec::with_capacity(threads + 1);
+            bounds.push(0usize);
+            for t in 1..threads {
+                let goal = total * t / threads;
+                let v = start.partition_point(|&s| s < goal).min(n);
+                bounds.push(v.max(*bounds.last().expect("non-empty")));
+            }
+            bounds.push(n);
+            let (data, offsets) = (&self.data, &self.offsets);
+            let (start_ref, old_start_ref, old_ids_ref) = (&start, &old_start, &old_ids);
+            let mut rest: &mut [u32] = &mut ids;
+            thread::scope(|scope| {
+                for w in bounds.windows(2) {
+                    let (vlo, vhi) = (w[0], w[1]);
+                    let base = start_ref[vlo];
+                    let (mine, tail) =
+                        std::mem::take(&mut rest).split_at_mut(start_ref[vhi] - base);
+                    rest = tail;
+                    if vlo == vhi {
+                        continue;
+                    }
+                    scope.spawn(move |_| {
+                        let mut cursor = vec![0usize; vhi - vlo];
+                        for v in vlo..vhi {
+                            let old = &old_ids_ref[old_start_ref[v]..old_start_ref[v + 1]];
+                            let at = start_ref[v] - base;
+                            mine[at..at + old.len()].copy_from_slice(old);
+                            cursor[v - vlo] = at + old.len();
+                        }
+                        for rid in first_new..len {
+                            for &v in &data[offsets[rid]..offsets[rid + 1]] {
+                                let v = v as usize;
+                                if (vlo..vhi).contains(&v) {
+                                    mine[cursor[v - vlo]] = rid as u32;
+                                    cursor[v - vlo] += 1;
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("crossbeam scope failed");
         }
+
         self.index = InvertedIndex {
             start,
             ids,
@@ -849,6 +974,32 @@ mod tests {
         coll.extend_with(&g, 12, &ModSampler { n: 3 });
         assert_eq!(coll.estimate_spread(&[0]), 3.0 * 4.0 / 12.0);
         assert_eq!(coll.total_width(), 12);
+    }
+
+    #[test]
+    fn index_build_is_thread_count_independent() {
+        // The node-range-partitioned parallel index build must produce
+        // the exact CSR arrays of the serial build, including across an
+        // incremental growth episode (old-run block copy + append).
+        let g = path3();
+        let mut reference = RrCollection::new(&g, DiffusionModel::IC, 31).with_threads(1);
+        reference.extend_to(&g, 400);
+        reference.ensure_index();
+        let stage1 = reference.index.clone();
+        reference.extend_to(&g, 900);
+        reference.ensure_index();
+        let stage2 = reference.index.clone();
+        for threads in [2usize, 3, 8] {
+            let mut coll = RrCollection::new(&g, DiffusionModel::IC, 31).with_threads(threads);
+            coll.extend_to(&g, 400);
+            coll.ensure_index();
+            assert_eq!(coll.index.start, stage1.start, "{threads} threads");
+            assert_eq!(coll.index.ids, stage1.ids, "{threads} threads");
+            coll.extend_to(&g, 900);
+            coll.ensure_index();
+            assert_eq!(coll.index.start, stage2.start, "{threads} threads, grown");
+            assert_eq!(coll.index.ids, stage2.ids, "{threads} threads, grown");
+        }
     }
 
     #[test]

@@ -5,12 +5,51 @@
 //! independent tasks? Spawning is only profitable when each worker gets a
 //! minimum useful chunk (the `grain`), so the answer is
 //! `min(hardware, ⌈work_items / grain⌉)`, never less than one.
+//!
+//! The hardware width is resolved **once per process** (see
+//! [`hardware_parallelism`]): `available_parallelism()` takes a syscall
+//! on some platforms, and several hot loops size themselves per call.
+//! The `UIC_THREADS` environment variable overrides the detected width
+//! globally, so benches and CI can pin every fork-join loop to a fixed
+//! width without touching individual `with_threads` call sites.
+
+use std::sync::OnceLock;
+
+/// Environment variable that pins the process-wide worker width (any
+/// positive integer). Read once, at the first sizing decision.
+pub const THREADS_ENV_VAR: &str = "UIC_THREADS";
+
+/// Pure resolution logic behind [`hardware_parallelism`], separated so
+/// the override parsing is unit-testable without mutating the process
+/// environment: a parseable positive `UIC_THREADS` wins, anything else
+/// falls back to the detected width.
+fn resolve_width(env: Option<&str>, detected: usize) -> usize {
+    env.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(detected)
+        .max(1)
+}
+
+/// The process-wide worker width every fork-join loop sizes against:
+/// `available_parallelism()` (queried **once**, then cached — hot loops
+/// re-size on every call) unless the `UIC_THREADS` environment variable
+/// pins a different width.
+pub fn hardware_parallelism() -> usize {
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        let detected = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        let env = std::env::var(THREADS_ENV_VAR).ok();
+        resolve_width(env.as_deref(), detected)
+    })
+}
 
 /// Number of worker threads for `work_items` independent tasks of
 /// roughly uniform cost, given the minimum useful chunk `grain` (items
 /// per worker below which spawn overhead dominates).
 ///
-/// Returns at least 1 and never exceeds the hardware parallelism, so the
+/// Returns at least 1 and never exceeds [`hardware_parallelism`], so the
 /// result can be fed straight into a scoped-thread spawn loop. A `grain`
 /// of 0 is treated as 1.
 ///
@@ -21,11 +60,41 @@
 /// assert_eq!(uic_util::parallelism(0, 64), 1);
 /// ```
 pub fn parallelism(work_items: usize, grain: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
+    hardware_parallelism()
         .min(work_items.div_ceil(grain.max(1)))
         .max(1)
+}
+
+/// Pads (and aligns) `T` to a 64-byte cache line, so adjacent per-worker
+/// accumulators in one array never share a line — concurrent writes stay
+/// free of false sharing. Deref-transparent.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub fn new(value: T) -> CachePadded<T> {
+        CachePadded(value)
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
 }
 
 #[cfg(test)]
@@ -41,9 +110,10 @@ mod tests {
 
     #[test]
     fn worker_count_is_bounded_by_work_and_hardware() {
-        let hw = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1);
+        // `hardware_parallelism` (not raw available_parallelism): the
+        // suite must hold under a `UIC_THREADS` pin too (the 2-thread CI
+        // job runs with it set).
+        let hw = hardware_parallelism();
         // Enough work for every core: capped by hardware only.
         assert_eq!(parallelism(hw * 1000, 1), hw);
         // Work for exactly three grains: at most three workers.
@@ -52,9 +122,38 @@ mod tests {
 
     #[test]
     fn zero_grain_is_treated_as_one() {
-        let hw = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1);
+        let hw = hardware_parallelism();
         assert_eq!(parallelism(4, 0), hw.min(4));
+    }
+
+    #[test]
+    fn width_is_cached_and_stable() {
+        let a = hardware_parallelism();
+        let b = hardware_parallelism();
+        assert_eq!(a, b);
+        assert!(a >= 1);
+    }
+
+    #[test]
+    fn env_override_resolution() {
+        assert_eq!(resolve_width(None, 8), 8);
+        assert_eq!(resolve_width(Some("2"), 8), 2);
+        assert_eq!(resolve_width(Some(" 16 "), 1), 16);
+        // Unparseable, empty, and zero values fall back to detection.
+        assert_eq!(resolve_width(Some("many"), 8), 8);
+        assert_eq!(resolve_width(Some(""), 8), 8);
+        assert_eq!(resolve_width(Some("0"), 8), 8);
+        // Detection of 0 (cannot happen, but) still yields a worker.
+        assert_eq!(resolve_width(None, 0), 1);
+    }
+
+    #[test]
+    fn cache_padding_separates_lines() {
+        assert!(std::mem::align_of::<CachePadded<u64>>() >= 64);
+        assert!(std::mem::size_of::<[CachePadded<u64>; 2]>() >= 128);
+        let mut p = CachePadded::new(3u64);
+        *p += 1;
+        assert_eq!(*p, 4);
+        assert_eq!(p.into_inner(), 4);
     }
 }

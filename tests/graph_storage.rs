@@ -133,6 +133,61 @@ fn welfare_estimates_are_bit_identical_across_representations() {
 }
 
 #[test]
+fn zero_copy_and_owned_loads_are_bit_identical_end_to_end() {
+    // The zero-copy loader hands the pipelines borrowed section views
+    // over the mapped snapshot; the owned loader copies into fresh
+    // boxes. Simulator, welfare estimator, and greedy selection must
+    // not be able to tell the storages apart — bit for bit.
+    let g = wc_graph();
+    let dir = std::env::temp_dir().join("uic-graph-storage-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("zc-pin-{}.uicg", std::process::id()));
+    uic::graph::save_snapshot(&g, &path).unwrap();
+    let zc = uic::graph::load_snapshot(&path).unwrap();
+    let owned = uic::graph::load_snapshot_owned(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(!owned.is_zero_copy());
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    assert!(zc.is_zero_copy(), "mmap path must engage on this platform");
+    assert_eq!(zc, owned);
+    assert_eq!(zc, g);
+
+    // Simulator outputs.
+    let table = UtilityTable::from_values(2, vec![0.0, 0.4, -0.3, 0.9]);
+    let mut alloc = uic::diffusion::Allocation::new();
+    for v in [0u32, 3, 17, 101, 400] {
+        alloc.assign(v % g.num_nodes(), 0);
+        alloc.assign((v * 7) % g.num_nodes(), 1);
+    }
+    let mut sim_z = UicSimulator::new(&zc);
+    let mut sim_o = UicSimulator::new(&owned);
+    for seed in 0..25u64 {
+        let a = sim_z.run(&zc, &alloc, &table, &mut UicRng::new(seed));
+        let b = sim_o.run(&owned, &alloc, &table, &mut UicRng::new(seed));
+        assert_eq!(a.adoptions, b.adoptions, "seed {seed}");
+        assert_eq!(a.desires, b.desires, "seed {seed}");
+        assert_eq!(a.steps, b.steps, "seed {seed}");
+    }
+
+    // Welfare estimator.
+    let model = uic::datasets::TwoItemConfig::new(1).model();
+    let wz = WelfareEstimator::new(&zc, &model, 200, 9).estimate(&alloc);
+    let wo = WelfareEstimator::new(&owned, &model, 200, 9).estimate(&alloc);
+    assert_eq!(wz, wo, "welfare estimator must not see the storage mode");
+
+    // RR sampling + greedy selection.
+    let mut coll_z = RrCollection::new(&zc, DiffusionModel::IC, 3);
+    let mut coll_o = RrCollection::new(&owned, DiffusionModel::IC, 3);
+    coll_z.extend_to(&zc, 3_000);
+    coll_o.extend_to(&owned, 3_000);
+    assert_eq!(coll_z, coll_o);
+    let sel_z = node_selection(&mut coll_z, 10);
+    let sel_o = node_selection(&mut coll_o, 10);
+    assert_eq!(sel_z.seeds, sel_o.seeds);
+    assert_eq!(sel_z.covered, sel_o.covered);
+}
+
+#[test]
 fn snapshot_roundtrip_preserves_solver_outputs() {
     let g = wc_graph();
     let mut buf = Vec::new();
