@@ -1,0 +1,121 @@
+//! Serving bench: per-query latency and sustained multi-client
+//! throughput against a real in-process `uic-serve` server.
+//!
+//! Three rows per network, all over loopback TCP (so the numbers
+//! include framing, parsing, and response serialization — the full
+//! request path a client pays):
+//!
+//! * `ping`       — protocol floor: frame round-trip, no solve;
+//! * `cold-query` — a `warm-grd` solve against a fresh arena seed
+//!   (forces RR generation; every iteration uses a new seed);
+//! * `warm-query` — the same request repeated (pure top-up-free reuse:
+//!   prefix selection + scoring on the resident arena).
+//!
+//! After the criterion rows, the multi-client load driver runs and
+//! prints its `LOAD {json}` line (sustained qps + p50/p90/p99) and the
+//! server's final `METRICS {json}` dump — `rr_topup_total` there,
+//! versus `ok_total`, is the recorded evidence that repeat queries top
+//! up instead of regenerating. `BENCH_serve.json` records those lines.
+//!
+//! Network selection: `flixster` at full stand-in size by default (fast
+//! enough for CI's `--no-run` and a quick local run). The headline row
+//! is the Orkut stand-in at 1M nodes:
+//!
+//! ```sh
+//! UIC_SERVE_BENCH_NETWORK=orkut UIC_SERVE_BENCH_SCALE=10 \
+//!     cargo bench -p uic-bench --bench serve_latency
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use uic_datasets::{named_network, NamedNetwork};
+use uic_serve::{run_load, Client, Server, ServerConfig};
+
+fn bench_network() -> (NamedNetwork, f64) {
+    let which = match std::env::var("UIC_SERVE_BENCH_NETWORK").as_deref() {
+        Ok("orkut") => NamedNetwork::Orkut,
+        Ok("twitter") => NamedNetwork::Twitter,
+        Ok("douban-book") => NamedNetwork::DoubanBook,
+        Ok("douban-movie") => NamedNetwork::DoubanMovie,
+        _ => NamedNetwork::Flixster,
+    };
+    let scale = std::env::var("UIC_SERVE_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    (which, scale)
+}
+
+fn bench(c: &mut Criterion) {
+    let (which, scale) = bench_network();
+    eprintln!("loading {} at scale {scale}…", which.name());
+    let graph = Arc::new(named_network(which, scale, 42));
+    eprintln!(
+        "resident: {} nodes / {} arcs",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    let handle = Server::start(
+        graph,
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    let label = format!("serve/{}-x{scale}", which.name());
+    let mut group = c.benchmark_group(&label);
+    group.sample_size(4);
+
+    let mut client = Client::connect(addr).expect("connect");
+    group.bench_function("ping", |b| b.iter(|| client.request("ping").expect("ping")));
+
+    // Cold: a fresh (model, seed) arena every iteration, so each query
+    // pays full RR generation up to its theta.
+    let mut cold_seed = 1_000u64;
+    group.bench_function("cold-query", |b| {
+        b.iter(|| {
+            cold_seed += 1;
+            let r = client
+                .request(&format!("warm-grd budgets=25,10 seed={cold_seed}"))
+                .expect("cold solve");
+            assert!(r.is_ok(), "{r:?}");
+            r
+        })
+    });
+
+    // Warm: the identical request, served from the resident arena.
+    let warm = "warm-grd budgets=25,10 seed=42";
+    client.request(warm).expect("arena warm-up");
+    group.bench_function("warm-query", |b| {
+        b.iter(|| {
+            let r = client.request(warm).expect("warm solve");
+            assert!(r.is_ok(), "{r:?}");
+            r
+        })
+    });
+    group.finish();
+
+    // Sustained multi-client load on the warm request — the qps/p99
+    // numbers BENCH_serve.json records. UIC_SERVE_BENCH_SIMS picks the
+    // per-request welfare-scoring cost (0 = allocation-only service).
+    let sims: u32 = std::env::var("UIC_SERVE_BENCH_SIMS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let load = run_load(
+        addr,
+        &format!("warm-grd budgets=25,10 seed=42 sims={sims}"),
+        4,
+        8,
+    )
+    .expect("load run");
+    eprintln!("LOAD sims={sims} {}", load.to_json());
+    drop(client);
+    handle.shutdown();
+    eprintln!("METRICS {}", handle.join());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

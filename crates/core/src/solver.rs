@@ -17,8 +17,9 @@
 //! assert!(report.welfare_mean().is_finite());
 //! ```
 //!
-//! Every algorithm — bundleGRD and the eight baselines — is a registry
-//! entry; adding a workload means adding an entry, not a new `match` arm.
+//! Every algorithm — bundleGRD, the eight baselines, and the warm-arena
+//! `warm-grd` serving engine — is a registry entry; adding a workload
+//! means adding an entry, not a new `match` arm.
 //! The deprecated free functions (`bundle_grd`, `uic_baselines::*`)
 //! remain as the engines these impls wrap.
 //!
@@ -26,7 +27,8 @@
 //! [`crate::WelMax::objective`] says otherwise): [`Allocator::solve`]
 //! scores every report under the instance's objective, the RIS solvers
 //! whose `(1 − 1/e − ε)` machinery needs a sum-decomposable objective
-//! (bundle-grd, item-disj, bundle-disj, rr-sim+, rr-cim) refuse
+//! (bundle-grd, item-disj, bundle-disj, rr-sim+, rr-cim, warm-grd)
+//! refuse
 //! non-additive ones through [`Allocator::supports`], and spec lines
 //! select objectives with the same `key=value` syntax —
 //! `"mc-greedy objective=ces alpha=0.5"` via
@@ -42,7 +44,7 @@ use uic_baselines as baselines;
 use uic_datasets::{SolverSpec, SpecError, SpecMap};
 use uic_diffusion::{ObjectiveError, SolveReport, WelfareEstimator};
 use uic_graph::NodeId;
-use uic_im::DiffusionModel;
+use uic_im::{DiffusionModel, RrCollection};
 use uic_items::{GapParams, ItemSet};
 
 /// Shared run context: seeds, welfare-scoring effort, and threading.
@@ -164,18 +166,30 @@ pub trait Allocator {
             panic!("{e}");
         }
         let mut report = self.run(inst, ctx);
-        report.seed = ctx.seed;
-        report.budgets_used = report.allocation.budgets_used(inst.num_items());
-        if ctx.sims > 0 {
-            let mut est =
-                WelfareEstimator::new(inst.graph(), inst.model(), ctx.sims, ctx.welfare_seed)
-                    .with_objective(inst.objective().clone());
-            if let Some(t) = ctx.threads {
-                est = est.with_threads(t);
-            }
-            report.welfare = Some(est.estimate_stats(&report.allocation));
-        }
+        score_report(inst, ctx, &mut report);
         report
+    }
+}
+
+/// Completes a raw report with the uniform bookkeeping of
+/// [`Allocator::solve`]: stamps the context seed and the per-item
+/// budget usage, and (when `ctx.sims > 0`) attaches welfare statistics
+/// estimated under the instance's objective.
+///
+/// Public so callers that drive the raw engines themselves — e.g. the
+/// `uic-serve` warm-arena path, which runs [`WarmGrd::run_on`] under an
+/// arena lock and must score *outside* it — complete their reports
+/// bit-identically to `solve`.
+pub fn score_report(inst: &WelMaxInstance, ctx: &SolveCtx, report: &mut SolveReport) {
+    report.seed = ctx.seed;
+    report.budgets_used = report.allocation.budgets_used(inst.num_items());
+    if ctx.sims > 0 {
+        let mut est = WelfareEstimator::new(inst.graph(), inst.model(), ctx.sims, ctx.welfare_seed)
+            .with_objective(inst.objective().clone());
+        if let Some(t) = ctx.threads {
+            est = est.with_threads(t);
+        }
+        report.welfare = Some(est.estimate_stats(&report.allocation));
     }
 }
 
@@ -203,6 +217,43 @@ fn model_str(model: DiffusionModel) -> &'static str {
     }
 }
 
+/// Range-validated `f64` parameter read: absent keys fall back to
+/// `default`; present values must satisfy `ok` or the raw text is
+/// reported as a typed [`SpecError::BadValue`]. Keeps the asserts in
+/// the numeric machinery (the IMM/PRIMA bound preconditions, PageRank's
+/// damping contract) unreachable from untrusted spec text.
+fn spec_f64_in(
+    params: &SpecMap,
+    key: &'static str,
+    default: f64,
+    expected: &'static str,
+    ok: fn(f64) -> bool,
+) -> Result<f64, SpecError> {
+    match params.get_f64(key)? {
+        None => Ok(default),
+        Some(v) if ok(v) => Ok(v),
+        Some(_) => Err(SpecError::BadValue {
+            key: key.to_string(),
+            value: params.get(key).unwrap_or_default().to_string(),
+            expected,
+        }),
+    }
+}
+
+/// The RIS solvers' approximation parameter: `eps ∈ (0, 1)`.
+fn spec_eps(params: &SpecMap, default: f64) -> Result<f64, SpecError> {
+    spec_f64_in(params, "eps", default, "a float in (0, 1)", |v| {
+        v > 0.0 && v < 1.0
+    })
+}
+
+/// The RIS solvers' failure exponent: `ell > 0`, finite.
+fn spec_ell(params: &SpecMap, default: f64) -> Result<f64, SpecError> {
+    spec_f64_in(params, "ell", default, "a positive finite float", |v| {
+        v > 0.0 && v.is_finite()
+    })
+}
+
 /// Gate shared by the RIS/guarantee solvers: their submodularity
 /// arguments decompose welfare as a sum over nodes, so any objective
 /// that is not additive voids the machinery — refuse rather than return
@@ -224,7 +275,7 @@ fn requires_additive(name: &'static str, inst: &WelMaxInstance) -> Result<(), Un
 }
 
 // ---------------------------------------------------------------------
-// The nine allocators.
+// The ten allocators.
 // ---------------------------------------------------------------------
 
 /// **bundleGRD** (Algorithm 1): one PRIMA ordering, every item seeded on
@@ -254,8 +305,8 @@ impl BundleGrd {
     pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
         let d = BundleGrd::default();
         Ok(BundleGrd {
-            eps: params.get_f64("eps")?.unwrap_or(d.eps),
-            ell: params.get_f64("ell")?.unwrap_or(d.ell),
+            eps: spec_eps(params, d.eps)?,
+            ell: spec_ell(params, d.ell)?,
             model: spec_model(params, d.model)?,
         })
     }
@@ -334,8 +385,8 @@ impl ItemDisj {
     pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
         let d = ItemDisj::default();
         Ok(ItemDisj {
-            eps: params.get_f64("eps")?.unwrap_or(d.eps),
-            ell: params.get_f64("ell")?.unwrap_or(d.ell),
+            eps: spec_eps(params, d.eps)?,
+            ell: spec_ell(params, d.ell)?,
             model: spec_model(params, d.model)?,
         })
     }
@@ -405,8 +456,8 @@ impl BundleDisj {
     pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
         let d = BundleDisj::default();
         Ok(BundleDisj {
-            eps: params.get_f64("eps")?.unwrap_or(d.eps),
-            ell: params.get_f64("ell")?.unwrap_or(d.ell),
+            eps: spec_eps(params, d.eps)?,
+            ell: spec_ell(params, d.ell)?,
             model: spec_model(params, d.model)?,
         })
     }
@@ -486,8 +537,8 @@ impl RrSimPlus {
     pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
         let d = RrSimPlus::default();
         Ok(RrSimPlus {
-            eps: params.get_f64("eps")?.unwrap_or(d.eps),
-            ell: params.get_f64("ell")?.unwrap_or(d.ell),
+            eps: spec_eps(params, d.eps)?,
+            ell: spec_ell(params, d.ell)?,
         })
     }
 
@@ -551,8 +602,8 @@ impl RrCim {
     pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
         let d = RrCim::default();
         Ok(RrCim {
-            eps: params.get_f64("eps")?.unwrap_or(d.eps),
-            ell: params.get_f64("ell")?.unwrap_or(d.ell),
+            eps: spec_eps(params, d.eps)?,
+            ell: spec_ell(params, d.ell)?,
         })
     }
 
@@ -801,7 +852,9 @@ impl PageRankTop {
     pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
         let d = PageRankTop::default();
         Ok(PageRankTop {
-            damping: params.get_f64("damping")?.unwrap_or(d.damping),
+            damping: spec_f64_in(params, "damping", d.damping, "a float in [0, 1)", |v| {
+                (0.0..1.0).contains(&v)
+            })?,
             iterations: params.get_u32("iterations")?.unwrap_or(d.iterations),
         })
     }
@@ -828,6 +881,118 @@ impl Allocator for PageRankTop {
 
     fn run(&self, inst: &WelMaxInstance, _ctx: &SolveCtx) -> SolveReport {
         baselines::pagerank_top(inst.graph(), inst.budgets(), self.damping, self.iterations)
+    }
+}
+
+/// **warm-grd**: bundleGRD's selection driven by [`uic_im::warm_prima`]
+/// over a caller-owned, extend-only RR arena. Bit-identical to a cold
+/// run with the same `(model, seed)` spec — the warm-PRIMA prefix
+/// contract — while repeat queries against a shared arena only *top up*
+/// samples instead of regenerating them. This is the `uic-serve` query
+/// engine; the [`Allocator::run`] path simply builds a fresh arena per
+/// call, making `warm-grd` the offline reference the server is tested
+/// against. Registry key `"warm-grd"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmGrd {
+    /// PRIMA approximation parameter ε (paper default 0.5).
+    pub eps: f64,
+    /// PRIMA failure exponent ℓ (paper default 1).
+    pub ell: f64,
+    /// Diffusion model the RR sampler follows.
+    pub model: DiffusionModel,
+}
+
+impl Default for WarmGrd {
+    fn default() -> Self {
+        WarmGrd {
+            eps: 0.5,
+            ell: 1.0,
+            model: DiffusionModel::IC,
+        }
+    }
+}
+
+impl WarmGrd {
+    /// Reads `eps`, `ell`, and `model` overrides from a spec.
+    pub fn from_spec(params: &SpecMap) -> Result<Self, SpecError> {
+        let d = WarmGrd::default();
+        Ok(WarmGrd {
+            eps: spec_eps(params, d.eps)?,
+            ell: spec_ell(params, d.ell)?,
+            model: spec_model(params, d.model)?,
+        })
+    }
+
+    /// Serializes the parameters (always explicit, for reproducibility).
+    pub fn to_spec(&self) -> SpecMap {
+        SpecMap::new()
+            .with("eps", self.eps)
+            .with("ell", self.ell)
+            .with("model", model_str(self.model))
+    }
+
+    /// Runs the selection against a caller-owned arena, growing it via
+    /// `extend_to` as the certification loop demands (never resetting).
+    ///
+    /// The arena must have been built on this instance's graph with
+    /// this allocator's diffusion model (and whatever seed the caller
+    /// keys its arenas by — the report's seed stamp comes from `ctx`,
+    /// which the caller is expected to keep consistent). The returned
+    /// report is unscored; pass it through [`score_report`] outside any
+    /// arena lock.
+    ///
+    /// # Panics
+    /// When the arena belongs to a different graph or has ever been
+    /// `reset` (warm reuse of a reset arena would silently break the
+    /// bit-identity contract, so it is refused loudly).
+    pub fn run_on(
+        &self,
+        inst: &WelMaxInstance,
+        ctx: &SolveCtx,
+        coll: &mut RrCollection,
+    ) -> SolveReport {
+        let start = Instant::now();
+        let mut sorted: Vec<u32> = inst.budgets().to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let r = uic_im::warm_prima(inst.graph(), coll, &sorted, self.eps, self.ell);
+        let mut allocation = uic_diffusion::Allocation::new();
+        for (i, &b_i) in inst.budgets().iter().enumerate() {
+            for &v in r.seeds_for_budget(b_i) {
+                allocation.assign(v, i as u32);
+            }
+        }
+        SolveReport {
+            algorithm: self.name(),
+            allocation,
+            welfare: None,
+            elapsed: start.elapsed(),
+            seed: ctx.seed,
+            budgets_used: Vec::new(),
+            rr_sets_final: r.rr_sets_final,
+            rr_sets_total: r.rr_sets_total,
+        }
+    }
+}
+
+impl Allocator for WarmGrd {
+    fn name(&self) -> &'static str {
+        "warm-grd"
+    }
+
+    fn spec(&self) -> SolverSpec {
+        SolverSpec {
+            name: self.name().to_string(),
+            params: self.to_spec(),
+        }
+    }
+
+    fn supports(&self, inst: &WelMaxInstance) -> Result<(), Unsupported> {
+        requires_additive(self.name(), inst)
+    }
+
+    fn run(&self, inst: &WelMaxInstance, ctx: &SolveCtx) -> SolveReport {
+        let mut coll = RrCollection::new(inst.graph(), self.model, ctx.seed);
+        self.run_on(inst, ctx, &mut coll)
     }
 }
 
@@ -872,7 +1037,7 @@ macro_rules! entry {
 
 /// All registered allocators, in the paper's comparison order.
 pub fn registry() -> &'static [RegistryEntry] {
-    static REGISTRY: [RegistryEntry; 9] = [
+    static REGISTRY: [RegistryEntry; 10] = [
         entry!(
             "bundle-grd",
             BundleGrd,
@@ -917,6 +1082,11 @@ pub fn registry() -> &'static [RegistryEntry] {
             "pagerank-top",
             PageRankTop,
             "PageRank-on-transpose ranking, budget-prefix per item"
+        ),
+        entry!(
+            "warm-grd",
+            WarmGrd,
+            "bundleGRD on a warm extend-only RR arena (the uic-serve engine)"
         ),
     ];
     &REGISTRY
@@ -1259,6 +1429,7 @@ mod tests {
             "bundle-disj",
             "rr-sim+",
             "rr-cim",
+            "warm-grd",
         ];
         for name in gated {
             let err = <dyn Allocator>::by_name(name)
@@ -1384,6 +1555,75 @@ mod tests {
                 spec.key()
             );
         }
+    }
+
+    #[test]
+    fn warm_grd_cold_run_matches_bundle_grd_and_warm_reuse_matches_cold() {
+        let g = hub_graph();
+        let inst = WelMax::on(&g)
+            .model(two_item_model())
+            .budgets([3u32, 2])
+            .build()
+            .unwrap();
+        let ctx = SolveCtx::new(7).with_sims(40);
+
+        // warm-grd is NOT bundle-grd: PRIMA's final selection runs on
+        // freshly regenerated RR sets (the Chen et al. fix), which a
+        // shared extend-only arena can never replay, so warm-grd
+        // certifies on the stream prefix instead. Same guarantee, a
+        // deliberately different (still deterministic) sample set.
+        let cold = WarmGrd::default().solve(&inst, &ctx);
+        assert!(cold.allocation.respects_budgets(inst.budgets()));
+        assert!(cold.welfare_mean().is_finite());
+        assert!(cold.rr_sets_total >= cold.rr_sets_final as u64);
+
+        // A shared arena answering several queries stays bit-identical
+        // to cold runs, and run_on + score_report (the server's split
+        // path) reproduces solve exactly.
+        let warm = WarmGrd::default();
+        let mut arena = RrCollection::new(&g, warm.model, ctx.seed);
+        let narrow = WelMax::on(&g)
+            .model(two_item_model())
+            .budgets([2u32, 2])
+            .build()
+            .unwrap();
+        for inst_i in [&inst, &narrow, &inst] {
+            let mut report = warm.run_on(inst_i, &ctx, &mut arena);
+            score_report(inst_i, &ctx, &mut report);
+            let cold_i = warm.solve(inst_i, &ctx);
+            assert_eq!(report.allocation, cold_i.allocation);
+            assert_eq!(report.welfare, cold_i.welfare);
+            assert_eq!(report.budgets_used, cold_i.budgets_used);
+            assert_eq!(report.seed, cold_i.seed);
+            assert_eq!(report.rr_sets_final, cold_i.rr_sets_final);
+        }
+    }
+
+    #[test]
+    fn spec_values_outside_algorithm_ranges_are_typed_errors() {
+        for bad in [
+            "warm-grd eps=0",
+            "warm-grd eps=1",
+            "warm-grd eps=nan",
+            "bundle-grd eps=-0.5",
+            "item-disj ell=0",
+            "bundle-disj ell=inf",
+            "rr-sim+ eps=2",
+            "rr-cim ell=-1",
+            "pagerank-top damping=1",
+            "pagerank-top damping=-0.1",
+        ] {
+            assert!(
+                matches!(
+                    <dyn Allocator>::parse(bad),
+                    Err(RegistryError::Spec(SpecError::BadValue { .. }))
+                ),
+                "{bad} should be rejected"
+            );
+        }
+        // The boundaries that ARE valid still parse.
+        assert!(<dyn Allocator>::parse("warm-grd eps=0.99 ell=16").is_ok());
+        assert!(<dyn Allocator>::parse("pagerank-top damping=0").is_ok());
     }
 
     #[test]

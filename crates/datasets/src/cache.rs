@@ -162,11 +162,22 @@ impl SnapshotCache {
     }
 
     /// Stores `g` under `key` via temp-file + atomic rename.
+    ///
+    /// The temp name carries the pid *and* a process-global counter:
+    /// two threads of one process storing the same key concurrently
+    /// (e.g. racing [`SnapshotCache::load`]'s transparent v1→v2
+    /// rewrite) each write their own file, so neither can rename a
+    /// half-written snapshot into place.
     pub fn store(&self, key: &CacheKey, g: &Graph) -> std::io::Result<()> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
         let final_path = self.path_for(key);
-        let tmp = self
-            .dir
-            .join(format!(".{}.tmp-{}", key.file_name(), std::process::id()));
+        let tmp = self.dir.join(format!(
+            ".{}.tmp-{}-{}",
+            key.file_name(),
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let file = std::fs::File::create(&tmp)?;
         if let Err(e) = write_snapshot(g, file) {
             std::fs::remove_file(&tmp).ok();
@@ -309,6 +320,53 @@ mod tests {
             "entry must be rewritten in the current format"
         );
         assert_eq!(cache.load(&key).as_ref(), Some(&g), "upgraded entry loads");
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn concurrent_loads_of_a_legacy_entry_upgrade_without_corruption() {
+        // Regression: the temp-file name used to be keyed by pid alone,
+        // so two threads of one process racing the transparent v1→v2
+        // rewrite wrote THE SAME temp file and could rename a
+        // half-written snapshot into place. Hammer the upgrade from
+        // many threads and re-plant the v1 entry between rounds; every
+        // load must serve the exact graph and leave a loadable entry.
+        let cache = scratch_cache("upgrade-race");
+        let key = CacheKey::new("t/upgrade-race", 1.0, 3, "as-given");
+        let g = uic_graph::Graph::from_edges(
+            6,
+            &[
+                (0, 1, 0.5),
+                (1, 2, 0.25),
+                (2, 3, 0.75),
+                (3, 4, 0.5),
+                (4, 5, 0.5),
+            ],
+        );
+        let plant_v1 = |path: &std::path::Path| {
+            let file = std::fs::File::create(path).unwrap();
+            uic_graph::write_snapshot_v1(&g, file).unwrap();
+        };
+        for round in 0..8 {
+            plant_v1(&cache.path_for(&key));
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        let loaded = cache.load(&key);
+                        assert_eq!(loaded.as_ref(), Some(&g), "round {round}");
+                    });
+                }
+            });
+            assert_eq!(
+                uic_graph::snapshot_version(cache.path_for(&key)).unwrap(),
+                uic_graph::snapshot::FORMAT_VERSION,
+                "round {round}: entry must end upgraded"
+            );
+            assert_eq!(cache.load(&key).as_ref(), Some(&g), "round {round}");
+        }
+        // Abandoned temp files (if any) still match clear()'s pattern.
+        cache.clear().unwrap();
+        assert!(cache.load(&key).is_none());
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 

@@ -45,4 +45,4 @@ pub use configs::{budget_splits, Config, TwoItemConfig};
 pub use generators::{erdos_renyi, preferential_attachment, watts_strogatz, PaOptions};
 pub use networks::{named_network, network_degree_table, network_stats_table, NamedNetwork};
 pub use real_params::{real_param_model, real_params_table, REAL_ITEM_NAMES};
-pub use spec::{SolverSpec, SpecError, SpecMap};
+pub use spec::{SolverSpec, SpecError, SpecMap, MAX_SPEC_PAIRS, MAX_SPEC_TEXT_LEN, MAX_TOKEN_LEN};

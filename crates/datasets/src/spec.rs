@@ -15,6 +15,21 @@
 
 use std::fmt;
 
+/// Longest spec text [`SpecMap::parse`] / [`SolverSpec::parse`] accept.
+///
+/// Spec text reaches these parsers from untrusted places (config files,
+/// `uic-serve` network frames), so the format enforces hard size limits
+/// up front: parsing is O(pairs²) in the duplicate-key scan, and an
+/// unbounded line would let a hostile client buy quadratic work and
+/// unbounded allocation with one frame.
+pub const MAX_SPEC_TEXT_LEN: usize = 4096;
+
+/// Most `key=value` pairs a single spec may carry.
+pub const MAX_SPEC_PAIRS: usize = 64;
+
+/// Longest single token (head, key, or value) a spec may carry.
+pub const MAX_TOKEN_LEN: usize = 256;
+
 /// Errors raised while parsing or reading a spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpecError {
@@ -36,6 +51,22 @@ pub enum SpecError {
     },
     /// The text had no head token where one was required.
     MissingHead,
+    /// The text, or one of its tokens, exceeded a format size limit.
+    TooLong {
+        /// What overflowed (`"spec text"`, `"token"`, …).
+        what: &'static str,
+        /// Observed length in bytes.
+        len: usize,
+        /// The limit that was exceeded.
+        max: usize,
+    },
+    /// More than [`MAX_SPEC_PAIRS`] `key=value` pairs.
+    TooManyPairs {
+        /// Observed pair count (at the point parsing stopped).
+        count: usize,
+        /// The limit ([`MAX_SPEC_PAIRS`]).
+        max: usize,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -52,11 +83,39 @@ impl fmt::Display for SpecError {
                 expected,
             } => write!(f, "key `{key}`: `{value}` is not a valid {expected}"),
             SpecError::MissingHead => write!(f, "spec is empty (expected a head token)"),
+            SpecError::TooLong { what, len, max } => {
+                write!(f, "{what} is {len} bytes (limit {max})")
+            }
+            SpecError::TooManyPairs { count, max } => {
+                write!(f, "spec has more than {max} key=value pairs (got {count})")
+            }
         }
     }
 }
 
 impl std::error::Error for SpecError {}
+
+fn check_text_len(text: &str) -> Result<(), SpecError> {
+    if text.len() > MAX_SPEC_TEXT_LEN {
+        return Err(SpecError::TooLong {
+            what: "spec text",
+            len: text.len(),
+            max: MAX_SPEC_TEXT_LEN,
+        });
+    }
+    Ok(())
+}
+
+fn check_token_len(tok: &str) -> Result<(), SpecError> {
+    if tok.len() > MAX_TOKEN_LEN {
+        return Err(SpecError::TooLong {
+            what: "token",
+            len: tok.len(),
+            max: MAX_TOKEN_LEN,
+        });
+    }
+    Ok(())
+}
 
 /// An ordered set of `key=value` pairs (insertion order is preserved so
 /// serialization is deterministic).
@@ -72,9 +131,16 @@ impl SpecMap {
     }
 
     /// Parses whitespace-separated `key=value` tokens.
+    ///
+    /// Untrusted-input safe: text longer than [`MAX_SPEC_TEXT_LEN`],
+    /// tokens longer than [`MAX_TOKEN_LEN`], and more than
+    /// [`MAX_SPEC_PAIRS`] pairs are typed errors, never panics or
+    /// unbounded work.
     pub fn parse(text: &str) -> Result<SpecMap, SpecError> {
+        check_text_len(text)?;
         let mut map = SpecMap::new();
         for tok in text.split_whitespace() {
+            check_token_len(tok)?;
             let (k, v) = tok
                 .split_once('=')
                 .ok_or_else(|| SpecError::MissingSeparator(tok.to_string()))?;
@@ -86,10 +152,23 @@ impl SpecMap {
         Ok(map)
     }
 
-    /// Adds a pair, rejecting duplicate keys.
+    /// Adds a pair, rejecting duplicate keys and growth past
+    /// [`MAX_SPEC_PAIRS`].
+    ///
+    /// No token-length check here: the length limits police *parsed*
+    /// (untrusted) text, while `insert` also serializes trusted
+    /// programmatic values whose `Display` can legitimately be long
+    /// (e.g. a subnormal `f64` prints hundreds of digits); rejecting
+    /// those would make spec serialization fallible everywhere.
     pub fn insert(&mut self, key: &str, value: impl fmt::Display) -> Result<(), SpecError> {
         if self.get(key).is_some() {
             return Err(SpecError::DuplicateKey(key.to_string()));
+        }
+        if self.entries.len() >= MAX_SPEC_PAIRS {
+            return Err(SpecError::TooManyPairs {
+                count: self.entries.len() + 1,
+                max: MAX_SPEC_PAIRS,
+            });
         }
         self.entries.push((key.to_string(), value.to_string()));
         Ok(())
@@ -188,10 +267,13 @@ impl SolverSpec {
         }
     }
 
-    /// Parses `"<name> [key=value]…"`.
+    /// Parses `"<name> [key=value]…"`, under the same size limits as
+    /// [`SpecMap::parse`].
     pub fn parse(text: &str) -> Result<SolverSpec, SpecError> {
+        check_text_len(text)?;
         let mut toks = text.split_whitespace();
         let name = toks.next().ok_or(SpecError::MissingHead)?;
+        check_token_len(name)?;
         if name.contains('=') {
             return Err(SpecError::MissingHead);
         }
@@ -279,6 +361,45 @@ mod tests {
     fn solver_spec_requires_head() {
         assert_eq!(SolverSpec::parse("  "), Err(SpecError::MissingHead));
         assert_eq!(SolverSpec::parse("eps=0.5"), Err(SpecError::MissingHead));
+    }
+
+    #[test]
+    fn size_limits_are_typed_errors() {
+        // Whole-text limit.
+        let long_text = "k=v ".repeat(MAX_SPEC_TEXT_LEN / 4 + 1);
+        assert!(matches!(
+            SpecMap::parse(&long_text),
+            Err(SpecError::TooLong {
+                what: "spec text",
+                ..
+            })
+        ));
+        assert!(matches!(
+            SolverSpec::parse(&long_text),
+            Err(SpecError::TooLong { .. })
+        ));
+        // Single-token limit applies to parsed text only; programmatic
+        // insertion of long trusted values (e.g. subnormal f64 Display)
+        // stays infallible.
+        let long_tok = format!("k={}", "x".repeat(MAX_TOKEN_LEN));
+        assert!(matches!(
+            SpecMap::parse(&long_tok),
+            Err(SpecError::TooLong { what: "token", .. })
+        ));
+        let mut m = SpecMap::new();
+        assert!(m.insert("k", "x".repeat(MAX_TOKEN_LEN + 1)).is_ok());
+        assert!(m.insert("tiny", 1e-320f64).is_ok());
+        // Pair-count limit.
+        let many: String = (0..MAX_SPEC_PAIRS + 1)
+            .map(|i| format!("k{i}=1 "))
+            .collect();
+        assert!(matches!(
+            SpecMap::parse(&many),
+            Err(SpecError::TooManyPairs { .. })
+        ));
+        // Everything at the limits still parses.
+        let at_limit: String = (0..MAX_SPEC_PAIRS).map(|i| format!("k{i}=1 ")).collect();
+        assert_eq!(SpecMap::parse(&at_limit).unwrap().len(), MAX_SPEC_PAIRS);
     }
 
     #[test]

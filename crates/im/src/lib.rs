@@ -47,9 +47,11 @@ pub mod tim;
 
 pub use greedy::{greedy_celf, greedy_mc_spread};
 pub use imm::{imm, ImmResult};
-pub use node_selection::{node_selection, node_selection_for, NodeSelectionResult};
+pub use node_selection::{
+    node_selection, node_selection_for, node_selection_prefix, NodeSelectionResult,
+};
 pub use opim::{opim_c, OpimResult};
-pub use prima::{prima, prima_for, PrimaResult};
+pub use prima::{prima, prima_for, warm_prima, PrimaResult};
 pub use rrset::{DiffusionModel, RrCollection, RrSampler, StandardRrSampler};
 pub use skim::{skim, SkimOptions, SkimResult};
 pub use ssa::{ssa, SsaResult};

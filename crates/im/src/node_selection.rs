@@ -55,16 +55,42 @@ impl NodeSelectionResult {
 /// persistent inverted index and lazy bucketed updates; repeated calls
 /// on an unchanged (or incrementally grown) collection reuse the index.
 pub fn node_selection(coll: &mut RrCollection, k: u32) -> NodeSelectionResult {
+    node_selection_prefix(coll, k, coll.len())
+}
+
+/// [`node_selection`] restricted to the arena **prefix** of the first
+/// `num_sets` sets (capped at the collection length): coverage is
+/// counted, and sets are marked covered, only among ids `< num_sets`.
+///
+/// With `num_sets == coll.len()` this is exactly [`node_selection`].
+/// The point of the restriction is the warm-arena query path: RR sets
+/// are pure functions of `(seed, index)` and the arena only grows, so a
+/// prefix-restricted selection on a big shared collection is
+/// bit-identical to [`node_selection`] on a fresh identically-seeded
+/// collection grown to exactly `num_sets` — no from-scratch regeneration
+/// needed to reproduce an offline run.
+pub fn node_selection_prefix(
+    coll: &mut RrCollection,
+    k: u32,
+    num_sets: usize,
+) -> NodeSelectionResult {
     coll.ensure_index();
     let coll = &*coll;
     let n = coll.num_nodes() as usize;
-    let num_sets = coll.len();
+    let num_sets = num_sets.min(coll.len());
+    let limit = num_sets as u32;
     let k = (k as usize).min(n);
+    // Per-node id lists are ascending, so the prefix restriction is a
+    // `partition_point` per list rather than a filter pass.
+    let prefix_ids = |v: NodeId| {
+        let ids = coll.covering_sets(v);
+        &ids[..ids.partition_point(|&id| id < limit)]
+    };
     // Coverage counts with a lazy max-heap (CELF-style): the marginal
     // coverage of a node only decreases as sets get covered, so a stale
     // heap entry is an upper bound.
     let mut cover_count: Vec<u64> = (0..n)
-        .map(|v| coll.covering_sets(v as NodeId).len() as u64)
+        .map(|v| prefix_ids(v as NodeId).len() as u64)
         .collect();
     let mut heap: std::collections::BinaryHeap<(u64, NodeId)> =
         (0..n).map(|v| (cover_count[v], v as NodeId)).collect();
@@ -89,7 +115,7 @@ pub fn node_selection(coll: &mut RrCollection, k: u32) -> NodeSelectionResult {
         covered_total += cover_count[vi];
         covered_cum.push(covered_total);
         // Mark v's sets covered and decrement counts of their members.
-        for &rid in coll.covering_sets(v) {
+        for &rid in prefix_ids(v) {
             if set_covered[rid as usize] {
                 continue;
             }
@@ -248,6 +274,33 @@ mod tests {
         fresh.extend_to(&g, 2_000);
         let oneshot = node_selection(&mut fresh, 2);
         assert_eq!(after_growth, oneshot);
+    }
+
+    #[test]
+    fn prefix_selection_matches_a_fresh_collection_of_that_size() {
+        // The warm-arena contract for selection: restricting a grown
+        // collection to a prefix must select exactly what a fresh
+        // identically-seeded collection of that size selects.
+        use crate::rrset::DiffusionModel;
+        use uic_graph::Graph;
+        let g = Graph::from_edges(5, &[(0, 1, 0.6), (1, 2, 0.6), (2, 3, 0.6), (3, 4, 0.6)]);
+        let mut warm = RrCollection::new(&g, DiffusionModel::IC, 41);
+        warm.extend_to(&g, 3_000);
+        for prefix in [50usize, 700, 3_000] {
+            let mut fresh = RrCollection::new(&g, DiffusionModel::IC, 41);
+            fresh.extend_to(&g, prefix);
+            assert_eq!(
+                crate::node_selection::node_selection_prefix(&mut warm, 2, prefix),
+                node_selection(&mut fresh, 2),
+                "prefix {prefix}"
+            );
+        }
+        // Full-length and oversized prefixes degrade to node_selection.
+        let full = node_selection(&mut warm, 3);
+        assert_eq!(
+            crate::node_selection::node_selection_prefix(&mut warm, 3, usize::MAX),
+            full
+        );
     }
 
     #[test]

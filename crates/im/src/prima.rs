@@ -15,7 +15,7 @@
 //!   before the last `NodeSelection`.
 
 use crate::imm::Bounds;
-use crate::node_selection::{node_selection, NodeSelectionResult};
+use crate::node_selection::{node_selection, node_selection_prefix, NodeSelectionResult};
 use crate::rrset::{DiffusionModel, RrCollection};
 use uic_diffusion::{ObjectiveError, WelfareObjective};
 use uic_graph::{Graph, NodeId};
@@ -136,6 +136,126 @@ pub fn prima(
     }
 }
 
+/// PRIMA over a **warm, shared, extend-only** RR collection — the
+/// resident-service variant of [`prima`].
+///
+/// Runs the same certification loop and final selection as [`prima`],
+/// but every selection and spread estimate is restricted to an explicit
+/// arena *prefix* (the running maximum of the sample-size targets this
+/// call has requested), and the collection is **never reset**: samples
+/// are only ever topped up with [`RrCollection::extend_to`]. Because RR
+/// set `j` is a pure function of `(seed, j)` and prefixes of a warm
+/// arena coincide with a cold arena's contents, the result is a pure
+/// function of `(graph, budgets, eps, ell, collection seed)` —
+/// independent of whatever earlier queries grew the arena. A server can
+/// therefore keep one collection per `(model, seed)` resident across
+/// queries and still answer bit-identically to an offline run on a
+/// fresh collection.
+///
+/// The price of reuse: the Chen (2018) from-scratch regeneration before
+/// the final `NodeSelection` is deliberately skipped (a regeneration
+/// draws fresh sets and can never be replayed on a shared arena), so
+/// the final estimate reuses certification-phase sets, as the original
+/// IMM did. `rr_sets_total` reports the cold-equivalent sample count
+/// (what a fresh run would generate), not the warm arena's top-up —
+/// callers that want the actual incremental work should difference
+/// [`RrCollection::total_generated`] around the call.
+///
+/// # Panics
+/// On the same budget/parameter violations as [`prima`], and when
+/// `coll` is not extend-only (a reset collection replays nothing) or is
+/// bound to a different graph size.
+pub fn warm_prima(
+    g: &Graph,
+    coll: &mut RrCollection,
+    budgets: &[u32],
+    eps: f64,
+    ell: f64,
+) -> PrimaResult {
+    let n = g.num_nodes();
+    assert!(!budgets.is_empty(), "budget vector must be non-empty");
+    assert!(
+        budgets.windows(2).all(|w| w[0] >= w[1]),
+        "budgets must be sorted in non-increasing order"
+    );
+    let b = budgets[0];
+    assert!(b >= 1 && b <= n, "max budget {b} out of range for n={n}");
+    assert!(*budgets.last().unwrap() >= 1, "budgets must be ≥ 1");
+    assert_eq!(coll.num_nodes(), n, "collection bound to a different graph");
+    assert_eq!(
+        coll.total_generated(),
+        coll.len() as u64,
+        "warm_prima needs an extend-only (never reset) collection"
+    );
+
+    let nf = n as f64;
+    let ell_boosted = ell + 2f64.ln() / nf.ln();
+    let ell_prime = ell_boosted + (budgets.len() as f64).ln() / nf.ln();
+    let bounds = Bounds::new(n, eps, ell_prime);
+    let eps_prime = bounds.eps_prime();
+
+    // The prefix: how many sets a cold run would hold right now — the
+    // running max of every extend target requested by this call.
+    let mut cur = 0usize;
+    let mut s = 0usize;
+    let mut i = 1u32;
+    let mut budget_switch = false;
+    let mut prev_selection: Option<NodeSelectionResult> = None;
+    let mut theta_required = 0usize;
+    let max_rounds = bounds.max_rounds();
+
+    while i <= max_rounds && s < budgets.len() {
+        let k = budgets[s];
+        let x = nf / 2f64.powi(i as i32);
+        let theta_i = (bounds.lambda_prime(k) / x).ceil() as usize;
+        cur = cur.max(theta_i);
+        coll.extend_to(g, cur);
+        let estimate = if budget_switch {
+            let prev = prev_selection
+                .as_ref()
+                .expect("budget switch implies a previous selection");
+            let prefix = prev.prefix(k as usize);
+            coll.num_nodes() as f64 * fraction_covered_prefix(coll, prefix, cur)
+        } else {
+            let sel = node_selection_prefix(coll, k, cur);
+            let est = sel.estimated_spread(n, sel.seeds.len().min(k as usize));
+            prev_selection = Some(sel);
+            est
+        };
+        if estimate >= (1.0 + eps_prime) * x {
+            let lb = estimate / (1.0 + eps_prime);
+            let theta_k = (bounds.lambda_star(k) / lb).ceil() as usize;
+            theta_required = theta_required.max(theta_k);
+            s += 1;
+            budget_switch = true;
+            if s < budgets.len() {
+                cur = cur.max(theta_k);
+                coll.extend_to(g, cur);
+            }
+        } else {
+            i += 1;
+            budget_switch = false;
+        }
+    }
+    let budgets_certified = s;
+    if s < budgets.len() {
+        let theta_k = bounds.lambda_star(budgets[s]).ceil() as usize;
+        theta_required = theta_required.max(theta_k);
+    }
+    // Final selection on the θ-required prefix — top-up, never reset.
+    let final_sets = theta_required.max(1);
+    cur = cur.max(final_sets);
+    coll.extend_to(g, cur);
+    let sel = node_selection_prefix(coll, b, final_sets);
+    PrimaResult {
+        order: sel.seeds,
+        coverage: sel.covered,
+        rr_sets_final: final_sets,
+        rr_sets_total: cur as u64,
+        budgets_certified,
+    }
+}
+
 /// Objective-aware [`prima`].
 ///
 /// PRIMA's guarantee (Definition 1) rests on RR-set coverage being an
@@ -167,6 +287,14 @@ fn fraction_covered(coll: &mut RrCollection, seeds: &[NodeId]) -> f64 {
         return 0.0;
     }
     coll.estimate_spread(seeds) / coll.num_nodes() as f64
+}
+
+/// `F_R(S)` over the first `num_sets` sets of the arena.
+fn fraction_covered_prefix(coll: &mut RrCollection, seeds: &[NodeId], num_sets: usize) -> f64 {
+    if num_sets == 0 || coll.is_empty() {
+        return 0.0;
+    }
+    coll.estimate_spread_prefix(seeds, num_sets) / coll.num_nodes() as f64
 }
 
 #[cfg(test)]
@@ -309,6 +437,70 @@ mod tests {
         let ces = Ces::new(0.5).unwrap();
         let err = prima_for(&g, &[4, 2], 0.4, 1.0, DiffusionModel::IC, 7, &ces).unwrap_err();
         assert!(matches!(err, ObjectiveError::NonAdditive { .. }));
+    }
+
+    #[test]
+    fn warm_prima_is_a_pure_function_of_spec_and_seed() {
+        // Two fresh collections, same seed → identical results, counters
+        // included.
+        let g = hub_graph();
+        let mut c1 = RrCollection::new(&g, DiffusionModel::IC, 23);
+        let a = warm_prima(&g, &mut c1, &[5, 3, 1], 0.4, 1.0);
+        let mut c2 = RrCollection::new(&g, DiffusionModel::IC, 23);
+        let b = warm_prima(&g, &mut c2, &[5, 3, 1], 0.4, 1.0);
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.rr_sets_final, b.rr_sets_final);
+        assert_eq!(a.rr_sets_total, b.rr_sets_total);
+        assert_eq!(a.budgets_certified, b.budgets_certified);
+    }
+
+    #[test]
+    fn warm_arena_reuse_is_bit_identical_to_cold_runs() {
+        // The serving contract: a shared arena grown by earlier queries
+        // answers later queries exactly as a fresh arena would.
+        let g = hub_graph();
+        let mut warm = RrCollection::new(&g, DiffusionModel::IC, 31);
+        // Query 1 grows the arena.
+        let q1_warm = warm_prima(&g, &mut warm, &[6, 2], 0.4, 1.0);
+        // Query 2, different budgets, reuses the (now large) arena.
+        let q2_warm = warm_prima(&g, &mut warm, &[3], 0.5, 1.0);
+        // Cold replicas.
+        let mut cold1 = RrCollection::new(&g, DiffusionModel::IC, 31);
+        let q1_cold = warm_prima(&g, &mut cold1, &[6, 2], 0.4, 1.0);
+        let mut cold2 = RrCollection::new(&g, DiffusionModel::IC, 31);
+        let q2_cold = warm_prima(&g, &mut cold2, &[3], 0.5, 1.0);
+        assert_eq!(q1_warm.order, q1_cold.order);
+        assert_eq!(q1_warm.coverage, q1_cold.coverage);
+        assert_eq!(q1_warm.rr_sets_total, q1_cold.rr_sets_total);
+        assert_eq!(q2_warm.order, q2_cold.order);
+        assert_eq!(q2_warm.coverage, q2_cold.coverage);
+        assert_eq!(q2_warm.rr_sets_final, q2_cold.rr_sets_final);
+        assert_eq!(q2_warm.rr_sets_total, q2_cold.rr_sets_total);
+    }
+
+    #[test]
+    fn repeat_queries_top_up_nothing() {
+        // Re-running an identical query on the warm arena must generate
+        // zero new RR sets — the amortization the server exists for.
+        let g = hub_graph();
+        let mut warm = RrCollection::new(&g, DiffusionModel::IC, 47);
+        let first = warm_prima(&g, &mut warm, &[4, 2], 0.4, 1.0);
+        let generated_after_first = warm.total_generated();
+        let second = warm_prima(&g, &mut warm, &[4, 2], 0.4, 1.0);
+        assert_eq!(warm.total_generated(), generated_after_first);
+        assert_eq!(first.order, second.order);
+        assert_eq!(first.rr_sets_total, second.rr_sets_total);
+    }
+
+    #[test]
+    #[should_panic(expected = "extend-only")]
+    fn warm_prima_rejects_reset_collections() {
+        let g = hub_graph();
+        let mut coll = RrCollection::new(&g, DiffusionModel::IC, 1);
+        coll.extend_to(&g, 10);
+        coll.reset();
+        warm_prima(&g, &mut coll, &[2], 0.4, 1.0);
     }
 
     #[test]

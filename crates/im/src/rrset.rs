@@ -750,7 +750,21 @@ impl RrCollection {
     /// no per-call allocation, instead of scanning the whole collection
     /// (OPIM/SSA call this in their per-round certificate loops).
     pub fn estimate_spread(&mut self, seeds: &[NodeId]) -> f64 {
-        let len = self.len();
+        self.estimate_spread_prefix(seeds, self.len())
+    }
+
+    /// [`RrCollection::estimate_spread`] restricted to the arena
+    /// **prefix** of the first `num_sets` sets (capped at the current
+    /// length).
+    ///
+    /// Because set `j` is a pure function of `(sampler, j)` and the
+    /// arena only ever grows, the estimate over a prefix of a warm
+    /// collection is bit-identical to [`RrCollection::estimate_spread`]
+    /// on a fresh identically-seeded collection grown to exactly
+    /// `num_sets` — the property the resident-server query path (one
+    /// shared arena, many queries of differing sample sizes) relies on.
+    pub fn estimate_spread_prefix(&mut self, seeds: &[NodeId], num_sets: usize) -> f64 {
+        let len = num_sets.min(self.len());
         if len == 0 {
             return 0.0;
         }
@@ -759,11 +773,16 @@ impl RrCollection {
             self.cover_marks = VisitTags::new(len);
         }
         self.cover_marks.reset();
+        let limit = len as u32;
         let mut covered = 0u64;
         for &s in seeds {
             let v = s as usize;
-            for i in self.index.start[v]..self.index.start[v + 1] {
-                if self.cover_marks.mark(self.index.ids[i] as usize) {
+            // Per-node id lists are ascending: only the run below `limit`
+            // belongs to the prefix.
+            let ids = &self.index.ids[self.index.start[v]..self.index.start[v + 1]];
+            let in_prefix = ids.partition_point(|&id| id < limit);
+            for &rid in &ids[..in_prefix] {
+                if self.cover_marks.mark(rid as usize) {
                     covered += 1;
                 }
             }
@@ -870,6 +889,35 @@ mod tests {
             fresh.extend_to(&g, target);
             assert_eq!(grown_est, fresh.estimate_spread(&[0, 2]), "at {target}");
         }
+    }
+
+    #[test]
+    fn prefix_estimates_match_a_fresh_collection_of_that_size() {
+        // The warm-arena contract: restricting a grown collection to a
+        // prefix is bit-identical to a fresh identically-seeded
+        // collection grown to exactly that size.
+        let g = path3();
+        let mut warm = RrCollection::new(&g, DiffusionModel::IC, 37);
+        warm.extend_to(&g, 5_000);
+        for prefix in [1usize, 100, 1_000, 5_000] {
+            let mut fresh = RrCollection::new(&g, DiffusionModel::IC, 37);
+            fresh.extend_to(&g, prefix);
+            assert_eq!(
+                warm.estimate_spread_prefix(&[0, 2], prefix),
+                fresh.estimate_spread(&[0, 2]),
+                "prefix {prefix}"
+            );
+        }
+        // Full-length and oversized prefixes degrade to estimate_spread.
+        assert_eq!(
+            warm.estimate_spread_prefix(&[0], warm.len()),
+            warm.estimate_spread(&[0])
+        );
+        assert_eq!(
+            warm.estimate_spread_prefix(&[0], usize::MAX),
+            warm.estimate_spread(&[0])
+        );
+        assert_eq!(warm.estimate_spread_prefix(&[0], 0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! The `uic-serve` binary: run the service, or talk to one.
+//!
+//! ```text
+//! uic-serve serve   [--addr 127.0.0.1:0] [--network flixster] [--scale 1.0]
+//!                   [--gen-seed 42] [--workers 4] [--queue-cap 64]
+//!                   [--deadline-ms N]
+//! uic-serve request --addr HOST:PORT <spec text …>
+//! uic-serve load    --addr HOST:PORT [--clients 4] [--requests 16] <spec text …>
+//! uic-serve badframe --addr HOST:PORT
+//! ```
+//!
+//! `serve` prints `LISTENING <addr>` once ready and blocks until a
+//! client sends `shutdown`, then prints the final metrics dump.
+//! `request` sends one spec line (`metrics`, `ping`, `shutdown`, or a
+//! solver spec with `budgets=…`) and prints the response payload.
+//! `badframe` deliberately violates the protocol (unknown kind, then an
+//! oversized length prefix) and prints the typed refusals — the smoke
+//! check that hostile frames get errors, not crashes.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use uic_datasets::{named_network, NamedNetwork};
+use uic_serve::{run_load, Client, Response, Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: uic-serve <serve|request|load|badframe> [flags]");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "serve" => cmd_serve(rest),
+        "request" => cmd_request(rest),
+        "load" => cmd_load(rest),
+        "badframe" => cmd_badframe(rest),
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("uic-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--flag value` pairs, in order of appearance.
+type Flags = Vec<(String, String)>;
+
+/// Splits `--flag value` pairs from positional words.
+fn parse_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
+    let mut flags = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn flag_parse<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} {v}: not a valid value")),
+    }
+}
+
+fn network_by_name(name: &str) -> Result<NamedNetwork, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "flixster" => Ok(NamedNetwork::Flixster),
+        "douban-book" => Ok(NamedNetwork::DoubanBook),
+        "douban-movie" => Ok(NamedNetwork::DoubanMovie),
+        "twitter" => Ok(NamedNetwork::Twitter),
+        "orkut" => Ok(NamedNetwork::Orkut),
+        other => Err(format!(
+            "unknown --network `{other}` (flixster, douban-book, douban-movie, twitter, orkut)"
+        )),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, positional) = parse_flags(args)?;
+    if !positional.is_empty() {
+        return Err(format!(
+            "serve takes no positional args, got {positional:?}"
+        ));
+    }
+    let which = network_by_name(flag(&flags, "network").unwrap_or("flixster"))?;
+    let scale: f64 = flag_parse(&flags, "scale", 1.0)?;
+    let gen_seed: u64 = flag_parse(&flags, "gen-seed", 42)?;
+    let cfg = ServerConfig {
+        addr: flag(&flags, "addr").unwrap_or("127.0.0.1:0").to_string(),
+        workers: flag_parse(&flags, "workers", 4)?,
+        queue_cap: flag_parse(&flags, "queue-cap", 64)?,
+        default_deadline_ms: flag(&flags, "deadline-ms")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--deadline-ms {v}: not a u64"))
+            })
+            .transpose()?,
+    };
+    eprintln!(
+        "loading {} at scale {scale} (gen seed {gen_seed}; honors {})…",
+        which.name(),
+        uic_datasets::CACHE_ENV_VAR
+    );
+    let graph = Arc::new(named_network(which, scale, gen_seed));
+    eprintln!(
+        "graph resident: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    let handle = Server::start(graph, cfg).map_err(|e| format!("bind failed: {e}"))?;
+    println!("LISTENING {}", handle.addr());
+    std::io::stdout().flush().ok();
+    let final_metrics = handle.join();
+    println!("SHUTDOWN {final_metrics}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn addr_of(flags: &[(String, String)]) -> Result<String, String> {
+    flag(flags, "addr")
+        .map(str::to_string)
+        .ok_or_else(|| "--addr HOST:PORT is required".to_string())
+}
+
+fn cmd_request(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, positional) = parse_flags(args)?;
+    let addr = addr_of(&flags)?;
+    if positional.is_empty() {
+        return Err("request needs spec text, e.g. `warm-grd budgets=3,2 seed=7`".to_string());
+    }
+    let text = positional.join(" ");
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    match client.request(&text).map_err(|e| format!("request: {e}"))? {
+        Response::Ok(payload) => {
+            println!("{payload}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Response::Err(payload) => {
+            println!("{payload}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_load(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, positional) = parse_flags(args)?;
+    let addr = addr_of(&flags)?;
+    let clients: usize = flag_parse(&flags, "clients", 4)?;
+    let requests: usize = flag_parse(&flags, "requests", 16)?;
+    if positional.is_empty() {
+        return Err("load needs spec text, e.g. `warm-grd budgets=3,2 seed=7`".to_string());
+    }
+    let text = positional.join(" ");
+    let report =
+        run_load(addr.as_str(), &text, clients, requests).map_err(|e| format!("load: {e}"))?;
+    println!("{}", report.to_json());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_badframe(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, _) = parse_flags(args)?;
+    let addr = addr_of(&flags)?;
+
+    // 1. Unknown frame kind.
+    let mut s = std::net::TcpStream::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let mut junk = Vec::new();
+    junk.extend_from_slice(&4u32.to_le_bytes());
+    junk.push(0x7f);
+    junk.extend_from_slice(b"ha!?");
+    s.write_all(&junk).map_err(|e| format!("write: {e}"))?;
+    match uic_serve::read_frame(&mut s) {
+        Ok(Some(f)) => println!("{}", String::from_utf8_lossy(&f.payload)),
+        other => return Err(format!("expected an error frame, got {other:?}")),
+    }
+
+    // 2. Oversized length prefix (beyond MAX_FRAME_LEN).
+    let mut s = std::net::TcpStream::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let mut huge = Vec::new();
+    huge.extend_from_slice(&u32::MAX.to_le_bytes());
+    huge.push(uic_serve::KIND_REQ);
+    s.write_all(&huge).map_err(|e| format!("write: {e}"))?;
+    match uic_serve::read_frame(&mut s) {
+        Ok(Some(f)) => println!("{}", String::from_utf8_lossy(&f.payload)),
+        other => return Err(format!("expected an error frame, got {other:?}")),
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,189 @@
+//! A minimal blocking client plus the multi-client load driver the
+//! serving benchmark (`BENCH_serve.json`) is measured with.
+
+use crate::frame::{read_frame, write_frame, FrameError, KIND_ERR, KIND_OK, KIND_REQ};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// One server answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// An OK frame; the JSON payload.
+    Ok(String),
+    /// An error frame; the `{"code":…,"message":…}` JSON payload.
+    Err(String),
+}
+
+impl Response {
+    /// The payload either way.
+    pub fn payload(&self) -> &str {
+        match self {
+            Response::Ok(s) | Response::Err(s) => s,
+        }
+    }
+
+    /// True for OK frames.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok(_))
+    }
+}
+
+/// A blocking client over one connection. Requests are answered in
+/// order; the connection can carry any number of them.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Generous guard so a wedged server cannot hang the client
+        // forever; per-request deadlines belong in the request itself.
+        stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request line and reads its response frame.
+    pub fn request(&mut self, text: &str) -> io::Result<Response> {
+        write_frame(&mut self.stream, KIND_REQ, text.as_bytes())?;
+        match read_frame(&mut self.stream) {
+            Ok(Some(f)) if f.kind == KIND_OK => Ok(Response::Ok(lossy(f.payload))),
+            Ok(Some(f)) if f.kind == KIND_ERR => Ok(Response::Err(lossy(f.payload))),
+            Ok(Some(f)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server sent unexpected frame kind {}", f.kind),
+            )),
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            )),
+            Err(FrameError::Io(e)) => Err(e),
+            Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+    }
+}
+
+fn lossy(payload: Vec<u8>) -> String {
+    String::from_utf8_lossy(&payload).into_owned()
+}
+
+/// What [`run_load`] measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests attempted in total.
+    pub requests: usize,
+    /// Requests answered with an OK frame.
+    pub ok: usize,
+    /// Requests answered with an error frame or a transport failure.
+    pub errors: usize,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Sustained throughput: `requests / elapsed`.
+    pub qps: f64,
+    /// Median per-request latency (µs).
+    pub p50_us: u64,
+    /// 90th-percentile per-request latency (µs).
+    pub p90_us: u64,
+    /// 99th-percentile per-request latency (µs).
+    pub p99_us: u64,
+}
+
+impl LoadReport {
+    /// The report as one JSON object (what the bench records).
+    pub fn to_json(&self) -> String {
+        let mut w = uic_util::JsonWriter::new();
+        w.begin_object();
+        w.key("clients");
+        w.u64(self.clients as u64);
+        w.key("requests");
+        w.u64(self.requests as u64);
+        w.key("ok");
+        w.u64(self.ok as u64);
+        w.key("errors");
+        w.u64(self.errors as u64);
+        w.key("elapsed_ms");
+        w.f64(self.elapsed.as_secs_f64() * 1e3);
+        w.key("qps");
+        w.f64(self.qps);
+        w.key("p50_us");
+        w.u64(self.p50_us);
+        w.key("p90_us");
+        w.u64(self.p90_us);
+        w.key("p99_us");
+        w.u64(self.p99_us);
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Drives `clients` concurrent connections, each sending `per_client`
+/// copies of `request_text` back-to-back, and reports sustained qps and
+/// latency percentiles (nearest-rank over all requests).
+pub fn run_load(
+    addr: impl ToSocketAddrs + Clone + Send + Sync,
+    request_text: &str,
+    clients: usize,
+    per_client: usize,
+) -> io::Result<LoadReport> {
+    let clients = clients.max(1);
+    let per_client = per_client.max(1);
+    let t0 = Instant::now();
+    let mut per_thread: Vec<(usize, Vec<u64>)> = Vec::with_capacity(clients);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || -> (usize, Vec<u64>) {
+                    let mut ok = 0usize;
+                    let mut lat = Vec::with_capacity(per_client);
+                    let Ok(mut client) = Client::connect(addr) else {
+                        return (0, lat);
+                    };
+                    for _ in 0..per_client {
+                        let t = Instant::now();
+                        match client.request(request_text) {
+                            Ok(r) if r.is_ok() => {
+                                lat.push(t.elapsed().as_micros() as u64);
+                                ok += 1;
+                            }
+                            Ok(_) => lat.push(t.elapsed().as_micros() as u64),
+                            Err(_) => break,
+                        }
+                    }
+                    (ok, lat)
+                })
+            })
+            .collect();
+        for h in handles {
+            per_thread.push(h.join().unwrap_or((0, Vec::new())));
+        }
+    });
+    let elapsed = t0.elapsed();
+    let requests = clients * per_client;
+    let ok: usize = per_thread.iter().map(|(ok, _)| ok).sum();
+    let mut lat: Vec<u64> = per_thread.into_iter().flat_map(|(_, l)| l).collect();
+    lat.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        let rank = ((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+        lat[rank - 1]
+    };
+    Ok(LoadReport {
+        clients,
+        requests,
+        ok,
+        errors: requests - ok,
+        elapsed,
+        qps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: pct(0.50),
+        p90_us: pct(0.90),
+        p99_us: pct(0.99),
+    })
+}

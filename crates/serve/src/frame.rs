@@ -1,0 +1,220 @@
+//! The wire protocol: length-prefixed frames over a byte stream.
+//!
+//! ```text
+//! [ payload_len: u32 LE | kind: u8 | payload: payload_len bytes ]
+//! ```
+//!
+//! Three kinds exist: [`KIND_REQ`] (client → server, UTF-8
+//! [`SolverSpec`](uic_datasets::SolverSpec) text), [`KIND_OK`] (server →
+//! client, JSON), and [`KIND_ERR`] (server → client, JSON
+//! `{"code":…,"message":…}`). A frame longer than [`MAX_FRAME_LEN`] is
+//! rejected *before* its payload is allocated — the length prefix is
+//! attacker-controlled, so it must never size a buffer unchecked.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard cap on a frame payload (1 MiB): far above any legitimate spec
+/// line or response, far below anything that could hurt the server.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Client request: UTF-8 spec text.
+pub const KIND_REQ: u8 = 1;
+/// Successful response: JSON.
+pub const KIND_OK: u8 = 2;
+/// Error response: JSON `{"code":…,"message":…}`.
+pub const KIND_ERR: u8 = 3;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (including a connection torn down
+    /// mid-frame).
+    Io(std::io::Error),
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// The kind byte named no known frame kind.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge(len) => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+                )
+            }
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// [`KIND_REQ`], [`KIND_OK`], or [`KIND_ERR`].
+    pub kind: u8,
+    /// The raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Writes one frame (header + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    let mut header = [0u8; 5];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4] = kind;
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// How many consecutive read timeouts *inside* a frame are tolerated
+/// before the peer is declared stalled. With the server's ~250 ms read
+/// timeout this bounds a torn-frame stall to roughly 10 s, so a client
+/// that sends half a header and stops cannot pin a worker forever.
+const MAX_MID_FRAME_STALLS: u32 = 40;
+
+fn is_poll_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// True when [`read_frame`] returned an [`FrameError::Io`] that only
+/// means "no frame arrived within the stream's read timeout" — the
+/// caller should treat the connection as idle (and poll shutdown state)
+/// rather than as broken.
+pub fn is_idle_timeout(err: &FrameError) -> bool {
+    matches!(err, FrameError::Io(e) if is_poll_timeout(e))
+}
+
+/// Reads one frame. `Ok(None)` means the stream closed cleanly at a
+/// frame boundary (the normal end of a connection); EOF *inside* a
+/// frame is an [`FrameError::Io`].
+///
+/// The length prefix is validated against [`MAX_FRAME_LEN`] before any
+/// payload buffer is allocated, and the kind byte before the payload is
+/// read, so a hostile peer can neither balloon memory nor smuggle an
+/// unknown kind past the caller.
+///
+/// On a stream with a read timeout, a timeout *before any byte of a
+/// frame* surfaces as an [`FrameError::Io`] recognized by
+/// [`is_idle_timeout`]; a timeout *inside* a frame is retried up to
+/// `MAX_MID_FRAME_STALLS` times (the frame is already in flight) and
+/// only then reported as an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
+    let mut header = [0u8; 5];
+    let mut filled = 0;
+    let mut stalls = 0u32;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "stream closed mid-frame-header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_poll_timeout(&e) && filled > 0 && stalls < MAX_MID_FRAME_STALLS => {
+                stalls += 1;
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let kind = header[4];
+    if !(KIND_REQ..=KIND_ERR).contains(&kind) {
+        return Err(FrameError::BadKind(kind));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "stream closed mid-frame-payload",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_poll_timeout(&e) && stalls < MAX_MID_FRAME_STALLS => stalls += 1,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(Frame { kind, payload }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, KIND_REQ, b"warm-grd budgets=3,2").unwrap();
+        write_frame(&mut buf, KIND_OK, b"{}").unwrap();
+        write_frame(&mut buf, KIND_ERR, b"").unwrap();
+        let mut r = &buf[..];
+        let f1 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(
+            (f1.kind, f1.payload.as_slice()),
+            (KIND_REQ, &b"warm-grd budgets=3,2"[..])
+        );
+        let f2 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(f2.kind, KIND_OK);
+        let f3 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((f3.kind, f3.payload.len()), (KIND_ERR, 0));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.push(KIND_REQ);
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::TooLarge(len)) if len == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.push(99);
+        buf.extend_from_slice(b"body");
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::BadKind(99))));
+    }
+
+    #[test]
+    fn truncation_inside_a_frame_is_an_error_not_a_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, KIND_REQ, b"0123456789").unwrap();
+        // Cut inside the payload and inside the header.
+        for cut in [8, 3] {
+            let mut r = &buf[..cut];
+            assert!(
+                matches!(read_frame(&mut r), Err(FrameError::Io(_))),
+                "cut at {cut}"
+            );
+        }
+    }
+}

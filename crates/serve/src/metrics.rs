@@ -1,0 +1,124 @@
+//! The service metrics registry: atomic counters and latency rings,
+//! updated lock-free on the request path and dumpable on demand (the
+//! `metrics` admin verb) as one JSON object.
+
+use uic_util::{Counter, JsonWriter, LatencyRing};
+
+/// How many recent request latencies the rings retain.
+const LATENCY_WINDOW: usize = 4096;
+
+/// All serving metrics. One instance lives for the server's lifetime;
+/// every field is updated with relaxed atomics so the hot path never
+/// takes a lock.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Requests that reached the handler (any kind, any outcome).
+    pub requests_total: Counter,
+    /// Solve requests answered with an OK frame.
+    pub ok_total: Counter,
+    /// Requests answered with an error frame (all codes).
+    pub err_total: Counter,
+    /// Error responses whose code was `deadline`.
+    pub deadline_total: Counter,
+    /// Connections refused at admission (`overloaded`).
+    pub overloaded_total: Counter,
+    /// Malformed frames / non-UTF-8 payloads (`bad-frame`).
+    pub bad_frame_total: Counter,
+    /// RR sets appended to warm arenas by top-up (never regeneration).
+    pub rr_topup_total: Counter,
+    /// End-to-end solve latencies (µs), most recent window.
+    pub solve_latency_us: LatencyRing,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+impl ServerMetrics {
+    /// A zeroed registry.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics {
+            requests_total: Counter::new(),
+            ok_total: Counter::new(),
+            err_total: Counter::new(),
+            deadline_total: Counter::new(),
+            overloaded_total: Counter::new(),
+            bad_frame_total: Counter::new(),
+            rr_topup_total: Counter::new(),
+            solve_latency_us: LatencyRing::new(LATENCY_WINDOW),
+        }
+    }
+
+    /// The metrics dump: counters plus p50/p90/p99 over the retained
+    /// latency window (`null` before the first solve).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("requests_total");
+        w.u64(self.requests_total.get());
+        w.key("ok_total");
+        w.u64(self.ok_total.get());
+        w.key("err_total");
+        w.u64(self.err_total.get());
+        w.key("deadline_total");
+        w.u64(self.deadline_total.get());
+        w.key("overloaded_total");
+        w.u64(self.overloaded_total.get());
+        w.key("bad_frame_total");
+        w.u64(self.bad_frame_total.get());
+        w.key("rr_topup_total");
+        w.u64(self.rr_topup_total.get());
+        w.key("solve_latency_us");
+        let ps = self.solve_latency_us.percentiles(&[0.5, 0.9, 0.99]);
+        w.begin_object();
+        w.key("count");
+        w.u64(self.solve_latency_us.count() as u64);
+        for (name, v) in ["p50", "p90", "p99"].iter().zip(&ps) {
+            w.key(name);
+            w.u64(*v);
+        }
+        if ps.is_empty() {
+            for name in ["p50", "p90", "p99"] {
+                w.key(name);
+                w.null();
+            }
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_carries_counters_and_percentiles() {
+        let m = ServerMetrics::new();
+        m.requests_total.add(5);
+        m.ok_total.add(4);
+        m.err_total.inc();
+        m.rr_topup_total.add(1234);
+        for us in [100u64, 200, 300, 400] {
+            m.solve_latency_us.record(us);
+        }
+        let json = m.to_json();
+        assert!(json.contains(r#""requests_total":5"#), "{json}");
+        assert!(json.contains(r#""rr_topup_total":1234"#), "{json}");
+        assert!(json.contains(r#""count":4"#), "{json}");
+        assert!(json.contains(r#""p50":200"#), "{json}");
+        assert!(json.contains(r#""p99":400"#), "{json}");
+    }
+
+    #[test]
+    fn empty_ring_dumps_null_percentiles() {
+        let json = ServerMetrics::new().to_json();
+        assert!(
+            json.contains(r#""count":0,"p50":null,"p90":null,"p99":null"#),
+            "{json}"
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! Request parsing and the typed error surface.
+//!
+//! A request payload is UTF-8 [`SolverSpec`] text whose head token is
+//! either an admin verb (`ping` / `metrics` / `shutdown`) or a solver
+//! registry key. Server-reserved keys ride the same `key=value` syntax
+//! and are stripped before the remaining spec reaches the solver
+//! registry:
+//!
+//! | key | meaning | default |
+//! |-----|---------|---------|
+//! | `budgets=3,2` | per-item seed budgets (comma list) | required |
+//! | `seed=7` | solver master seed | `0` |
+//! | `sims=300` | welfare-scoring samples (`0` skips) | `0` |
+//! | `welfare_seed=9` | scoring stream override | `seed ^ 0xEFAE` |
+//! | `deadline_ms=250` | per-request budget (`0` = already expired) | none |
+//! | `config=1` | two-item utility catalog entry (1–4) | `1` |
+//!
+//! Everything here is reachable from an untrusted network frame, so
+//! every rejection is a typed [`ServeError`] — never a panic — and the
+//! serving layer adds work-bound floors the offline CLI does not need
+//! (`eps` ≥ 0.01, `ell` ≤ 16, `sims` ≤ 100 000, ≤ 16 budget entries).
+
+use uic_datasets::{SolverSpec, SpecMap};
+
+/// Machine-readable error category, carried in the `code` field of an
+/// error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not a well-formed request (bad UTF-8, bad kind,
+    /// oversized, torn).
+    BadFrame,
+    /// The spec text failed to parse or carried invalid values.
+    BadSpec,
+    /// The head token named no registered solver.
+    UnknownSolver,
+    /// The instance could not be built (budget arity, empty budgets …).
+    BadInstance,
+    /// The solver refused the instance (e.g. non-additive objective).
+    Unsupported,
+    /// The per-request deadline expired before a result was ready.
+    Deadline,
+    /// The admission queue was full.
+    Overloaded,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown,
+    /// Anything else (a bug: the handler never panics by contract).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::BadSpec => "bad-spec",
+            ErrorCode::UnknownSolver => "unknown-solver",
+            ErrorCode::BadInstance => "bad-instance",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A typed request failure, serialized into a
+/// [`KIND_ERR`](crate::frame::KIND_ERR) frame as
+/// `{"code":…,"message":…}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// The machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServeError {
+    /// A new error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ServeError {
+        ServeError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The error-frame payload.
+    pub fn to_json(&self) -> String {
+        let mut w = uic_util::JsonWriter::new();
+        w.begin_object();
+        w.key("code");
+        w.string(self.code.as_str());
+        w.key("message");
+        w.string(&self.message);
+        w.end_object();
+        w.finish()
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serving-layer work-bound floors and caps (beyond the registry's own
+/// range validation): a remote client must not be able to buy an
+/// effectively unbounded RR-sampling run with one tiny frame.
+pub const MIN_SERVE_EPS: f64 = 0.01;
+/// Upper bound on the failure exponent a request may demand.
+pub const MAX_SERVE_ELL: f64 = 16.0;
+/// Upper bound on welfare-scoring samples per request.
+pub const MAX_SERVE_SIMS: u32 = 100_000;
+/// Upper bound on the number of budget entries per request.
+pub const MAX_SERVE_ITEMS: usize = 16;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered `{"pong":true}`.
+    Ping,
+    /// Metrics dump; answered with the registry snapshot JSON.
+    Metrics,
+    /// Graceful shutdown: drain in-flight work, refuse new work.
+    Shutdown,
+    /// An allocation/welfare query.
+    Solve(SolveRequest),
+}
+
+/// The solve form of a request: the solver spec (reserved keys already
+/// stripped) plus the server-interpreted knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// Solver name + its own parameters (+ objective keys), as the
+    /// registry's `from_spec_with_objective` expects.
+    pub spec: SolverSpec,
+    /// Per-item seed budgets, in item order.
+    pub budgets: Vec<u32>,
+    /// Solver master seed.
+    pub seed: u64,
+    /// Welfare-scoring samples; `0` skips scoring.
+    pub sims: u32,
+    /// Scoring-stream override (`None` → derived from `seed`).
+    pub welfare_seed: Option<u64>,
+    /// Per-request deadline; `Some(0)` is deterministically expired.
+    pub deadline_ms: Option<u64>,
+    /// Two-item utility catalog entry (1–4).
+    pub config: u8,
+}
+
+fn bad_spec(message: impl Into<String>) -> ServeError {
+    ServeError::new(ErrorCode::BadSpec, message)
+}
+
+/// Parses a request frame payload. See the module docs for the format.
+pub fn parse_request(payload: &[u8]) -> Result<Request, ServeError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ServeError::new(ErrorCode::BadFrame, format!("payload is not UTF-8: {e}")))?;
+    match text.trim() {
+        "ping" => return Ok(Request::Ping),
+        "metrics" => return Ok(Request::Metrics),
+        "shutdown" => return Ok(Request::Shutdown),
+        _ => {}
+    }
+    let full = SolverSpec::parse(text).map_err(|e| bad_spec(e.to_string()))?;
+
+    let budgets = match full.params.get("budgets") {
+        None => {
+            return Err(bad_spec(
+                "missing required key `budgets` (e.g. budgets=3,2)",
+            ))
+        }
+        Some(list) => parse_budget_list(list)?,
+    };
+    let seed = full
+        .params
+        .get_u64("seed")
+        .map_err(|e| bad_spec(e.to_string()))?
+        .unwrap_or(0);
+    let sims = full
+        .params
+        .get_u32("sims")
+        .map_err(|e| bad_spec(e.to_string()))?
+        .unwrap_or(0);
+    if sims > MAX_SERVE_SIMS {
+        return Err(bad_spec(format!(
+            "sims={sims} exceeds the serving cap {MAX_SERVE_SIMS}"
+        )));
+    }
+    let welfare_seed = full
+        .params
+        .get_u64("welfare_seed")
+        .map_err(|e| bad_spec(e.to_string()))?;
+    let deadline_ms = full
+        .params
+        .get_u64("deadline_ms")
+        .map_err(|e| bad_spec(e.to_string()))?;
+    let config = full
+        .params
+        .get_u32("config")
+        .map_err(|e| bad_spec(e.to_string()))?
+        .unwrap_or(1);
+    if !(1..=4).contains(&config) {
+        return Err(bad_spec(format!(
+            "config={config} is not in the catalog (1-4)"
+        )));
+    }
+
+    // Serving floors on the solver's own sampling knobs: checked here on
+    // the raw text so no spec can reach the RIS machinery with an
+    // effectively unbounded theta.
+    if let Ok(Some(eps)) = full.params.get_f64("eps") {
+        if !(MIN_SERVE_EPS..1.0).contains(&eps) {
+            return Err(bad_spec(format!(
+                "eps={eps} outside the serving range [{MIN_SERVE_EPS}, 1)"
+            )));
+        }
+    }
+    if let Ok(Some(ell)) = full.params.get_f64("ell") {
+        if !(0.0..=MAX_SERVE_ELL).contains(&ell) || ell == 0.0 {
+            return Err(bad_spec(format!(
+                "ell={ell} outside the serving range (0, {MAX_SERVE_ELL}]"
+            )));
+        }
+    }
+
+    // Everything not reserved flows through to the solver registry.
+    const RESERVED: [&str; 6] = [
+        "budgets",
+        "seed",
+        "sims",
+        "welfare_seed",
+        "deadline_ms",
+        "config",
+    ];
+    let mut params = SpecMap::new();
+    for key in full.params.keys() {
+        if !RESERVED.contains(&key) {
+            params
+                .insert(key, full.params.get(key).expect("key just listed"))
+                .expect("re-inserting unique parsed keys cannot fail");
+        }
+    }
+    Ok(Request::Solve(SolveRequest {
+        spec: SolverSpec {
+            name: full.name,
+            params,
+        },
+        budgets,
+        seed,
+        sims,
+        welfare_seed,
+        deadline_ms,
+        config: config as u8,
+    }))
+}
+
+fn parse_budget_list(list: &str) -> Result<Vec<u32>, ServeError> {
+    let parts: Vec<&str> = list.split(',').collect();
+    if parts.len() > MAX_SERVE_ITEMS {
+        return Err(bad_spec(format!(
+            "budgets has {} entries (serving cap {MAX_SERVE_ITEMS})",
+            parts.len()
+        )));
+    }
+    parts
+        .iter()
+        .map(|p| {
+            p.parse::<u32>()
+                .map_err(|_| bad_spec(format!("budgets entry `{p}` is not a u32")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admin_verbs_parse() {
+        assert_eq!(parse_request(b"ping").unwrap(), Request::Ping);
+        assert_eq!(parse_request(b" metrics\n").unwrap(), Request::Metrics);
+        assert_eq!(parse_request(b"shutdown").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn solve_requests_split_reserved_from_solver_keys() {
+        let req = parse_request(
+            b"warm-grd budgets=3,2 seed=7 sims=40 eps=0.4 deadline_ms=500 config=2 model=ic",
+        )
+        .unwrap();
+        let Request::Solve(s) = req else {
+            panic!("expected a solve request")
+        };
+        assert_eq!(s.budgets, vec![3, 2]);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.sims, 40);
+        assert_eq!(s.welfare_seed, None);
+        assert_eq!(s.deadline_ms, Some(500));
+        assert_eq!(s.config, 2);
+        assert_eq!(s.spec.to_string(), "warm-grd eps=0.4 model=ic");
+    }
+
+    #[test]
+    fn missing_budgets_is_a_bad_spec() {
+        let err = parse_request(b"warm-grd seed=7").unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadSpec);
+        assert!(err.message.contains("budgets"));
+    }
+
+    #[test]
+    fn hostile_inputs_are_typed_errors_never_panics() {
+        for bad in [
+            &b"\xff\xfe"[..],                                      // not UTF-8
+            b"warm-grd budgets=3,2 eps=0.0001",                    // below serving floor
+            b"warm-grd budgets=3,2 ell=100",                       // above serving cap
+            b"warm-grd budgets=3,2 sims=2000000",                  // sims cap
+            b"warm-grd budgets=1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1", // too many items
+            b"warm-grd budgets=3,-2",                              // negative budget
+            b"warm-grd budgets=3,2 config=9",                      // off-catalog config
+            b"warm-grd budgets=3,2 seed=abc",                      // malformed u64
+            b"=x",                                                 // empty key
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(
+                matches!(err.code, ErrorCode::BadSpec | ErrorCode::BadFrame),
+                "{err}"
+            );
+        }
+        // The spec-level size limits hold on the network path too.
+        let huge = vec![b'a'; 10_000];
+        assert_eq!(parse_request(&huge).unwrap_err().code, ErrorCode::BadSpec);
+    }
+
+    #[test]
+    fn error_frames_serialize_compact_json() {
+        let e = ServeError::new(ErrorCode::Deadline, "expired 3ms before selection");
+        assert_eq!(
+            e.to_json(),
+            r#"{"code":"deadline","message":"expired 3ms before selection"}"#
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! A minimal hand-rolled JSON writer (the workspace has no serde).
+//!
+//! [`JsonWriter`] produces compact (no-whitespace) JSON into an owned
+//! `String` buffer through an explicit begin/key/value API; commas are
+//! inserted automatically from a small nesting-state stack, so callers
+//! never emit a separator themselves. The writer is deliberately tiny —
+//! objects, arrays, strings, integers, floats, booleans, null — because
+//! its one consumer is the `uic-serve` response path, whose bit-identity
+//! contract needs *deterministic* serialization more than it needs
+//! generality:
+//!
+//! * map keys are emitted in call order (no hashing),
+//! * `f64` uses Rust's shortest-round-trip `Display` (`{}`), identical
+//!   across platforms and runs, and
+//! * non-finite floats serialize as `null` (JSON has no NaN/∞).
+//!
+//! ```
+//! use uic_util::JsonWriter;
+//! let mut w = JsonWriter::new();
+//! w.begin_object();
+//! w.key("name");
+//! w.string("a\"b");
+//! w.key("xs");
+//! w.begin_array();
+//! w.u64(1);
+//! w.f64(0.5);
+//! w.end_array();
+//! w.end_object();
+//! assert_eq!(w.finish(), r#"{"name":"a\"b","xs":[1,0.5]}"#);
+//! ```
+
+use std::fmt::Write as _;
+
+/// Nesting state: whether the current container already holds a value
+/// (so the next emission needs a leading comma).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Frame {
+    Object { has_entries: bool },
+    Array { has_entries: bool },
+}
+
+/// An append-only compact JSON serializer. See the module docs.
+#[derive(Default)]
+pub struct JsonWriter {
+    buf: String,
+    stack: Vec<Frame>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Consumes the writer and returns the serialized text.
+    ///
+    /// # Panics
+    /// When a container is still open (unbalanced begin/end calls).
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.buf
+    }
+
+    /// Emits the comma owed by the enclosing container, if any, and
+    /// marks the container non-empty.
+    fn pre_value(&mut self) {
+        match self.stack.last_mut() {
+            Some(Frame::Array { has_entries }) => {
+                if std::mem::replace(has_entries, true) {
+                    self.buf.push(',');
+                }
+            }
+            Some(Frame::Object { .. }) | None => {}
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.stack.push(Frame::Object { has_entries: false });
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        match self.stack.pop() {
+            Some(Frame::Object { .. }) => self.buf.push('}'),
+            _ => panic!("end_object without a matching begin_object"),
+        }
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.stack.push(Frame::Array { has_entries: false });
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        match self.stack.pop() {
+            Some(Frame::Array { .. }) => self.buf.push(']'),
+            _ => panic!("end_array without a matching begin_array"),
+        }
+    }
+
+    /// Emits an object key (with its separating comma and colon). Must
+    /// be directly inside an object.
+    pub fn key(&mut self, key: &str) {
+        match self.stack.last_mut() {
+            Some(Frame::Object { has_entries }) => {
+                if std::mem::replace(has_entries, true) {
+                    self.buf.push(',');
+                }
+            }
+            _ => panic!("key() outside of an object"),
+        }
+        write_escaped(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Emits a string value (escaped).
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        write_escaped(&mut self.buf, s);
+    }
+
+    /// Emits an unsigned integer.
+    pub fn u64(&mut self, v: u64) {
+        self.pre_value();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Emits a signed integer.
+    pub fn i64(&mut self, v: i64) {
+        self.pre_value();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Emits a float via shortest-round-trip `Display`; non-finite
+    /// values become `null`.
+    pub fn f64(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Emits a boolean.
+    pub fn bool(&mut self, v: bool) {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Emits `null`.
+    pub fn null(&mut self) {
+        self.pre_value();
+        self.buf.push_str("null");
+    }
+
+    /// Emits pre-serialized JSON verbatim (for nesting an already-built
+    /// document, e.g. a metrics dump inside a response envelope). The
+    /// caller guarantees `raw` is valid JSON.
+    pub fn raw(&mut self, raw: &str) {
+        self.pre_value();
+        self.buf.push_str(raw);
+    }
+}
+
+/// Appends `s` as a quoted JSON string, escaping the two mandatory
+/// characters (`"`, `\`) and all control characters below U+0020.
+fn write_escaped(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_containers_and_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.u64(1);
+        w.key("b");
+        w.begin_array();
+        w.begin_object();
+        w.key("x");
+        w.bool(true);
+        w.end_object();
+        w.null();
+        w.i64(-3);
+        w.end_array();
+        w.key("c");
+        w.string("s");
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":[{"x":true},null,-3],"c":"s"}"#);
+    }
+
+    #[test]
+    fn escaping_covers_quotes_backslash_and_controls() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\te\u{1}");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_shortest_roundtrip_and_nonfinite_is_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(0.1);
+        w.f64(3.0);
+        w.f64(f64::NAN);
+        w.f64(f64::INFINITY);
+        w.end_array();
+        assert_eq!(w.finish(), "[0.1,3,null,null]");
+    }
+
+    #[test]
+    fn raw_splices_prebuilt_json() {
+        let mut inner = JsonWriter::new();
+        inner.begin_object();
+        inner.key("n");
+        inner.u64(2);
+        inner.end_object();
+        let inner = inner.finish();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("meta");
+        w.raw(&inner);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"meta":{"n":2}}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_rejects_unbalanced_nesting() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside of an object")]
+    fn key_outside_object_panics() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.key("k");
+    }
+}

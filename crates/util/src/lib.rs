@@ -27,10 +27,17 @@
 //!   Monte-Carlo estimators.
 //! * [`table`] — a tiny aligned-table / CSV renderer used by the experiment
 //!   harness to print the paper's tables and figure series.
+//! * [`json`] — a deterministic, serde-free compact JSON writer
+//!   ([`JsonWriter`]) used by the `uic-serve` response path.
+//! * [`metrics`] — lock-free service instrumentation: monotone
+//!   [`Counter`]s and a fixed-window [`LatencyRing`] for p50/p99
+//!   snapshots.
 
 pub mod bitset;
 pub mod epoch;
 pub mod fxhash;
+pub mod json;
+pub mod metrics;
 pub mod parallel;
 pub mod rng;
 pub mod special;
@@ -40,6 +47,8 @@ pub mod table;
 pub use bitset::{BitSet, VisitTags};
 pub use epoch::{EdgeStatusCache, EpochMap};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use json::JsonWriter;
+pub use metrics::{Counter, LatencyRing};
 pub use parallel::{hardware_parallelism, parallelism, CachePadded, THREADS_ENV_VAR};
 pub use rng::{split_seed, UicRng};
 pub use special::{ln_gamma, log_choose, normal_cdf, normal_quantile};

@@ -1,0 +1,170 @@
+//! Lock-free service metrics primitives: monotonically increasing
+//! [`Counter`]s and a fixed-size [`LatencyRing`] for percentile
+//! estimates — the instrumentation substrate of the `uic-serve`
+//! request path.
+//!
+//! Both types are updated with relaxed atomics on the hot path (one
+//! `fetch_add` per event) and read by an infrequent snapshot path, so
+//! contention never serializes request handling. The ring keeps the last
+//! `capacity` samples (overwriting the oldest), which bounds memory and
+//! weighs the percentile estimate toward recent behavior — exactly what
+//! a "p99 right now" operational dump wants.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-capacity ring of `u64` samples (e.g. request latencies in
+/// microseconds) with percentile snapshots over the retained window.
+#[derive(Debug)]
+pub struct LatencyRing {
+    slots: Box<[AtomicU64]>,
+    /// Total samples ever recorded; `min(total, capacity)` slots hold
+    /// valid data, and `total % capacity` is the next write position.
+    total: AtomicUsize,
+}
+
+impl LatencyRing {
+    /// A ring retaining the last `capacity` samples (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> LatencyRing {
+        assert!(capacity >= 1, "ring needs at least one slot");
+        LatencyRing {
+            slots: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records one sample, overwriting the oldest once full.
+    ///
+    /// Claims a slot with one `fetch_add`; concurrent writers therefore
+    /// never claim the same slot (modulo a full wrap of the ring between
+    /// a claim and its store, which only ever loses one stale sample).
+    pub fn record(&self, value: u64) {
+        let at = self.total.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.slots[at].store(value, Ordering::Relaxed);
+    }
+
+    /// Total samples ever recorded (not capped at capacity).
+    pub fn count(&self) -> usize {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The retained samples, unordered.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let held = self.count().min(self.slots.len());
+        self.slots[..held]
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Percentile estimates over the retained window: for each `q` in
+    /// `quantiles` (e.g. `[0.5, 0.99]`), the smallest retained sample ≥
+    /// a `q` fraction of the window (nearest-rank). Empty when no
+    /// samples have been recorded.
+    pub fn percentiles(&self, quantiles: &[f64]) -> Vec<u64> {
+        let mut samples = self.snapshot();
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        samples.sort_unstable();
+        quantiles
+            .iter()
+            .map(|&q| {
+                let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize)
+                    .clamp(1, samples.len());
+                samples[rank - 1]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn ring_percentiles_nearest_rank() {
+        let ring = LatencyRing::new(100);
+        for v in 1..=100u64 {
+            ring.record(v);
+        }
+        let p = ring.percentiles(&[0.5, 0.99, 1.0]);
+        assert_eq!(p, vec![50, 99, 100]);
+        assert_eq!(ring.count(), 100);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let ring = LatencyRing::new(4);
+        for v in [10u64, 20, 30, 40, 50, 60] {
+            ring.record(v);
+        }
+        let mut s = ring.snapshot();
+        s.sort_unstable();
+        assert_eq!(s, vec![30, 40, 50, 60], "first two samples evicted");
+        assert_eq!(ring.count(), 6);
+    }
+
+    #[test]
+    fn empty_ring_has_no_percentiles() {
+        let ring = LatencyRing::new(8);
+        assert!(ring.percentiles(&[0.5]).is_empty());
+        assert!(ring.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_at_scale() {
+        use std::sync::Arc;
+        let ring = Arc::new(LatencyRing::new(1 << 12));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..256u64 {
+                        ring.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.count(), 4 * 256);
+        assert_eq!(ring.snapshot().len(), 4 * 256);
+    }
+}

@@ -1,0 +1,84 @@
+//! `uic-serve` in one file: start the welfare-allocation service
+//! in-process, talk to it over real TCP, and verify the warm-arena
+//! contract — repeated queries are answered by *topping up* the
+//! resident RR arena (never regenerating), bit-identical to a cold
+//! offline solve of the same request.
+//!
+//! ```sh
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! The standalone binary speaks the same protocol:
+//!
+//! ```sh
+//! cargo run --release --bin uic-serve -- serve --network flixster &
+//! cargo run --release --bin uic-serve -- request --addr 127.0.0.1:PORT \
+//!     warm-grd budgets=25,10 seed=42 sims=100
+//! ```
+
+use std::sync::Arc;
+use uic::core::{Allocator, SolveCtx, WelMax};
+use uic::datasets::{named_network, NamedNetwork, TwoItemConfig};
+use uic::serve::{report_json, Client, Server, ServerConfig};
+
+fn main() {
+    // 1. Load the graph once; it stays resident for the server's life.
+    let g = Arc::new(named_network(NamedNetwork::Flixster, 0.5, 7));
+    println!(
+        "graph resident: {} nodes / {} arcs",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    let handle = Server::start(g.clone(), ServerConfig::default()).expect("bind loopback");
+    println!("serving on {}", handle.addr());
+
+    // 2. A client asks for an allocation: solver spec text, one frame.
+    let request = "warm-grd budgets=25,10 seed=42 sims=100";
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let first = client.request(request).expect("first query");
+    println!("first answer:  {}", first.payload());
+
+    // 3. Ask again: the deterministic "result" object is byte-identical
+    //    (the "server" bookkeeping — elapsed_us, rr_topup — may differ),
+    //    and rr_topup=0 shows the arena was reused, not regrown.
+    let result_of = |payload: &str| {
+        let end = payload.find(",\"server\":").expect("response envelope");
+        payload[..end].to_string()
+    };
+    let again = client.request(request).expect("repeat query");
+    assert_eq!(
+        result_of(first.payload()),
+        result_of(again.payload()),
+        "a warm repeat must not change the answer"
+    );
+    assert!(
+        again.payload().contains("\"rr_topup\":0"),
+        "a repeat query must be served without generating new RR sets"
+    );
+    println!("repeat answer: identical result, rr_topup=0");
+
+    // 4. The served result is bit-identical to a cold offline run of
+    //    the same spec — the arena is a cache, never a semantic.
+    let (solver, objective) = <dyn Allocator>::parse_with_objective("warm-grd").expect("spec");
+    let inst = WelMax::on(&g)
+        .model(TwoItemConfig::new(1).model())
+        .budgets([25u32, 10])
+        .any_item_order()
+        .objective_spec(objective)
+        .build()
+        .expect("instance");
+    let offline = report_json(&solver.solve(&inst, &SolveCtx::new(42).with_sims(100)));
+    assert!(
+        first
+            .payload()
+            .starts_with(&format!("{{\"result\":{offline}")),
+        "server and offline runs must agree bit-for-bit"
+    );
+    println!("offline check: bit-identical");
+
+    // 5. Metrics are one request away; shutdown drains gracefully.
+    let metrics = client.request("metrics").expect("metrics");
+    println!("metrics:       {}", metrics.payload());
+    handle.shutdown();
+    println!("final:         {}", handle.join());
+}

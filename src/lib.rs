@@ -42,7 +42,7 @@
 //! );
 //! let inst = WelMax::on(&g).model(model).budgets([10u32, 10]).build()?;
 //!
-//! // Any of the nine registered algorithms, by name. bundleGRD never
+//! // Any of the ten registered algorithms, by name. bundleGRD never
 //! // reads the utilities — only the budgets (the power of bundling).
 //! let solver = <dyn Allocator>::by_name("bundle-grd").unwrap();
 //! let report = solver.solve(&inst, &SolveCtx::new(42).with_sims(500));
@@ -66,6 +66,7 @@ pub use uic_experiments as experiments;
 pub use uic_graph as graph;
 pub use uic_im as im;
 pub use uic_items as items;
+pub use uic_serve as serve;
 pub use uic_util as util;
 
 /// The most common imports in one place.
@@ -102,6 +103,6 @@ mod tests {
         assert_eq!(g.num_nodes(), 2);
         let s = crate::items::ItemSet::singleton(0);
         assert_eq!(s.len(), 1);
-        assert_eq!(crate::core::registry().len(), 9);
+        assert_eq!(crate::core::registry().len(), 10);
     }
 }

@@ -1,4 +1,4 @@
-//! Smoke tests mirroring the core path of each of the seven
+//! Smoke tests mirroring the core path of each of the eight
 //! `examples/*.rs` targets on tiny graphs, so the examples cannot
 //! silently rot: every API call an example demonstrates is exercised
 //! here with assertions on the invariants the example's prose claims.
@@ -268,4 +268,57 @@ fn viral_bundle_launch_core_path() {
     // Item-by-item marketing is hopeless here: every single item is a
     // loss, so bundle-aware seeding must not lose to item-disj.
     assert!(w_greedy >= w_item - 1e-9);
+}
+
+/// `examples/serve_quickstart.rs`: start the service in-process, query
+/// it over TCP, verify warm reuse (`rr_topup=0` on the repeat) and
+/// bit-identity with a cold offline solve.
+#[test]
+fn serve_quickstart_core_path() {
+    use uic::datasets::TwoItemConfig;
+    use uic::serve::{report_json, Client, Server, ServerConfig};
+
+    let g = Arc::new(named_network(NamedNetwork::Flixster, 0.05, 7));
+    let handle = Server::start(g.clone(), ServerConfig::default()).unwrap();
+    let request = "warm-grd budgets=5,2 seed=42 sims=50";
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let first = client.request(request).unwrap();
+    let again = client.request(request).unwrap();
+    // The deterministic "result" object is identical; only the server
+    // bookkeeping (elapsed_us, rr_topup) may differ between the runs.
+    let result_of = |r: &uic::serve::Response| {
+        let p = r.payload().to_string();
+        p[..p.find(",\"server\":").expect("envelope")].to_string()
+    };
+    assert_eq!(result_of(&first), result_of(&again));
+    assert!(
+        again.payload().contains("\"rr_topup\":0"),
+        "{}",
+        again.payload()
+    );
+
+    let (solver, objective) = <dyn Allocator>::parse_with_objective("warm-grd").unwrap();
+    let inst = WelMax::on(&g)
+        .model(TwoItemConfig::new(1).model())
+        .budgets([5u32, 2])
+        .any_item_order()
+        .objective_spec(objective)
+        .build()
+        .unwrap();
+    let offline = report_json(&solver.solve(&inst, &SolveCtx::new(42).with_sims(50)));
+    assert!(
+        first
+            .payload()
+            .starts_with(&format!("{{\"result\":{offline}")),
+        "server: {}\noffline: {offline}",
+        first.payload()
+    );
+    let metrics = client.request("metrics").unwrap();
+    assert!(
+        metrics.payload().contains("\"ok_total\":2"),
+        "{}",
+        metrics.payload()
+    );
+    handle.shutdown();
+    assert!(handle.join().contains("\"requests_total\":"));
 }

