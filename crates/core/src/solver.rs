@@ -951,17 +951,39 @@ impl WarmGrd {
         ctx: &SolveCtx,
         coll: &mut RrCollection,
     ) -> SolveReport {
+        match self.run_shared(inst, ctx, &uic_im::ExclusiveArena::new(coll)) {
+            Ok(report) => report,
+            Err(never) => match never {},
+        }
+    }
+
+    /// [`WarmGrd::run_on`] over any [`uic_im::WarmArena`] — the
+    /// shared-arena serving path: selection and coverage estimation run
+    /// under the arena's shared (read) access, only top-up takes
+    /// exclusive access, and the answer is still bit-identical to a
+    /// cold run (the prefix-restriction contract of
+    /// [`uic_im::warm_prima_on`]).
+    ///
+    /// # Errors
+    /// Whatever the arena's `prepare` returns (e.g. an injected top-up
+    /// fault or a resource-cap refusal); nothing partial is reported.
+    pub fn run_shared<A: uic_im::WarmArena>(
+        &self,
+        inst: &WelMaxInstance,
+        ctx: &SolveCtx,
+        arena: &A,
+    ) -> Result<SolveReport, A::Error> {
         let start = Instant::now();
         let mut sorted: Vec<u32> = inst.budgets().to_vec();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
-        let r = uic_im::warm_prima(inst.graph(), coll, &sorted, self.eps, self.ell);
+        let r = uic_im::warm_prima_on(inst.graph(), arena, &sorted, self.eps, self.ell)?;
         let mut allocation = uic_diffusion::Allocation::new();
         for (i, &b_i) in inst.budgets().iter().enumerate() {
             for &v in r.seeds_for_budget(b_i) {
                 allocation.assign(v, i as u32);
             }
         }
-        SolveReport {
+        Ok(SolveReport {
             algorithm: self.name(),
             allocation,
             welfare: None,
@@ -970,7 +992,7 @@ impl WarmGrd {
             budgets_used: Vec::new(),
             rr_sets_final: r.rr_sets_final,
             rr_sets_total: r.rr_sets_total,
-        }
+        })
     }
 }
 

@@ -371,6 +371,56 @@ mod tests {
     }
 
     #[test]
+    fn readers_racing_the_rewrite_always_see_a_whole_snapshot() {
+        // Regression companion to the upgrade-race test above: here the
+        // readers never write — they hammer `load` while one writer
+        // thread keeps flipping the entry between the legacy v1 layout
+        // and the aligned rewrite. Atomic rename means a reader either
+        // opens the old file or the new one, so every load must be a
+        // hit serving the exact graph — a miss or a different graph
+        // would mean a reader observed a half-replaced entry.
+        let cache = scratch_cache("reader-race");
+        let key = CacheKey::new("t/reader-race", 1.0, 3, "as-given");
+        let g = uic_graph::Graph::from_edges(
+            5,
+            &[(0, 1, 0.5), (1, 2, 0.25), (2, 3, 0.75), (3, 4, 0.5)],
+        );
+        // Plant the legacy layout the way an older build would have
+        // written it: temp file + atomic rename, never in place.
+        let plant_v1 = || {
+            let tmp = cache.dir().join(".reader-race.v1.tmp");
+            let file = std::fs::File::create(&tmp).unwrap();
+            uic_graph::write_snapshot_v1(&g, file).unwrap();
+            std::fs::rename(&tmp, cache.path_for(&key)).unwrap();
+        };
+        plant_v1();
+        std::thread::scope(|s| {
+            let writer = s.spawn(|| {
+                for _ in 0..20 {
+                    cache.store(&key, &g).unwrap();
+                    plant_v1();
+                    std::thread::yield_now();
+                }
+                cache.store(&key, &g).unwrap();
+            });
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for i in 0..40 {
+                        let loaded = cache.load(&key);
+                        assert_eq!(loaded.as_ref(), Some(&g), "read {i} under rewrite churn");
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        assert_eq!(
+            uic_graph::snapshot_version(cache.path_for(&key)).unwrap(),
+            uic_graph::snapshot::FORMAT_VERSION
+        );
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
     fn get_or_build_skips_the_builder_on_a_hit() {
         let cache = scratch_cache("hit");
         let key = CacheKey::new("t/hit", 1.0, 3, "wc");

@@ -75,7 +75,29 @@ pub fn node_selection_prefix(
     num_sets: usize,
 ) -> NodeSelectionResult {
     coll.ensure_index();
-    let coll = &*coll;
+    node_selection_prefix_indexed(coll, k, num_sets)
+}
+
+/// Read-only [`node_selection_prefix`] for shared (`&coll`) access: the
+/// selection itself never mutates the collection — only the index
+/// bring-up does — so once the index is current
+/// ([`RrCollection::ensure_index`], under a shared-arena holder's write
+/// lock), any number of selections may run concurrently under read
+/// locks. This is the `uic-serve` query path: CELF selection under a
+/// shared lock, top-up under the exclusive one.
+///
+/// # Panics
+/// When the index is stale (a holder bug, loudly refused rather than
+/// silently mis-counting coverage).
+pub fn node_selection_prefix_indexed(
+    coll: &RrCollection,
+    k: u32,
+    num_sets: usize,
+) -> NodeSelectionResult {
+    assert!(
+        coll.index_is_current(),
+        "node_selection_prefix_indexed on a stale index"
+    );
     let n = coll.num_nodes() as usize;
     let num_sets = num_sets.min(coll.len());
     let limit = num_sets as u32;

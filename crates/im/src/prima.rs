@@ -15,7 +15,7 @@
 //!   before the last `NodeSelection`.
 
 use crate::imm::Bounds;
-use crate::node_selection::{node_selection, node_selection_prefix, NodeSelectionResult};
+use crate::node_selection::{node_selection, node_selection_prefix_indexed, NodeSelectionResult};
 use crate::rrset::{DiffusionModel, RrCollection};
 use uic_diffusion::{ObjectiveError, WelfareObjective};
 use uic_graph::{Graph, NodeId};
@@ -172,6 +172,99 @@ pub fn warm_prima(
     eps: f64,
     ell: f64,
 ) -> PrimaResult {
+    match warm_prima_on(g, &ExclusiveArena::new(coll), budgets, eps, ell) {
+        Ok(r) => r,
+        Err(never) => match never {},
+    }
+}
+
+/// Shared access to a warm RR arena, as [`warm_prima_on`] consumes it.
+///
+/// The certification loop alternates two phases with very different
+/// locking needs: *top-up* (append sets, merge the index — exclusive)
+/// and *selection / coverage estimation* (pure reads — shareable). This
+/// trait names that split so one driver serves both the trivial
+/// exclusive case ([`warm_prima`] on `&mut RrCollection`) and a
+/// reader/writer shared arena (the `uic-serve` sharded registry, where
+/// many queries select concurrently under read locks and only top-up
+/// briefly takes the write lock).
+///
+/// ## Contract
+///
+/// * After `prepare(g, target)` returns `Ok`, every subsequent `read`
+///   observes a collection with `len() ≥ target` and a current index
+///   ([`RrCollection::index_is_current`]). Growth by *other* holders of
+///   the same arena is fine — selection is prefix-restricted, so extra
+///   sets beyond `target` never change answers.
+/// * The collection is extend-only (never `reset`), bound to `g`, and
+///   all growth goes through `extend_to` — the prefix-stability
+///   foundation of the bit-identity guarantee.
+/// * `prepare` may fail (fault injection, resource caps); the driver
+///   surfaces the error without touching the arena further.
+pub trait WarmArena {
+    /// Why `prepare` can refuse (use [`std::convert::Infallible`] when
+    /// it cannot).
+    type Error;
+
+    /// Grows the arena to at least `target` sets and brings the index
+    /// current, under exclusive access.
+    fn prepare(&self, g: &Graph, target: usize) -> Result<(), Self::Error>;
+
+    /// Runs `f` under shared access. Implementations must uphold the
+    /// index-currency contract described on the trait.
+    fn read<R>(&self, f: impl FnOnce(&RrCollection) -> R) -> R;
+}
+
+/// The trivial [`WarmArena`]: exclusive ownership of one collection
+/// (what [`warm_prima`] wraps around its `&mut RrCollection`).
+pub struct ExclusiveArena<'a> {
+    coll: std::cell::RefCell<&'a mut RrCollection>,
+}
+
+impl<'a> ExclusiveArena<'a> {
+    /// Wraps an exclusively-held collection.
+    pub fn new(coll: &'a mut RrCollection) -> ExclusiveArena<'a> {
+        ExclusiveArena {
+            coll: std::cell::RefCell::new(coll),
+        }
+    }
+}
+
+impl WarmArena for ExclusiveArena<'_> {
+    type Error = std::convert::Infallible;
+
+    fn prepare(&self, g: &Graph, target: usize) -> Result<(), Self::Error> {
+        let mut coll = self.coll.borrow_mut();
+        coll.extend_to(g, target);
+        coll.ensure_index();
+        Ok(())
+    }
+
+    fn read<R>(&self, f: impl FnOnce(&RrCollection) -> R) -> R {
+        f(&self.coll.borrow())
+    }
+}
+
+/// [`warm_prima`] over any [`WarmArena`]: the same certification loop,
+/// with top-up routed through `prepare` (exclusive) and every selection
+/// / coverage estimate through `read` (shared). Bit-identical to
+/// [`prima`] with the arena's `(model, seed)` regardless of how large
+/// the shared arena already is or concurrently becomes — all reads are
+/// prefix-restricted to this call's own running extend target.
+///
+/// # Errors
+/// Whatever `prepare` returns; the loop stops at the first refusal.
+///
+/// # Panics
+/// On the same budget/parameter violations as [`prima`], and when the
+/// arena is reset (not extend-only) or bound to a different graph.
+pub fn warm_prima_on<A: WarmArena>(
+    g: &Graph,
+    arena: &A,
+    budgets: &[u32],
+    eps: f64,
+    ell: f64,
+) -> Result<PrimaResult, A::Error> {
     let n = g.num_nodes();
     assert!(!budgets.is_empty(), "budget vector must be non-empty");
     assert!(
@@ -181,12 +274,14 @@ pub fn warm_prima(
     let b = budgets[0];
     assert!(b >= 1 && b <= n, "max budget {b} out of range for n={n}");
     assert!(*budgets.last().unwrap() >= 1, "budgets must be ≥ 1");
-    assert_eq!(coll.num_nodes(), n, "collection bound to a different graph");
-    assert_eq!(
-        coll.total_generated(),
-        coll.len() as u64,
-        "warm_prima needs an extend-only (never reset) collection"
-    );
+    arena.read(|coll| {
+        assert_eq!(coll.num_nodes(), n, "collection bound to a different graph");
+        assert_eq!(
+            coll.total_generated(),
+            coll.len() as u64,
+            "warm_prima needs an extend-only (never reset) collection"
+        );
+    });
 
     let nf = n as f64;
     let ell_boosted = ell + 2f64.ln() / nf.ln();
@@ -209,15 +304,22 @@ pub fn warm_prima(
         let x = nf / 2f64.powi(i as i32);
         let theta_i = (bounds.lambda_prime(k) / x).ceil() as usize;
         cur = cur.max(theta_i);
-        coll.extend_to(g, cur);
+        arena.prepare(g, cur)?;
         let estimate = if budget_switch {
             let prev = prev_selection
                 .as_ref()
                 .expect("budget switch implies a previous selection");
             let prefix = prev.prefix(k as usize);
-            coll.num_nodes() as f64 * fraction_covered_prefix(coll, prefix, cur)
+            // Shaped exactly like `prima`'s `n * fraction_covered(..)`
+            // (spread ÷ n, then × n): the spare divide/multiply pair is
+            // not a float identity, and certification thresholds compare
+            // this value — bit-identity to the cold path requires the
+            // identical rounding sequence.
+            arena.read(|coll| {
+                nf * (coll.estimate_spread_prefix_indexed(prefix, cur) / coll.num_nodes() as f64)
+            })
         } else {
-            let sel = node_selection_prefix(coll, k, cur);
+            let sel = arena.read(|coll| node_selection_prefix_indexed(coll, k, cur));
             let est = sel.estimated_spread(n, sel.seeds.len().min(k as usize));
             prev_selection = Some(sel);
             est
@@ -230,7 +332,7 @@ pub fn warm_prima(
             budget_switch = true;
             if s < budgets.len() {
                 cur = cur.max(theta_k);
-                coll.extend_to(g, cur);
+                arena.prepare(g, cur)?;
             }
         } else {
             i += 1;
@@ -245,15 +347,15 @@ pub fn warm_prima(
     // Final selection on the θ-required prefix — top-up, never reset.
     let final_sets = theta_required.max(1);
     cur = cur.max(final_sets);
-    coll.extend_to(g, cur);
-    let sel = node_selection_prefix(coll, b, final_sets);
-    PrimaResult {
+    arena.prepare(g, cur)?;
+    let sel = arena.read(|coll| node_selection_prefix_indexed(coll, b, final_sets));
+    Ok(PrimaResult {
         order: sel.seeds,
         coverage: sel.covered,
         rr_sets_final: final_sets,
         rr_sets_total: cur as u64,
         budgets_certified,
-    }
+    })
 }
 
 /// Objective-aware [`prima`].
@@ -287,14 +389,6 @@ fn fraction_covered(coll: &mut RrCollection, seeds: &[NodeId]) -> f64 {
         return 0.0;
     }
     coll.estimate_spread(seeds) / coll.num_nodes() as f64
-}
-
-/// `F_R(S)` over the first `num_sets` sets of the arena.
-fn fraction_covered_prefix(coll: &mut RrCollection, seeds: &[NodeId], num_sets: usize) -> f64 {
-    if num_sets == 0 || coll.is_empty() {
-        return 0.0;
-    }
-    coll.estimate_spread_prefix(seeds, num_sets) / coll.num_nodes() as f64
 }
 
 #[cfg(test)]

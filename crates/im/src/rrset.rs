@@ -469,6 +469,92 @@ impl RrCollection {
         self.generated
     }
 
+    /// The diffusion model the standard sampler was bound to.
+    pub fn model(&self) -> DiffusionModel {
+        self.model
+    }
+
+    /// The base seed the standard sampler was bound to.
+    pub fn base_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when the persistent inverted index covers every held set —
+    /// i.e. the read-only query paths
+    /// ([`crate::node_selection_prefix_indexed`],
+    /// [`RrCollection::estimate_spread_prefix_indexed`]) may run.
+    pub fn index_is_current(&self) -> bool {
+        self.index.sets_indexed == self.len()
+            && self.index.start.len() == self.num_nodes as usize + 1
+    }
+
+    /// Heap bytes held by the arena and its index (the eviction-budget
+    /// accounting unit of long-running servers). Capacity, not length:
+    /// reserved-but-unused space is real memory too.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<NodeId>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.index.ids.capacity() * std::mem::size_of::<u32>()
+            + self.index.start.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// The raw arena: CSR offsets and concatenated members, the exact
+    /// state a warm-server spill file needs to persist. Set `i` occupies
+    /// `data[offsets[i]..offsets[i + 1]]`.
+    pub fn arena_parts(&self) -> (&[usize], &[NodeId]) {
+        (&self.offsets, &self.data)
+    }
+
+    /// Rebuilds a warm, extend-only collection from spilled arena parts.
+    ///
+    /// The reconstructed collection behaves exactly like the one that
+    /// was spilled: sampling is a pure function of `(model, seed,
+    /// index)`, so with `generated` restored to the held length, a later
+    /// [`RrCollection::extend_to`] continues the identical sample
+    /// stream. The index is rebuilt lazily on first use.
+    ///
+    /// Validates the CSR invariants (offsets start at 0, are
+    /// non-decreasing, and end at `data.len()`; members in range) so a
+    /// corrupt spill is a typed error, never a panic deep in selection.
+    pub fn from_warm_parts(
+        num_nodes: u32,
+        model: DiffusionModel,
+        seed: u64,
+        offsets: Vec<usize>,
+        data: Vec<NodeId>,
+        total_width: u64,
+    ) -> Result<RrCollection, String> {
+        if offsets.first() != Some(&0) {
+            return Err("offsets must start at 0".to_string());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be non-decreasing".to_string());
+        }
+        if *offsets.last().expect("non-empty checked above") != data.len() {
+            return Err(format!(
+                "final offset {} does not match member count {}",
+                offsets.last().expect("non-empty"),
+                data.len()
+            ));
+        }
+        if data.iter().any(|&v| v >= num_nodes) {
+            return Err(format!("member out of range for n={num_nodes}"));
+        }
+        let generated = (offsets.len() - 1) as u64;
+        Ok(RrCollection {
+            num_nodes,
+            model,
+            seed,
+            offsets,
+            data,
+            total_width,
+            generated,
+            threads: None,
+            index: InvertedIndex::default(),
+            cover_marks: VisitTags::new(0),
+        })
+    }
+
     /// Discards all held sets (the from-scratch regeneration of the
     /// Chen-2018 IMM fix) while retaining the generation counter; the
     /// seed stream continues, so regenerated sets are fresh.
@@ -605,6 +691,12 @@ impl RrCollection {
     /// final arena size — and repeated selections or spread estimates on
     /// an unchanged collection pay nothing.
     ///
+    /// Public because shared-arena holders (the `uic-serve` sharded
+    /// registry) index under their *write* lock so that subsequent
+    /// selections — [`crate::node_selection_prefix_indexed`] and
+    /// [`RrCollection::estimate_spread_prefix_indexed`] — can run under
+    /// a shared *read* lock.
+    ///
     /// The merge is parallelized by **node-range partitioning**: nodes
     /// are split into contiguous ranges balanced by per-range id volume;
     /// because each range's id runs are contiguous in the CSR `ids`
@@ -612,7 +704,7 @@ impl RrCollection {
     /// `split_at_mut`, no atomics) and fills it by scanning the new sets
     /// in id order, keeping only members in its range. The index is
     /// therefore bit-identical across thread counts.
-    pub(crate) fn ensure_index(&mut self) {
+    pub fn ensure_index(&mut self) {
         let n = self.num_nodes as usize;
         if self.index.start.len() != n + 1 {
             self.index.start = vec![0; n + 1];
@@ -783,6 +875,41 @@ impl RrCollection {
             let in_prefix = ids.partition_point(|&id| id < limit);
             for &rid in &ids[..in_prefix] {
                 if self.cover_marks.mark(rid as usize) {
+                    covered += 1;
+                }
+            }
+        }
+        self.num_nodes as f64 * covered as f64 / len as f64
+    }
+
+    /// Read-only [`RrCollection::estimate_spread_prefix`] for shared
+    /// (`&self`) access: identical estimate, but the distinct-set marks
+    /// live in a local scratch instead of the collection's reusable one,
+    /// so any number of readers may estimate concurrently under a shared
+    /// lock. The index must already be current
+    /// ([`RrCollection::ensure_index`] under the holder's write lock).
+    ///
+    /// # Panics
+    /// When the index is stale — a shared-arena holder bug: top-up and
+    /// indexing belong under the write lock.
+    pub fn estimate_spread_prefix_indexed(&self, seeds: &[NodeId], num_sets: usize) -> f64 {
+        let len = num_sets.min(self.len());
+        if len == 0 {
+            return 0.0;
+        }
+        assert!(
+            self.index_is_current(),
+            "estimate_spread_prefix_indexed on a stale index"
+        );
+        let mut marks = VisitTags::new(len);
+        let limit = len as u32;
+        let mut covered = 0u64;
+        for &s in seeds {
+            let v = s as usize;
+            let ids = &self.index.ids[self.index.start[v]..self.index.start[v + 1]];
+            let in_prefix = ids.partition_point(|&id| id < limit);
+            for &rid in &ids[..in_prefix] {
+                if marks.mark(rid as usize) {
                     covered += 1;
                 }
             }

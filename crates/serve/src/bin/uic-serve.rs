@@ -3,11 +3,18 @@
 //! ```text
 //! uic-serve serve   [--addr 127.0.0.1:0] [--network flixster] [--scale 1.0]
 //!                   [--gen-seed 42] [--workers 4] [--queue-cap 64]
-//!                   [--deadline-ms N]
+//!                   [--deadline-ms N] [--arena-budget-mb N]
+//!                   [--spill-path FILE|auto] [--spill-interval-ms 1000]
 //! uic-serve request --addr HOST:PORT <spec text …>
-//! uic-serve load    --addr HOST:PORT [--clients 4] [--requests 16] <spec text …>
+//! uic-serve load    --addr HOST:PORT [--clients 4] [--requests 16]
+//!                   [--retries 2] <spec text …>
 //! uic-serve badframe --addr HOST:PORT
 //! ```
+//!
+//! `--arena-budget-mb` caps resident warm-arena memory (LRU eviction).
+//! `--spill-path` enables crash recovery: warm state is persisted there
+//! periodically and reloaded at startup; `auto` places the file next to
+//! the graph snapshot cache (honoring `UIC_SNAPSHOT_CACHE`).
 //!
 //! `serve` prints `LISTENING <addr>` once ready and blocks until a
 //! client sends `shutdown`, then prints the final metrics dump.
@@ -21,7 +28,7 @@ use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
 use uic_datasets::{named_network, NamedNetwork};
-use uic_serve::{run_load, Client, Response, Server, ServerConfig};
+use uic_serve::{run_load_with, Client, Response, Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -110,6 +117,17 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let which = network_by_name(flag(&flags, "network").unwrap_or("flixster"))?;
     let scale: f64 = flag_parse(&flags, "scale", 1.0)?;
     let gen_seed: u64 = flag_parse(&flags, "gen-seed", 42)?;
+    let spill_path = match flag(&flags, "spill-path") {
+        None => None,
+        Some("auto") => {
+            let dir = uic_datasets::SnapshotCache::from_env()
+                .or_else(|| uic_datasets::SnapshotCache::at_default_location().ok())
+                .map(|c| c.dir().to_path_buf())
+                .ok_or_else(|| "--spill-path auto: no usable cache directory".to_string())?;
+            Some(dir.join(format!("warm-{}-s{scale}-g{gen_seed}.spill", which.name())))
+        }
+        Some(path) => Some(std::path::PathBuf::from(path)),
+    };
     let cfg = ServerConfig {
         addr: flag(&flags, "addr").unwrap_or("127.0.0.1:0").to_string(),
         workers: flag_parse(&flags, "workers", 4)?,
@@ -120,6 +138,15 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                     .map_err(|_| format!("--deadline-ms {v}: not a u64"))
             })
             .transpose()?,
+        arena_budget_bytes: flag(&flags, "arena-budget-mb")
+            .map(|v| {
+                v.parse::<usize>()
+                    .map(|mb| mb << 20)
+                    .map_err(|_| format!("--arena-budget-mb {v}: not a usize"))
+            })
+            .transpose()?,
+        spill_path,
+        spill_interval_ms: flag_parse(&flags, "spill-interval-ms", 1000)?,
     };
     eprintln!(
         "loading {} at scale {scale} (gen seed {gen_seed}; honors {})…",
@@ -171,12 +198,14 @@ fn cmd_load(args: &[String]) -> Result<ExitCode, String> {
     let addr = addr_of(&flags)?;
     let clients: usize = flag_parse(&flags, "clients", 4)?;
     let requests: usize = flag_parse(&flags, "requests", 16)?;
+    let mut policy = uic_serve::RetryPolicy::default();
+    policy.max_retries = flag_parse(&flags, "retries", policy.max_retries)?;
     if positional.is_empty() {
         return Err("load needs spec text, e.g. `warm-grd budgets=3,2 seed=7`".to_string());
     }
     let text = positional.join(" ");
-    let report =
-        run_load(addr.as_str(), &text, clients, requests).map_err(|e| format!("load: {e}"))?;
+    let report = run_load_with(addr.as_str(), &text, clients, requests, &policy)
+        .map_err(|e| format!("load: {e}"))?;
     println!("{}", report.to_json());
     Ok(ExitCode::SUCCESS)
 }

@@ -1,5 +1,23 @@
-//! A minimal blocking client plus the multi-client load driver the
-//! serving benchmark (`BENCH_serve.json`) is measured with.
+//! A blocking client with socket deadlines, typed errors, and a
+//! capped-exponential-backoff retry policy, plus the multi-client load
+//! driver the serving benchmark (`BENCH_serve.json`) is measured with.
+//!
+//! ## Retry semantics (at-most-once)
+//!
+//! A retry is only safe when the server provably did **not** process
+//! the request. Two cases qualify:
+//!
+//! * the TCP connect itself failed — nothing was ever sent;
+//! * the server answered `overloaded` — the admission layer refused
+//!   the connection before any request was read.
+//!
+//! Everything else — a timeout or transport failure *after* a request
+//! frame went out, or any other typed error — is **never** retried:
+//! the request may have executed, and replaying it could double work
+//! (harmless for these idempotent solves, but the client must not
+//! train callers to assume that). Backoff between attempts is capped
+//! exponential with deterministic jitter, so a thundering herd against
+//! a recovering server fans out reproducibly.
 
 use crate::frame::{read_frame, write_frame, FrameError, KIND_ERR, KIND_OK, KIND_REQ};
 use std::io;
@@ -27,7 +45,96 @@ impl Response {
     pub fn is_ok(&self) -> bool {
         matches!(self, Response::Ok(_))
     }
+
+    /// True when this is the admission layer's `overloaded` refusal —
+    /// the one error frame that guarantees the request was not
+    /// processed (and is therefore safe to retry).
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, Response::Err(p) if p.contains(r#""code":"overloaded""#))
+    }
 }
+
+/// Why a client call failed, split by what the caller may do about it.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP connect failed; nothing was sent, retrying is safe.
+    Connect(io::Error),
+    /// A socket deadline (read or write) expired. If a request frame
+    /// was already sent its outcome is unknown — do not retry.
+    Timeout,
+    /// The transport failed mid-exchange (reset, torn frame, EOF).
+    Io(io::Error),
+    /// The server violated the frame protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Timeout => write!(f, "socket deadline expired"),
+            ClientError::Io(e) => write!(f, "transport failed: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+fn is_timeout_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// When to give up and how to back off between safe retries.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries beyond the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `base · 2^(k-1)` (capped), half of
+    /// it deterministic jitter.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Jitter seed: same seed + same attempt stream → same sleeps, so
+    /// load runs are replayable.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (1-based) of the given attempt
+    /// `stream` (e.g. a client/request index): capped exponential, the
+    /// top half replaced by deterministic jitter.
+    pub fn backoff(&self, stream: u64, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20))
+            .min(self.max_backoff);
+        let half = exp / 2;
+        let mix = uic_util::split_seed(self.seed ^ stream, attempt as u64);
+        // Fraction in [0, 1) from the top 53 bits.
+        let frac = (mix >> 11) as f64 / (1u64 << 53) as f64;
+        half + Duration::from_secs_f64(half.as_secs_f64() * frac)
+    }
+}
+
+/// The default socket deadline on reads and writes: generous enough
+/// for any legitimate solve, finite so a wedged server cannot hang a
+/// client forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// A blocking client over one connection. Requests are answered in
 /// order; the connection can carry any number of them.
@@ -36,32 +143,45 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects with the [`DEFAULT_IO_TIMEOUT`] socket deadlines.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_timeout(addr, DEFAULT_IO_TIMEOUT)
+    }
+
+    /// Connects with explicit read/write socket deadlines, so a stalled
+    /// or wedged server surfaces as [`ClientError::Timeout`] instead of
+    /// a forever-blocked thread.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, io_timeout: Duration) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        // Generous guard so a wedged server cannot hang the client
-        // forever; per-request deadlines belong in the request itself.
-        stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
         Ok(Client { stream })
     }
 
     /// Sends one request line and reads its response frame.
-    pub fn request(&mut self, text: &str) -> io::Result<Response> {
-        write_frame(&mut self.stream, KIND_REQ, text.as_bytes())?;
+    pub fn request(&mut self, text: &str) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, KIND_REQ, text.as_bytes()).map_err(|e| {
+            if is_timeout_io(&e) {
+                ClientError::Timeout
+            } else {
+                ClientError::Io(e)
+            }
+        })?;
         match read_frame(&mut self.stream) {
             Ok(Some(f)) if f.kind == KIND_OK => Ok(Response::Ok(lossy(f.payload))),
             Ok(Some(f)) if f.kind == KIND_ERR => Ok(Response::Err(lossy(f.payload))),
-            Ok(Some(f)) => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("server sent unexpected frame kind {}", f.kind),
-            )),
-            Ok(None) => Err(io::Error::new(
+            Ok(Some(f)) => Err(ClientError::Protocol(format!(
+                "server sent unexpected frame kind {}",
+                f.kind
+            ))),
+            Ok(None) => Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection before answering",
-            )),
-            Err(FrameError::Io(e)) => Err(e),
-            Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            ))),
+            Err(FrameError::Io(e)) if is_timeout_io(&e) => Err(ClientError::Timeout),
+            Err(FrameError::Io(e)) => Err(ClientError::Io(e)),
+            Err(e) => Err(ClientError::Protocol(e.to_string())),
         }
     }
 }
@@ -70,17 +190,37 @@ fn lossy(payload: Vec<u8>) -> String {
     String::from_utf8_lossy(&payload).into_owned()
 }
 
+/// How one logical request (attempt + safe retries) concluded.
+#[derive(Debug)]
+enum Attempt {
+    /// A response arrived (OK or a non-retryable typed error).
+    Answered(Response),
+    /// Connect failures / `overloaded` refusals exhausted the policy.
+    GaveUp,
+    /// A non-retryable transport failure after the frame was sent.
+    Broken,
+}
+
 /// What [`run_load`] measured.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
     /// Concurrent client connections.
     pub clients: usize,
-    /// Requests attempted in total.
+    /// Logical requests attempted in total.
     pub requests: usize,
     /// Requests answered with an OK frame.
     pub ok: usize,
-    /// Requests answered with an error frame or a transport failure.
+    /// Requests whose final outcome was an error frame or a transport
+    /// failure (includes `failed`; excludes refusals that a retry then
+    /// turned into success).
     pub errors: usize,
+    /// `overloaded` refusals observed (each may have been retried).
+    pub refused: usize,
+    /// Retry attempts made (connect failures + refusals).
+    pub retried: usize,
+    /// Logical requests that exhausted retries or hit a non-retryable
+    /// transport failure.
+    pub failed: usize,
     /// Wall-clock for the whole run.
     pub elapsed: Duration,
     /// Sustained throughput: `requests / elapsed`.
@@ -106,6 +246,12 @@ impl LoadReport {
         w.u64(self.ok as u64);
         w.key("errors");
         w.u64(self.errors as u64);
+        w.key("refused");
+        w.u64(self.refused as u64);
+        w.key("retried");
+        w.u64(self.retried as u64);
+        w.key("failed");
+        w.u64(self.failed as u64);
         w.key("elapsed_ms");
         w.f64(self.elapsed.as_secs_f64() * 1e3);
         w.key("qps");
@@ -121,52 +267,67 @@ impl LoadReport {
     }
 }
 
-/// Drives `clients` concurrent connections, each sending `per_client`
-/// copies of `request_text` back-to-back, and reports sustained qps and
-/// latency percentiles (nearest-rank over all requests).
+/// Per-thread tallies flowing back to the report.
+#[derive(Debug, Default)]
+struct ThreadTally {
+    ok: usize,
+    refused: usize,
+    retried: usize,
+    failed: usize,
+    lat: Vec<u64>,
+}
+
+/// [`run_load`] with the default [`RetryPolicy`].
 pub fn run_load(
     addr: impl ToSocketAddrs + Clone + Send + Sync,
     request_text: &str,
     clients: usize,
     per_client: usize,
 ) -> io::Result<LoadReport> {
+    run_load_with(
+        addr,
+        request_text,
+        clients,
+        per_client,
+        &RetryPolicy::default(),
+    )
+}
+
+/// Drives `clients` concurrent connections, each sending `per_client`
+/// copies of `request_text` back-to-back under `policy`, and reports
+/// sustained qps, latency percentiles (nearest-rank over all logical
+/// requests), and the refused / retried / failed split.
+pub fn run_load_with(
+    addr: impl ToSocketAddrs + Clone + Send + Sync,
+    request_text: &str,
+    clients: usize,
+    per_client: usize,
+    policy: &RetryPolicy,
+) -> io::Result<LoadReport> {
     let clients = clients.max(1);
     let per_client = per_client.max(1);
     let t0 = Instant::now();
-    let mut per_thread: Vec<(usize, Vec<u64>)> = Vec::with_capacity(clients);
+    let mut per_thread: Vec<ThreadTally> = Vec::with_capacity(clients);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
-            .map(|_| {
+            .map(|client_idx| {
                 let addr = addr.clone();
-                scope.spawn(move || -> (usize, Vec<u64>) {
-                    let mut ok = 0usize;
-                    let mut lat = Vec::with_capacity(per_client);
-                    let Ok(mut client) = Client::connect(addr) else {
-                        return (0, lat);
-                    };
-                    for _ in 0..per_client {
-                        let t = Instant::now();
-                        match client.request(request_text) {
-                            Ok(r) if r.is_ok() => {
-                                lat.push(t.elapsed().as_micros() as u64);
-                                ok += 1;
-                            }
-                            Ok(_) => lat.push(t.elapsed().as_micros() as u64),
-                            Err(_) => break,
-                        }
-                    }
-                    (ok, lat)
+                scope.spawn(move || {
+                    drive_one_client(addr, request_text, per_client, policy, client_idx)
                 })
             })
             .collect();
         for h in handles {
-            per_thread.push(h.join().unwrap_or((0, Vec::new())));
+            per_thread.push(h.join().unwrap_or_default());
         }
     });
     let elapsed = t0.elapsed();
     let requests = clients * per_client;
-    let ok: usize = per_thread.iter().map(|(ok, _)| ok).sum();
-    let mut lat: Vec<u64> = per_thread.into_iter().flat_map(|(_, l)| l).collect();
+    let ok: usize = per_thread.iter().map(|t| t.ok).sum();
+    let refused: usize = per_thread.iter().map(|t| t.refused).sum();
+    let retried: usize = per_thread.iter().map(|t| t.retried).sum();
+    let failed: usize = per_thread.iter().map(|t| t.failed).sum();
+    let mut lat: Vec<u64> = per_thread.into_iter().flat_map(|t| t.lat).collect();
     lat.sort_unstable();
     let pct = |p: f64| -> u64 {
         if lat.is_empty() {
@@ -180,10 +341,170 @@ pub fn run_load(
         requests,
         ok,
         errors: requests - ok,
+        refused,
+        retried,
+        failed,
         elapsed,
         qps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
         p50_us: pct(0.50),
         p90_us: pct(0.90),
         p99_us: pct(0.99),
     })
+}
+
+fn drive_one_client(
+    addr: impl ToSocketAddrs + Clone,
+    request_text: &str,
+    per_client: usize,
+    policy: &RetryPolicy,
+    client_idx: usize,
+) -> ThreadTally {
+    let mut tally = ThreadTally::default();
+    let mut conn: Option<Client> = None;
+    for req_idx in 0..per_client {
+        let stream = ((client_idx as u64) << 32) | req_idx as u64;
+        let t = Instant::now();
+        let outcome = one_request(&addr, request_text, policy, stream, &mut conn, &mut tally);
+        tally.lat.push(t.elapsed().as_micros() as u64);
+        match outcome {
+            Attempt::Answered(r) if r.is_ok() => tally.ok += 1,
+            Attempt::Answered(_) => {}
+            Attempt::GaveUp | Attempt::Broken => tally.failed += 1,
+        }
+    }
+    tally
+}
+
+/// One logical request: connect (if needed) and send, with safe retries
+/// under `policy`. The connection is kept for the next request on
+/// success and dropped on refusal (the server closes refused
+/// connections) or transport failure.
+fn one_request(
+    addr: &(impl ToSocketAddrs + Clone),
+    request_text: &str,
+    policy: &RetryPolicy,
+    stream: u64,
+    conn: &mut Option<Client>,
+    tally: &mut ThreadTally,
+) -> Attempt {
+    let mut attempt = 0u32;
+    loop {
+        let mut retry = |tally: &mut ThreadTally| -> bool {
+            if attempt >= policy.max_retries {
+                return false;
+            }
+            attempt += 1;
+            tally.retried += 1;
+            std::thread::sleep(policy.backoff(stream, attempt));
+            true
+        };
+        if conn.is_none() {
+            match Client::connect(addr.clone()) {
+                Ok(c) => *conn = Some(c),
+                Err(_) => {
+                    if retry(tally) {
+                        continue;
+                    }
+                    return Attempt::GaveUp;
+                }
+            }
+        }
+        match conn
+            .as_mut()
+            .expect("connected above")
+            .request(request_text)
+        {
+            Ok(r) if r.is_overloaded() => {
+                // The admission layer refused before reading anything;
+                // it also closed the connection. Safe to retry.
+                tally.refused += 1;
+                *conn = None;
+                if retry(tally) {
+                    continue;
+                }
+                return Attempt::GaveUp;
+            }
+            Ok(r) => return Attempt::Answered(r),
+            Err(_) => {
+                // The frame went out and the exchange then failed:
+                // outcome unknown, never retried (at-most-once).
+                *conn = None;
+                return Attempt::Broken;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential_and_deterministic() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            seed: 42,
+        };
+        for attempt in 1..=8u32 {
+            let b = p.backoff(3, attempt);
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << (attempt - 1))
+                .min(Duration::from_millis(100));
+            assert!(b >= exp / 2 && b <= exp, "attempt {attempt}: {b:?}");
+            assert_eq!(b, p.backoff(3, attempt), "jitter must be deterministic");
+        }
+        // Distinct streams see distinct jitter.
+        assert_ne!(p.backoff(1, 4), p.backoff(2, 4));
+        // Attempts far beyond the cap stay at the cap.
+        assert!(p.backoff(0, 31) <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn overloaded_refusals_are_recognized() {
+        let refused = Response::Err(
+            r#"{"code":"overloaded","message":"admission queue full (64 queued, 0 idle workers)"}"#
+                .to_string(),
+        );
+        assert!(refused.is_overloaded());
+        for other in [
+            Response::Ok(r#"{"result":{}}"#.to_string()),
+            Response::Err(r#"{"code":"deadline","message":"expired"}"#.to_string()),
+            Response::Err(r#"{"code":"shutting-down","message":"draining"}"#.to_string()),
+        ] {
+            assert!(!other.is_overloaded(), "{other:?}");
+        }
+    }
+
+    #[test]
+    fn connect_failures_are_retried_then_reported() {
+        // A port nothing listens on: every connect fails, so the
+        // request gives up after max_retries backoffs.
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            seed: 7,
+        };
+        let report =
+            run_load_with("127.0.0.1:1", "ping", 2, 2, &policy).expect("driver itself succeeds");
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.failed, 4, "every logical request gave up");
+        assert_eq!(report.errors, 4);
+        assert_eq!(report.retried, 8, "2 clients × 2 requests × 2 retries each");
+        assert_eq!(report.refused, 0);
+    }
+
+    #[test]
+    fn timeouts_surface_as_typed_errors() {
+        // A listener that accepts and then never answers.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let keep = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut c = Client::connect_timeout(addr, Duration::from_millis(50)).unwrap();
+        let err = c.request("ping").unwrap_err();
+        assert!(matches!(err, ClientError::Timeout), "{err}");
+        drop(keep.join());
+    }
 }

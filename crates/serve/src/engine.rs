@@ -11,28 +11,23 @@
 //! (the `warm-grd` registry allocator): the server may cache samples,
 //! but it may not change answers.
 //!
-//! Selection runs under the arena's lock; welfare scoring (the
-//! embarrassingly parallel part) runs after the lock is dropped, via
-//! [`uic_core::score_report`] — the same completion step
-//! `Allocator::solve` uses, which is what makes the server path
-//! reproducible offline.
+//! Selection runs under the arena's *read* lock (concurrent queries on
+//! one arena proceed in parallel); only top-up takes the write lock —
+//! see [`crate::shard`] for the registry, eviction, and panic-healing
+//! design. Welfare scoring (the embarrassingly parallel part) runs
+//! after all locks are dropped, via [`uic_core::score_report`] — the
+//! same completion step `Allocator::solve` uses, which is what makes
+//! the server path reproducible offline.
 
+use crate::metrics::ServerMetrics;
 use crate::request::{ErrorCode, ServeError, SolveRequest};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use crate::shard::ArenaRegistry;
+use std::sync::Arc;
 use std::time::Instant;
 use uic_core::{score_report, Allocator, RegistryError, SolveCtx, WarmGrd, WelMax};
 use uic_datasets::TwoItemConfig;
 use uic_diffusion::SolveReport;
 use uic_graph::Graph;
-use uic_im::{DiffusionModel, RrCollection};
-
-fn model_key(model: DiffusionModel) -> u8 {
-    match model {
-        DiffusionModel::IC => 0,
-        DiffusionModel::LT => 1,
-    }
-}
 
 /// What a successful solve hands back to the connection handler.
 #[derive(Debug, Clone)]
@@ -47,23 +42,29 @@ pub struct SolveOutcome {
     pub arena_sets: u64,
 }
 
-/// One warm arena, shared between the registry map and the worker
-/// currently solving on it.
-type SharedArena = Arc<Mutex<RrCollection>>;
-
 /// The resident state answering queries: the graph (loaded once,
-/// shared) and the warm arenas keyed by `(model, seed)`.
+/// shared), the sharded warm-arena registry, and the metrics the
+/// registry publishes into (shared with the [`Server`](crate::Server)).
 pub struct Engine {
     graph: Arc<Graph>,
-    arenas: Mutex<HashMap<(u8, u64), SharedArena>>,
+    arenas: ArenaRegistry,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl Engine {
-    /// An engine over a loaded graph.
+    /// An engine over a loaded graph, with unbounded arena memory.
     pub fn new(graph: Arc<Graph>) -> Engine {
+        Engine::with_limits(graph, None)
+    }
+
+    /// An engine whose resident warm arenas are capped at
+    /// `arena_budget_bytes` (LRU eviction; `None` disables the cap).
+    pub fn with_limits(graph: Arc<Graph>, arena_budget_bytes: Option<usize>) -> Engine {
+        let metrics = Arc::new(ServerMetrics::new());
         Engine {
             graph,
-            arenas: Mutex::new(HashMap::new()),
+            arenas: ArenaRegistry::new(arena_budget_bytes, Arc::clone(&metrics)),
+            metrics,
         }
     }
 
@@ -72,21 +73,19 @@ impl Engine {
         &self.graph
     }
 
-    /// Total RR sets resident across all warm arenas.
-    pub fn arena_sets_total(&self) -> u64 {
-        let arenas = self.arenas.lock().expect("arena registry lock");
-        arenas
-            .values()
-            .map(|a| a.lock().map(|c| c.len() as u64).unwrap_or(0))
-            .sum()
+    /// The metrics registry this engine (and its server) publish into.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
     }
 
-    fn arena(&self, model: DiffusionModel, seed: u64) -> SharedArena {
-        let mut arenas = self.arenas.lock().expect("arena registry lock");
-        arenas
-            .entry((model_key(model), seed))
-            .or_insert_with(|| Arc::new(Mutex::new(RrCollection::new(&self.graph, model, seed))))
-            .clone()
+    /// The warm-arena registry (spill capture / warm reload).
+    pub fn arenas(&self) -> &ArenaRegistry {
+        &self.arenas
+    }
+
+    /// Total RR sets resident across all warm arenas.
+    pub fn arena_sets_total(&self) -> u64 {
+        self.arenas.sets_total()
     }
 
     /// Answers one solve request. `deadline` (if any) is checked at the
@@ -126,17 +125,14 @@ impl Engine {
         let (mut report, rr_topup, arena_sets) = if req.spec.name == WARM_SOLVER {
             let warm = WarmGrd::from_spec(&req.spec.params)
                 .map_err(|e| ServeError::new(ErrorCode::BadSpec, e.to_string()))?;
-            let arena = self.arena(warm.model, req.seed);
-            let mut coll = arena.lock().map_err(|_| {
-                ServeError::new(
-                    ErrorCode::Internal,
-                    "warm arena poisoned by an earlier panic",
-                )
-            })?;
-            let before = coll.total_generated();
-            let report = warm.run_on(&inst, &ctx, &mut coll);
-            let topup = coll.total_generated() - before;
-            let sets = coll.len() as u64;
+            // Selection rides the arena's read lock; only top-up takes
+            // the write lock (see [`crate::shard`]). Answers stay
+            // bit-identical to an exclusive-arena run because every
+            // read is prefix-restricted.
+            let handle = self.arenas.checkout(&self.graph, warm.model, req.seed);
+            let report = warm.run_shared(&inst, &ctx, &handle)?;
+            let topup = handle.topup();
+            let sets = handle.resident_sets();
             (report, topup, sets)
         } else {
             let report = solver.run(&inst, &ctx);

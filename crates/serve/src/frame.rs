@@ -70,6 +70,10 @@ pub struct Frame {
 
 /// Writes one frame (header + payload) and flushes.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    uic_util::fail_point!("serve.frame.write", || Err(std::io::Error::new(
+        ErrorKind::BrokenPipe,
+        "injected fault: frame write (failpoint `serve.frame.write`)",
+    )));
     debug_assert!(payload.len() <= MAX_FRAME_LEN);
     let mut header = [0u8; 5];
     header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -112,6 +116,12 @@ pub fn is_idle_timeout(err: &FrameError) -> bool {
 /// `MAX_MID_FRAME_STALLS` times (the frame is already in flight) and
 /// only then reported as an error.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
+    uic_util::fail_point!("serve.frame.read", || Err(FrameError::Io(
+        std::io::Error::new(
+            ErrorKind::ConnectionReset,
+            "injected fault: frame read (failpoint `serve.frame.read`)",
+        )
+    )));
     let mut header = [0u8; 5];
     let mut filled = 0;
     let mut stalls = 0u32;

@@ -33,8 +33,13 @@ pub mod frame;
 pub mod metrics;
 pub mod request;
 pub mod server;
+pub mod shard;
+pub mod spill;
 
-pub use client::{run_load, Client, LoadReport, Response};
+pub use client::{
+    run_load, run_load_with, Client, ClientError, LoadReport, Response, RetryPolicy,
+    DEFAULT_IO_TIMEOUT,
+};
 pub use engine::{report_json, Engine, SolveOutcome, WARM_SOLVER};
 pub use frame::{
     read_frame, write_frame, Frame, FrameError, KIND_ERR, KIND_OK, KIND_REQ, MAX_FRAME_LEN,
@@ -45,3 +50,4 @@ pub use request::{
     MAX_SERVE_SIMS, MIN_SERVE_EPS,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use shard::{ArenaHandle, ArenaKey, ArenaRegistry};

@@ -2,14 +2,15 @@
 //! updated lock-free on the request path and dumpable on demand (the
 //! `metrics` admin verb) as one JSON object.
 
-use uic_util::{Counter, JsonWriter, LatencyRing};
+use uic_util::{Counter, Gauge, JsonWriter, LatencyRing};
 
 /// How many recent request latencies the rings retain.
 const LATENCY_WINDOW: usize = 4096;
 
-/// All serving metrics. One instance lives for the server's lifetime;
-/// every field is updated with relaxed atomics so the hot path never
-/// takes a lock.
+/// All serving metrics. One instance lives for the server's lifetime
+/// (shared between the engine's arena registry and the connection
+/// handlers); every field is updated with relaxed atomics so the hot
+/// path never takes a lock.
 #[derive(Debug)]
 pub struct ServerMetrics {
     /// Requests that reached the handler (any kind, any outcome).
@@ -26,8 +27,24 @@ pub struct ServerMetrics {
     pub bad_frame_total: Counter,
     /// RR sets appended to warm arenas by top-up (never regeneration).
     pub rr_topup_total: Counter,
+    /// Warm arenas evicted by the byte-budget LRU policy.
+    pub evictions_total: Counter,
+    /// Warm arenas re-created for a key that was evicted earlier (the
+    /// rebuild cost of the eviction policy, made visible).
+    pub rebuilds_total: Counter,
+    /// Successful warm-state spills to disk.
+    pub spills_total: Counter,
+    /// Arenas restored warm from a spill file at startup.
+    pub warm_reloaded_arenas: Counter,
+    /// Bytes currently resident across all warm arenas (level).
+    pub arena_bytes: Gauge,
+    /// Warm arenas currently resident (level).
+    pub arenas_resident: Gauge,
     /// End-to-end solve latencies (µs), most recent window.
     pub solve_latency_us: LatencyRing,
+    /// Arena lock acquisition waits (µs; read and write), most recent
+    /// window — the contention observable of the sharded registry.
+    pub lock_wait_us: LatencyRing,
 }
 
 impl Default for ServerMetrics {
@@ -47,12 +64,19 @@ impl ServerMetrics {
             overloaded_total: Counter::new(),
             bad_frame_total: Counter::new(),
             rr_topup_total: Counter::new(),
+            evictions_total: Counter::new(),
+            rebuilds_total: Counter::new(),
+            spills_total: Counter::new(),
+            warm_reloaded_arenas: Counter::new(),
+            arena_bytes: Gauge::new(),
+            arenas_resident: Gauge::new(),
             solve_latency_us: LatencyRing::new(LATENCY_WINDOW),
+            lock_wait_us: LatencyRing::new(LATENCY_WINDOW),
         }
     }
 
     /// The metrics dump: counters plus p50/p90/p99 over the retained
-    /// latency window (`null` before the first solve).
+    /// latency windows (`null` before the first sample).
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
@@ -70,25 +94,42 @@ impl ServerMetrics {
         w.u64(self.bad_frame_total.get());
         w.key("rr_topup_total");
         w.u64(self.rr_topup_total.get());
-        w.key("solve_latency_us");
-        let ps = self.solve_latency_us.percentiles(&[0.5, 0.9, 0.99]);
-        w.begin_object();
-        w.key("count");
-        w.u64(self.solve_latency_us.count() as u64);
-        for (name, v) in ["p50", "p90", "p99"].iter().zip(&ps) {
-            w.key(name);
-            w.u64(*v);
-        }
-        if ps.is_empty() {
-            for name in ["p50", "p90", "p99"] {
-                w.key(name);
-                w.null();
-            }
-        }
-        w.end_object();
+        w.key("evictions_total");
+        w.u64(self.evictions_total.get());
+        w.key("rebuilds_total");
+        w.u64(self.rebuilds_total.get());
+        w.key("spills_total");
+        w.u64(self.spills_total.get());
+        w.key("warm_reloaded_arenas");
+        w.u64(self.warm_reloaded_arenas.get());
+        w.key("arena_bytes");
+        w.u64(self.arena_bytes.get());
+        w.key("arenas_resident");
+        w.u64(self.arenas_resident.get());
+        ring_json(&mut w, "solve_latency_us", &self.solve_latency_us);
+        ring_json(&mut w, "lock_wait_us", &self.lock_wait_us);
         w.end_object();
         w.finish()
     }
+}
+
+fn ring_json(w: &mut JsonWriter, name: &str, ring: &LatencyRing) {
+    w.key(name);
+    let ps = ring.percentiles(&[0.5, 0.9, 0.99]);
+    w.begin_object();
+    w.key("count");
+    w.u64(ring.count() as u64);
+    for (name, v) in ["p50", "p90", "p99"].iter().zip(&ps) {
+        w.key(name);
+        w.u64(*v);
+    }
+    if ps.is_empty() {
+        for name in ["p50", "p90", "p99"] {
+            w.key(name);
+            w.null();
+        }
+    }
+    w.end_object();
 }
 
 #[cfg(test)]
@@ -102,15 +143,28 @@ mod tests {
         m.ok_total.add(4);
         m.err_total.inc();
         m.rr_topup_total.add(1234);
+        m.evictions_total.add(2);
+        m.rebuilds_total.inc();
+        m.arena_bytes.set(1 << 20);
+        m.arenas_resident.set(3);
         for us in [100u64, 200, 300, 400] {
             m.solve_latency_us.record(us);
         }
+        m.lock_wait_us.record(17);
         let json = m.to_json();
         assert!(json.contains(r#""requests_total":5"#), "{json}");
         assert!(json.contains(r#""rr_topup_total":1234"#), "{json}");
+        assert!(json.contains(r#""evictions_total":2"#), "{json}");
+        assert!(json.contains(r#""rebuilds_total":1"#), "{json}");
+        assert!(json.contains(r#""arena_bytes":1048576"#), "{json}");
+        assert!(json.contains(r#""arenas_resident":3"#), "{json}");
         assert!(json.contains(r#""count":4"#), "{json}");
         assert!(json.contains(r#""p50":200"#), "{json}");
         assert!(json.contains(r#""p99":400"#), "{json}");
+        assert!(
+            json.contains(r#""lock_wait_us":{"count":1,"p50":17"#),
+            "{json}"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::request::{parse_request, ErrorCode, Request, ServeError};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -56,6 +57,13 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Deadline applied to solve requests that carry none themselves.
     pub default_deadline_ms: Option<u64>,
+    /// Resident warm-arena byte cap (LRU eviction); `None` = unbounded.
+    pub arena_budget_bytes: Option<usize>,
+    /// Warm-state spill file (crash recovery); `None` disables both the
+    /// periodic spill and the warm reload at startup.
+    pub spill_path: Option<PathBuf>,
+    /// How often the spill thread persists changed warm state.
+    pub spill_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +73,9 @@ impl Default for ServerConfig {
             workers: 4,
             queue_cap: 64,
             default_deadline_ms: None,
+            arena_budget_bytes: None,
+            spill_path: None,
+            spill_interval_ms: 1000,
         }
     }
 }
@@ -76,7 +87,9 @@ struct Queue {
 
 struct Shared {
     engine: Engine,
-    metrics: ServerMetrics,
+    /// The engine's registry, shared so arena bookkeeping (eviction,
+    /// lock waits) and request accounting land in one dump.
+    metrics: Arc<ServerMetrics>,
     state: AtomicU8,
     queue: Mutex<Queue>,
     cv: Condvar,
@@ -112,9 +125,21 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let engine = Engine::with_limits(graph, cfg.arena_budget_bytes);
+        // Warm reload: a readable, checksummed spill restores the
+        // arenas; any defect (missing, torn, corrupt, foreign graph)
+        // means a cold start — never a refusal to serve.
+        if let Some(path) = &cfg.spill_path {
+            match crate::spill::load(&engine, path) {
+                Ok(n) if n > 0 => eprintln!("uic-serve: restored {n} warm arena(s) from spill"),
+                Ok(_) => {}
+                Err(e) => eprintln!("uic-serve: starting cold ({e})"),
+            }
+        }
+        let metrics = Arc::clone(engine.metrics());
         let shared = Arc::new(Shared {
-            engine: Engine::new(graph),
-            metrics: ServerMetrics::new(),
+            engine,
+            metrics,
             state: AtomicU8::new(STATE_RUNNING),
             queue: Mutex::new(Queue {
                 conns: VecDeque::new(),
@@ -123,7 +148,7 @@ impl Server {
             cv: Condvar::new(),
             default_deadline_ms: cfg.default_deadline_ms,
         });
-        let mut threads = Vec::with_capacity(cfg.workers + 1);
+        let mut threads = Vec::with_capacity(cfg.workers + 2);
         {
             let shared = shared.clone();
             threads.push(
@@ -138,6 +163,15 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("uic-serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        if let Some(path) = cfg.spill_path.clone() {
+            let shared = shared.clone();
+            let interval = Duration::from_millis(cfg.spill_interval_ms.max(10));
+            threads.push(
+                std::thread::Builder::new()
+                    .name("uic-serve-spill".into())
+                    .spawn(move || spill_loop(&shared, &path, interval))?,
             );
         }
         Ok(ServerHandle {
@@ -184,6 +218,33 @@ impl ServerHandle {
             let _ = t.join();
         }
         self.shared.metrics.to_json()
+    }
+}
+
+/// Periodically persists warm state whenever the resident set count has
+/// changed, and takes one final spill when the server drains — so a
+/// clean restart (and any crash after the last interval) reloads warm.
+fn spill_loop(shared: &Shared, path: &std::path::Path, interval: Duration) {
+    let mut last_spill = Instant::now();
+    let mut spilled_sets: Option<u64> = None;
+    loop {
+        if shared.draining() {
+            if let Err(e) = crate::spill::save(&shared.engine, path) {
+                eprintln!("uic-serve: final spill failed: {e}");
+            }
+            return;
+        }
+        if last_spill.elapsed() >= interval {
+            let sets = shared.engine.arena_sets_total();
+            if spilled_sets != Some(sets) {
+                match crate::spill::save(&shared.engine, path) {
+                    Ok(_) => spilled_sets = Some(sets),
+                    Err(e) => eprintln!("uic-serve: spill failed: {e}"),
+                }
+            }
+            last_spill = Instant::now();
+        }
+        std::thread::sleep(POLL);
     }
 }
 
@@ -311,16 +372,22 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         let request = match parse_request(&frame.payload) {
             Ok(r) => r,
             Err(err) => {
-                send_error(&mut stream, shared, &err);
+                if !send_error(&mut stream, shared, &err) {
+                    return;
+                }
                 continue;
             }
         };
         match request {
             Request::Ping => {
-                let _ = write_frame(&mut stream, KIND_OK, b"{\"pong\":true}");
+                if write_frame(&mut stream, KIND_OK, b"{\"pong\":true}").is_err() {
+                    return;
+                }
             }
             Request::Metrics => {
-                let _ = write_frame(&mut stream, KIND_OK, shared.metrics.to_json().as_bytes());
+                if write_frame(&mut stream, KIND_OK, shared.metrics.to_json().as_bytes()).is_err() {
+                    return;
+                }
             }
             Request::Shutdown => {
                 shared.start_drain();
@@ -347,6 +414,10 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 // request can at worst poison its own arena, not the
                 // whole worker.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // Chaos hook at the dispatch boundary: a `panic`
+                    // rule exercises the catch_unwind containment, a
+                    // `delay` rule simulates a slow solver.
+                    uic_util::fail_point!("serve.dispatch");
                     shared.engine.solve(&req, deadline)
                 }))
                 .unwrap_or_else(|_| {
@@ -377,21 +448,30 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                         w.u64(out.arena_sets);
                         w.end_object();
                         w.end_object();
-                        let _ = write_frame(&mut stream, KIND_OK, w.finish().as_bytes());
+                        if write_frame(&mut stream, KIND_OK, w.finish().as_bytes()).is_err() {
+                            return;
+                        }
                     }
-                    Err(err) => send_error(&mut stream, shared, &err),
+                    Err(err) => {
+                        if !send_error(&mut stream, shared, &err) {
+                            return;
+                        }
+                    }
                 }
             }
         }
     }
 }
 
-fn send_error(stream: &mut TcpStream, shared: &Shared, err: &ServeError) {
+/// Writes one error frame. Returns false when the write itself failed —
+/// the peer may be desynchronized, so the caller must close the
+/// connection rather than serve further frames on it.
+fn send_error(stream: &mut TcpStream, shared: &Shared, err: &ServeError) -> bool {
     shared.metrics.err_total.inc();
     match err.code {
         ErrorCode::Deadline => shared.metrics.deadline_total.inc(),
         ErrorCode::BadFrame => shared.metrics.bad_frame_total.inc(),
         _ => {}
     }
-    let _ = write_frame(stream, KIND_ERR, err.to_json().as_bytes());
+    write_frame(stream, KIND_ERR, err.to_json().as_bytes()).is_ok()
 }

@@ -1,0 +1,434 @@
+//! Chaos end-to-end tests: the serving stack under injected faults
+//! (`--features failpoints`), byte-budget eviction churn, and
+//! kill-and-restart warm recovery.
+//!
+//! The invariant every test asserts: **no fault changes an answer**.
+//! Successful responses remain bit-identical to offline `warm-grd`
+//! runs of the same spec + seed; faults only ever surface as typed
+//! errors, dropped connections, or rebuilt state.
+#![cfg(feature = "failpoints")]
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+use uic_core::{Allocator, SolveCtx, WelMax};
+use uic_datasets::TwoItemConfig;
+use uic_graph::{Graph, GraphBuilder, Weighting};
+use uic_serve::{report_json, Client, Response, Server, ServerConfig, ServerHandle};
+use uic_util::failpoint;
+
+/// The failpoint registry is process-global; chaos tests take this lock
+/// so one test's rules never bleed into another's.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+/// Locks the registry for one test and guarantees a clean slate on both
+/// entry and (via Drop) exit, even when the test panics.
+struct ChaosGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl ChaosGuard {
+    fn acquire() -> ChaosGuard {
+        let guard = CHAOS.lock().unwrap_or_else(|p| p.into_inner());
+        failpoint::clear();
+        ChaosGuard(guard)
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        failpoint::clear();
+    }
+}
+
+fn test_graph() -> Arc<Graph> {
+    let mut b = GraphBuilder::new(60);
+    for leaf in 3..30u32 {
+        b.add_edge(0, leaf, 0.5);
+    }
+    for leaf in 30..45u32 {
+        b.add_edge(1, leaf, 0.5);
+    }
+    for leaf in 45..55u32 {
+        b.add_edge(2, leaf, 0.5);
+    }
+    b.add_edge(0, 1, 0.3);
+    b.add_edge(1, 2, 0.3);
+    Arc::new(b.build(Weighting::AsGiven, 0))
+}
+
+fn start(cfg: ServerConfig) -> ServerHandle {
+    Server::start(test_graph(), cfg).expect("bind loopback")
+}
+
+fn offline_result(spec: &str, budgets: Vec<u32>, seed: u64, sims: u32) -> String {
+    let g = test_graph();
+    let (solver, objective) = <dyn Allocator>::parse_with_objective(spec).unwrap();
+    let inst = WelMax::on(&g)
+        .model(TwoItemConfig::new(1).model())
+        .budgets(budgets)
+        .any_item_order()
+        .objective_spec(objective)
+        .build()
+        .unwrap();
+    report_json(&solver.solve(&inst, &SolveCtx::new(seed).with_sims(sims)))
+}
+
+fn assert_result_is(payload: &str, expected: &str) {
+    let prefix = format!("{{\"result\":{expected},\"server\":");
+    assert!(
+        payload.starts_with(&prefix),
+        "served result diverged from offline run:\n  server : {payload}\n  offline: {expected}"
+    );
+}
+
+/// Pulls the `"rr_topup":N` field out of a response envelope.
+fn rr_topup_of(payload: &str) -> u64 {
+    let at = payload.find(r#""rr_topup":"#).expect("rr_topup field") + r#""rr_topup":"#.len();
+    payload[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("rr_topup value")
+}
+
+fn spill_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("uic-chaos-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp spill dir");
+    dir
+}
+
+#[test]
+fn topup_faults_yield_typed_errors_and_identical_survivors() {
+    let _guard = ChaosGuard::acquire();
+    failpoint::set_seed(11);
+    failpoint::configure("serve.topup", "return%0.25").unwrap();
+
+    let handle = start(ServerConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let expected = offline_result("warm-grd", vec![3, 2], 5, 40);
+    let (mut oks, mut faults) = (0u32, 0u32);
+    for _ in 0..16 {
+        match c.request("warm-grd budgets=3,2 seed=5 sims=40").unwrap() {
+            Response::Ok(payload) => {
+                assert_result_is(&payload, &expected);
+                oks += 1;
+            }
+            Response::Err(body) => {
+                assert!(
+                    body.contains(r#""code":"internal""#) && body.contains("injected fault"),
+                    "{body}"
+                );
+                faults += 1;
+            }
+        }
+    }
+    assert!(oks > 0, "some queries must survive 25% top-up faults");
+    assert!(faults > 0, "the failpoint must actually fire");
+    assert!(failpoint::triggers("serve.topup") >= faults as u64);
+
+    // Faults heal: with the rule gone, the same arena serves warm.
+    failpoint::remove("serve.topup");
+    let Response::Ok(payload) = c.request("warm-grd budgets=3,2 seed=5 sims=40").unwrap() else {
+        panic!("fault-free query must succeed")
+    };
+    assert_result_is(&payload, &expected);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn dispatch_panics_are_contained_to_one_request() {
+    let _guard = ChaosGuard::acquire();
+    failpoint::set_seed(3);
+    failpoint::configure("serve.dispatch", "panic%0.4*3").unwrap();
+
+    let handle = start(ServerConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let expected = offline_result("warm-grd", vec![2, 2], 9, 0);
+    let mut panics = 0u32;
+    for _ in 0..12 {
+        match c.request("warm-grd budgets=2,2 seed=9").unwrap() {
+            Response::Ok(payload) => assert_result_is(&payload, &expected),
+            Response::Err(body) => {
+                assert!(
+                    body.contains(r#""code":"internal""#) && body.contains("panicked"),
+                    "{body}"
+                );
+                panics += 1;
+            }
+        }
+    }
+    assert_eq!(panics, 3, "the *3 budget bounds the blast radius");
+    // The server (and this very connection) survived all three panics.
+    assert!(c.request("ping").unwrap().is_ok());
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn frame_write_faults_drop_connections_never_answers() {
+    let _guard = ChaosGuard::acquire();
+    failpoint::set_seed(19);
+    // Both ends of the loopback share the process, so this injects
+    // write failures into client and server alike — harsher than a
+    // real network fault, same invariant.
+    failpoint::configure("serve.frame.write", "return%0.25*4").unwrap();
+
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+    let expected = offline_result("warm-grd", vec![3, 1], 2, 0);
+    let mut served = 0u32;
+    let mut dropped = 0u32;
+    for _ in 0..24 {
+        let Ok(mut c) = Client::connect(addr) else {
+            dropped += 1;
+            continue;
+        };
+        match c.request("warm-grd budgets=3,1 seed=2") {
+            Ok(Response::Ok(payload)) => {
+                assert_result_is(&payload, &expected);
+                served += 1;
+            }
+            Ok(Response::Err(body)) => panic!("no typed error expected here: {body}"),
+            // Injected BrokenPipe (either side) or the torn connection
+            // it leaves behind: a dropped exchange, never a wrong one.
+            Err(_) => dropped += 1,
+        }
+    }
+    assert_eq!(failpoint::triggers("serve.frame.write"), 4, "budget spent");
+    assert!(dropped > 0, "write faults must surface as drops");
+    assert!(
+        served >= 24 - 4 - 4,
+        "once the fault budget is spent, service is clean ({served} served)"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn mid_frame_stalls_slow_answers_without_changing_them() {
+    let _guard = ChaosGuard::acquire();
+    failpoint::set_seed(7);
+    // Injected read stalls on both ends of the loopback: every frame
+    // exchange may pause, which must cost latency only — no drops, no
+    // tripped stall bounds, no divergent bytes.
+    failpoint::configure("serve.frame.read", "delay(40)%0.5").unwrap();
+
+    let handle = start(ServerConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let expected = offline_result("warm-grd", vec![3, 2], 13, 0);
+    for i in 0..8 {
+        let Response::Ok(payload) = c.request("warm-grd budgets=3,2 seed=13").unwrap() else {
+            panic!("a stall is not a failure (request {i})")
+        };
+        assert_result_is(&payload, &expected);
+    }
+    assert!(
+        failpoint::triggers("serve.frame.read") > 0,
+        "the stall rule must actually fire"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn eviction_churn_under_concurrency_stays_bit_identical() {
+    let _guard = ChaosGuard::acquire();
+    // A 1-byte budget: every top-up evicts every arena but its own, so
+    // concurrent queries constantly race rebuild against eviction.
+    let handle = start(ServerConfig {
+        workers: 4,
+        arena_budget_bytes: Some(1),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let seeds: [u64; 4] = [1, 2, 3, 4];
+    std::thread::scope(|scope| {
+        for &seed in &seeds {
+            scope.spawn(move || {
+                let request = format!("warm-grd budgets=3,2 seed={seed}");
+                let expected = offline_result("warm-grd", vec![3, 2], seed, 0);
+                let mut c = Client::connect(addr).unwrap();
+                for _ in 0..6 {
+                    let Response::Ok(payload) = c.request(&request).unwrap() else {
+                        panic!("eviction churn must not fail queries")
+                    };
+                    assert_result_is(&payload, &expected);
+                }
+            });
+        }
+    });
+    let metrics = handle.metrics_json();
+    let field = |name: &str| -> u64 {
+        let tag = format!("\"{name}\":");
+        let at = metrics
+            .find(&tag)
+            .unwrap_or_else(|| panic!("{name} in {metrics}"))
+            + tag.len();
+        metrics[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert!(field("evictions_total") > 0, "{metrics}");
+    assert!(field("rebuilds_total") > 0, "{metrics}");
+    assert!(field("ok_total") == 24, "{metrics}");
+    // The lock-wait ring is populated (read + write acquisitions).
+    assert!(metrics.contains(r#""lock_wait_us":{"count":"#), "{metrics}");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn restart_reloads_warm_and_answers_with_zero_topup() {
+    let _guard = ChaosGuard::acquire();
+    let spill = spill_dir("restart").join("warm.spill");
+    let request = "warm-grd budgets=4,2 seed=21 sims=30";
+    let expected = offline_result("warm-grd", vec![4, 2], 21, 30);
+
+    // Generation 1: solve once (cold), wait for a periodic spill.
+    let gen1 = start(ServerConfig {
+        spill_path: Some(spill.clone()),
+        spill_interval_ms: 30,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(gen1.addr()).unwrap();
+    let Response::Ok(payload) = c.request(request).unwrap() else {
+        panic!("warm-up solve failed")
+    };
+    assert_result_is(&payload, &expected);
+    assert!(rr_topup_of(&payload) > 0, "first query is cold: {payload}");
+    for _ in 0..200 {
+        if gen1.metrics_json().contains(r#""spills_total":0"#) {
+            std::thread::sleep(Duration::from_millis(10));
+        } else {
+            break;
+        }
+    }
+    assert!(
+        !gen1.metrics_json().contains(r#""spills_total":0"#),
+        "periodic spill never ran: {}",
+        gen1.metrics_json()
+    );
+    drop(c);
+    gen1.shutdown();
+    gen1.join();
+
+    // Generation 2: restart over the same spill file. The first repeat
+    // query must ride the reloaded arena — zero top-up, same bytes.
+    let gen2 = start(ServerConfig {
+        spill_path: Some(spill.clone()),
+        spill_interval_ms: 1000,
+        ..ServerConfig::default()
+    });
+    assert!(
+        gen2.metrics_json().contains(r#""warm_reloaded_arenas":1"#),
+        "{}",
+        gen2.metrics_json()
+    );
+    let mut c = Client::connect(gen2.addr()).unwrap();
+    let Response::Ok(payload) = c.request(request).unwrap() else {
+        panic!("post-restart solve failed")
+    };
+    assert_result_is(&payload, &expected);
+    assert_eq!(
+        rr_topup_of(&payload),
+        0,
+        "restarted server must not regenerate: {payload}"
+    );
+    gen2.shutdown();
+    gen2.join();
+    std::fs::remove_file(&spill).ok();
+}
+
+#[test]
+fn a_faulted_spill_load_falls_back_to_cold_start() {
+    let _guard = ChaosGuard::acquire();
+    let spill = spill_dir("coldfall").join("warm.spill");
+    let request = "warm-grd budgets=3,3 seed=33";
+    let expected = offline_result("warm-grd", vec![3, 3], 33, 0);
+
+    // Produce a valid spill file first.
+    let gen1 = start(ServerConfig {
+        spill_path: Some(spill.clone()),
+        spill_interval_ms: 30,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(gen1.addr()).unwrap();
+    assert!(c.request(request).unwrap().is_ok());
+    drop(c);
+    gen1.shutdown();
+    gen1.join();
+    assert!(spill.exists(), "the drain spill must land");
+
+    // Restart with the load path faulted: the server must come up cold
+    // (no reload) and still answer correctly.
+    failpoint::configure("serve.spill.load", "return").unwrap();
+    let gen2 = start(ServerConfig {
+        spill_path: Some(spill.clone()),
+        spill_interval_ms: 1000,
+        ..ServerConfig::default()
+    });
+    failpoint::remove("serve.spill.load");
+    assert!(
+        gen2.metrics_json().contains(r#""warm_reloaded_arenas":0"#),
+        "{}",
+        gen2.metrics_json()
+    );
+    let mut c = Client::connect(gen2.addr()).unwrap();
+    let Response::Ok(payload) = c.request(request).unwrap() else {
+        panic!("cold fallback must serve")
+    };
+    assert_result_is(&payload, &expected);
+    assert!(
+        rr_topup_of(&payload) > 0,
+        "cold start regenerates: {payload}"
+    );
+    gen2.shutdown();
+    gen2.join();
+    std::fs::remove_file(&spill).ok();
+}
+
+#[test]
+fn a_truncated_spill_file_is_rejected_and_service_continues() {
+    let _guard = ChaosGuard::acquire();
+    let spill = spill_dir("truncated").join("warm.spill");
+    let request = "warm-grd budgets=2,1 seed=44";
+    let expected = offline_result("warm-grd", vec![2, 1], 44, 0);
+
+    let gen1 = start(ServerConfig {
+        spill_path: Some(spill.clone()),
+        spill_interval_ms: 30,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(gen1.addr()).unwrap();
+    assert!(c.request(request).unwrap().is_ok());
+    drop(c);
+    gen1.shutdown();
+    gen1.join();
+
+    // Tear the file in half (simulated crash mid-write on a filesystem
+    // without atomic rename).
+    let bytes = std::fs::read(&spill).unwrap();
+    std::fs::write(&spill, &bytes[..bytes.len() / 2]).unwrap();
+
+    let gen2 = start(ServerConfig {
+        spill_path: Some(spill.clone()),
+        spill_interval_ms: 1000,
+        ..ServerConfig::default()
+    });
+    assert!(
+        gen2.metrics_json().contains(r#""warm_reloaded_arenas":0"#),
+        "torn spill must not load: {}",
+        gen2.metrics_json()
+    );
+    let mut c = Client::connect(gen2.addr()).unwrap();
+    let Response::Ok(payload) = c.request(request).unwrap() else {
+        panic!("cold fallback must serve")
+    };
+    assert_result_is(&payload, &expected);
+    gen2.shutdown();
+    gen2.join();
+    std::fs::remove_file(&spill).ok();
+}

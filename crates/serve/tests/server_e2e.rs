@@ -12,8 +12,8 @@ use uic_core::{Allocator, SolveCtx, WelMax};
 use uic_datasets::TwoItemConfig;
 use uic_graph::{Graph, GraphBuilder, Weighting};
 use uic_serve::{
-    read_frame, report_json, run_load, Client, FrameError, Response, Server, ServerConfig,
-    KIND_ERR, KIND_REQ,
+    read_frame, report_json, run_load, run_load_with, Client, FrameError, Response, RetryPolicy,
+    Server, ServerConfig, KIND_ERR, KIND_REQ,
 };
 
 /// A two-hub graph with enough asymmetry that different budgets pick
@@ -269,8 +269,11 @@ fn a_full_admission_queue_answers_overloaded() {
     let mut next = retry_connect_until_served(addr);
     assert!(next.request("ping").unwrap().is_ok());
 
+    // At least the one scripted refusal (the admitted-client probes in
+    // retry_connect_until_served may add more while the worker is
+    // still returning to the pool).
     let metrics = handle.metrics_json();
-    assert!(metrics.contains(r#""overloaded_total":1"#), "{metrics}");
+    assert!(!metrics.contains(r#""overloaded_total":0,"#), "{metrics}");
     handle.shutdown();
     handle.join();
 }
@@ -364,6 +367,47 @@ fn the_load_driver_reports_sane_numbers() {
     assert!(
         json.contains(r#""qps":"#) && json.contains(r#""p99_us":"#),
         "{json}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn an_overloaded_server_refuses_and_the_driver_reports_it() {
+    // One worker and a zero-length queue: a worker pins its connection
+    // until the client hangs up, so with 4 concurrent clients at most
+    // one is admitted at a time and the rest are refused at accept.
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_cap: 0,
+        ..ServerConfig::default()
+    });
+    let policy = RetryPolicy {
+        max_retries: 2,
+        ..RetryPolicy::default()
+    };
+    let report = run_load_with(
+        handle.addr(),
+        "warm-grd budgets=3,2 seed=5 sims=50",
+        4,
+        3,
+        &policy,
+    )
+    .unwrap();
+    assert_eq!(report.requests, 12);
+    assert!(report.ok >= 3, "the admitted client finishes its work");
+    assert!(report.refused > 0, "refusals must be counted: {report:?}");
+    assert!(report.retried > 0, "retries must be counted: {report:?}");
+    assert_eq!(
+        report.failed,
+        report.requests - report.ok,
+        "every non-ok request gave up after retries: {report:?}"
+    );
+    // Refusals landed in the server's overloaded counter too.
+    let metrics = handle.metrics_json();
+    assert!(
+        !metrics.contains(r#""overloaded_total":0"#),
+        "server saw no refusals: {metrics}"
     );
     handle.shutdown();
     handle.join();

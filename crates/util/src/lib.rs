@@ -32,9 +32,14 @@
 //! * [`metrics`] — lock-free service instrumentation: monotone
 //!   [`Counter`]s and a fixed-window [`LatencyRing`] for p50/p99
 //!   snapshots.
+//! * `failpoint` — deterministic fault injection
+//!   ([`fail_point!`](crate::fail_point)) for chaos testing the serving
+//!   stack; compiled to empty blocks unless the `failpoints` cargo
+//!   feature is enabled.
 
 pub mod bitset;
 pub mod epoch;
+pub mod failpoint;
 pub mod fxhash;
 pub mod json;
 pub mod metrics;
@@ -48,9 +53,45 @@ pub use bitset::{BitSet, VisitTags};
 pub use epoch::{EdgeStatusCache, EpochMap};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::JsonWriter;
-pub use metrics::{Counter, LatencyRing};
+pub use metrics::{Counter, Gauge, LatencyRing};
 pub use parallel::{hardware_parallelism, parallelism, CachePadded, THREADS_ENV_VAR};
 pub use rng::{split_seed, UicRng};
 pub use special::{ln_gamma, log_choose, normal_cdf, normal_quantile};
 pub use stats::{mean, OnlineStats};
 pub use table::Table;
+
+/// Injects a named failpoint. With the `failpoints` cargo feature *of
+/// the calling crate* enabled (which must forward to
+/// `uic-util/failpoints`), the point consults the
+/// `failpoint` registry; otherwise the macro expands to an empty
+/// block — zero code, zero cost.
+///
+/// Two forms:
+///
+/// ```ignore
+/// // Side-effect only: `delay(ms)` sleeps, `panic` panics, `return`
+/// // rules are evaluated but ignored (no failure arm here).
+/// uic_util::fail_point!("serve.dispatch");
+///
+/// // With a failure arm: a fired `return` rule early-returns the
+/// // closure's value from the enclosing function.
+/// uic_util::fail_point!("serve.topup", || Err(ServeError::new(..)));
+/// ```
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            let _ = $crate::failpoint::eval($name);
+        }
+    }};
+    ($name:expr, $on_trigger:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            if $crate::failpoint::eval($name) {
+                #[allow(clippy::redundant_closure_call)]
+                return ($on_trigger)();
+            }
+        }
+    }};
+}

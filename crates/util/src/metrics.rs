@@ -40,6 +40,53 @@ impl Counter {
     }
 }
 
+/// A settable level metric (resident bytes, queue depth): unlike a
+/// [`Counter`] it can go down. `add`/`sub` are relaxed atomics, `set`
+/// overwrites — the reader only ever wants "the level right now".
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Raises the level by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n` (saturating at 0 — a transient under-run
+    /// from racing updates must not wrap to 2^64).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A fixed-capacity ring of `u64` samples (e.g. request latencies in
 /// microseconds) with percentile snapshots over the retained window.
 #[derive(Debug)]
@@ -115,6 +162,18 @@ mod tests {
         c.inc();
         c.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_levels_move_both_ways_and_saturate() {
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "saturates instead of wrapping");
+        g.set(42);
+        assert_eq!(g.get(), 42);
     }
 
     #[test]
