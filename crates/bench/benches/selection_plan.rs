@@ -1,0 +1,100 @@
+//! Selection-plan kernel bench: what the serving layer's plan cache
+//! actually buys per query, isolated from sockets and scoring.
+//!
+//! Three rows per arena size, same collection and budget throughout:
+//!
+//! * `cold`      — a full from-scratch greedy run
+//!   ([`node_selection_prefix_indexed`]), what every query paid before
+//!   the plan cache;
+//! * `cold-plan` — [`SelectionPlan::compute`] from scratch (greedy plus
+//!   the residual-state snapshot), what a cache **miss** pays;
+//! * `warm-plan` — [`SelectionPlan::slice`] on a memoized plan, the
+//!   repeat-query path (`O(k)` copying, no greedy at all);
+//! * `resume`    — [`SelectionPlan::resume`] from a plan holding half
+//!   the budget, the mixed-`k` path (greedy restarts from the cached
+//!   CELF state instead of from zero; compare against `cold-plan`, the
+//!   path a miss would otherwise take).
+//!
+//! Arena sizes: 100k RR sets by default; `UIC_PLAN_BENCH_SETS=1000000`
+//! for the 1M headline row (also: `UIC_PLAN_BENCH_NODES`,
+//! `UIC_PLAN_BENCH_K`). `BENCH_serve.json` records the cold / warm /
+//! resume split these rows produce.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uic_graph::GraphBuilder;
+use uic_im::{node_selection_prefix_indexed, DiffusionModel, RrCollection, SelectionPlan};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A hub-and-spoke random graph big enough that RR sets overlap (so
+/// greedy actually iterates) without any dataset dependency.
+fn bench_collection(num_nodes: u32, num_sets: usize) -> RrCollection {
+    let mut b = GraphBuilder::new(num_nodes);
+    let hubs = (num_nodes / 100).max(4);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for v in hubs..num_nodes {
+        // Two inbound edges from pseudo-random hubs: reverse walks from
+        // any node reach a hub fast, giving heavy-overlap RR sets.
+        for _ in 0..2 {
+            let h = (next() % hubs as u64) as u32;
+            b.add_edge(h, v, 0.3);
+        }
+    }
+    let g = b.build(uic_graph::Weighting::AsGiven, 0);
+    let mut coll = RrCollection::new(&g, DiffusionModel::IC, 42);
+    coll.extend_to(&g, num_sets);
+    coll.ensure_index();
+    coll
+}
+
+fn bench(c: &mut Criterion) {
+    let num_sets = env_usize("UIC_PLAN_BENCH_SETS", 100_000);
+    let num_nodes = env_usize("UIC_PLAN_BENCH_NODES", 100_000) as u32;
+    let k = env_usize("UIC_PLAN_BENCH_K", 50) as u32;
+    eprintln!("sampling {num_sets} RR sets over {num_nodes} nodes…");
+    let coll = bench_collection(num_nodes, num_sets);
+    eprintln!(
+        "arena: {} sets, {:.1} MiB",
+        coll.len(),
+        coll.heap_bytes() as f64 / (1 << 20) as f64
+    );
+
+    let mut group = c.benchmark_group(format!("plan/{num_sets}-sets-k{k}"));
+    group.sample_size(10);
+
+    group.bench_function("cold", |b| {
+        b.iter(|| node_selection_prefix_indexed(&coll, k, num_sets))
+    });
+
+    group.bench_function("cold-plan", |b| {
+        b.iter(|| SelectionPlan::compute(&coll, k, num_sets))
+    });
+
+    let full = SelectionPlan::compute(&coll, k, num_sets);
+    assert_eq!(
+        full.slice(k).unwrap(),
+        node_selection_prefix_indexed(&coll, k, num_sets),
+        "plan must be bit-identical to from-scratch selection"
+    );
+    group.bench_function("warm-plan", |b| b.iter(|| full.slice(k).unwrap()));
+
+    let half = SelectionPlan::compute(&coll, k / 2, num_sets);
+    assert_eq!(half.resume(&coll, k), full, "resume must replay exactly");
+    group.bench_function("resume", |b| b.iter(|| half.resume(&coll, k)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,7 +11,12 @@
 //! * [`mod@node_selection`] — the greedy max-coverage `NodeSelection`
 //!   procedure shared by all RIS algorithms (returns the full greedy
 //!   *ordering* plus cumulative coverage, which is what makes prefix
-//!   reuse possible).
+//!   reuse possible), built on a zero-allocation epoch-stamped CELF
+//!   kernel.
+//! * [`mod@plan`] — [`plan::SelectionPlan`]: one memoized greedy run
+//!   per arena prefix, answering smaller budgets as `O(k)` slices and
+//!   larger ones by resuming the cached CELF state bit-identically —
+//!   the serving layer's query plan cache.
 //! * [`mod@imm`] — IMM of Tang et al. (2015) with the Chen (2018) fix: the
 //!   final RR collection is regenerated from scratch before the last
 //!   `NodeSelection`.
@@ -39,6 +44,7 @@ pub mod greedy;
 pub mod imm;
 pub mod node_selection;
 pub mod opim;
+pub mod plan;
 pub mod prima;
 pub mod rrset;
 pub mod skim;
@@ -52,6 +58,7 @@ pub use node_selection::{
     NodeSelectionResult,
 };
 pub use opim::{opim_c, OpimResult};
+pub use plan::SelectionPlan;
 pub use prima::{
     prima, prima_for, warm_prima, warm_prima_on, ExclusiveArena, PrimaResult, WarmArena,
 };

@@ -12,10 +12,51 @@
 //! on entry, so the IMM/OPIM doubling loops that re-select on a growing
 //! collection every round never rebuild it from scratch — only the sets
 //! appended since the previous round are merged in.
+//!
+//! ## The pick invariant (what makes caching and resuming sound)
+//!
+//! The kernel is a CELF lazy-greedy loop over a max-heap of
+//! `(marginal count, NodeId)` pairs. Marginal counts only *decrease* as
+//! sets get covered, so a stale heap entry is an upper bound on its
+//! node's true marginal; an entry is committed only after its count
+//! verifies exact. At that moment every other candidate `u` satisfies
+//! `(count[u], u) ≤ (stored[u], u) ≤ (count[v], v)` in tuple order, so
+//! **every committed pick is the exact lexicographic argmax of
+//! `(current marginal, NodeId)` over unchosen nodes** — the heap's
+//! staleness history never influences the output. The pick sequence is
+//! therefore a pure function of the residual `(cover counts, covered
+//! sets, chosen nodes)` state, which is what lets
+//! [`crate::plan::SelectionPlan`] snapshot that state and later
+//! *resume* greedy bit-identically to a from-scratch run.
+//!
+//! ## Zero-coverage nodes and the fill phase
+//!
+//! Nodes whose prefix list is empty are never seeded into the heap
+//! (on realistic RR collections they are the vast majority). This
+//! cannot change any pick: a node with an empty list has marginal 0
+//! forever, and as long as some unchosen node has a *positive*
+//! marginal the argmax strictly beats every zero. The first time the
+//! true maximum marginal reaches 0, **all** remaining picks are
+//! zero-marginal, and the argmax rule degenerates to "largest unchosen
+//! NodeId first"; the kernel switches to an explicit descending-id
+//! *fill phase* that reproduces exactly that order (entries that
+//! refresh to 0 are dropped from the heap rather than re-pushed — the
+//! fill phase supersedes them).
+//!
+//! ## Scratch reuse
+//!
+//! All per-call state — the cover counts (an epoch-stamped
+//! [`EpochMap`], reset in `O(1)`), the heap's backing buffer, and the
+//! covered/chosen bitsets — lives in a thread-local
+//! `SelectionScratch`. Steady-state selection on a warm arena
+//! allocates nothing beyond the result vectors.
 
 use crate::rrset::RrCollection;
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
 use uic_diffusion::{ObjectiveError, WelfareObjective};
 use uic_graph::NodeId;
+use uic_util::{BitSet, EpochMap};
 
 /// Result of a greedy max-coverage run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,59 +141,222 @@ pub fn node_selection_prefix_indexed(
     );
     let n = coll.num_nodes() as usize;
     let num_sets = num_sets.min(coll.len());
-    let limit = num_sets as u32;
     let k = (k as usize).min(n);
-    // Per-node id lists are ascending, so the prefix restriction is a
-    // `partition_point` per list rather than a filter pass.
-    let prefix_ids = |v: NodeId| {
-        let ids = coll.covering_sets(v);
-        &ids[..ids.partition_point(|&id| id < limit)]
-    };
-    // Coverage counts with a lazy max-heap (CELF-style): the marginal
-    // coverage of a node only decreases as sets get covered, so a stale
-    // heap entry is an upper bound.
-    let mut cover_count: Vec<u64> = (0..n)
-        .map(|v| prefix_ids(v as NodeId).len() as u64)
-        .collect();
-    let mut heap: std::collections::BinaryHeap<(u64, NodeId)> =
-        (0..n).map(|v| (cover_count[v], v as NodeId)).collect();
-    let mut set_covered = vec![false; num_sets];
     let mut seeds = Vec::with_capacity(k);
-    let mut covered_cum = Vec::with_capacity(k);
-    let mut covered_total = 0u64;
-    let mut chosen = vec![false; n];
+    let mut covered = Vec::with_capacity(k);
+    with_scratch(|scratch| {
+        scratch.begin(n, num_sets);
+        seed_prefix_counts(coll, num_sets, scratch);
+        greedy_extend(coll, num_sets, k, scratch, &mut seeds, &mut covered);
+    });
+    NodeSelectionResult {
+        seeds,
+        covered,
+        num_sets,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The shared kernel: reusable scratch + the CELF loop.
+// ---------------------------------------------------------------------
+
+/// Reusable per-thread selection state: cover counts (epoch-stamped, so
+/// "reset" is an epoch bump), the heap's backing buffer, and the
+/// covered/chosen bitsets. One instance per thread via [`with_scratch`];
+/// steady-state selections on a same-sized collection allocate nothing.
+#[derive(Debug)]
+pub(crate) struct SelectionScratch {
+    /// Residual marginal coverage per node. Invariant: a node with a
+    /// positive residual count always has a written slot (its prefix
+    /// list is non-empty), so an unwritten slot reads as a true 0.
+    cover: EpochMap<u32>,
+    /// Backing storage for the lazy max-heap (capacity persists across
+    /// calls; contents are rebuilt per call).
+    heap_buf: Vec<(u32, NodeId)>,
+    /// RR sets already covered by committed picks.
+    set_covered: BitSet,
+    /// Nodes already committed as seeds.
+    chosen: BitSet,
+}
+
+impl SelectionScratch {
+    fn new() -> SelectionScratch {
+        SelectionScratch {
+            cover: EpochMap::new(0),
+            heap_buf: Vec::new(),
+            set_covered: BitSet::new(0),
+            chosen: BitSet::new(0),
+        }
+    }
+
+    /// Readies the scratch for a selection over `n` nodes and
+    /// `num_sets` sets: epoch-bumps the counts, clears the bitsets in
+    /// place, and empties the heap buffer — no allocation unless a
+    /// dimension grew.
+    pub(crate) fn begin(&mut self, n: usize, num_sets: usize) {
+        if self.cover.len() == n {
+            self.cover.reset();
+        } else {
+            self.cover = EpochMap::new(n);
+        }
+        self.chosen.reset_to(n);
+        self.set_covered.reset_to(num_sets);
+        self.heap_buf.clear();
+    }
+
+    /// Records a residual cover count (resume seeding). Zero counts may
+    /// be skipped — an unwritten slot already reads as 0.
+    pub(crate) fn set_cover(&mut self, v: usize, count: u32) {
+        self.cover.insert(v, count);
+    }
+
+    /// Marks a node as already committed (resume seeding).
+    pub(crate) fn mark_chosen(&mut self, v: usize) {
+        self.chosen.insert(v);
+    }
+
+    /// Loads a plan's covered-set bitset into the scratch (resume
+    /// seeding) as a word-level copy — `O(num_sets / 64)`, not per-bit.
+    /// The scratch must be [`begin`](Self::begin)-ed to the same
+    /// `num_sets`.
+    pub(crate) fn load_set_covered(&mut self, bits: &BitSet) {
+        debug_assert_eq!(bits.len(), self.set_covered.len());
+        self.set_covered.clone_from(bits);
+    }
+
+    /// The residual cover count of node `v` (post-run snapshot).
+    pub(crate) fn cover_of(&self, v: usize) -> u32 {
+        self.cover.get_or_default(v)
+    }
+
+    /// Word-level copy of the covered-set bitset (post-run snapshot).
+    pub(crate) fn clone_set_covered(&self) -> BitSet {
+        self.set_covered.clone()
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SelectionScratch> = RefCell::new(SelectionScratch::new());
+}
+
+/// Runs `f` with this thread's [`SelectionScratch`].
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut SelectionScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// The ascending per-node set-id list restricted to ids `< limit` — a
+/// `partition_point` per list rather than a filter pass.
+#[inline]
+fn prefix_ids(coll: &RrCollection, v: NodeId, limit: u32) -> &[u32] {
+    let ids = coll.covering_sets(v);
+    &ids[..ids.partition_point(|&id| id < limit)]
+}
+
+/// Writes the from-scratch cover counts for the `num_sets` prefix into
+/// `scratch` (already [`SelectionScratch::begin`]-ed). Only nodes with
+/// a non-empty prefix list get a slot — the empty-prefix tail never
+/// enters the heap (see the module docs for why that preserves picks).
+pub(crate) fn seed_prefix_counts(
+    coll: &RrCollection,
+    num_sets: usize,
+    scratch: &mut SelectionScratch,
+) {
+    let limit = num_sets as u32;
+    for v in 0..coll.num_nodes() {
+        let len = prefix_ids(coll, v, limit).len();
+        if len > 0 {
+            scratch.set_cover(v as usize, len as u32);
+        }
+    }
+}
+
+/// The CELF kernel: extends `seeds`/`covered` (cumulative coverage)
+/// with greedy picks until `seeds.len() == k`, continuing from whatever
+/// committed state `scratch` already holds (empty for a from-scratch
+/// run; a plan's residual snapshot for a resume). Every pick is the
+/// lexicographic argmax of `(residual count, NodeId)` over unchosen
+/// nodes — see the module docs for the staleness and fill-phase
+/// arguments — so continuation is bit-identical to a from-scratch run
+/// of the same total `k`.
+pub(crate) fn greedy_extend(
+    coll: &RrCollection,
+    num_sets: usize,
+    k: usize,
+    scratch: &mut SelectionScratch,
+    seeds: &mut Vec<NodeId>,
+    covered: &mut Vec<u64>,
+) {
+    debug_assert_eq!(seeds.len(), covered.len());
+    let limit = num_sets as u32;
+    let n = coll.num_nodes() as usize;
+    let mut covered_total = covered.last().copied().unwrap_or(0);
+    // Seed the heap with every unchosen node of positive residual count
+    // (ascending push order is irrelevant: BinaryHeap::from heapifies).
+    let mut heap_buf = std::mem::take(&mut scratch.heap_buf);
+    for v in 0..n {
+        let c = scratch.cover.get_or_default(v);
+        if c > 0 && !scratch.chosen.contains(v) {
+            heap_buf.push((c, v as NodeId));
+        }
+    }
+    let mut heap = BinaryHeap::from(heap_buf);
     while seeds.len() < k {
         let Some((stale, v)) = heap.pop() else { break };
         let vi = v as usize;
-        if chosen[vi] {
+        if scratch.chosen.contains(vi) {
             continue;
         }
-        if stale != cover_count[vi] {
-            // Stale bound: refresh and reinsert.
-            heap.push((cover_count[vi], v));
+        let current = scratch.cover.get_or_default(vi);
+        if stale != current {
+            // Stale upper bound. A refreshed positive count re-enters
+            // the heap; a zero is dropped — the fill phase below owns
+            // all zero-marginal picks.
+            if current > 0 {
+                heap.push((current, v));
+            }
             continue;
         }
-        chosen[vi] = true;
+        if current == 0 {
+            // The heap max verified at 0: every remaining marginal is 0
+            // (all other stored entries are ≤ this one and are upper
+            // bounds). Hand over to the fill phase.
+            break;
+        }
+        scratch.chosen.insert(vi);
         seeds.push(v);
-        covered_total += cover_count[vi];
-        covered_cum.push(covered_total);
+        covered_total += current as u64;
+        covered.push(covered_total);
         // Mark v's sets covered and decrement counts of their members.
-        for &rid in prefix_ids(v) {
-            if set_covered[rid as usize] {
+        for &rid in prefix_ids(coll, v, limit) {
+            if !scratch.set_covered.insert(rid as usize) {
                 continue;
             }
-            set_covered[rid as usize] = true;
             for &u in coll.get(rid as usize) {
-                cover_count[u as usize] = cover_count[u as usize].saturating_sub(1);
+                // A member of a just-uncovered set has that set in its
+                // prefix list, so its slot is written and positive.
+                let (slot, _) = scratch.cover.slot(u as usize);
+                *slot = slot.saturating_sub(1);
             }
         }
-        cover_count[vi] = 0;
+        scratch.set_cover(vi, 0);
     }
-    NodeSelectionResult {
-        seeds,
-        covered: covered_cum,
-        num_sets,
+    // Fill phase: every remaining marginal is 0, so the argmax of
+    // `(0, NodeId)` is simply the largest unchosen id — exactly the
+    // order a full heap of all n nodes would emit.
+    let mut v = n;
+    while seeds.len() < k && v > 0 {
+        v -= 1;
+        if scratch.chosen.contains(v) {
+            continue;
+        }
+        scratch.chosen.insert(v);
+        seeds.push(v as NodeId);
+        covered.push(covered_total);
     }
+    // Return the heap's buffer to the scratch for the next call.
+    let mut heap_buf = heap.into_vec();
+    heap_buf.clear();
+    scratch.heap_buf = heap_buf;
 }
 
 /// Objective-aware [`node_selection`].
@@ -242,6 +446,35 @@ mod tests {
         let mut coll = collection_from_sets(2, vec![vec![0], vec![1]]);
         let r = node_selection(&mut coll, 10);
         assert_eq!(r.seeds.len(), 2);
+    }
+
+    #[test]
+    fn budget_beyond_nonzero_nodes_fills_in_descending_id_order() {
+        // Regression for the empty-prefix-skip optimization: only nodes
+        // 1 (count 2) and 3 (count 1) have coverage; k=5 forces three
+        // zero-marginal fill picks, which must come out in descending
+        // NodeId order (5, 4, 2) — exactly what a full heap of all n
+        // `(0, NodeId)` entries would pop.
+        let mut coll = collection_from_sets(6, vec![vec![1], vec![1], vec![3]]);
+        let r = node_selection(&mut coll, 5);
+        assert_eq!(r.seeds, vec![1, 3, 5, 4, 2]);
+        assert_eq!(r.covered, vec![2, 3, 3, 3, 3]);
+        // Same with the budget saturating n entirely.
+        let r = node_selection(&mut coll, 10);
+        assert_eq!(r.seeds, vec![1, 3, 5, 4, 2, 0]);
+    }
+
+    #[test]
+    fn zero_marginal_tail_within_nonzero_nodes_keeps_heap_order() {
+        // Node 2's coverage is entirely eclipsed by node 1: its count
+        // refreshes to 0 mid-run, so it is dropped from the heap and
+        // must re-emerge via the fill phase in id order with the
+        // never-covering nodes.
+        let mut coll = collection_from_sets(5, vec![vec![1, 2], vec![1, 2], vec![1]]);
+        let r = node_selection(&mut coll, 5);
+        // Pick 1 (count 3); node 2 refreshes to 0; fill: 4, 3, 2, 0.
+        assert_eq!(r.seeds, vec![1, 4, 3, 2, 0]);
+        assert_eq!(r.covered, vec![3, 3, 3, 3, 3]);
     }
 
     #[test]

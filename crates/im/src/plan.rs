@@ -1,0 +1,332 @@
+//! Memoized greedy selection: run [`node_selection_prefix_indexed`](crate::node_selection::node_selection_prefix_indexed)
+//! once, keep the full pick order **and** the residual CELF state, and
+//! answer later queries on the same arena prefix without re-running
+//! greedy.
+//!
+//! A [`SelectionPlan`] is keyed by its explicit `num_sets` prefix (the
+//! warm-arena serving layer keys its cache by exactly that, per
+//! `(model, seed)` arena — the objective key is fixed by the arena's
+//! sampler). Three query shapes:
+//!
+//! * `k ≤ plan.len()` — a pure **slice**: greedy is prefix-monotone
+//!   (the seed set for budget `k` is a prefix of the seed set for any
+//!   larger budget, §4.2.3), so the answer is `O(k)` copying.
+//! * `k > plan.len()` — a **resume**: the plan's residual state (cover
+//!   counts + covered-set bitset + the pick order itself) is exactly
+//!   the committed CELF state after `plan.len()` picks, and the kernel
+//!   pick is a pure function of that state (see the
+//!   [`node_selection`](mod@crate::node_selection) module docs), so
+//!   continuing from it is bit-identical to a from-scratch run of the
+//!   larger `k`. [`SelectionPlan::resume`] returns a *new, longer*
+//!   plan; the old one stays valid (plans are immutable).
+//! * any `k` once the plan is [`saturated`](SelectionPlan::is_saturated)
+//!   (every node picked) — still a slice: from-scratch selection also
+//!   caps at `n` seeds.
+//!
+//! ## Why arena growth never staleness-poisons a plan
+//!
+//! RR set `j` is a pure function of `(seed, j)` and arenas grow
+//! extend-only, so the first `num_sets` sets — the only ones a plan
+//! ever looked at — are immutable for the arena's lifetime. A plan for
+//! prefix `N` therefore stays correct no matter how far the arena
+//! grows; a query for a *different* prefix simply misses the cache and
+//! computes (or resumes) its own plan. Stale answers are structurally
+//! impossible, not just unlikely — pinned by the property suite in
+//! `tests/plan_props.rs`.
+
+use crate::node_selection::{
+    greedy_extend, seed_prefix_counts, with_scratch, NodeSelectionResult, SelectionScratch,
+};
+use crate::rrset::RrCollection;
+use uic_graph::NodeId;
+use uic_util::BitSet;
+
+/// The residual CELF state after a plan's last committed pick —
+/// everything [`greedy_extend`] needs to continue bit-identically.
+/// Counts fit `u32` because the inverted index refuses collections
+/// beyond `u32::MAX` sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ResumeState {
+    /// Residual marginal cover count per node (dense, `n` entries;
+    /// chosen nodes hold 0).
+    cover: Box<[u32]>,
+    /// RR sets (of the plan's prefix) covered by the committed picks.
+    set_covered: BitSet,
+}
+
+/// An immutable memoized greedy run over one arena prefix: the pick
+/// order, cumulative coverage, and the residual state to resume from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionPlan {
+    /// Seeds in greedy pick order.
+    seeds: Vec<NodeId>,
+    /// `covered[j]` = RR sets covered by the first `j+1` seeds.
+    covered: Vec<u64>,
+    /// The explicit arena prefix this plan is keyed by.
+    num_sets: usize,
+    /// Nodes in the collection (the hard cap on plan length).
+    num_nodes: usize,
+    resume: ResumeState,
+}
+
+impl SelectionPlan {
+    /// Runs greedy to `k` picks on the first `num_sets` sets and
+    /// memoizes the result. Bit-identical to
+    /// [`node_selection_prefix_indexed`](crate::node_selection::node_selection_prefix_indexed)
+    /// with the same arguments
+    /// (pinned by tests), plus the residual state snapshot.
+    ///
+    /// # Panics
+    /// When the collection's index is stale (same contract as
+    /// [`node_selection_prefix_indexed`](crate::node_selection::node_selection_prefix_indexed)).
+    pub fn compute(coll: &RrCollection, k: u32, num_sets: usize) -> SelectionPlan {
+        assert!(
+            coll.index_is_current(),
+            "SelectionPlan::compute on a stale index"
+        );
+        let n = coll.num_nodes() as usize;
+        let num_sets = num_sets.min(coll.len());
+        let k = (k as usize).min(n);
+        let mut seeds = Vec::with_capacity(k);
+        let mut covered = Vec::with_capacity(k);
+        let resume = with_scratch(|scratch| {
+            scratch.begin(n, num_sets);
+            seed_prefix_counts(coll, num_sets, scratch);
+            greedy_extend(coll, num_sets, k, scratch, &mut seeds, &mut covered);
+            snapshot_resume(scratch, n)
+        });
+        SelectionPlan {
+            seeds,
+            covered,
+            num_sets,
+            num_nodes: n,
+            resume,
+        }
+    }
+
+    /// Picks memoized so far.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// True when the plan holds no picks.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// The arena prefix this plan is valid for.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// True once every node is picked — no budget can need more.
+    pub fn is_saturated(&self) -> bool {
+        self.seeds.len() == self.num_nodes
+    }
+
+    /// Whether [`slice`](Self::slice) can answer budget `k` without
+    /// recomputation.
+    pub fn covers(&self, k: u32) -> bool {
+        k as usize <= self.len() || self.is_saturated()
+    }
+
+    /// The memoized answer for budget `k`, as an `O(k)` copy. `None`
+    /// when the plan is too short (resume instead).
+    pub fn slice(&self, k: u32) -> Option<NodeSelectionResult> {
+        if !self.covers(k) {
+            return None;
+        }
+        let k = (k as usize).min(self.seeds.len());
+        Some(NodeSelectionResult {
+            seeds: self.seeds[..k].to_vec(),
+            covered: self.covered[..k].to_vec(),
+            num_sets: self.num_sets,
+        })
+    }
+
+    /// Continues greedy from the memoized residual state up to budget
+    /// `k`, returning a new, longer plan (self stays valid). The new
+    /// plan's picks are bit-identical to
+    /// [`SelectionPlan::compute`]`(coll, k, num_sets)` from scratch —
+    /// the resume contract, pinned by `tests/plan_props.rs`.
+    ///
+    /// # Panics
+    /// When `coll` is not the plan's collection grown extend-only (the
+    /// prefix must still exist: `coll.len() ≥ num_sets`, same node
+    /// count, current index).
+    pub fn resume(&self, coll: &RrCollection, k: u32) -> SelectionPlan {
+        assert!(
+            coll.index_is_current(),
+            "SelectionPlan::resume on a stale index"
+        );
+        assert_eq!(
+            coll.num_nodes() as usize,
+            self.num_nodes,
+            "resume on a different collection"
+        );
+        assert!(
+            coll.len() >= self.num_sets,
+            "resume on a collection shorter than the plan prefix"
+        );
+        let n = self.num_nodes;
+        let k = (k as usize).min(n);
+        let mut seeds = self.seeds.clone();
+        let mut covered = self.covered.clone();
+        let resume = with_scratch(|scratch| {
+            scratch.begin(n, self.num_sets);
+            for (v, &c) in self.resume.cover.iter().enumerate() {
+                if c > 0 {
+                    scratch.set_cover(v, c);
+                }
+            }
+            for &s in &seeds {
+                scratch.mark_chosen(s as usize);
+            }
+            scratch.load_set_covered(&self.resume.set_covered);
+            greedy_extend(coll, self.num_sets, k, scratch, &mut seeds, &mut covered);
+            snapshot_resume(scratch, n)
+        });
+        SelectionPlan {
+            seeds,
+            covered,
+            num_sets: self.num_sets,
+            num_nodes: n,
+            resume,
+        }
+    }
+
+    /// Heap bytes held by the plan (cache byte-budget accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.seeds.capacity() * std::mem::size_of::<NodeId>()
+            + self.covered.capacity() * std::mem::size_of::<u64>()
+            + self.resume.cover.len() * std::mem::size_of::<u32>()
+            + self.resume.set_covered.len().div_ceil(64) * std::mem::size_of::<u64>()
+    }
+}
+
+/// Captures the scratch's post-run residual state densely. The
+/// covered-set bitset comes out as a word-level copy, so the snapshot
+/// is `O(n + num_sets / 64)` — cheap enough that resuming a plan beats
+/// recomputing one even when the remaining picks are few.
+fn snapshot_resume(scratch: &SelectionScratch, n: usize) -> ResumeState {
+    let cover: Box<[u32]> = (0..n).map(|v| scratch.cover_of(v)).collect();
+    ResumeState {
+        cover,
+        set_covered: scratch.clone_set_covered(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_selection::node_selection_prefix_indexed;
+    use crate::rrset::DiffusionModel;
+    use uic_graph::Graph;
+
+    fn ring_collection(seed: u64, sets: usize) -> RrCollection {
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 0.6),
+                (1, 2, 0.6),
+                (2, 3, 0.6),
+                (3, 4, 0.6),
+                (4, 5, 0.6),
+                (5, 0, 0.6),
+            ],
+        );
+        let mut coll = RrCollection::new(&g, DiffusionModel::IC, seed);
+        coll.extend_to(&g, sets);
+        coll.ensure_index();
+        coll
+    }
+
+    #[test]
+    fn compute_matches_direct_selection_and_slices_are_prefixes() {
+        let coll = ring_collection(9, 400);
+        let plan = SelectionPlan::compute(&coll, 4, 300);
+        let direct = node_selection_prefix_indexed(&coll, 4, 300);
+        assert_eq!(plan.slice(4).unwrap(), direct);
+        for k in 1..=4u32 {
+            assert_eq!(
+                plan.slice(k).unwrap(),
+                node_selection_prefix_indexed(&coll, k, 300),
+                "k={k}"
+            );
+        }
+        assert_eq!(plan.num_sets(), 300);
+        assert!(!plan.covers(5));
+        assert!(plan.slice(5).is_none());
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_from_scratch() {
+        let coll = ring_collection(11, 500);
+        let short = SelectionPlan::compute(&coll, 2, 500);
+        let resumed = short.resume(&coll, 5);
+        let scratch = SelectionPlan::compute(&coll, 5, 500);
+        assert_eq!(resumed, scratch, "resume must replay from-scratch picks");
+        // The short plan is still intact (immutability).
+        assert_eq!(short.len(), 2);
+        // Resuming past n saturates like from-scratch selection.
+        let all = short.resume(&coll, 99);
+        assert!(all.is_saturated());
+        assert_eq!(
+            all.slice(99).unwrap(),
+            node_selection_prefix_indexed(&coll, 99, 500)
+        );
+    }
+
+    #[test]
+    fn saturated_plans_answer_any_budget() {
+        let coll = ring_collection(3, 200);
+        let plan = SelectionPlan::compute(&coll, 100, 200);
+        assert!(plan.is_saturated());
+        assert!(plan.covers(1000));
+        assert_eq!(
+            plan.slice(1000).unwrap(),
+            node_selection_prefix_indexed(&coll, 1000, 200)
+        );
+    }
+
+    #[test]
+    fn plans_survive_arena_growth() {
+        // A plan keyed to prefix 250 answers identically after the
+        // arena doubles — the extend-only contract.
+        let g = Graph::from_edges(5, &[(0, 1, 0.7), (1, 2, 0.7), (2, 3, 0.7), (3, 4, 0.7)]);
+        let mut coll = RrCollection::new(&g, DiffusionModel::IC, 21);
+        coll.extend_to(&g, 250);
+        coll.ensure_index();
+        let plan = SelectionPlan::compute(&coll, 3, 250);
+        coll.extend_to(&g, 500);
+        coll.ensure_index();
+        assert_eq!(
+            plan.slice(3).unwrap(),
+            node_selection_prefix_indexed(&coll, 3, 250),
+            "the grown arena's 250-prefix answer is unchanged"
+        );
+        let resumed = plan.resume(&coll, 5);
+        assert_eq!(resumed, SelectionPlan::compute(&coll, 5, 250));
+    }
+
+    #[test]
+    fn heap_bytes_is_positive_and_grows_with_resume() {
+        let coll = ring_collection(7, 300);
+        let plan = SelectionPlan::compute(&coll, 2, 300);
+        let b = plan.heap_bytes();
+        assert!(b > 0);
+        assert!(plan.resume(&coll, 6).heap_bytes() >= b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different collection")]
+    fn resume_refuses_a_foreign_collection() {
+        let coll = ring_collection(5, 100);
+        let plan = SelectionPlan::compute(&coll, 2, 100);
+        let g = Graph::from_edges(3, &[(0, 1, 0.5), (1, 2, 0.5)]);
+        let mut other = RrCollection::new(&g, DiffusionModel::IC, 5);
+        other.extend_to(&g, 100);
+        other.ensure_index();
+        plan.resume(&other, 3);
+    }
+}

@@ -213,6 +213,18 @@ pub trait WarmArena {
     /// Runs `f` under shared access. Implementations must uphold the
     /// index-currency contract described on the trait.
     fn read<R>(&self, f: impl FnOnce(&RrCollection) -> R) -> R;
+
+    /// Greedy max-coverage on the first `num_sets` sets under shared
+    /// access. The default runs
+    /// [`node_selection_prefix_indexed`] directly; a shared-arena
+    /// holder may override it to serve a memoized
+    /// [`SelectionPlan`](crate::SelectionPlan) (the `uic-serve` plan
+    /// cache), **provided the override returns exactly what the
+    /// default would** — selection results feed the certification
+    /// thresholds, so any deviation breaks the bit-identity contract.
+    fn select(&self, k: u32, num_sets: usize) -> NodeSelectionResult {
+        self.read(|coll| node_selection_prefix_indexed(coll, k, num_sets))
+    }
 }
 
 /// The trivial [`WarmArena`]: exclusive ownership of one collection
@@ -319,7 +331,7 @@ pub fn warm_prima_on<A: WarmArena>(
                 nf * (coll.estimate_spread_prefix_indexed(prefix, cur) / coll.num_nodes() as f64)
             })
         } else {
-            let sel = arena.read(|coll| node_selection_prefix_indexed(coll, k, cur));
+            let sel = arena.select(k, cur);
             let est = sel.estimated_spread(n, sel.seeds.len().min(k as usize));
             prev_selection = Some(sel);
             est
@@ -348,7 +360,7 @@ pub fn warm_prima_on<A: WarmArena>(
     let final_sets = theta_required.max(1);
     cur = cur.max(final_sets);
     arena.prepare(g, cur)?;
-    let sel = arena.read(|coll| node_selection_prefix_indexed(coll, b, final_sets));
+    let sel = arena.select(b, final_sets);
     Ok(PrimaResult {
         order: sel.seeds,
         coverage: sel.covered,

@@ -1,0 +1,167 @@
+//! Property suite pinning the [`SelectionPlan`] semantics that the
+//! serving layer's query cache depends on:
+//!
+//! 1. **Slices are exact** — for a plan computed to budget `K`,
+//!    `plan.slice(k)` for any `k ≤ K` is bit-for-bit the result of a
+//!    from-scratch `node_selection_prefix_indexed(coll, k, num_sets)`.
+//! 2. **Resume is exact** — continuing a short plan to a larger budget
+//!    yields the same picks, coverage, and residual state as computing
+//!    the larger plan from scratch.
+//! 3. **Plans key by explicit prefix, never by arena length** — after
+//!    the arena grows, a cached plan still answers its own prefix
+//!    identically (the prefix is immutable under extend-only growth),
+//!    and a query for the *new* prefix computes a different plan rather
+//!    than ever being served the stale one.
+//!
+//! Random inputs cover both sampled collections (IC on random graphs)
+//! and adversarial raw set families (duplicates, empty sets, nodes that
+//! appear in no set).
+
+use proptest::prelude::*;
+use uic_graph::{Graph, NodeId};
+use uic_im::{node_selection_prefix_indexed, DiffusionModel, RrCollection, SelectionPlan};
+
+/// Random raw RR-set family over `n` nodes: a mix of empty sets,
+/// singletons, and larger sets, with some nodes never covered.
+fn raw_collection(n: u32, picks: &[(u32, u32)]) -> RrCollection {
+    let sets: Vec<Vec<NodeId>> = picks
+        .iter()
+        .map(|&(a, len)| (0..len % 5).map(|i| (a + i * 3) % n).collect())
+        .collect();
+    let mut coll = RrCollection::from_raw_sets(n, sets);
+    coll.ensure_index();
+    coll
+}
+
+/// Random sampled collection: IC RR sets on a random sparse digraph.
+fn sampled_collection(n: u32, edges: &[(u32, u32, f32)], seed: u64, sets: usize) -> RrCollection {
+    let edges: Vec<(NodeId, NodeId, f32)> = edges
+        .iter()
+        .filter(|&&(u, v, _)| u % n != v % n)
+        .map(|&(u, v, p)| (u % n, v % n, p))
+        .collect();
+    let g = Graph::from_edges(n, &edges);
+    let mut coll = RrCollection::new(&g, DiffusionModel::IC, seed);
+    coll.extend_to(&g, sets);
+    coll.ensure_index();
+    coll
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1: every prefix of a plan is the from-scratch answer.
+    #[test]
+    fn slice_of_plan_matches_from_scratch(
+        n in 2u32..12,
+        picks in proptest::collection::vec((0u32..12, 0u32..8), 0..30),
+        kk in 1u32..16,
+        frac in 0.0f64..1.0,
+    ) {
+        let coll = raw_collection(n, &picks);
+        let num_sets = (coll.len() as f64 * frac) as usize;
+        let plan = SelectionPlan::compute(&coll, kk, num_sets);
+        for k in 0..=kk {
+            if !plan.covers(k) {
+                prop_assert!(plan.slice(k).is_none());
+                continue;
+            }
+            let sliced = plan.slice(k).unwrap();
+            let scratch = node_selection_prefix_indexed(&coll, k, num_sets);
+            prop_assert_eq!(sliced, scratch, "k={} num_sets={}", k, num_sets);
+        }
+    }
+
+    /// Property 2: resuming a short plan is bit-identical to computing
+    /// the long plan from scratch — picks, coverage, and residual state.
+    #[test]
+    fn resume_matches_from_scratch(
+        n in 2u32..10,
+        edges in proptest::collection::vec((0u32..10, 0u32..10, 0.1f32..0.9), 0..24),
+        seed in 0u64..1000,
+        sets in 1usize..200,
+        k_short in 0u32..4,
+        k_extra in 1u32..12,
+    ) {
+        let coll = sampled_collection(n, &edges, seed, sets);
+        let short = SelectionPlan::compute(&coll, k_short, sets);
+        let k_long = k_short + k_extra;
+        let resumed = short.resume(&coll, k_long);
+        let scratch = SelectionPlan::compute(&coll, k_long, sets);
+        prop_assert_eq!(&resumed, &scratch);
+        // Resuming the resumed plan further stays exact (chained resumes
+        // are how the serving cache grows a plan across queries).
+        let chained = resumed.resume(&coll, k_long + 2);
+        prop_assert_eq!(chained, SelectionPlan::compute(&coll, k_long + 2, sets));
+        // The short plan is untouched.
+        prop_assert_eq!(short.len(), (k_short as usize).min(n as usize));
+    }
+
+    /// Property 3: a plan outlives arena growth for its own prefix and
+    /// is never consulted for a different one. The stale-read hazard is
+    /// structural: if plans were keyed by "current arena length" the
+    /// first assertion below would fail after `extend_to`.
+    #[test]
+    fn plans_survive_growth_and_never_serve_a_stale_prefix(
+        n in 2u32..10,
+        edges in proptest::collection::vec((0u32..10, 0u32..10, 0.1f32..0.9), 1..24),
+        seed in 0u64..1000,
+        sets0 in 1usize..120,
+        grow in 1usize..120,
+        k in 1u32..8,
+    ) {
+        let edges: Vec<(NodeId, NodeId, f32)> = edges
+            .iter()
+            .filter(|&&(u, v, _)| u % n != v % n)
+            .map(|&(u, v, p)| (u % n, v % n, p))
+            .collect();
+        let g = Graph::from_edges(n, &edges);
+        let mut coll = RrCollection::new(&g, DiffusionModel::IC, seed);
+        coll.extend_to(&g, sets0);
+        coll.ensure_index();
+        let before = node_selection_prefix_indexed(&coll, k, sets0);
+        let plan = SelectionPlan::compute(&coll, k, sets0);
+
+        coll.extend_to(&g, sets0 + grow);
+        coll.ensure_index();
+
+        // The old prefix's answer is immutable under growth, so the
+        // cached plan still serves it exactly.
+        prop_assert_eq!(plan.slice(k).unwrap(), before.clone());
+        prop_assert_eq!(
+            node_selection_prefix_indexed(&coll, k, sets0),
+            before,
+            "extend-only growth must not disturb the old prefix"
+        );
+        // Resume against the grown arena stays pinned to the plan's own
+        // prefix (it never sees the new sets).
+        let resumed = plan.resume(&coll, k + 3);
+        prop_assert_eq!(resumed.num_sets(), sets0);
+        prop_assert_eq!(&resumed, &SelectionPlan::compute(&coll, k + 3, sets0));
+        // A query for the grown prefix is a *different* plan key; its
+        // answer comes from a fresh compute, not the cached plan.
+        let grown = SelectionPlan::compute(&coll, k, sets0 + grow);
+        prop_assert_eq!(grown.num_sets(), sets0 + grow);
+        prop_assert_eq!(
+            grown.slice(k).unwrap(),
+            node_selection_prefix_indexed(&coll, k, sets0 + grow)
+        );
+    }
+
+    /// Saturated plans (every node picked) answer arbitrary budgets.
+    #[test]
+    fn saturated_plans_cover_all_budgets(
+        n in 1u32..8,
+        picks in proptest::collection::vec((0u32..8, 1u32..8), 1..16),
+        k in 0u32..64,
+    ) {
+        let coll = raw_collection(n, &picks);
+        let plan = SelectionPlan::compute(&coll, n + 8, coll.len());
+        prop_assert!(plan.is_saturated());
+        prop_assert!(plan.covers(k));
+        prop_assert_eq!(
+            plan.slice(k).unwrap(),
+            node_selection_prefix_indexed(&coll, k, coll.len())
+        );
+    }
+}

@@ -231,6 +231,19 @@ pub struct LoadReport {
     pub p90_us: u64,
     /// 99th-percentile per-request latency (µs).
     pub p99_us: u64,
+    /// Median / p99 of the server-reported seed-selection phase (µs),
+    /// over OK responses that carried the field (0 when none did).
+    pub selection_p50_us: u64,
+    /// See [`selection_p50_us`](Self::selection_p50_us).
+    pub selection_p99_us: u64,
+    /// Median / p99 of the server-reported arena top-up phase (µs).
+    pub topup_p50_us: u64,
+    /// See [`topup_p50_us`](Self::topup_p50_us).
+    pub topup_p99_us: u64,
+    /// Median / p99 of the server-reported welfare-scoring phase (µs).
+    pub scoring_p50_us: u64,
+    /// See [`scoring_p50_us`](Self::scoring_p50_us).
+    pub scoring_p99_us: u64,
 }
 
 impl LoadReport {
@@ -262,9 +275,34 @@ impl LoadReport {
         w.u64(self.p90_us);
         w.key("p99_us");
         w.u64(self.p99_us);
+        w.key("selection_p50_us");
+        w.u64(self.selection_p50_us);
+        w.key("selection_p99_us");
+        w.u64(self.selection_p99_us);
+        w.key("topup_p50_us");
+        w.u64(self.topup_p50_us);
+        w.key("topup_p99_us");
+        w.u64(self.topup_p99_us);
+        w.key("scoring_p50_us");
+        w.u64(self.scoring_p50_us);
+        w.key("scoring_p99_us");
+        w.u64(self.scoring_p99_us);
         w.end_object();
         w.finish()
     }
+}
+
+/// Extracts the integer value of `"key":N` from a response payload —
+/// enough JSON for the server's own deterministic field order, without
+/// a parser dependency.
+fn field_u64(payload: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = payload.find(&needle)? + needle.len();
+    let digits: String = payload[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
 }
 
 /// Per-thread tallies flowing back to the report.
@@ -275,6 +313,9 @@ struct ThreadTally {
     retried: usize,
     failed: usize,
     lat: Vec<u64>,
+    /// Server-reported phase times from OK payloads, in request order:
+    /// `(selection_us, topup_us, scoring_us)`.
+    phases: Vec<(u64, u64, u64)>,
 }
 
 /// [`run_load`] with the default [`RetryPolicy`].
@@ -327,9 +368,20 @@ pub fn run_load_with(
     let refused: usize = per_thread.iter().map(|t| t.refused).sum();
     let retried: usize = per_thread.iter().map(|t| t.retried).sum();
     let failed: usize = per_thread.iter().map(|t| t.failed).sum();
-    let mut lat: Vec<u64> = per_thread.into_iter().flat_map(|t| t.lat).collect();
+    let mut lat: Vec<u64> = per_thread
+        .iter()
+        .flat_map(|t| t.lat.iter().copied())
+        .collect();
     lat.sort_unstable();
-    let pct = |p: f64| -> u64 {
+    let phases: Vec<(u64, u64, u64)> = per_thread.into_iter().flat_map(|t| t.phases).collect();
+    let mut sel: Vec<u64> = phases.iter().map(|p| p.0).collect();
+    let mut top: Vec<u64> = phases.iter().map(|p| p.1).collect();
+    let mut sco: Vec<u64> = phases.iter().map(|p| p.2).collect();
+    sel.sort_unstable();
+    top.sort_unstable();
+    sco.sort_unstable();
+    // Nearest-rank percentile; 0 on an empty sample.
+    let pct = |lat: &[u64], p: f64| -> u64 {
         if lat.is_empty() {
             return 0;
         }
@@ -346,9 +398,15 @@ pub fn run_load_with(
         failed,
         elapsed,
         qps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
-        p50_us: pct(0.50),
-        p90_us: pct(0.90),
-        p99_us: pct(0.99),
+        p50_us: pct(&lat, 0.50),
+        p90_us: pct(&lat, 0.90),
+        p99_us: pct(&lat, 0.99),
+        selection_p50_us: pct(&sel, 0.50),
+        selection_p99_us: pct(&sel, 0.99),
+        topup_p50_us: pct(&top, 0.50),
+        topup_p99_us: pct(&top, 0.99),
+        scoring_p50_us: pct(&sco, 0.50),
+        scoring_p99_us: pct(&sco, 0.99),
     })
 }
 
@@ -367,7 +425,17 @@ fn drive_one_client(
         let outcome = one_request(&addr, request_text, policy, stream, &mut conn, &mut tally);
         tally.lat.push(t.elapsed().as_micros() as u64);
         match outcome {
-            Attempt::Answered(r) if r.is_ok() => tally.ok += 1,
+            Attempt::Answered(r) if r.is_ok() => {
+                tally.ok += 1;
+                let p = r.payload();
+                if let (Some(sel), Some(top), Some(sco)) = (
+                    field_u64(p, "selection_us"),
+                    field_u64(p, "topup_us"),
+                    field_u64(p, "scoring_us"),
+                ) {
+                    tally.phases.push((sel, top, sco));
+                }
+            }
             Attempt::Answered(_) => {}
             Attempt::GaveUp | Attempt::Broken => tally.failed += 1,
         }
@@ -459,6 +527,16 @@ mod tests {
         assert_ne!(p.backoff(1, 4), p.backoff(2, 4));
         // Attempts far beyond the cap stay at the cap.
         assert!(p.backoff(0, 31) <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn phase_fields_parse_from_ok_payloads() {
+        let payload = r#"{"result":{"seed":7},"server":{"elapsed_us":1234,"selection_us":400,"topup_us":800,"scoring_us":34,"rr_topup":0,"arena_sets":512}}"#;
+        assert_eq!(field_u64(payload, "selection_us"), Some(400));
+        assert_eq!(field_u64(payload, "topup_us"), Some(800));
+        assert_eq!(field_u64(payload, "scoring_us"), Some(34));
+        assert_eq!(field_u64(payload, "missing"), None);
+        assert_eq!(field_u64(r#"{"x":"not-a-number"}"#, "x"), None);
     }
 
     #[test]

@@ -40,6 +40,16 @@ pub struct SolveOutcome {
     pub rr_topup: u64,
     /// Sets resident in the arena this query used (0 on cold paths).
     pub arena_sets: u64,
+    /// Wall time (µs) the solver spent selecting seeds — the greedy /
+    /// plan-cache phase (solver runtime minus top-up on warm paths;
+    /// the whole solver runtime on cold paths).
+    pub selection_us: u64,
+    /// Wall time (µs) spent growing the warm arena under the write
+    /// lock (0 when the prefix was already resident, and on cold
+    /// paths).
+    pub topup_us: u64,
+    /// Wall time (µs) spent scoring welfare after all locks dropped.
+    pub scoring_us: u64,
 }
 
 /// The resident state answering queries: the graph (loaded once,
@@ -122,7 +132,8 @@ impl Engine {
             ctx = ctx.with_welfare_seed(ws);
         }
 
-        let (mut report, rr_topup, arena_sets) = if req.spec.name == WARM_SOLVER {
+        let t_solve = Instant::now();
+        let (mut report, rr_topup, arena_sets, topup_us) = if req.spec.name == WARM_SOLVER {
             let warm = WarmGrd::from_spec(&req.spec.params)
                 .map_err(|e| ServeError::new(ErrorCode::BadSpec, e.to_string()))?;
             // Selection rides the arena's read lock; only top-up takes
@@ -133,18 +144,23 @@ impl Engine {
             let report = warm.run_shared(&inst, &ctx, &handle)?;
             let topup = handle.topup();
             let sets = handle.resident_sets();
-            (report, topup, sets)
+            (report, topup, sets, handle.topup_us())
         } else {
             let report = solver.run(&inst, &ctx);
-            (report, 0, 0)
+            (report, 0, 0, 0)
         };
+        let solve_us = t_solve.elapsed().as_micros() as u64;
 
         check_deadline(deadline, "scoring")?;
+        let t_score = Instant::now();
         score_report(&inst, &ctx, &mut report);
         Ok(SolveOutcome {
             result_json: report_json(&report),
             rr_topup,
             arena_sets,
+            selection_us: solve_us.saturating_sub(topup_us),
+            topup_us,
+            scoring_us: t_score.elapsed().as_micros() as u64,
         })
     }
 }

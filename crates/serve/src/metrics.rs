@@ -36,6 +36,21 @@ pub struct ServerMetrics {
     pub spills_total: Counter,
     /// Arenas restored warm from a spill file at startup.
     pub warm_reloaded_arenas: Counter,
+    /// Selection budgets answered from a cached [`SelectionPlan`] slice
+    /// (no greedy ran at all).
+    ///
+    /// [`SelectionPlan`]: uic_im::SelectionPlan
+    pub plan_hits: Counter,
+    /// Selection queries whose arena prefix had no cached plan — a full
+    /// greedy run was memoized.
+    pub plan_misses: Counter,
+    /// Selection queries answered by resuming a cached plan's CELF
+    /// state to a larger budget (cheaper than a miss, dearer than a
+    /// hit).
+    pub plan_resumes: Counter,
+    /// Queries that parked behind an identical in-flight plan
+    /// computation and reused its result (single-flight coalescing).
+    pub coalesced_waits: Counter,
     /// Bytes currently resident across all warm arenas (level).
     pub arena_bytes: Gauge,
     /// Warm arenas currently resident (level).
@@ -45,6 +60,15 @@ pub struct ServerMetrics {
     /// Arena lock acquisition waits (µs; read and write), most recent
     /// window — the contention observable of the sharded registry.
     pub lock_wait_us: LatencyRing,
+    /// Per-request seed-selection phase (µs): the greedy / plan-cache
+    /// part of a warm solve.
+    pub selection_us: LatencyRing,
+    /// Per-request arena top-up phase (µs): RR-set generation plus
+    /// index growth under the write lock (0 on fully warm queries).
+    pub topup_us: LatencyRing,
+    /// Per-request scoring phase (µs): welfare evaluation of the
+    /// selected seeds.
+    pub scoring_us: LatencyRing,
 }
 
 impl Default for ServerMetrics {
@@ -68,10 +92,17 @@ impl ServerMetrics {
             rebuilds_total: Counter::new(),
             spills_total: Counter::new(),
             warm_reloaded_arenas: Counter::new(),
+            plan_hits: Counter::new(),
+            plan_misses: Counter::new(),
+            plan_resumes: Counter::new(),
+            coalesced_waits: Counter::new(),
             arena_bytes: Gauge::new(),
             arenas_resident: Gauge::new(),
             solve_latency_us: LatencyRing::new(LATENCY_WINDOW),
             lock_wait_us: LatencyRing::new(LATENCY_WINDOW),
+            selection_us: LatencyRing::new(LATENCY_WINDOW),
+            topup_us: LatencyRing::new(LATENCY_WINDOW),
+            scoring_us: LatencyRing::new(LATENCY_WINDOW),
         }
     }
 
@@ -102,12 +133,23 @@ impl ServerMetrics {
         w.u64(self.spills_total.get());
         w.key("warm_reloaded_arenas");
         w.u64(self.warm_reloaded_arenas.get());
+        w.key("plan_hits");
+        w.u64(self.plan_hits.get());
+        w.key("plan_misses");
+        w.u64(self.plan_misses.get());
+        w.key("plan_resumes");
+        w.u64(self.plan_resumes.get());
+        w.key("coalesced_waits");
+        w.u64(self.coalesced_waits.get());
         w.key("arena_bytes");
         w.u64(self.arena_bytes.get());
         w.key("arenas_resident");
         w.u64(self.arenas_resident.get());
         ring_json(&mut w, "solve_latency_us", &self.solve_latency_us);
         ring_json(&mut w, "lock_wait_us", &self.lock_wait_us);
+        ring_json(&mut w, "selection_us", &self.selection_us);
+        ring_json(&mut w, "topup_us", &self.topup_us);
+        ring_json(&mut w, "scoring_us", &self.scoring_us);
         w.end_object();
         w.finish()
     }
@@ -151,6 +193,13 @@ mod tests {
             m.solve_latency_us.record(us);
         }
         m.lock_wait_us.record(17);
+        m.plan_hits.add(7);
+        m.plan_misses.add(2);
+        m.plan_resumes.inc();
+        m.coalesced_waits.add(3);
+        m.selection_us.record(40);
+        m.topup_us.record(900);
+        m.scoring_us.record(60);
         let json = m.to_json();
         assert!(json.contains(r#""requests_total":5"#), "{json}");
         assert!(json.contains(r#""rr_topup_total":1234"#), "{json}");
@@ -163,6 +212,22 @@ mod tests {
         assert!(json.contains(r#""p99":400"#), "{json}");
         assert!(
             json.contains(r#""lock_wait_us":{"count":1,"p50":17"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""plan_hits":7"#), "{json}");
+        assert!(json.contains(r#""plan_misses":2"#), "{json}");
+        assert!(json.contains(r#""plan_resumes":1"#), "{json}");
+        assert!(json.contains(r#""coalesced_waits":3"#), "{json}");
+        assert!(
+            json.contains(r#""selection_us":{"count":1,"p50":40"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""topup_us":{"count":1,"p50":900"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""scoring_us":{"count":1,"p50":60"#),
             "{json}"
         );
     }

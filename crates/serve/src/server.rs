@@ -434,6 +434,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                             .metrics
                             .solve_latency_us
                             .record(t0.elapsed().as_micros() as u64);
+                        shared.metrics.selection_us.record(out.selection_us);
+                        shared.metrics.topup_us.record(out.topup_us);
+                        shared.metrics.scoring_us.record(out.scoring_us);
                         let mut w = uic_util::JsonWriter::new();
                         w.begin_object();
                         w.key("result");
@@ -442,6 +445,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                         w.begin_object();
                         w.key("elapsed_us");
                         w.u64(t0.elapsed().as_micros() as u64);
+                        w.key("selection_us");
+                        w.u64(out.selection_us);
+                        w.key("topup_us");
+                        w.u64(out.topup_us);
+                        w.key("scoring_us");
+                        w.u64(out.scoring_us);
                         w.key("rr_topup");
                         w.u64(out.rr_topup);
                         w.key("arena_sets");

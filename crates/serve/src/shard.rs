@@ -16,6 +16,20 @@
 //! observe an indexed collection. Lock acquisition waits are recorded
 //! into [`ServerMetrics::lock_wait_us`].
 //!
+//! ## Query plans and single-flight coalescing
+//!
+//! Each cell carries a cache of [`SelectionPlan`]s keyed by arena
+//! prefix (`num_sets`): the first query for a prefix memoizes its full
+//! greedy run, repeat budgets are answered as `O(k)` slices, and larger
+//! budgets resume the cached CELF state instead of restarting — all
+//! bit-identical to from-scratch selection (the plan contract, pinned
+//! in `uic-im`). Plan computation is **single-flight**: concurrent
+//! queries for the same prefix park on a condvar while one leader
+//! computes, then re-read the cache ([`ServerMetrics::coalesced_waits`]
+//! counts the parks). Top-up demand coalesces the same way — waiters
+//! publish their target into the cell's `pending_target` atomic and
+//! the write-lock holder extends once to the maximum.
+//!
 //! ## Eviction
 //!
 //! An optional byte budget caps resident arena memory. When a top-up
@@ -26,6 +40,9 @@
 //! collection — answers stay bit-identical because an RR arena is a
 //! pure function of its key. A later query for the evicted key rebuilds
 //! from scratch (counted in [`ServerMetrics::rebuilds_total`]).
+//! Cached plans live inside their cell, so they are accounted against
+//! the same byte budget and die with their arena — an evicted prefix
+//! can never serve a later query.
 //!
 //! ## Panic containment
 //!
@@ -38,10 +55,10 @@ use crate::request::{ErrorCode, ServeError};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::Instant;
 use uic_graph::Graph;
-use uic_im::{DiffusionModel, RrCollection, WarmArena};
+use uic_im::{DiffusionModel, NodeSelectionResult, RrCollection, SelectionPlan, WarmArena};
 
 /// Arena identity: `(model discriminant, solver seed)` — exactly the
 /// inputs that determine the RR sample stream.
@@ -69,13 +86,36 @@ pub fn model_of_key(key: u8) -> Option<DiffusionModel> {
 /// any realistic worker count.
 const SHARD_COUNT: usize = 16;
 
+/// The per-cell query-plan cache: memoized greedy runs keyed by the
+/// arena prefix (`num_sets`) they were computed over, plus the
+/// single-flight ledger of prefixes currently being computed.
+#[derive(Default)]
+struct PlanCache {
+    plans: HashMap<usize, Arc<SelectionPlan>>,
+    /// Prefixes a leader is computing or resuming right now; other
+    /// queries for the same prefix park on the cell's condvar instead
+    /// of duplicating the work.
+    inflight: HashSet<usize>,
+}
+
 /// One resident warm arena: the collection behind its reader/writer
-/// lock plus the bookkeeping eviction needs.
+/// lock, its query-plan cache, and the bookkeeping eviction needs.
 pub struct ArenaCell {
     key: ArenaKey,
     lock: RwLock<RrCollection>,
-    /// Heap bytes of the collection as of the last top-up (mirrored
-    /// into the registry-wide gauge).
+    /// Memoized selection plans for this arena (die with the cell on
+    /// eviction, so a stale prefix can never outlive its arena).
+    plans: Mutex<PlanCache>,
+    /// Wakes queries parked behind a single-flight plan computation.
+    plan_cv: Condvar,
+    /// Heap bytes held by cached plans (a component of `bytes`).
+    plan_bytes: AtomicUsize,
+    /// The maximum top-up target published by queries waiting on the
+    /// write lock; the holder extends once to the max (monotone — the
+    /// arena never shrinks, so it is never reset).
+    pending_target: AtomicUsize,
+    /// Heap bytes of the collection plus cached plans (mirrored into
+    /// the registry-wide gauge).
     bytes: AtomicUsize,
     /// LRU stamp from the registry clock; larger = more recent.
     last_used: AtomicU64,
@@ -90,6 +130,26 @@ impl ArenaCell {
     /// Runs `f` under the read lock; `None` if the cell is poisoned.
     pub fn with_read<R>(&self, f: impl FnOnce(&RrCollection) -> R) -> Option<R> {
         self.lock.read().ok().map(|coll| f(&coll))
+    }
+
+    /// The plan-cache mutex, healing poison: the cache is just a map
+    /// of immutable `Arc`s, so a panic mid-update leaves it consistent.
+    fn plan_cache(&self) -> MutexGuard<'_, PlanCache> {
+        self.plans.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Clears a prefix's single-flight marker when the leader exits —
+/// normally or by panic — so parked queries never deadlock.
+struct InflightGuard<'a> {
+    cell: &'a ArenaCell,
+    num_sets: usize,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.cell.plan_cache().inflight.remove(&self.num_sets);
+        self.cell.plan_cv.notify_all();
     }
 }
 
@@ -171,6 +231,7 @@ impl ArenaRegistry {
             registry: self,
             cell,
             topup: std::cell::Cell::new(0),
+            topup_us: std::cell::Cell::new(0),
         }
     }
 
@@ -199,6 +260,10 @@ impl ArenaRegistry {
         Arc::new(ArenaCell {
             key,
             lock: RwLock::new(coll),
+            plans: Mutex::new(PlanCache::default()),
+            plan_cv: Condvar::new(),
+            plan_bytes: AtomicUsize::new(0),
+            pending_target: AtomicUsize::new(0),
             bytes: AtomicUsize::new(bytes),
             last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed) + 1),
         })
@@ -218,14 +283,34 @@ impl ArenaRegistry {
             .insert(cell.key);
     }
 
-    /// Publishes a top-up's byte delta for `cell`.
+    /// Publishes one component's byte delta for `cell` (the collection
+    /// on top-up, the plan cache on plan install/evict). Delta-based so
+    /// a racing top-up and plan install cannot clobber each other's
+    /// accounting.
     fn note_resize(&self, cell: &ArenaCell, old_bytes: usize, new_bytes: usize) {
-        cell.bytes.store(new_bytes, Ordering::Relaxed);
         if new_bytes >= old_bytes {
-            self.metrics.arena_bytes.add((new_bytes - old_bytes) as u64);
+            let d = new_bytes - old_bytes;
+            cell.bytes.fetch_add(d, Ordering::Relaxed);
+            self.metrics.arena_bytes.add(d as u64);
         } else {
-            self.metrics.arena_bytes.sub((old_bytes - new_bytes) as u64);
+            let d = old_bytes - new_bytes;
+            cell.bytes.fetch_sub(d, Ordering::Relaxed);
+            self.metrics.arena_bytes.sub(d as u64);
         }
+    }
+
+    /// Publishes a plan-cache byte delta for `cell` and re-enforces the
+    /// byte budget (plans count against the same cap as arenas).
+    fn note_plan_resize(&self, cell: &ArenaCell, old_bytes: usize, new_bytes: usize) {
+        if new_bytes >= old_bytes {
+            cell.plan_bytes
+                .fetch_add(new_bytes - old_bytes, Ordering::Relaxed);
+        } else {
+            cell.plan_bytes
+                .fetch_sub(old_bytes - new_bytes, Ordering::Relaxed);
+        }
+        self.note_resize(cell, old_bytes, new_bytes);
+        self.enforce_budget(cell.key);
     }
 
     /// Evicts least-recently-used arenas (never `protect`) until the
@@ -312,6 +397,7 @@ pub struct ArenaHandle<'a> {
     registry: &'a ArenaRegistry,
     cell: Arc<ArenaCell>,
     topup: std::cell::Cell<u64>,
+    topup_us: std::cell::Cell<u64>,
 }
 
 impl ArenaHandle<'_> {
@@ -320,10 +406,51 @@ impl ArenaHandle<'_> {
         self.topup.get()
     }
 
+    /// Wall time this handle spent in [`WarmArena::prepare`] (µs) —
+    /// the top-up phase of the query's latency split.
+    pub fn topup_us(&self) -> u64 {
+        self.topup_us.get()
+    }
+
     /// Sets currently resident in the arena this handle rides.
     pub fn resident_sets(&self) -> u64 {
         self.read(|coll| coll.len() as u64)
     }
+
+    /// The single-flight leader's plan computation: resume the cached
+    /// plan when one exists, else compute from scratch. A fired
+    /// `serve.plan.resume` failpoint abandons the resume (`None`) — the
+    /// caller evicts the cached plan and rebuilds from scratch, which
+    /// the plan contract guarantees is bit-identical.
+    fn build_plan(
+        &self,
+        base: Option<&SelectionPlan>,
+        k: u32,
+        num_sets: usize,
+    ) -> Option<SelectionPlan> {
+        let m = &self.registry.metrics;
+        match base {
+            Some(short) => {
+                let resumed = self.read(|coll| try_resume(short, coll, k));
+                if resumed.is_some() {
+                    m.plan_resumes.inc();
+                }
+                resumed
+            }
+            None => {
+                m.plan_misses.inc();
+                Some(self.read(|coll| SelectionPlan::compute(coll, k, num_sets)))
+            }
+        }
+    }
+}
+
+/// Resumes `base` to budget `k` unless the `serve.plan.resume`
+/// failpoint fires (chaos: a fault mid-resume must only cost work,
+/// never correctness).
+fn try_resume(base: &SelectionPlan, coll: &RrCollection, k: u32) -> Option<SelectionPlan> {
+    uic_util::fail_point!("serve.plan.resume", || None);
+    Some(base.resume(coll, k))
 }
 
 impl WarmArena for ArenaHandle<'_> {
@@ -334,6 +461,34 @@ impl WarmArena for ArenaHandle<'_> {
             ErrorCode::Internal,
             "injected fault: warm-arena top-up (failpoint `serve.topup`)",
         )));
+        let phase0 = Instant::now();
+        // Fully-warm fast path: when the prefix is already resident and
+        // indexed, a read lock suffices — repeat queries never contend
+        // on the write lock.
+        {
+            let t0 = Instant::now();
+            let warm = match self.cell.lock.read() {
+                Ok(coll) => {
+                    self.registry
+                        .metrics
+                        .lock_wait_us
+                        .record(t0.elapsed().as_micros() as u64);
+                    coll.len() >= target && coll.index_is_current()
+                }
+                Err(_) => false, // poisoned: fall through to the healing path
+            };
+            if warm {
+                self.topup_us
+                    .set(self.topup_us.get() + phase0.elapsed().as_micros() as u64);
+                return Ok(());
+            }
+        }
+        // Publish our demand before blocking: whoever holds the write
+        // lock extends once to the max of all coalesced targets, and
+        // we find the work already done when our turn comes.
+        self.cell
+            .pending_target
+            .fetch_max(target, Ordering::Relaxed);
         let t0 = Instant::now();
         let mut coll = match self.cell.lock.write() {
             Ok(coll) => coll,
@@ -363,15 +518,100 @@ impl WarmArena for ArenaHandle<'_> {
             .record(t0.elapsed().as_micros() as u64);
         let old_bytes = coll.heap_bytes();
         let before = coll.total_generated();
-        coll.extend_to(g, target);
+        // Serve every coalesced demand in one pass (the atomic is
+        // monotone, so a stale high-water mark is at worst a no-op
+        // against an arena that already grew past it).
+        let goal = self.cell.pending_target.load(Ordering::Relaxed).max(target);
+        coll.extend_to(g, goal);
         coll.ensure_index();
         let added = coll.total_generated() - before;
         let new_bytes = coll.heap_bytes();
         drop(coll);
         self.topup.set(self.topup.get() + added);
+        self.topup_us
+            .set(self.topup_us.get() + phase0.elapsed().as_micros() as u64);
         self.registry.note_resize(&self.cell, old_bytes, new_bytes);
         self.registry.enforce_budget(self.cell.key);
         Ok(())
+    }
+
+    /// Plan-cached selection: slice a memoized plan when it covers
+    /// `k`, resume it when it is too short, compute and memoize on a
+    /// cold prefix — single-flight, so concurrent queries for the same
+    /// prefix do the work once. Every path returns exactly what the
+    /// trait's default (a from-scratch greedy run under the read lock)
+    /// would: slices and resumes are bit-identical by the
+    /// [`SelectionPlan`] contract.
+    fn select(&self, k: u32, num_sets: usize) -> NodeSelectionResult {
+        let m = &self.registry.metrics;
+        let mut cache = self.cell.plan_cache();
+        let (base, _guard) = loop {
+            if let Some(plan) = cache.plans.get(&num_sets) {
+                if plan.covers(k) {
+                    let plan = Arc::clone(plan);
+                    drop(cache);
+                    m.plan_hits.inc();
+                    return plan.slice(k).expect("plan covers k");
+                }
+            }
+            if !cache.inflight.contains(&num_sets) {
+                // We lead: reserve the prefix and compute outside the
+                // cache lock (the guard clears the reservation even if
+                // the computation panics).
+                cache.inflight.insert(num_sets);
+                let base = cache.plans.get(&num_sets).map(Arc::clone);
+                drop(cache);
+                break (
+                    base,
+                    InflightGuard {
+                        cell: &self.cell,
+                        num_sets,
+                    },
+                );
+            }
+            // A leader is already computing this prefix: park, then
+            // re-check the cache from the top.
+            m.coalesced_waits.inc();
+            cache = self
+                .cell
+                .plan_cv
+                .wait(cache)
+                .unwrap_or_else(|p| p.into_inner());
+        };
+        let plan = match self.build_plan(base.as_deref(), k, num_sets) {
+            Some(plan) => plan,
+            None => {
+                // Chaos path: the resume was abandoned mid-flight.
+                // Evict the cached plan and rebuild from scratch —
+                // costlier, never wrong.
+                let evicted = self.cell.plan_cache().plans.remove(&num_sets);
+                if let Some(old) = evicted {
+                    self.registry
+                        .note_plan_resize(&self.cell, old.heap_bytes(), 0);
+                }
+                m.plan_misses.inc();
+                self.read(|coll| SelectionPlan::compute(coll, k, num_sets))
+            }
+        };
+        let answer = plan.slice(k).expect("freshly computed plan covers k");
+        if plan.num_sets() != num_sets {
+            // The arena was shorter than the requested prefix, so the
+            // plan silently capped itself (never happens after a
+            // normal `prepare`). The answer matches what from-scratch
+            // selection would return right now, but memoizing it under
+            // the requested key could serve the short prefix after the
+            // arena grows — skip the cache.
+            return answer;
+        }
+        let (old_bytes, new_bytes) = {
+            let mut cache = self.cell.plan_cache();
+            let old = cache.plans.insert(num_sets, Arc::new(plan));
+            let new = cache.plans[&num_sets].heap_bytes();
+            (old.map(|p| p.heap_bytes()).unwrap_or(0), new)
+        };
+        self.registry
+            .note_plan_resize(&self.cell, old_bytes, new_bytes);
+        answer
     }
 
     fn read<R>(&self, f: impl FnOnce(&RrCollection) -> R) -> R {
@@ -521,6 +761,128 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(reg.sets_total(), 128);
+    }
+
+    #[test]
+    fn plan_cache_hits_slices_and_resumes() {
+        let g = star_graph();
+        let (reg, m) = registry(None);
+        let h = reg.checkout(&g, DiffusionModel::IC, 13);
+        h.prepare(&g, 200).unwrap();
+        let direct = |k: u32, sets: usize| {
+            h.read(|coll| uic_im::node_selection_prefix_indexed(coll, k, sets))
+        };
+        // Cold prefix: a miss that memoizes.
+        let first = h.select(4, 200);
+        assert_eq!(first, direct(4, 200));
+        assert_eq!((m.plan_hits.get(), m.plan_misses.get()), (0, 1));
+        // Same prefix, smaller budget: a pure slice hit.
+        assert_eq!(h.select(2, 200), direct(2, 200));
+        assert_eq!(m.plan_hits.get(), 1);
+        // Same prefix, larger budget: a resume, then sliced on repeat.
+        assert_eq!(h.select(7, 200), direct(7, 200));
+        assert_eq!(m.plan_resumes.get(), 1);
+        assert_eq!(h.select(7, 200), direct(7, 200));
+        assert_eq!(m.plan_hits.get(), 2);
+        // A different prefix is its own plan key.
+        assert_eq!(h.select(4, 100), direct(4, 100));
+        assert_eq!(m.plan_misses.get(), 2);
+        assert!(
+            h.cell.plan_bytes.load(Ordering::Relaxed) > 0,
+            "cached plans are byte-accounted"
+        );
+    }
+
+    #[test]
+    fn plan_bytes_count_against_the_arena_budget_and_die_with_the_cell() {
+        let g = star_graph();
+        let (reg, m) = registry(Some(1));
+        let a = reg.checkout(&g, DiffusionModel::IC, 1);
+        a.prepare(&g, 64).unwrap();
+        a.select(3, 64);
+        let total = a.cell.bytes.load(Ordering::Relaxed);
+        let plans = a.cell.plan_bytes.load(Ordering::Relaxed);
+        assert!(plans > 0 && total > plans, "bytes = arena + plans");
+        assert_eq!(m.arena_bytes.get(), total as u64);
+        // A second arena's top-up evicts the first, plans and all.
+        let b = reg.checkout(&g, DiffusionModel::IC, 2);
+        b.prepare(&g, 64).unwrap();
+        assert_eq!(m.evictions_total.get(), 1);
+        assert_eq!(m.arenas_resident.get(), 1);
+        // The rebuilt arena starts with a cold plan cache: the next
+        // select is a miss, never a stale hit.
+        let a2 = reg.checkout(&g, DiffusionModel::IC, 1);
+        a2.prepare(&g, 64).unwrap();
+        let misses = m.plan_misses.get();
+        assert_eq!(a2.select(3, 64), a.select(3, 64), "bit-identical rebuild");
+        assert!(m.plan_misses.get() > misses, "no plan survived eviction");
+    }
+
+    #[test]
+    fn concurrent_same_prefix_selects_coalesce_into_one_plan() {
+        let g = Arc::new(star_graph());
+        let (reg, m) = registry(None);
+        let reg = Arc::new(reg);
+        reg.checkout(&g, DiffusionModel::IC, 17)
+            .prepare(&g, 256)
+            .unwrap();
+        // Computed via `read` + direct selection, which bypasses (and
+        // does not populate) the plan cache — the prefix is still cold
+        // when the racing threads start.
+        let expect = {
+            let h = reg.checkout(&g, DiffusionModel::IC, 17);
+            h.read(|coll| uic_im::node_selection_prefix_indexed(coll, 5, 256))
+        };
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let g = Arc::clone(&g);
+                let expect = expect.clone();
+                std::thread::spawn(move || {
+                    let h = reg.checkout(&g, DiffusionModel::IC, 17);
+                    h.prepare(&g, 256).unwrap();
+                    assert_eq!(h.select(5, 256), expect);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            m.plan_misses.get() + m.plan_resumes.get(),
+            1,
+            "single-flight: the prefix was computed exactly once"
+        );
+        assert_eq!(m.plan_hits.get(), 7, "everyone else sliced the cache");
+    }
+
+    #[test]
+    fn coalesced_topup_extends_once_to_the_max_demand() {
+        let g = Arc::new(star_graph());
+        let (reg, _m) = registry(None);
+        let reg = Arc::new(reg);
+        reg.checkout(&g, DiffusionModel::IC, 19)
+            .prepare(&g, 8)
+            .unwrap();
+        let threads: Vec<_> = (0..6)
+            .map(|i| {
+                let reg = Arc::clone(&reg);
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    let h = reg.checkout(&g, DiffusionModel::IC, 19);
+                    h.prepare(&g, 64 * (i + 1)).unwrap();
+                    assert!(h.resident_sets() >= 64 * (i + 1) as u64);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let h = reg.checkout(&g, DiffusionModel::IC, 19);
+        assert_eq!(h.resident_sets(), 384, "max coalesced demand served");
+        // A warm repeat touches only the read lock and adds no top-up.
+        h.prepare(&g, 384).unwrap();
+        assert_eq!(h.topup(), 0);
     }
 
     #[test]

@@ -136,6 +136,54 @@ fn topup_faults_yield_typed_errors_and_identical_survivors() {
 }
 
 #[test]
+fn plan_resume_faults_evict_the_plan_and_answers_stay_identical() {
+    let _guard = ChaosGuard::acquire();
+    let handle = start(ServerConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Warm the arena and memoize short plans. (This budget pair is
+    // chosen so the wider query's certification loop lands on a prefix
+    // the warm-up already planned, with a larger budget — the resume
+    // path, not just slices and misses.)
+    let expected_small = offline_result("warm-grd", vec![3, 2], 31, 30);
+    let Response::Ok(payload) = c.request("warm-grd budgets=3,2 seed=31 sims=30").unwrap() else {
+        panic!("warm-up query must succeed")
+    };
+    assert_result_is(&payload, &expected_small);
+
+    // Every plan resume now aborts mid-flight: the serving layer must
+    // evict the cached plan and rebuild from scratch — never answer
+    // wrong, never error.
+    failpoint::configure("serve.plan.resume", "return").unwrap();
+    let expected_wide = offline_result("warm-grd", vec![4, 2], 31, 30);
+    let Response::Ok(payload) = c.request("warm-grd budgets=4,2 seed=31 sims=30").unwrap() else {
+        panic!("queries must survive plan-resume faults")
+    };
+    assert_result_is(&payload, &expected_wide);
+    assert!(
+        failpoint::triggers("serve.plan.resume") > 0,
+        "the wider query must actually attempt a resume"
+    );
+
+    // With the fault healed, the rebuilt plans serve repeats warm and
+    // still bit-identically.
+    failpoint::remove("serve.plan.resume");
+    let Response::Ok(payload) = c.request("warm-grd budgets=4,2 seed=31 sims=30").unwrap() else {
+        panic!("fault-free repeat must succeed")
+    };
+    assert_result_is(&payload, &expected_wide);
+    assert_eq!(rr_topup_of(&payload), 0, "repeat stays pure reuse");
+
+    let metrics = handle.metrics_json();
+    assert!(
+        !metrics.contains(r#""plan_hits":0,"#),
+        "rebuilt plans must serve the repeat: {metrics}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn dispatch_panics_are_contained_to_one_request() {
     let _guard = ChaosGuard::acquire();
     failpoint::set_seed(3);

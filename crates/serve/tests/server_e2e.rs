@@ -133,6 +133,57 @@ fn concurrent_clients_get_bit_identical_answers_to_offline_runs() {
 }
 
 #[test]
+fn repeat_and_mixed_budget_queries_ride_the_plan_cache() {
+    let handle = start(ServerConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Cold query: computes and memoizes selection plans.
+    let first = c.request("warm-grd budgets=4,2 seed=21 sims=30").unwrap();
+    let expected = offline_result("warm-grd", vec![4, 2], 21, 30);
+    assert_result_is(&first, &expected);
+
+    // Repeat: the exact bytes again, now served from cached plans.
+    let again = c.request("warm-grd budgets=4,2 seed=21 sims=30").unwrap();
+    assert_result_is(&again, &expected);
+
+    // Mixed budgets on the same arena: narrower slices the cached
+    // plans, wider may resume them — both must still equal offline.
+    let narrow = c.request("warm-grd budgets=2,1 seed=21 sims=30").unwrap();
+    assert_result_is(&narrow, &offline_result("warm-grd", vec![2, 1], 21, 30));
+    let wide = c.request("warm-grd budgets=6,3 seed=21 sims=30").unwrap();
+    assert_result_is(&wide, &offline_result("warm-grd", vec![6, 3], 21, 30));
+
+    // Every OK response carries the phase split, ordered before the
+    // rr_topup field CI greps anchor on.
+    for resp in [&first, &again, &narrow, &wide] {
+        let p = resp.payload();
+        assert!(p.contains(r#""selection_us":"#), "{p}");
+        assert!(p.contains(r#""topup_us":"#), "{p}");
+        assert!(p.contains(r#""scoring_us":"#), "{p}");
+        assert!(p.contains(r#""rr_topup":"#), "{p}");
+    }
+
+    let metrics = handle.metrics_json();
+    assert!(
+        !metrics.contains(r#""plan_hits":0,"#),
+        "repeat query must hit: {metrics}"
+    );
+    assert!(
+        !metrics.contains(r#""plan_misses":0,"#),
+        "cold query must miss: {metrics}"
+    );
+    for ring in ["selection_us", "topup_us", "scoring_us"] {
+        assert!(
+            metrics.contains(&format!(r#""{ring}":{{"count":"#)),
+            "{ring} ring in {metrics}"
+        );
+    }
+    assert!(metrics.contains(r#""coalesced_waits":"#), "{metrics}");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn admin_verbs_and_metrics_roundtrip() {
     let handle = start(ServerConfig::default());
     let mut c = Client::connect(handle.addr()).unwrap();

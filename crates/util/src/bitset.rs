@@ -72,6 +72,16 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Clears the set and re-sizes it to `len` bits, reusing the word
+    /// buffer whenever its capacity allows — the scratch-reuse path of
+    /// per-query selection state (no allocation once the buffer has
+    /// grown to the working-set size).
+    pub fn reset_to(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
     /// In-place union with `other` (must have the same length).
     pub fn union_with(&mut self, other: &BitSet) {
         assert_eq!(self.len, other.len, "bitset length mismatch");
@@ -230,6 +240,23 @@ mod tests {
         bs.insert(99);
         bs.clear();
         assert_eq!(bs.count(), 0);
+    }
+
+    #[test]
+    fn reset_to_reuses_capacity_and_clears() {
+        let mut bs = BitSet::new(512);
+        bs.insert(511);
+        let buf = bs.words.as_ptr();
+        bs.reset_to(100);
+        assert_eq!(bs.len(), 100);
+        assert_eq!(bs.count(), 0);
+        assert!(bs.insert(99));
+        bs.reset_to(512);
+        assert_eq!(bs.len(), 512);
+        assert_eq!(bs.count(), 0, "stale bits must not leak through resize");
+        assert_eq!(bs.words.as_ptr(), buf, "shrink+regrow reuses the buffer");
+        bs.reset_to(0);
+        assert!(bs.is_empty());
     }
 
     #[test]
